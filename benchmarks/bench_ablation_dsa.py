@@ -1,0 +1,71 @@
+"""Ablation: the issue-queue DSA versus a plain FIFO DRAM scheduler.
+
+The paper's Requests Register exists so the scheduler can issue the oldest
+request whose bank is free *even if an older request is blocked*.  This
+ablation removes that ability (strict FIFO issue) and shows the consequence:
+when one queue sends two back-to-back blocks to the same bank, the FIFO
+scheduler stalls the whole pipeline behind the blocked request, while the
+wake-up/select DSA lets younger requests (to other banks) overtake and never
+stalls.
+"""
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.core.config import CFDSConfig
+from repro.core.scheduler import DRAMSchedulerSubsystem
+from repro.types import ReplenishRequest, TransferDirection
+
+
+def _drive(dsa_policy: str):
+    """Queue A fires two requests at the same bank back to back at the start
+    of every 8-period cycle (exactly that bank's long-term capacity); queue B,
+    in another group, fills most of the remaining issue slots with well-spread
+    requests.  Total demand matches the issue rate, so the only question is
+    whether the scheduler can work around A's blocked second request."""
+    config = CFDSConfig(num_queues=16, dram_access_slots=16, granularity=2,
+                        num_banks=32, strict=False)
+    dss = DRAMSchedulerSubsystem(config, dsa_policy=dsa_policy)
+    queue_a, queue_b = 0, 1      # groups 0 and 1: disjoint banks
+    b_block = 0
+    slot = 0
+    for period in range(800):
+        phase = period % 8
+        if phase in (0, 1):
+            # Two consecutive requests to the same bank of queue A's group.
+            dss.submit(ReplenishRequest(queue=queue_a, direction=TransferDirection.READ,
+                                        cells=2, issue_slot=slot, block_index=0))
+        if phase not in (1, 7):
+            # Queue B's requests cycle over its own group's banks.
+            dss.submit(ReplenishRequest(queue=queue_b, direction=TransferDirection.READ,
+                                        cells=2, issue_slot=slot, block_index=b_block))
+            b_block += 1
+        for _ in range(config.granularity):
+            dss.tick(slot)
+            slot += 1
+    for _ in range(200):
+        dss.tick(slot)
+        slot += 1
+    return dss
+
+
+def test_dsa_reordering_beats_fifo(benchmark, echo):
+    def run_both():
+        return _drive("oldest-ready"), _drive("fifo")
+
+    dsa, fifo = benchmark(run_both)
+    assert dsa.bank_conflicts == 0 and fifo.bank_conflicts == 0
+    # The paper's DSA never stalls on this workload; the FIFO baseline does,
+    # and its worst-case delay and backlog are strictly worse.
+    assert dsa.stall_fraction == 0.0
+    assert fifo.stall_fraction > 0.0
+    assert fifo.max_total_delay_slots > dsa.max_total_delay_slots
+    assert fifo.peak_rr_occupancy >= dsa.peak_rr_occupancy
+
+    echo(format_table(
+        ["DSA policy", "peak RR", "stall fraction", "max delay (slots)", "pending at end"],
+        [["oldest-ready (paper)", dsa.peak_rr_occupancy,
+          round(dsa.stall_fraction, 3), dsa.max_total_delay_slots, dsa.pending_count],
+         ["fifo (ablation)", fifo.peak_rr_occupancy,
+          round(fifo.stall_fraction, 3), fifo.max_total_delay_slots, fifo.pending_count]],
+        title="Ablation — wake-up/select DSA vs FIFO issue"))

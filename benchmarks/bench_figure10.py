@@ -1,0 +1,47 @@
+"""Benchmark: Figure 10 — SRAM area and access time versus delay, RADS vs CFDS.
+
+Paper shape to reproduce: some CFDS granularity meets the 3.2 ns OC-3072
+budget at a delay of roughly ten microseconds and a fraction of the RADS
+area, while RADS never gets below several nanoseconds even past 50 us of
+delay; and there is an optimum granularity (neither the largest nor the
+smallest b gives the smallest SRAM).
+"""
+
+import pytest
+
+from repro.analysis.figure10 import figure10, figure10_summary
+from repro.analysis.report import format_table
+
+
+def test_figure10_rads_vs_cfds(benchmark, echo):
+    points = benchmark(figure10, points=10)
+
+    rads = [p for p in points if p.scheme == "RADS"]
+    cfds = [p for p in points if p.scheme == "CFDS"]
+    assert rads and cfds
+    assert not any(p.meets_budget for p in rads)
+    assert any(p.meets_budget for p in cfds)
+
+    summary = figure10_summary()
+    assert summary["best_cfds_delay_us"] < 20.0
+    assert 5.0 < summary["best_rads_access_ns"] < 9.0
+    assert summary["best_cfds_area_cm2"] < 0.5 * summary["best_rads_area_cm2"]
+
+    # Optimal granularity is interior.
+    smallest_sram_by_b = {}
+    for p in cfds:
+        current = smallest_sram_by_b.get(p.granularity)
+        if current is None or p.head_sram_cells < current:
+            smallest_sram_by_b[p.granularity] = p.head_sram_cells
+    ordered = sorted(smallest_sram_by_b)
+    best_b = min(smallest_sram_by_b, key=smallest_sram_by_b.get)
+    assert best_b not in (ordered[0], ordered[-1])
+
+    compliant = [p for p in cfds if p.meets_budget]
+    sample = sorted(compliant, key=lambda p: (p.granularity, p.delay_us))[:8]
+    echo(format_table(
+        ["scheme", "b", "delay us", "h-SRAM kB", "access ns", "area cm^2"],
+        [[p.scheme, p.granularity, round(p.delay_us, 1), round(p.head_sram_kbytes, 1),
+          round(p.access_time_ns, 2), round(p.area_cm2, 3)]
+         for p in sample + rads[-2:]],
+        title="Figure 10 — compliant CFDS points vs RADS (OC-3072, Q=512, M=256)"))

@@ -1,0 +1,34 @@
+"""Benchmark: Figure 11 — maximum number of queues at OC-3072.
+
+Paper shape to reproduce: RADS tops out at a small queue count, CFDS at an
+intermediate granularity reaches several hundred queues (the paper quotes up
+to ~850, about six times RADS; our calibrated technology model lands in the
+3x-8x band), and the curve over granularities rises and then falls.
+"""
+
+import pytest
+
+from repro.analysis.figure11 import figure11, figure11_summary
+from repro.analysis.report import format_table
+
+
+def test_figure11_max_queue_counts(benchmark, echo):
+    points = benchmark(figure11)
+
+    counts = {p.granularity: p.max_queues for p in points}
+    rads_queues = counts[32]
+    cfds_best = max(p.max_queues for p in points if p.scheme == "CFDS")
+    assert rads_queues < 300
+    assert 500 <= cfds_best <= 1100
+    assert 3.0 <= cfds_best / rads_queues <= 8.0
+
+    ordered = [counts[b] for b in (32, 16, 8, 4, 2, 1)]
+    peak = ordered.index(max(ordered))
+    assert 0 < peak < len(ordered) - 1
+
+    summary = figure11_summary()
+    echo(format_table(
+        ["scheme", "b", "max queues"],
+        [[p.scheme, p.granularity, p.max_queues] for p in points],
+        title=(f"Figure 11 — max queues at OC-3072 "
+               f"(CFDS/RADS = {summary['improvement_ratio']:.1f}x)")))

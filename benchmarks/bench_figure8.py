@@ -1,0 +1,39 @@
+"""Benchmark: Figure 8 — RADS h-SRAM access time and area versus lookahead.
+
+Paper shape to reproduce: at OC-768 both SRAM organisations meet the 12.8 ns
+slot comfortably (RADS is fine); at OC-3072 neither the global CAM nor the
+time-multiplexed linked list reaches the 3.2 ns slot, and the SRAM runs from
+~6.2 MB down to ~1.0 MB over the lookahead sweep.
+"""
+
+import pytest
+
+from repro.analysis.figure8 import figure8, figure8_summary
+from repro.analysis.report import format_table
+
+
+def _render(points):
+    return format_table(
+        ["lookahead", "SRAM kB", "CAM ns", "linked-list ns", "CAM cm^2", "LL cm^2"],
+        [[p.lookahead_slots, round(p.sram_kbytes, 1), round(p.cam_access_ns, 2),
+          round(p.linked_list_access_ns, 2), round(p.cam_area_cm2, 3),
+          round(p.linked_list_area_cm2, 3)] for p in points])
+
+
+def test_figure8_oc768(benchmark, echo):
+    points = benchmark(figure8, "OC-768", points=16)
+    assert all(p.cam_meets_budget and p.linked_list_meets_budget for p in points)
+    summary = figure8_summary("OC-768")
+    assert 250 < summary["sram_kbytes_min_lookahead"] < 350
+    assert 50 < summary["sram_kbytes_max_lookahead"] < 70
+    echo("Figure 8 (OC-768, Q=128, B=8, budget 12.8 ns)\n" + _render(points))
+
+
+def test_figure8_oc3072(benchmark, echo):
+    points = benchmark(figure8, "OC-3072", points=16)
+    assert not any(p.cam_meets_budget or p.linked_list_meets_budget for p in points)
+    summary = figure8_summary("OC-3072")
+    assert 5.5 * 1024 < summary["sram_kbytes_min_lookahead"] < 7.0 * 1024
+    assert 0.9 * 1024 < summary["sram_kbytes_max_lookahead"] < 1.1 * 1024
+    assert 5.0 < summary["best_access_ns_max_lookahead"] < 8.5
+    echo("Figure 8 (OC-3072, Q=512, B=32, budget 3.2 ns)\n" + _render(points))

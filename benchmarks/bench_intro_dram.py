@@ -1,0 +1,27 @@
+"""Benchmark: the introduction's DRAM-only bandwidth analysis.
+
+Paper numbers: a single 16 Mb SDRAM chip peaks at 1.6 Gb/s but guarantees
+only ~1.2 Gb/s; an 8-chip configuration guarantees ~5.12 Gb/s — nowhere near
+the 80/320 Gb/s an OC-768/OC-3072 line card needs.
+"""
+
+import pytest
+
+from repro.analysis.intro_dram import intro_dram_analysis
+from repro.analysis.report import format_table
+
+
+def test_intro_dram_guaranteed_bandwidth(benchmark, echo):
+    rows = benchmark(intro_dram_analysis)
+
+    by_chips = {r.num_chips: r for r in rows}
+    assert by_chips[1].peak_gbps == pytest.approx(1.6)
+    assert by_chips[1].guaranteed_gbps == pytest.approx(1.2, rel=0.15)
+    assert by_chips[8].guaranteed_gbps == pytest.approx(5.12, rel=0.05)
+    assert not any(r.supports_oc3072 for r in rows)
+
+    echo(format_table(
+        ["chips", "bus bits", "peak Gb/s", "guaranteed Gb/s", "efficiency"],
+        [[r.num_chips, r.bus_bits, round(r.peak_gbps, 2),
+          round(r.guaranteed_gbps, 2), f"{r.efficiency:.0%}"] for r in rows],
+        title="Intro analysis — DRAM-only buffer guaranteed bandwidth"))

@@ -1,0 +1,37 @@
+"""Extension benchmark: DRAM technology scaling versus the CFDS approach.
+
+Quantifies the paper's motivating remark that commodity DRAM random access
+times improve only ~10% every 18 months, so waiting for faster DRAM is not a
+substitute for the architectural fix: even after a decade of scaling, plain
+RADS still cannot meet the OC-3072 SRAM budget with 512 queues, while CFDS
+meets it today.
+"""
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.analysis.scaling import granularity_roadmap, years_until_rads_suffices
+
+
+def test_dram_scaling_alone_does_not_rescue_rads(benchmark, echo):
+    points = benchmark(granularity_roadmap, "OC-3072", 512,
+                       [0, 3, 6, 9, 12, 15])
+
+    assert not points[0].meets_budget
+    # Granularity and SRAM shrink over time, but a decade of scaling is still
+    # not enough at 512 queues.
+    assert points[-1].granularity < points[0].granularity
+    assert not any(p.meets_budget for p in points if p.years_from_now <= 9)
+
+    years = years_until_rads_suffices("OC-3072", 512)
+    assert years is None or years > 10
+
+    echo(format_table(
+        ["years from 2003", "DRAM T_RC (ns)", "B", "head SRAM (kB)",
+         "best access (ns)", "meets 3.2 ns"],
+        [[p.years_from_now, round(p.dram_access_ns, 1), p.granularity,
+          round(p.head_sram_kbytes, 1), round(p.best_access_time_ns, 2),
+          p.meets_budget] for p in points],
+        title=("Extension — RADS under the paper's DRAM scaling trend "
+               f"(OC-3072, Q=512; RADS sufficient after: "
+               f"{years if years is not None else '>30'} years)")))

@@ -1,0 +1,56 @@
+"""Benchmark: Table 2 — Requests Register sizes and scheduling times.
+
+The ten RR sizes and the per-request scheduling times printed in the paper
+must be reproduced exactly; the feasibility verdicts (trivial for OC-768 and
+for OC-3072 down to b=4, aggressive at b=2, infeasible at b=1) must match the
+paper's discussion of the Alpha 21264 analogy.
+"""
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.analysis.table2 import (
+    PAPER_TABLE2_RR_SIZES,
+    PAPER_TABLE2_SCHED_TIMES_NS,
+    table2,
+)
+
+
+def _check_against_paper(oc_name, rows):
+    by_b = {row.granularity: row for row in rows}
+    for b, expected in PAPER_TABLE2_RR_SIZES[oc_name].items():
+        if expected is not None:
+            assert by_b[b].rr_size_hardware == expected
+    for b, expected in PAPER_TABLE2_SCHED_TIMES_NS[oc_name].items():
+        if expected is not None:
+            assert by_b[b].scheduling_time_ns == pytest.approx(expected)
+
+
+def _render(oc_name, rows):
+    return format_table(
+        ["b", "RR size", "paper RR", "sched time ns", "paper ns", "feasibility"],
+        [[r.granularity, r.rr_size_hardware,
+          PAPER_TABLE2_RR_SIZES[oc_name].get(r.granularity),
+          r.scheduling_time_ns,
+          PAPER_TABLE2_SCHED_TIMES_NS[oc_name].get(r.granularity),
+          r.feasibility]
+         for r in rows if r.valid],
+        title=f"Table 2 — {oc_name}")
+
+
+def test_table2_oc768(benchmark, echo):
+    rows = benchmark(table2, "OC-768")
+    _check_against_paper("OC-768", rows)
+    assert all(r.feasibility == "trivial" for r in rows
+               if r.valid and r.scheduling_time_ns is not None)
+    echo(_render("OC-768", rows))
+
+
+def test_table2_oc3072(benchmark, echo):
+    rows = benchmark(table2, "OC-3072")
+    _check_against_paper("OC-3072", rows)
+    verdicts = {r.granularity: r.feasibility for r in rows}
+    assert verdicts[1] == "infeasible"
+    assert verdicts[2] in ("aggressive", "trivial")
+    assert verdicts[4] == "trivial"
+    echo(_render("OC-3072", rows))

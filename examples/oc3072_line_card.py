@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""The paper's headline scenario: an OC-3072 (160 Gb/s) line card buffer.
+
+Two things happen here:
+
+1. **Analytical dimensioning at full scale** — the actual OC-3072 / 512-queue
+   parameters the paper evaluates (Sections 7-8): RADS versus CFDS SRAM
+   sizes, access times and total delays, for several granularities.
+2. **Worst-case simulation at reduced scale** — a slot-accurate run of the
+   head subsystem under the round-robin adversary (the ECQF worst case), with
+   the geometry scaled down so it finishes in seconds, verifying that the
+   dimensioning formulas actually deliver zero misses and zero bank conflicts.
+
+Run with::
+
+    python examples/oc3072_line_card.py
+"""
+
+from repro import CFDSConfig, CFDSHeadBuffer, RADSConfig, RADSHeadBuffer
+from repro.analysis.report import format_table
+from repro.core import sizing as cfds_sizing
+from repro.rads import sizing as rads_sizing
+from repro.tech.line_rates import LineRate
+from repro.tech.sram_designs import GlobalCAMDesign, UnifiedLinkedListDesign
+from repro.traffic import RoundRobinAdversary
+
+
+def analytical_dimensioning() -> None:
+    """Print the full-scale OC-3072 design space (Q=512, M=256 banks)."""
+    line_rate = LineRate.from_name("OC-3072")
+    num_queues, big_b, num_banks = 512, 32, 256
+    cam = GlobalCAMDesign(num_queues)
+    linked_list = UnifiedLinkedListDesign(num_queues)
+
+    rows = []
+    for b in (32, 16, 8, 4, 2, 1):
+        lookahead = rads_sizing.ecqf_max_lookahead(num_queues, b)
+        if b == big_b:
+            scheme = "RADS"
+            head_cells = rads_sizing.rads_sram_size(lookahead, num_queues, b)
+            delay_slots = lookahead
+        else:
+            scheme = "CFDS"
+            head_cells = cfds_sizing.cfds_sram_size(lookahead, num_queues,
+                                                    num_banks, big_b, b)
+            delay_slots = cfds_sizing.cfds_total_delay_slots(lookahead, num_queues,
+                                                             num_banks, big_b, b)
+        access_ns = min(cam.access_time_ns(head_cells),
+                        linked_list.access_time_ns(head_cells))
+        rows.append([scheme, b, head_cells, round(head_cells * 64 / 1024, 1),
+                     round(access_ns, 2), access_ns <= line_rate.sram_access_budget_ns,
+                     round(delay_slots * line_rate.slot_ns / 1e3, 1)])
+
+    print(format_table(
+        ["scheme", "b", "head SRAM (cells)", "head SRAM (kB)",
+         "access (ns)", "meets 3.2 ns", "delay (us)"],
+        rows,
+        title="OC-3072, Q=512, M=256: RADS vs CFDS dimensioning "
+              "(maximum lookahead)"))
+    print()
+
+
+def worst_case_simulation() -> None:
+    """Run the round-robin adversary against scaled-down RADS and CFDS head
+    buffers dimensioned by the same formulas."""
+    print("Worst-case (round-robin adversary) simulation, scaled geometry:")
+    slots = 30_000
+
+    rads_config = RADSConfig(num_queues=32, granularity=8)
+    rads = RADSHeadBuffer(rads_config)
+    adversary = RoundRobinAdversary(rads_config.num_queues)
+    unbounded = [10 ** 9] * rads_config.num_queues
+    rads_result = rads.run(adversary.next_request(s, unbounded) for s in range(slots))
+
+    cfds_config = CFDSConfig(num_queues=32, dram_access_slots=8, granularity=2,
+                             num_banks=64)
+    cfds = CFDSHeadBuffer(cfds_config)
+    adversary = RoundRobinAdversary(cfds_config.num_queues)
+    cfds_result = cfds.run(adversary.next_request(s, unbounded) for s in range(slots))
+
+    rows = [
+        ["RADS", rads_config.granularity, rads_result.miss_count, "-",
+         rads_result.max_head_sram_occupancy, rads_config.effective_head_sram_cells,
+         rads_config.effective_lookahead],
+        ["CFDS", cfds_config.granularity, cfds_result.miss_count,
+         cfds_result.bank_conflicts, cfds_result.max_head_sram_occupancy,
+         cfds_config.effective_head_sram_cells,
+         cfds_config.effective_lookahead + cfds_config.effective_latency],
+    ]
+    print(format_table(
+        ["scheme", "b", "misses", "bank conflicts", "peak SRAM (cells)",
+         "SRAM bound (cells)", "delay (slots)"],
+        rows))
+    print()
+    print("Both schemes deliver every cell with zero misses; CFDS does it with a")
+    print(f"{rads_config.effective_head_sram_cells / cfds_config.effective_head_sram_cells:.1f}x "
+          "smaller head SRAM, paid for with the extra pipeline delay shown above.")
+
+
+def main() -> None:
+    analytical_dimensioning()
+    worst_case_simulation()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Full packet path: segmentation -> VOQ buffer -> scheduling -> reassembly.
+
+The buffers operate on fixed 64-byte cells (Section 2 of the paper); real
+traffic is variable-size IP packets.  This example shows the complete path a
+line card implements around the packet buffer:
+
+1. packets are segmented into cells, which arrive one per slot;
+2. the CFDS buffer stores them with worst-case guarantees;
+3. a longest-queue arbiter drains the VOQs;
+4. departing cells are reassembled into packets, and we verify that every
+   packet comes out intact and in order.
+
+Run with::
+
+    python examples/packet_pipeline.py
+"""
+
+import random
+from collections import deque
+
+from repro import CFDSConfig, CFDSPacketBuffer
+from repro.traffic import LongestQueueArbiter, Packet, Reassembler, Segmenter
+
+
+def generate_packets(num_packets: int, num_queues: int, seed: int = 42):
+    """An IMIX-flavoured packet mix (small ACKs, mid-size, MTU-size)."""
+    rng = random.Random(seed)
+    sizes = [40] * 7 + [576] * 4 + [1500] * 1   # rough IMIX proportions
+    return [Packet(packet_id=i,
+                   queue=rng.randrange(num_queues),
+                   size_bytes=rng.choice(sizes))
+            for i in range(num_packets)]
+
+
+def main() -> None:
+    num_queues = 8
+    config = CFDSConfig(num_queues=num_queues, dram_access_slots=8, granularity=2,
+                        num_banks=32)
+    buffer = CFDSPacketBuffer(config)
+    segmenter = Segmenter(num_queues)
+    reassembler = Reassembler()
+    arbiter = LongestQueueArbiter(num_queues)
+
+    packets = generate_packets(400, num_queues)
+    cell_queue = deque()
+    original_cells = {}
+    for packet in packets:
+        for cell in segmenter.segment(packet):
+            cell_queue.append(cell)
+            original_cells[(cell.queue, cell.seqno)] = cell
+
+    total_cells = len(cell_queue)
+    served = 0
+    slot = 0
+    completed_packets = 0
+
+    while served < total_cells:
+        arrival = cell_queue.popleft().queue if cell_queue else None
+        backlog = [buffer.backlog(q) for q in range(num_queues)]
+        request = arbiter.next_request(slot, backlog)
+        cell = buffer.step(arrival, request)
+        if cell is not None:
+            served += 1
+            packet = reassembler.push(original_cells[(cell.queue, cell.seqno)])
+            if packet is not None:
+                completed_packets += 1
+        slot += 1
+
+    result = buffer.combined_result()
+    print(f"packets offered          : {len(packets)}")
+    print(f"cells through the buffer : {total_cells}")
+    print(f"packets reassembled      : {completed_packets}")
+    print(f"reordering anomalies     : {reassembler.out_of_order_events}")
+    print(f"head-SRAM misses         : {result.miss_count}")
+    print(f"DRAM bank conflicts      : {result.bank_conflicts}")
+    print(f"slots simulated          : {slot}")
+    assert completed_packets == len(packets)
+    assert reassembler.out_of_order_events == 0
+    print("\nEvery packet crossed the buffer intact and in order.")
+
+
+if __name__ == "__main__":
+    main()

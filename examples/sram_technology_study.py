@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's technology evaluation as text tables.
+
+This example drives the same analysis code the benchmarks use and prints:
+
+* the introduction's DRAM-only bandwidth argument,
+* Figure 8 (RADS SRAM access time / area versus lookahead),
+* Table 2 (Requests Register sizes and scheduling times),
+* Figure 10 (RADS versus CFDS area / access time versus delay),
+* Figure 11 (maximum number of queues at OC-3072).
+
+Run with::
+
+    python examples/sram_technology_study.py
+"""
+
+from repro.analysis import (
+    figure8,
+    figure10,
+    figure11,
+    format_table,
+    intro_dram_analysis,
+    table2,
+)
+from repro.analysis.figure10 import figure10_summary
+from repro.analysis.figure11 import figure11_summary
+
+
+def print_intro() -> None:
+    rows = [[r.num_chips, r.bus_bits, round(r.peak_gbps, 2), round(r.guaranteed_gbps, 2),
+             f"{r.efficiency:.0%}", r.supports_oc768, r.supports_oc3072]
+            for r in intro_dram_analysis()]
+    print(format_table(
+        ["chips", "bus bits", "peak Gb/s", "guaranteed Gb/s", "efficiency",
+         "meets OC-768", "meets OC-3072"],
+        rows, title="DRAM-only packet buffer (16 Mb SDRAM, 16-bit, 100 MHz)"))
+    print()
+
+
+def print_figure8(oc_name: str) -> None:
+    points = figure8(oc_name, points=8)
+    rows = [[p.lookahead_slots, round(p.delay_us, 2), round(p.sram_kbytes, 1),
+             round(p.cam_access_ns, 2), round(p.linked_list_access_ns, 2),
+             round(p.cam_area_cm2, 3), round(p.linked_list_area_cm2, 3)]
+            for p in points]
+    budget = points[0].budget_ns
+    print(format_table(
+        ["lookahead", "delay (us)", "SRAM (kB)", "CAM (ns)", "linked list (ns)",
+         "CAM (cm^2)", "linked list (cm^2)"],
+        rows, title=f"Figure 8 — {oc_name} RADS h-SRAM (budget {budget} ns)"))
+    print()
+
+
+def print_table2(oc_name: str) -> None:
+    rows = [[r.granularity, r.rr_size_analytical, r.rr_size_hardware,
+             r.scheduling_time_ns, r.scheduling_latency_ns and round(r.scheduling_latency_ns, 2),
+             r.feasibility]
+            for r in table2(oc_name) if r.valid]
+    print(format_table(
+        ["b", "RR (analytical)", "RR (hardware)", "time available (ns)",
+         "wake-up+select (ns)", "feasibility"],
+        rows, title=f"Table 2 — {oc_name} Requests Register"))
+    print()
+
+
+def print_figure10() -> None:
+    summary = figure10_summary()
+    points = figure10(points=6)
+    rows = []
+    for p in points:
+        rows.append([p.scheme, p.granularity, p.lookahead_slots, p.latency_slots,
+                     round(p.delay_us, 1), round(p.head_sram_kbytes, 1),
+                     round(p.access_time_ns, 2), p.meets_budget,
+                     round(p.area_cm2, 3)])
+    print(format_table(
+        ["scheme", "b", "lookahead", "latency", "delay (us)", "h-SRAM (kB)",
+         "access (ns)", "meets 3.2 ns", "area h+t (cm^2)"],
+        rows, title="Figure 10 — OC-3072 RADS vs CFDS"))
+    print(f"\nBest compliant CFDS: b={summary['best_cfds_granularity']}, "
+          f"delay {summary['best_cfds_delay_us']:.1f} us, "
+          f"area {summary['best_cfds_area_cm2']:.2f} cm^2; "
+          f"best RADS access time {summary['best_rads_access_ns']:.1f} ns at "
+          f"{summary['best_rads_delay_us']:.1f} us delay.")
+    print()
+
+
+def print_figure11() -> None:
+    points = figure11()
+    rows = [[p.scheme, p.granularity, p.max_queues, round(p.access_time_ns, 2)]
+            for p in points]
+    summary = figure11_summary()
+    print(format_table(
+        ["scheme", "b", "max queues", "access at max (ns)"],
+        rows, title="Figure 11 — maximum number of queues at OC-3072"))
+    print(f"\nCFDS sustains {summary['cfds_max_queues']} queues "
+          f"(vs {summary['rads_max_queues']} for RADS): "
+          f"{summary['improvement_ratio']:.1f}x more.")
+    print()
+
+
+def main() -> None:
+    print_intro()
+    print_figure8("OC-768")
+    print_figure8("OC-3072")
+    print_table2("OC-768")
+    print_table2("OC-3072")
+    print_figure10()
+    print_figure11()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools entry point.
+
+The project metadata lives in ``pyproject.toml``; this shim exists so the
+package can be installed in editable mode (``pip install -e .``) on machines
+whose offline environment lacks the ``wheel`` package required by the PEP 660
+editable-install path (pip then falls back to the legacy ``setup.py develop``
+route).
+"""
+
+from setuptools import setup
+
+setup()

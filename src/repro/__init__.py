@@ -1,0 +1,160 @@
+"""repro — a reproduction of "Design and Implementation of High-Performance
+Memory Systems for Future Packet Buffers" (Garcia, Corbal, Cerda, Valero,
+MICRO-36, 2003).
+
+The library implements the paper's hybrid SRAM/DRAM packet-buffer designs —
+the RADS baseline and the CFDS contribution (bank-group interleaving plus an
+issue-queue-like DRAM scheduler plus queue renaming) — together with the
+substrates they need (banked DRAM timing, shared SRAM organisations, MMAs,
+traffic generation) and the technology models used to reproduce every table
+and figure of the evaluation.
+
+Quick start::
+
+    from repro import CFDSConfig, CFDSPacketBuffer
+
+    config = CFDSConfig(num_queues=16, dram_access_slots=8, granularity=2,
+                        num_banks=32)
+    buffer = CFDSPacketBuffer(config)
+    buffer.step(arrival=3, request=None)   # one slot: a cell arrives for VOQ 3
+
+See ``examples/`` for complete scenarios and ``benchmarks/`` for the code that
+regenerates the paper's exhibits.
+"""
+
+from repro.constants import (
+    CELL_SIZE_BYTES,
+    OC_LINE_RATES_BPS,
+    rads_granularity,
+    slot_time_ns,
+)
+from repro.errors import (
+    BankConflictError,
+    BufferOverflowError,
+    CacheMissError,
+    ConfigurationError,
+    QueueEmptyError,
+    RenamingError,
+    ReproError,
+    SchedulingError,
+)
+from repro.types import Cell, CellRequest, ReplenishRequest, SimulationResult, TransferDirection
+
+from repro.rads import (
+    RADSConfig,
+    RADSHeadBuffer,
+    RADSPacketBuffer,
+    RADSTailBuffer,
+    ecqf_max_lookahead,
+    ecqf_min_sram_cells,
+    rads_sram_size,
+)
+from repro.core import (
+    CFDSBankMapping,
+    CFDSConfig,
+    CFDSHeadBuffer,
+    CFDSPacketBuffer,
+    CFDSTailBuffer,
+    DRAMSchedulerSubsystem,
+    LatencyRegister,
+    OngoingRequestsRegister,
+    RenamingTable,
+    RequestRegister,
+)
+from repro.mma import ECQF, MDQF, OccupancyCounters, ShiftRegister, ThresholdTailMMA
+from repro.sim import ClosedLoopSimulation, SimulationReport
+from repro.tech import (
+    CactiModel,
+    GlobalCAMDesign,
+    IssueLogicModel,
+    LineRate,
+    TechnologyProcess,
+    UnifiedLinkedListDesign,
+)
+from repro.traffic import (
+    Arbiter,
+    ArrivalProcess,
+    BernoulliArrivals,
+    BurstyArrivals,
+    HotspotArrivals,
+    LongestQueueArbiter,
+    Packet,
+    RandomArbiter,
+    Reassembler,
+    RoundRobinAdversary,
+    Segmenter,
+    TrafficTrace,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # constants & common types
+    "CELL_SIZE_BYTES",
+    "OC_LINE_RATES_BPS",
+    "rads_granularity",
+    "slot_time_ns",
+    "Cell",
+    "CellRequest",
+    "ReplenishRequest",
+    "SimulationResult",
+    "TransferDirection",
+    # errors
+    "ReproError",
+    "ConfigurationError",
+    "CacheMissError",
+    "BankConflictError",
+    "BufferOverflowError",
+    "QueueEmptyError",
+    "RenamingError",
+    "SchedulingError",
+    # RADS baseline
+    "RADSConfig",
+    "RADSHeadBuffer",
+    "RADSTailBuffer",
+    "RADSPacketBuffer",
+    "ecqf_max_lookahead",
+    "ecqf_min_sram_cells",
+    "rads_sram_size",
+    # CFDS core
+    "CFDSConfig",
+    "CFDSBankMapping",
+    "CFDSHeadBuffer",
+    "CFDSTailBuffer",
+    "CFDSPacketBuffer",
+    "DRAMSchedulerSubsystem",
+    "RequestRegister",
+    "OngoingRequestsRegister",
+    "LatencyRegister",
+    "RenamingTable",
+    # MMAs
+    "ECQF",
+    "MDQF",
+    "ThresholdTailMMA",
+    "OccupancyCounters",
+    "ShiftRegister",
+    # simulation harness
+    "ClosedLoopSimulation",
+    "SimulationReport",
+    # technology models
+    "TechnologyProcess",
+    "CactiModel",
+    "GlobalCAMDesign",
+    "UnifiedLinkedListDesign",
+    "LineRate",
+    "IssueLogicModel",
+    # traffic
+    "Packet",
+    "Segmenter",
+    "Reassembler",
+    "ArrivalProcess",
+    "BernoulliArrivals",
+    "BurstyArrivals",
+    "HotspotArrivals",
+    "Arbiter",
+    "RoundRobinAdversary",
+    "RandomArbiter",
+    "LongestQueueArbiter",
+    "TrafficTrace",
+]

@@ -1,0 +1,51 @@
+"""Experiment harness: one module per table/figure of the paper's evaluation.
+
+Each module computes the rows/series of the corresponding exhibit and returns
+plain dataclasses, so the same code backs the runnable examples, the pytest
+benchmarks (``benchmarks/``) and EXPERIMENTS.md.
+
+* :mod:`repro.analysis.intro_dram` — the introduction's DRAM-only guaranteed
+  bandwidth analysis (1.6/1.2 Gb/s single chip, 5.12 Gb/s for 8 chips);
+* :mod:`repro.analysis.figure8` — RADS h-SRAM access time and area versus
+  lookahead, OC-768 and OC-3072;
+* :mod:`repro.analysis.table2` — Requests Register sizes and scheduling times;
+* :mod:`repro.analysis.figure10` — RADS-versus-CFDS SRAM area and access time
+  versus total delay at OC-3072;
+* :mod:`repro.analysis.figure11` — maximum number of queues meeting the
+  OC-3072 access-time budget;
+* :mod:`repro.analysis.scaling` — extension study: DRAM technology scaling
+  versus the architectural (CFDS) fix;
+* :mod:`repro.analysis.report` — plain-text table formatting shared by the
+  examples and benchmarks.
+"""
+
+from repro.analysis.intro_dram import IntroDRAMRow, intro_dram_analysis
+from repro.analysis.figure8 import Figure8Point, figure8
+from repro.analysis.table2 import Table2Row, table2
+from repro.analysis.figure10 import Figure10Point, figure10
+from repro.analysis.figure11 import Figure11Point, figure11
+from repro.analysis.scaling import (
+    RoadmapPoint,
+    granularity_roadmap,
+    projected_dram_access_ns,
+    years_until_rads_suffices,
+)
+from repro.analysis.report import format_table
+
+__all__ = [
+    "IntroDRAMRow",
+    "intro_dram_analysis",
+    "Figure8Point",
+    "figure8",
+    "Table2Row",
+    "table2",
+    "Figure10Point",
+    "figure10",
+    "Figure11Point",
+    "figure11",
+    "RoadmapPoint",
+    "granularity_roadmap",
+    "projected_dram_access_ns",
+    "years_until_rads_suffices",
+    "format_table",
+]

@@ -1,0 +1,136 @@
+"""Figure 10: SRAM area and access time versus delay, RADS versus CFDS.
+
+For OC-3072 (Q=512, M=256 banks) the paper sweeps the MMA lookahead for the
+RADS baseline (granularity b=B=32) and for CFDS configurations with
+b in {16, 8, 4, 2, 1}.  The x-axis is the total delay a cell request incurs
+(lookahead for RADS, lookahead plus the latency register for CFDS); the
+y-axes are the access time of the most restrictive SRAM and the combined
+(h-SRAM + t-SRAM) area.
+
+Conclusions to reproduce: CFDS configurations with intermediate granularities
+meet the 3.2 ns budget at delays around ten microseconds with a fraction of
+the RADS area, RADS never gets below several nanoseconds even at >50 us
+delay, and there is an optimal granularity (the two SRAM-size terms pull in
+opposite directions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.constants import CELL_SIZE_BYTES, PAPER_NUM_BANKS
+from repro.core.sizing import cfds_sram_size, latency_slots
+from repro.rads.config import RADSConfig
+from repro.rads.sizing import lookahead_sweep, rads_sram_size, tail_sram_cells
+from repro.tech.line_rates import LineRate
+from repro.tech.process import TechnologyProcess
+from repro.tech.sram_designs import GlobalCAMDesign, UnifiedLinkedListDesign
+
+
+@dataclass(frozen=True)
+class Figure10Point:
+    """One x-position of one Figure 10 curve."""
+
+    oc_name: str
+    scheme: str
+    granularity: int
+    lookahead_slots: int
+    latency_slots: int
+    delay_us: float
+    head_sram_cells: int
+    tail_sram_cells: int
+    head_sram_kbytes: float
+    access_time_ns: float
+    fastest_design: str
+    area_cm2: float
+    budget_ns: float
+
+    @property
+    def meets_budget(self) -> bool:
+        return self.access_time_ns <= self.budget_ns
+
+
+def figure10(oc_name: str = "OC-3072",
+             num_queues: Optional[int] = None,
+             num_banks: int = PAPER_NUM_BANKS,
+             granularities: Sequence[int] = (32, 16, 8, 4, 2, 1),
+             points: int = 16,
+             process: Optional[TechnologyProcess] = None) -> List[Figure10Point]:
+    """Compute every curve of Figure 10 (one list entry per curve point)."""
+    config = RADSConfig.for_line_rate(oc_name, num_queues=num_queues)
+    line_rate = LineRate.from_name(oc_name)
+    big_b = config.granularity
+    results: List[Figure10Point] = []
+    for b in granularities:
+        if b > big_b or big_b % b != 0:
+            continue
+        scheme = "RADS" if b == big_b else "CFDS"
+        extra = 0 if b == big_b else latency_slots(
+            config.num_queues, num_banks, big_b, b)
+        tail_cells = tail_sram_cells(config.num_queues, b)
+        for lookahead in lookahead_sweep(config.num_queues, b, points):
+            if b == big_b:
+                head_cells = rads_sram_size(lookahead, config.num_queues, b)
+            else:
+                head_cells = cfds_sram_size(lookahead, config.num_queues,
+                                            num_banks, big_b, b)
+            point = _evaluate_point(oc_name, scheme, b, lookahead, extra,
+                                    head_cells, tail_cells,
+                                    config.num_queues, line_rate, process)
+            results.append(point)
+    return results
+
+
+def _evaluate_point(oc_name: str, scheme: str, granularity: int,
+                    lookahead: int, extra_latency: int,
+                    head_cells: int, tail_cells: int, num_queues: int,
+                    line_rate: LineRate,
+                    process: Optional[TechnologyProcess]) -> Figure10Point:
+    cam = GlobalCAMDesign(num_queues, process)
+    linked_list = UnifiedLinkedListDesign(num_queues, process)
+    # Most restrictive access time: both SRAMs must keep up, so take the
+    # larger capacity and the fastest design available for it.
+    critical_cells = max(head_cells, tail_cells)
+    candidates = {
+        cam.name: cam.access_time_ns(critical_cells),
+        linked_list.name: linked_list.access_time_ns(critical_cells),
+    }
+    fastest_name = min(candidates, key=candidates.get)
+    fastest_time = candidates[fastest_name]
+    fastest_design = cam if fastest_name == cam.name else linked_list
+    area = fastest_design.area_cm2(head_cells) + fastest_design.area_cm2(tail_cells)
+    delay_slots = lookahead + extra_latency
+    return Figure10Point(
+        oc_name=oc_name, scheme=scheme, granularity=granularity,
+        lookahead_slots=lookahead, latency_slots=extra_latency,
+        delay_us=delay_slots * line_rate.slot_ns / 1e3,
+        head_sram_cells=head_cells, tail_sram_cells=tail_cells,
+        head_sram_kbytes=head_cells * CELL_SIZE_BYTES / 1024.0,
+        access_time_ns=fastest_time, fastest_design=fastest_name,
+        area_cm2=area, budget_ns=line_rate.sram_access_budget_ns)
+
+
+def figure10_summary(oc_name: str = "OC-3072",
+                     num_queues: Optional[int] = None,
+                     num_banks: int = PAPER_NUM_BANKS,
+                     process: Optional[TechnologyProcess] = None) -> dict:
+    """Headline comparison the paper quotes: the best compliant CFDS
+    configuration versus the best RADS operating point."""
+    points = figure10(oc_name, num_queues=num_queues, num_banks=num_banks,
+                      process=process)
+    rads_points = [p for p in points if p.scheme == "RADS"]
+    cfds_points = [p for p in points if p.scheme == "CFDS"]
+    compliant = [p for p in cfds_points if p.meets_budget]
+    best_cfds = min(compliant, key=lambda p: (p.delay_us, p.area_cm2)) if compliant else None
+    best_rads = min(rads_points, key=lambda p: p.access_time_ns)
+    return {
+        "cfds_compliant_exists": best_cfds is not None,
+        "best_cfds_granularity": best_cfds.granularity if best_cfds else None,
+        "best_cfds_delay_us": best_cfds.delay_us if best_cfds else None,
+        "best_cfds_area_cm2": best_cfds.area_cm2 if best_cfds else None,
+        "best_rads_access_ns": best_rads.access_time_ns,
+        "best_rads_delay_us": best_rads.delay_us,
+        "best_rads_area_cm2": best_rads.area_cm2,
+        "budget_ns": best_rads.budget_ns,
+    }

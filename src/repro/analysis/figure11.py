@@ -1,0 +1,114 @@
+"""Figure 11: maximum number of queues sustainable at OC-3072.
+
+For each granularity the paper asks: using the maximal lookahead, what is the
+largest number of queues for which the required SRAMs still meet the 3.2 ns
+access-time budget?  The RADS answer (b=B=32) is a small number of queues;
+CFDS with intermediate granularities reaches several hundred (the paper
+reports up to ~850, about six times the RADS value).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.constants import PAPER_NUM_BANKS
+from repro.core.sizing import cfds_sram_size
+from repro.rads.sizing import ecqf_max_lookahead, rads_sram_size, tail_sram_cells
+from repro.tech.line_rates import LineRate
+from repro.tech.process import TechnologyProcess
+from repro.tech.sram_designs import GlobalCAMDesign, UnifiedLinkedListDesign
+
+
+@dataclass(frozen=True)
+class Figure11Point:
+    """Maximum sustainable queue count for one granularity."""
+
+    oc_name: str
+    scheme: str
+    granularity: int
+    max_queues: int
+    head_sram_cells: int
+    access_time_ns: float
+    budget_ns: float
+
+
+def max_queues_for_granularity(granularity: int,
+                               dram_access_slots: int,
+                               oc_name: str = "OC-3072",
+                               num_banks: int = PAPER_NUM_BANKS,
+                               queue_limit: int = 4096,
+                               process: Optional[TechnologyProcess] = None) -> Figure11Point:
+    """Binary-search the largest queue count whose SRAMs meet the budget."""
+    line_rate = LineRate.from_name(oc_name)
+    budget = line_rate.sram_access_budget_ns
+    scheme = "RADS" if granularity == dram_access_slots else "CFDS"
+
+    def access_time(num_queues: int) -> (float, int):
+        lookahead = ecqf_max_lookahead(num_queues, granularity)
+        if scheme == "RADS":
+            head_cells = rads_sram_size(lookahead, num_queues, granularity)
+        else:
+            head_cells = cfds_sram_size(lookahead, num_queues, num_banks,
+                                        dram_access_slots, granularity)
+        tail_cells = tail_sram_cells(num_queues, granularity)
+        critical = max(head_cells, tail_cells)
+        cam = GlobalCAMDesign(num_queues, process)
+        linked_list = UnifiedLinkedListDesign(num_queues, process)
+        fastest = min(cam.access_time_ns(critical), linked_list.access_time_ns(critical))
+        return fastest, head_cells
+
+    low, high = 1, queue_limit
+    best = 0
+    best_cells = 0
+    best_time = float("inf")
+    if access_time(1)[0] > budget:
+        return Figure11Point(oc_name=oc_name, scheme=scheme, granularity=granularity,
+                             max_queues=0, head_sram_cells=0,
+                             access_time_ns=access_time(1)[0], budget_ns=budget)
+    while low <= high:
+        mid = (low + high) // 2
+        time_ns, cells = access_time(mid)
+        if time_ns <= budget:
+            best, best_cells, best_time = mid, cells, time_ns
+            low = mid + 1
+        else:
+            high = mid - 1
+    return Figure11Point(oc_name=oc_name, scheme=scheme, granularity=granularity,
+                         max_queues=best, head_sram_cells=best_cells,
+                         access_time_ns=best_time, budget_ns=budget)
+
+
+def figure11(oc_name: str = "OC-3072",
+             dram_access_slots: int = 32,
+             num_banks: int = PAPER_NUM_BANKS,
+             granularities: Sequence[int] = (32, 16, 8, 4, 2, 1),
+             queue_limit: int = 4096,
+             process: Optional[TechnologyProcess] = None) -> List[Figure11Point]:
+    """Compute every bar of Figure 11."""
+    results: List[Figure11Point] = []
+    for b in granularities:
+        if b > dram_access_slots or dram_access_slots % b != 0:
+            continue
+        results.append(max_queues_for_granularity(
+            b, dram_access_slots, oc_name=oc_name, num_banks=num_banks,
+            queue_limit=queue_limit, process=process))
+    return results
+
+
+def figure11_summary(oc_name: str = "OC-3072",
+                     dram_access_slots: int = 32,
+                     num_banks: int = PAPER_NUM_BANKS,
+                     process: Optional[TechnologyProcess] = None) -> dict:
+    """The headline ratio the paper quotes: best CFDS queue count over RADS."""
+    points = figure11(oc_name, dram_access_slots, num_banks, process=process)
+    rads = next(p for p in points if p.scheme == "RADS")
+    cfds_best = max((p for p in points if p.scheme == "CFDS"),
+                    key=lambda p: p.max_queues)
+    return {
+        "rads_max_queues": rads.max_queues,
+        "cfds_max_queues": cfds_best.max_queues,
+        "cfds_best_granularity": cfds_best.granularity,
+        "improvement_ratio": (cfds_best.max_queues / rads.max_queues
+                              if rads.max_queues else float("inf")),
+    }

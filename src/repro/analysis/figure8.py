@@ -1,0 +1,95 @@
+"""Figure 8: RADS h-SRAM access time and area versus lookahead.
+
+For OC-768 (Q=128, B=8) and OC-3072 (Q=512, B=32) the paper sweeps the
+lookahead from its minimum to the ECQF maximum ``Q(B-1)+1``, derives the
+required h-SRAM size from the formulas of [13], and evaluates the two shared
+SRAM organisations of Section 7.1 (global CAM and time-multiplexed unified
+linked list) with CACTI.  The conclusion to reproduce: both organisations meet
+the 12.8 ns OC-768 budget comfortably, neither meets the 3.2 ns OC-3072
+budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.constants import CELL_SIZE_BYTES
+from repro.rads.config import RADSConfig
+from repro.rads.sizing import lookahead_sweep, rads_sram_size
+from repro.tech.line_rates import LineRate
+from repro.tech.process import TechnologyProcess
+from repro.tech.sram_designs import GlobalCAMDesign, UnifiedLinkedListDesign
+
+
+@dataclass(frozen=True)
+class Figure8Point:
+    """One x-position of one Figure 8 panel."""
+
+    oc_name: str
+    num_queues: int
+    granularity: int
+    lookahead_slots: int
+    delay_us: float
+    sram_cells: int
+    sram_kbytes: float
+    cam_access_ns: float
+    cam_area_cm2: float
+    linked_list_access_ns: float
+    linked_list_area_cm2: float
+    budget_ns: float
+
+    @property
+    def cam_meets_budget(self) -> bool:
+        return self.cam_access_ns <= self.budget_ns
+
+    @property
+    def linked_list_meets_budget(self) -> bool:
+        return self.linked_list_access_ns <= self.budget_ns
+
+
+def figure8(oc_name: str,
+            num_queues: Optional[int] = None,
+            points: int = 24,
+            process: Optional[TechnologyProcess] = None) -> List[Figure8Point]:
+    """Compute one panel (access time + area curves) of Figure 8."""
+    config = RADSConfig.for_line_rate(oc_name, num_queues=num_queues)
+    line_rate = LineRate.from_name(oc_name)
+    cam = GlobalCAMDesign(config.num_queues, process)
+    linked_list = UnifiedLinkedListDesign(config.num_queues, process)
+    results: List[Figure8Point] = []
+    for lookahead in lookahead_sweep(config.num_queues, config.granularity, points):
+        cells = rads_sram_size(lookahead, config.num_queues, config.granularity)
+        results.append(Figure8Point(
+            oc_name=oc_name,
+            num_queues=config.num_queues,
+            granularity=config.granularity,
+            lookahead_slots=lookahead,
+            delay_us=lookahead * line_rate.slot_ns / 1e3,
+            sram_cells=cells,
+            sram_kbytes=cells * CELL_SIZE_BYTES / 1024.0,
+            cam_access_ns=cam.access_time_ns(cells),
+            cam_area_cm2=cam.area_cm2(cells),
+            linked_list_access_ns=linked_list.access_time_ns(cells),
+            linked_list_area_cm2=linked_list.area_cm2(cells),
+            budget_ns=line_rate.sram_access_budget_ns,
+        ))
+    return results
+
+
+def figure8_summary(oc_name: str,
+                    num_queues: Optional[int] = None,
+                    process: Optional[TechnologyProcess] = None) -> dict:
+    """Headline numbers the paper quotes in the Figure 8 discussion: SRAM size
+    at minimum and maximum lookahead, and whether any design meets the budget."""
+    points = figure8(oc_name, num_queues=num_queues, points=24, process=process)
+    first, last = points[0], points[-1]
+    return {
+        "oc_name": oc_name,
+        "sram_kbytes_min_lookahead": first.sram_kbytes,
+        "sram_kbytes_max_lookahead": last.sram_kbytes,
+        "best_access_ns_max_lookahead": min(last.cam_access_ns, last.linked_list_access_ns),
+        "any_design_meets_budget": any(
+            p.cam_meets_budget or p.linked_list_meets_budget for p in points),
+        "budget_ns": first.budget_ns,
+    }

@@ -1,0 +1,79 @@
+"""Introduction analysis: guaranteed bandwidth of DRAM-only packet buffers.
+
+Reproduces the numbers the paper's introduction uses to motivate the hybrid
+approach: a single 16 Mb SDRAM chip (16-bit interface, 100 MHz) peaks at
+1.6 Gb/s but guarantees only ~1.2 Gb/s, and an 8-chip configuration only
+~5.12 Gb/s — far short of the 80-320 Gb/s a 40/160 Gb/s line card needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from repro.tech.dram_chips import COMMODITY_DRAM_CHIPS, DRAMChip
+from repro.tech.line_rates import LineRate
+
+
+@dataclass(frozen=True)
+class IntroDRAMRow:
+    """One configuration of the DRAM-only analysis."""
+
+    chip: str
+    num_chips: int
+    bus_bits: int
+    peak_gbps: float
+    guaranteed_gbps: float
+    efficiency: float
+    supports_oc768: bool
+    supports_oc3072: bool
+
+
+def intro_dram_analysis(chip_name: str = "sdram-16mb",
+                        chip_counts: Sequence[int] = (1, 2, 4, 8, 16, 32),
+                        ) -> List[IntroDRAMRow]:
+    """Return the guaranteed-bandwidth rows for a widening DRAM data path."""
+    if chip_name not in COMMODITY_DRAM_CHIPS:
+        raise ValueError(f"unknown DRAM chip {chip_name!r}")
+    chip = COMMODITY_DRAM_CHIPS[chip_name]
+    oc768 = LineRate.from_name("OC-768")
+    oc3072 = LineRate.from_name("OC-3072")
+    rows: List[IntroDRAMRow] = []
+    for count in chip_counts:
+        peak = chip.peak_bandwidth_gbps * count
+        guaranteed = chip.guaranteed_bandwidth_gbps(count)
+        rows.append(IntroDRAMRow(
+            chip=chip.name,
+            num_chips=count,
+            bus_bits=chip.io_bits * count,
+            peak_gbps=peak,
+            guaranteed_gbps=guaranteed,
+            efficiency=guaranteed / peak if peak else 0.0,
+            supports_oc768=guaranteed >= oc768.buffer_bandwidth_gbps,
+            supports_oc3072=guaranteed >= oc3072.buffer_bandwidth_gbps,
+        ))
+    return rows
+
+
+def dram_family_comparison(num_chips: int = 8) -> List[IntroDRAMRow]:
+    """Extension: the same analysis across the DRAM families the paper cites
+    (DDR, DRDRAM, FCRAM, RLDRAM), showing that even faster parts fall short of
+    OC-3072 without the hybrid architecture."""
+    oc768 = LineRate.from_name("OC-768")
+    oc3072 = LineRate.from_name("OC-3072")
+    rows: List[IntroDRAMRow] = []
+    for name in sorted(COMMODITY_DRAM_CHIPS):
+        chip = COMMODITY_DRAM_CHIPS[name]
+        peak = chip.peak_bandwidth_gbps * num_chips
+        guaranteed = chip.guaranteed_bandwidth_gbps(num_chips)
+        rows.append(IntroDRAMRow(
+            chip=chip.name,
+            num_chips=num_chips,
+            bus_bits=chip.io_bits * num_chips,
+            peak_gbps=peak,
+            guaranteed_gbps=guaranteed,
+            efficiency=guaranteed / peak if peak else 0.0,
+            supports_oc768=guaranteed >= oc768.buffer_bandwidth_gbps,
+            supports_oc3072=guaranteed >= oc3072.buffer_bandwidth_gbps,
+        ))
+    return rows

@@ -1,0 +1,105 @@
+"""Extension study: how far can technology scaling alone carry RADS?
+
+Section 3 of the paper observes that commodity DRAM random access times
+improve only slowly ("around 10% every 18 months"), which is why shrinking
+the granularity architecturally (CFDS) — rather than waiting for faster
+DRAM — is necessary.  This module quantifies that remark:
+
+* :func:`granularity_roadmap` — the RADS granularity ``B`` (and hence the
+  head-SRAM size) implied by the projected DRAM random access time over a
+  number of years, for a given line rate;
+* :func:`years_until_rads_suffices` — how many years of DRAM scaling would be
+  needed before plain RADS meets a line rate's SRAM access-time budget with a
+  given number of queues, versus CFDS meeting it today.
+
+These are not exhibits of the paper; they are the quantitative version of its
+motivating argument, and they back the ``bench_scaling`` extension benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.constants import DEFAULT_DRAM_RANDOM_ACCESS_NS, rads_granularity
+from repro.rads.sizing import ecqf_max_lookahead, rads_sram_size
+from repro.tech.line_rates import LineRate
+from repro.tech.process import TechnologyProcess
+from repro.tech.sram_designs import GlobalCAMDesign, UnifiedLinkedListDesign
+
+#: The paper's DRAM scaling assumption: ~10% faster every 18 months.
+DRAM_IMPROVEMENT_PER_18_MONTHS: float = 0.10
+
+
+def projected_dram_access_ns(years: float,
+                             initial_ns: float = DEFAULT_DRAM_RANDOM_ACCESS_NS,
+                             improvement_per_18_months: float = DRAM_IMPROVEMENT_PER_18_MONTHS,
+                             ) -> float:
+    """DRAM random access time after ``years`` of the paper's scaling trend."""
+    if years < 0:
+        raise ValueError("years must be non-negative")
+    if not 0.0 <= improvement_per_18_months < 1.0:
+        raise ValueError("improvement_per_18_months must be in [0, 1)")
+    periods = years / 1.5
+    return initial_ns * (1.0 - improvement_per_18_months) ** periods
+
+
+@dataclass(frozen=True)
+class RoadmapPoint:
+    """RADS requirements at one point of the DRAM scaling roadmap."""
+
+    years_from_now: float
+    dram_access_ns: float
+    granularity: int
+    head_sram_cells: int
+    head_sram_kbytes: float
+    best_access_time_ns: float
+    meets_budget: bool
+
+
+def granularity_roadmap(oc_name: str,
+                        num_queues: int,
+                        years: Optional[List[float]] = None,
+                        process: Optional[TechnologyProcess] = None) -> List[RoadmapPoint]:
+    """RADS granularity / SRAM / feasibility over a DRAM scaling roadmap."""
+    if years is None:
+        years = [0, 3, 6, 9, 12, 15]
+    line_rate = LineRate.from_name(oc_name)
+    cam = GlobalCAMDesign(num_queues, process)
+    linked_list = UnifiedLinkedListDesign(num_queues, process)
+    points: List[RoadmapPoint] = []
+    for year in years:
+        access_ns = projected_dram_access_ns(year)
+        granularity = rads_granularity(line_rate.bits_per_second, access_ns)
+        lookahead = ecqf_max_lookahead(num_queues, granularity)
+        cells = rads_sram_size(lookahead, num_queues, granularity)
+        best_ns = min(cam.access_time_ns(cells), linked_list.access_time_ns(cells))
+        points.append(RoadmapPoint(
+            years_from_now=year,
+            dram_access_ns=access_ns,
+            granularity=granularity,
+            head_sram_cells=cells,
+            head_sram_kbytes=cells * 64 / 1024.0,
+            best_access_time_ns=best_ns,
+            meets_budget=best_ns <= line_rate.sram_access_budget_ns,
+        ))
+    return points
+
+
+def years_until_rads_suffices(oc_name: str,
+                              num_queues: int,
+                              horizon_years: float = 30.0,
+                              step_years: float = 0.5,
+                              process: Optional[TechnologyProcess] = None) -> Optional[float]:
+    """First point on the roadmap at which plain RADS meets the SRAM budget,
+    or ``None`` if it does not happen within the horizon."""
+    if horizon_years <= 0 or step_years <= 0:
+        raise ValueError("horizon_years and step_years must be positive")
+    steps = int(horizon_years / step_years) + 1
+    for i in range(steps):
+        year = i * step_years
+        point = granularity_roadmap(oc_name, num_queues, years=[year],
+                                    process=process)[0]
+        if point.meets_budget:
+            return year
+    return None

@@ -1,0 +1,94 @@
+"""Table 2: Requests Register sizes and the time available to schedule one
+request, for OC-768 and OC-3072 across CFDS granularities.
+
+The reproduction also attaches the issue-logic feasibility verdict that the
+paper derives from the Alpha 21264 analogy (trivial / aggressive / infeasible).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.constants import PAPER_NUM_BANKS
+from repro.core.sizing import (
+    request_register_hardware_size,
+    request_register_size,
+    scheduling_time_ns,
+)
+from repro.rads.config import RADSConfig
+from repro.tech.issue_logic import IssueLogicModel
+from repro.tech.line_rates import LineRate
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One (line rate, granularity) cell group of Table 2."""
+
+    oc_name: str
+    num_queues: int
+    dram_access_slots: int
+    granularity: int
+    valid: bool
+    rr_size_analytical: Optional[int]
+    rr_size_hardware: Optional[int]
+    scheduling_time_ns: Optional[float]
+    scheduling_latency_ns: Optional[float]
+    feasibility: str
+
+
+def table2(oc_name: str,
+           num_queues: Optional[int] = None,
+           num_banks: int = PAPER_NUM_BANKS,
+           granularities: Sequence[int] = (32, 16, 8, 4, 2, 1),
+           issue_logic: Optional[IssueLogicModel] = None) -> List[Table2Row]:
+    """Compute the Table 2 rows for one line rate."""
+    config = RADSConfig.for_line_rate(oc_name, num_queues=num_queues)
+    line_rate = LineRate.from_name(oc_name)
+    logic = issue_logic if issue_logic is not None else IssueLogicModel()
+    rows: List[Table2Row] = []
+    for b in granularities:
+        if b > config.granularity or config.granularity % b != 0:
+            rows.append(Table2Row(
+                oc_name=oc_name, num_queues=config.num_queues,
+                dram_access_slots=config.granularity, granularity=b,
+                valid=False, rr_size_analytical=None, rr_size_hardware=None,
+                scheduling_time_ns=None, scheduling_latency_ns=None,
+                feasibility="invalid"))
+            continue
+        analytical = request_register_size(config.num_queues, num_banks,
+                                           config.granularity, b)
+        hardware = request_register_hardware_size(config.num_queues, num_banks,
+                                                  config.granularity, b)
+        if b == config.granularity:
+            # Degenerate case: b == B is RADS, no scheduling needed.
+            rows.append(Table2Row(
+                oc_name=oc_name, num_queues=config.num_queues,
+                dram_access_slots=config.granularity, granularity=b,
+                valid=True, rr_size_analytical=analytical, rr_size_hardware=hardware,
+                scheduling_time_ns=None, scheduling_latency_ns=None,
+                feasibility="not needed"))
+            continue
+        available = scheduling_time_ns(b, line_rate.bits_per_second)
+        latency = logic.scheduling_latency_ns(hardware)
+        rows.append(Table2Row(
+            oc_name=oc_name, num_queues=config.num_queues,
+            dram_access_slots=config.granularity, granularity=b,
+            valid=True, rr_size_analytical=analytical, rr_size_hardware=hardware,
+            scheduling_time_ns=available, scheduling_latency_ns=latency,
+            feasibility=logic.feasibility_label(hardware, available)))
+    return rows
+
+
+#: The RR sizes printed in the paper's Table 2, used by the regression tests
+#: and reported next to the reproduced values in EXPERIMENTS.md.
+PAPER_TABLE2_RR_SIZES = {
+    "OC-768": {32: None, 16: None, 8: 0, 4: 2, 2: 16, 1: 64},
+    "OC-3072": {32: 0, 16: 8, 8: 64, 4: 256, 2: 1024, 1: 4096},
+}
+
+#: The scheduling times printed in the paper's Table 2 (ns).
+PAPER_TABLE2_SCHED_TIMES_NS = {
+    "OC-768": {32: None, 16: None, 8: None, 4: 51.2, 2: 25.6, 1: 12.8},
+    "OC-3072": {32: None, 16: 51.2, 8: 25.6, 4: 12.8, 2: 6.4, 1: 3.2},
+}

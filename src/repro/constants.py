@@ -1,0 +1,134 @@
+"""Physical and architectural constants shared across the packet-buffer models.
+
+The paper (Garcia et al., MICRO-36 2003) fixes a small set of system-wide
+assumptions in its Section 2 ("System assumptions"):
+
+* packets are segmented into fixed 64-byte *cells*;
+* the buffer operates synchronously in *slots*, one cell transmission time at
+  the line rate;
+* the packet buffer bandwidth is twice the line rate (input-queued router:
+  every cell is written once and read once);
+* commodity DRAM has a random access time of roughly 48 ns (the value the
+  paper uses when deriving granularities B = 8 for OC-768 and B = 32 for
+  OC-3072);
+* the rule-of-thumb buffer capacity is ``round-trip time x line rate`` with a
+  0.2 s round-trip time.
+
+Everything in this module is a plain number or a tiny helper function so the
+rest of the library can share a single source of truth for these assumptions.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Size of a cell (the fixed-length unit packets are segmented into), in bytes.
+CELL_SIZE_BYTES: int = 64
+
+#: Size of a cell in bits.
+CELL_SIZE_BITS: int = CELL_SIZE_BYTES * 8
+
+#: Default commodity DRAM random access ("random cycle") time used by the
+#: paper when dimensioning granularities, in nanoseconds.
+DEFAULT_DRAM_RANDOM_ACCESS_NS: float = 48.0
+
+#: Default Internet round-trip-time estimate used to size the DRAM buffer, in
+#: seconds (Section 2, "Buffer size").
+DEFAULT_ROUND_TRIP_TIME_S: float = 0.2
+
+#: Line rates (bits per second) for the SONET/SDH designations the paper uses.
+OC_LINE_RATES_BPS: dict = {
+    "OC-3": 155.52e6,
+    "OC-12": 622.08e6,
+    "OC-48": 2.48832e9,
+    "OC-192": 10e9,
+    "OC-768": 40e9,
+    "OC-3072": 160e9,
+}
+
+#: Number of logical queues the paper assumes for each headline configuration.
+PAPER_QUEUES = {
+    "OC-768": 128,
+    "OC-3072": 512,
+}
+
+#: RADS granularity (cells per DRAM access) the paper derives for each
+#: headline configuration, assuming DEFAULT_DRAM_RANDOM_ACCESS_NS.
+PAPER_GRANULARITY = {
+    "OC-768": 8,
+    "OC-3072": 32,
+}
+
+#: Number of DRAM banks assumed in the CFDS evaluation (Section 8.3).
+PAPER_NUM_BANKS: int = 256
+
+#: Access-time budget for the OC-3072 SRAM (one cell every 3.2 ns).
+OC3072_ACCESS_TIME_BUDGET_NS: float = 3.2
+
+#: Access-time budget for the OC-768 SRAM (one cell every 12.8 ns).
+OC768_ACCESS_TIME_BUDGET_NS: float = 12.8
+
+
+def slot_time_s(line_rate_bps: float) -> float:
+    """Return the duration of one time slot (one cell time) in seconds.
+
+    A slot is the transmission time of a 64-byte cell at the line rate; e.g.
+    3.2 ns at OC-3072 and 12.8 ns at OC-768.
+    """
+    if line_rate_bps <= 0:
+        raise ValueError(f"line rate must be positive, got {line_rate_bps}")
+    return CELL_SIZE_BITS / line_rate_bps
+
+
+def slot_time_ns(line_rate_bps: float) -> float:
+    """Return the duration of one time slot in nanoseconds."""
+    return slot_time_s(line_rate_bps) * 1e9
+
+
+def required_buffer_bytes(line_rate_bps: float,
+                          round_trip_time_s: float = DEFAULT_ROUND_TRIP_TIME_S) -> int:
+    """Rule-of-thumb DRAM buffer capacity: RTT x line rate, in bytes."""
+    if round_trip_time_s <= 0:
+        raise ValueError("round trip time must be positive")
+    return int(math.ceil(line_rate_bps * round_trip_time_s / 8.0))
+
+
+def rads_granularity(line_rate_bps: float,
+                     dram_random_access_ns: float = DEFAULT_DRAM_RANDOM_ACCESS_NS,
+                     *,
+                     round_to_power_of_two: bool = True) -> int:
+    """Return the RADS granularity ``B`` (cells per DRAM access).
+
+    The memory must serve one write and one read per slot (input-queued
+    buffer: bandwidth is twice the line rate), so one DRAM access window is
+    half a slot.  ``B`` is the number of cells that must be moved per random
+    access to keep up:
+
+        B = ceil(T_RC / (slot / 2))
+
+    With T_RC = 48 ns this yields 8 at OC-768 (12.8 ns slots) and 32 at
+    OC-3072 (3.2 ns slots), matching the paper (after rounding up to a power
+    of two, which is what the paper's address-mapping hardware assumes).
+    """
+    if dram_random_access_ns <= 0:
+        raise ValueError("DRAM random access time must be positive")
+    slot_ns = slot_time_ns(line_rate_bps)
+    raw = int(math.ceil(dram_random_access_ns / (slot_ns / 2.0)))
+    raw = max(raw, 1)
+    if round_to_power_of_two:
+        return next_power_of_two(raw)
+    return raw
+
+
+def next_power_of_two(value: int) -> int:
+    """Return the smallest power of two that is >= ``value`` (and >= 1)."""
+    if value < 0:
+        raise ValueError("value must be non-negative")
+    if value <= 1:
+        return 1
+    return 1 << (value - 1).bit_length()
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True if ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0

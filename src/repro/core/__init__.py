@@ -1,0 +1,71 @@
+"""CFDS — the Conflict-Free DRAM System (the paper's contribution, Section 5).
+
+CFDS keeps the SRAM/MMA structure of RADS but exploits DRAM banking to cut
+the transfer granularity from ``B`` to ``b`` cells, shrinking the SRAMs by
+roughly ``B/b`` while preserving the worst-case (zero-miss) guarantee.  The
+pieces, all in this package:
+
+* :mod:`repro.core.mapping` — the block-cyclic bank/group interleaving of
+  Figure 6;
+* :mod:`repro.core.request_register` / :mod:`repro.core.ongoing_register` /
+  :mod:`repro.core.scheduler` — the DRAM Scheduler Subsystem (DSS): an
+  issue-queue-like mechanism that reorders the MMA's requests so no bank is
+  ever accessed twice within its random access time;
+* :mod:`repro.core.latency_register` — the extra delay that re-establishes
+  exact in-order delivery to the arbiter despite the reordering;
+* :mod:`repro.core.renaming` — the logical-to-physical queue renaming that
+  avoids DRAM fragmentation (Section 6);
+* :mod:`repro.core.sizing` — equations (1)-(4): Requests Register size,
+  maximum reordering delay, latency register length and SRAM size;
+* :mod:`repro.core.head_buffer`, :mod:`repro.core.tail_buffer`,
+  :mod:`repro.core.buffer` — slot-accurate simulators of the head subsystem,
+  tail subsystem and the complete VOQ packet buffer.
+"""
+
+from repro.core.config import CFDSConfig
+from repro.core.mapping import CFDSBankMapping
+from repro.core.request_register import RequestRegister
+from repro.core.ongoing_register import OngoingRequestsRegister
+from repro.core.scheduler import DRAMSchedulerSubsystem
+from repro.core.latency_register import LatencyRegister
+from repro.core.renaming import RenamingTable
+from repro.core.head_buffer import CFDSHeadBuffer
+from repro.core.tail_buffer import CFDSTailBuffer
+from repro.core.buffer import CFDSPacketBuffer
+from repro.core.sizing import (
+    banks_per_group,
+    num_groups,
+    queues_per_group,
+    orr_size,
+    request_register_size,
+    request_register_hardware_size,
+    max_skips,
+    latency_slots,
+    cfds_sram_size,
+    cfds_total_delay_slots,
+    scheduling_time_ns,
+)
+
+__all__ = [
+    "CFDSConfig",
+    "CFDSBankMapping",
+    "RequestRegister",
+    "OngoingRequestsRegister",
+    "DRAMSchedulerSubsystem",
+    "LatencyRegister",
+    "RenamingTable",
+    "CFDSHeadBuffer",
+    "CFDSTailBuffer",
+    "CFDSPacketBuffer",
+    "banks_per_group",
+    "num_groups",
+    "queues_per_group",
+    "orr_size",
+    "request_register_size",
+    "request_register_hardware_size",
+    "max_skips",
+    "latency_slots",
+    "cfds_sram_size",
+    "cfds_total_delay_slots",
+    "scheduling_time_ns",
+]

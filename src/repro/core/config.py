@@ -1,0 +1,191 @@
+"""Configuration object for CFDS buffers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.constants import (
+    DEFAULT_DRAM_RANDOM_ACCESS_NS,
+    OC_LINE_RATES_BPS,
+    PAPER_GRANULARITY,
+    PAPER_NUM_BANKS,
+    PAPER_QUEUES,
+    rads_granularity,
+)
+from repro.errors import ConfigurationError
+from repro.core import sizing
+from repro.rads.sizing import ecqf_safe_lookahead
+
+
+@dataclass(frozen=True)
+class CFDSConfig:
+    """Static parameters of a CFDS packet buffer.
+
+    Attributes:
+        num_queues: number of physical queues ``Q`` the MMA and the DRAM
+            scheduler manage (after renaming oversubscription, if used).
+        dram_access_slots: DRAM random access time in slots — the RADS
+            granularity ``B``.
+        granularity: CFDS transfer granularity ``b`` (cells per DRAM access);
+            must divide ``B``.
+        num_banks: number of DRAM banks ``M``; must be a multiple of ``B/b``.
+        dram_random_access_slots: physical random access time of one bank, in
+            slots.  The default is ``B/2``: the buffer must read *and* write
+            one cell per slot (bandwidth is twice the line rate), so ``B`` is
+            chosen as ``2 x T_RC / slot`` — one read batch and one write batch
+            of ``B`` cells each fit in every ``B``-slot window.  Override for
+            sensitivity studies with slower or faster parts.
+        lookahead: MMA lookahead length in slots (default: ECQF maximum for
+            granularity ``b``).
+        latency: latency-register length in slots (default: equation 3).
+        rr_capacity: Requests Register capacity (default: the Table-2 hardware
+            size, i.e. the analytical bound rounded to a power of two).
+        head_sram_cells / tail_sram_cells: SRAM capacities (defaults from
+            equation 4 and the tail bound).
+        account_writes: include the write stream (factor 2Q) in the sizing
+            formulas, as the paper does for the full buffer; head-side-only
+            studies may set this to False.
+        dram_cells: optional DRAM capacity in cells.
+        strict: raise on misses/overflows/conflicts (True) or record them.
+    """
+
+    num_queues: int
+    dram_access_slots: int
+    granularity: int
+    num_banks: int = PAPER_NUM_BANKS
+    dram_random_access_slots: Optional[int] = None
+    lookahead: Optional[int] = None
+    latency: Optional[int] = None
+    rr_capacity: Optional[int] = None
+    head_sram_cells: Optional[int] = None
+    tail_sram_cells: Optional[int] = None
+    account_writes: bool = True
+    dram_cells: Optional[int] = None
+    strict: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_queues <= 0:
+            raise ConfigurationError("num_queues must be positive")
+        if self.granularity <= 0 or self.dram_access_slots <= 0:
+            raise ConfigurationError("granularity and dram_access_slots must be positive")
+        if self.dram_access_slots % self.granularity != 0:
+            raise ConfigurationError(
+                f"B ({self.dram_access_slots}) must be a multiple of b ({self.granularity})")
+        per_group = self.dram_access_slots // self.granularity
+        if self.num_banks % per_group != 0:
+            raise ConfigurationError(
+                f"M ({self.num_banks}) must be a multiple of B/b ({per_group})")
+        if self.lookahead is not None and self.lookahead < 1:
+            raise ConfigurationError("lookahead must be at least 1 slot")
+        if self.latency is not None and self.latency < 0:
+            raise ConfigurationError("latency must be non-negative")
+        if self.dram_random_access_slots is not None:
+            if not 1 <= self.dram_random_access_slots <= self.dram_access_slots:
+                raise ConfigurationError(
+                    "dram_random_access_slots must be between 1 and B "
+                    f"({self.dram_access_slots}), got {self.dram_random_access_slots}")
+
+    # ------------------------------------------------------------------ #
+    # Derived values (equations 1-4 with this configuration's parameters)
+    # ------------------------------------------------------------------ #
+    @property
+    def effective_dram_random_access_slots(self) -> int:
+        """Physical bank busy time in slots (defaults to ``B/2``; see class
+        docstring)."""
+        if self.dram_random_access_slots is not None:
+            return self.dram_random_access_slots
+        return max(self.dram_access_slots // 2, 1)
+
+    @property
+    def banks_per_group(self) -> int:
+        return sizing.banks_per_group(self.dram_access_slots, self.granularity)
+
+    @property
+    def num_groups(self) -> int:
+        return sizing.num_groups(self.num_banks, self.dram_access_slots, self.granularity)
+
+    @property
+    def effective_lookahead(self) -> int:
+        """ECQF lookahead for granularity ``b`` including the decision-phase
+        margin (see :func:`repro.rads.sizing.ecqf_safe_lookahead`)."""
+        if self.lookahead is not None:
+            return self.lookahead
+        return ecqf_safe_lookahead(self.num_queues, self.granularity)
+
+    @property
+    def effective_latency(self) -> int:
+        if self.latency is not None:
+            return self.latency
+        return sizing.latency_slots(self.num_queues, self.num_banks,
+                                    self.dram_access_slots, self.granularity,
+                                    account_writes=self.account_writes)
+
+    @property
+    def effective_rr_capacity(self) -> Optional[int]:
+        if self.rr_capacity is not None:
+            return self.rr_capacity
+        hardware = sizing.request_register_hardware_size(
+            self.num_queues, self.num_banks, self.dram_access_slots,
+            self.granularity, account_writes=self.account_writes)
+        # A zero-sized RR only occurs for b == B (no reordering); give it one
+        # slot so the degenerate configuration still flows through the DSS.
+        return max(hardware, 1)
+
+    @property
+    def effective_head_sram_cells(self) -> int:
+        """Default head SRAM capacity enforced by the simulator.
+
+        The analytical requirement is equation (4); as for RADS, the dynamic
+        prefetcher is additionally allowed to hold what it fetched within the
+        last lookahead window (plus one in-flight block) so that arbitrary
+        request patterns — not just the decision-aligned worst case — stay
+        inside the enforced capacity.  Pass ``head_sram_cells`` to override.
+        """
+        if self.head_sram_cells is not None:
+            return self.head_sram_cells
+        analytical = sizing.cfds_sram_size(
+            self.effective_lookahead, self.num_queues, self.num_banks,
+            self.dram_access_slots, self.granularity,
+            account_writes=self.account_writes)
+        return analytical + self.effective_lookahead + self.granularity
+
+    @property
+    def effective_tail_sram_cells(self) -> int:
+        if self.tail_sram_cells is not None:
+            return self.tail_sram_cells
+        return self.num_queues * (self.granularity - 1) + self.granularity
+
+    @property
+    def orr_size(self) -> int:
+        """Ongoing Requests Register length: the number of issue periods a
+        bank remains busy after the period it was issued in.  Uses the
+        physical bank busy time (the paper's ``B/b - 1`` corresponds to the
+        conservative assumption that a bank is busy for the whole ``B``-slot
+        window; see :data:`dram_random_access_slots`)."""
+        periods = -(-self.effective_dram_random_access_slots // self.granularity)
+        return max(periods - 1, 0)
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def for_line_rate(cls,
+                      oc_name: str,
+                      granularity: int,
+                      num_queues: Optional[int] = None,
+                      num_banks: int = PAPER_NUM_BANKS,
+                      dram_random_access_ns: float = DEFAULT_DRAM_RANDOM_ACCESS_NS,
+                      **kwargs) -> "CFDSConfig":
+        """Build the configuration the paper evaluates for an OC designation
+        and a chosen CFDS granularity ``b``."""
+        if oc_name not in OC_LINE_RATES_BPS:
+            raise ConfigurationError(
+                f"unknown line rate designation {oc_name!r}; "
+                f"expected one of {sorted(OC_LINE_RATES_BPS)}")
+        rate = OC_LINE_RATES_BPS[oc_name]
+        queues = num_queues if num_queues is not None else PAPER_QUEUES.get(oc_name, 128)
+        if oc_name in PAPER_GRANULARITY and dram_random_access_ns == DEFAULT_DRAM_RANDOM_ACCESS_NS:
+            access_slots = PAPER_GRANULARITY[oc_name]
+        else:
+            access_slots = rads_granularity(rate, dram_random_access_ns)
+        return cls(num_queues=queues, dram_access_slots=access_slots,
+                   granularity=granularity, num_banks=num_banks, **kwargs)

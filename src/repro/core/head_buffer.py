@@ -1,0 +1,226 @@
+"""Slot-accurate simulator of the CFDS head subsystem (Section 5).
+
+Compared to the RADS head (:mod:`repro.rads.head_buffer`), three things
+change:
+
+* the MMA runs every ``b`` slots and transfers blocks of ``b`` cells — it
+  behaves exactly as the RADS MMA would with granularity ``b``;
+* its replenishment requests are not sent straight to the DRAM: they go
+  through the DRAM Scheduler Subsystem, which may delay and reorder them to
+  keep every bank conflict-free (the physical access still takes ``B`` slots);
+* requests leaving the lookahead pass through an additional *latency register*
+  before being served, absorbing the worst-case reordering delay so the
+  arbiter still sees exact in-order delivery.
+
+A miss (a request emerging from the latency register whose cell is not
+resident, or whose queue's next-in-order cell has not arrived yet) falsifies
+the zero-miss guarantee and is either raised or recorded depending on
+``config.strict``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.config import CFDSConfig
+from repro.core.latency_register import LatencyRegister
+from repro.core.scheduler import DRAMSchedulerSubsystem
+from repro.dram.store import DRAMQueueStore
+from repro.errors import CacheMissError
+from repro.mma.base import HeadMMA
+from repro.mma.ecqf import ECQF
+from repro.mma.occupancy import OccupancyCounters
+from repro.mma.shift_register import ShiftRegister
+from repro.sram.cell_store import SharedSRAM
+from repro.types import Cell, MissRecord, ReplenishRequest, SimulationResult, TransferDirection
+
+#: A block source produces the next block of a queue: given
+#: ``(queue, count, slot)`` it returns the cells plus the READ request to
+#: schedule on the DRAM, or ``(cells, None)`` when the cells did not need a
+#: DRAM access (the cut-through path of the full buffer).  The default source
+#: pops from the head buffer's own DRAM store and assigns block ordinals with
+#: a per-queue fetch counter — the static assignment of Section 5; the full
+#: buffer overrides it to follow the renaming table.
+BlockSource = Callable[[int, int, int], Tuple[List[Cell], Optional[ReplenishRequest]]]
+
+
+class CFDSHeadBuffer:
+    """Head-side CFDS simulator (h-SRAM + h-MMA + DSS + latency register)."""
+
+    def __init__(self,
+                 config: CFDSConfig,
+                 mma: Optional[HeadMMA] = None,
+                 dram: Optional[DRAMQueueStore] = None,
+                 scheduler: Optional[DRAMSchedulerSubsystem] = None,
+                 block_source: Optional[BlockSource] = None,
+                 bypass_source=None,
+                 sram_capacity: Optional[int] = None) -> None:
+        self.config = config
+        self.mma = mma if mma is not None else ECQF()
+        if dram is None:
+            dram = DRAMQueueStore(config.num_queues)
+            dram.mark_backlogged(range(config.num_queues))
+        self.dram = dram
+        self.bypass_source = bypass_source
+        self.bypass_serves = 0
+        self.scheduler = scheduler if scheduler is not None else DRAMSchedulerSubsystem(config)
+        if sram_capacity is None:
+            sram_capacity = config.effective_head_sram_cells
+        self.sram = SharedSRAM(config.num_queues,
+                               capacity_cells=sram_capacity if config.strict else None)
+        self.counters = OccupancyCounters(config.num_queues)
+        self.lookahead: ShiftRegister[int] = ShiftRegister(config.effective_lookahead)
+        self.latency = LatencyRegister(config.effective_latency)
+        self._fetch_counter: Dict[int, int] = {q: 0 for q in range(config.num_queues)}
+        self._block_source = block_source if block_source is not None else self._default_source
+        self._delivered: Dict[int, int] = {q: 0 for q in range(config.num_queues)}
+        self._slot = 0
+        self.result = SimulationResult()
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    @property
+    def slot(self) -> int:
+        return self._slot
+
+    @property
+    def total_request_delay(self) -> int:
+        """Total slots between a request entering the buffer and its cell
+        being granted: lookahead plus latency register."""
+        return self.config.effective_lookahead + self.config.effective_latency
+
+    def step(self, request: Optional[int] = None) -> Optional[Cell]:
+        """Advance one slot; return the cell granted to the arbiter, if any."""
+        if request is not None and not 0 <= request < self.config.num_queues:
+            raise ValueError(f"request for unknown queue {request}")
+        slot = self._slot
+
+        # 1. The new request enters the lookahead; the oldest lookahead entry
+        #    moves into the latency register and the oldest latency entry
+        #    becomes due for service this slot (same phasing argument as the
+        #    RADS head buffer: an MMA decision at slot t must already see the
+        #    request issued at slot t).
+        leaving_lookahead = self.lookahead.shift(request)
+        due = self.latency.shift(leaving_lookahead)
+        if due is not None:
+            # The occupancy counter is debited when the request is finally
+            # granted; until then the request stays visible to the MMA through
+            # the latency-register part of its (extended) lookahead.
+            self.counters.consume(due)
+
+        # 2. MMA decision (granularity-b period).  Per Section 5.4 the latency
+        #    register is "added to the lookahead of the MMA": the MMA reasons
+        #    over every request not yet served, in service order.
+        if slot % self.config.granularity == 0:
+            self._run_mma(slot)
+
+        # 3. DRAM scheduler: collect finished accesses, issue one new access.
+        for transfer in self.scheduler.tick(slot):
+            if transfer.request.direction is TransferDirection.READ and transfer.payload:
+                self.sram.insert_block(transfer.payload)
+
+        # 4. The request leaving the latency register is served.
+        served = self._serve(due, slot)
+
+        self._slot += 1
+        self._update_stats()
+        return served
+
+    def accept_direct(self, cell: Cell) -> None:
+        """Insert a cell straight into the head SRAM (arrival cut-through for
+        queues whose backlog lives entirely on-chip); credits the occupancy
+        counter so the MMA does not re-fetch the cell."""
+        self.sram.insert(cell)
+        self.counters.add(cell.queue, 1)
+
+    def run(self, requests, max_slots: Optional[int] = None) -> SimulationResult:
+        """Feed an iterable of per-slot requests, then drain the pipeline."""
+        count = 0
+        for request in requests:
+            self.step(request)
+            count += 1
+            if max_slots is not None and count >= max_slots:
+                break
+        for _ in range(self.total_request_delay + self.config.dram_access_slots):
+            self.step(None)
+        return self.result
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _default_source(self, queue: int, count: int, slot: int
+                        ) -> Tuple[List[Cell], Optional[ReplenishRequest]]:
+        cells = self.dram.pop_block(queue, count)
+        if not cells:
+            return [], None
+        index = self._fetch_counter[queue]
+        self._fetch_counter[queue] = index + 1
+        request = ReplenishRequest(queue=queue,
+                                   direction=TransferDirection.READ,
+                                   cells=len(cells),
+                                   issue_slot=slot,
+                                   block_index=index)
+        return cells, request
+
+    def _run_mma(self, slot: int) -> None:
+        # The MMA's effective lookahead is the latency register followed by
+        # the lookahead register: every promised-but-unserved request, in the
+        # order it will be served.
+        pending_view = self.latency.contents() + self.lookahead.contents()
+        selection = self.mma.select(self.counters.snapshot(), pending_view)
+        if selection is None:
+            return
+        cells, request = self._block_source(selection, self.config.granularity, slot)
+        if not cells:
+            return
+        self.counters.add(selection, len(cells))
+        if request is None:
+            # Cut-through: the cells never went to DRAM, they are available to
+            # the head SRAM immediately.
+            self.sram.insert_block(cells)
+            return
+        self.scheduler.submit(request, payload=cells)
+        self.result.dram_reads += 1
+
+    def _serve(self, due: Optional[int], slot: int) -> Optional[Cell]:
+        if due is None:
+            return None
+        expected = self._delivered[due]
+        cell = self.sram.peek_next(due)
+        if cell is not None and cell.seqno == expected:
+            self.sram.pop_next(due)
+        else:
+            cell = self._bypass(due, expected)
+            if cell is None:
+                self.result.misses.append(MissRecord(queue=due, slot=slot))
+                if self.config.strict:
+                    raise CacheMissError(due, slot)
+                return None
+        self._delivered[due] = expected + 1
+        self.result.cells_out += 1
+        return cell
+
+    def _bypass(self, queue: int, expected_seqno: int) -> Optional[Cell]:
+        """Cut-through service from the tail SRAM for cells that never went to
+        DRAM (see :class:`repro.rads.head_buffer.RADSHeadBuffer`)."""
+        if self.bypass_source is None:
+            return None
+        cell = self.bypass_source(queue, expected_seqno)
+        if cell is None:
+            return None
+        if cell.seqno != expected_seqno:
+            raise ValueError(
+                f"bypass source returned out-of-order cell for queue {queue}: "
+                f"expected seqno {expected_seqno}, got {cell.seqno}")
+        self.bypass_serves += 1
+        return cell
+
+    def _update_stats(self) -> None:
+        self.result.slots_simulated = self._slot
+        self.result.max_head_sram_occupancy = max(
+            self.result.max_head_sram_occupancy, self.sram.occupancy())
+        self.result.max_request_register_occupancy = self.scheduler.peak_rr_occupancy
+        self.result.max_reorder_delay_slots = self.scheduler.max_total_delay_slots
+        self.result.bank_conflicts = self.scheduler.bank_conflicts

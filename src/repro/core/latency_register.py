@@ -1,0 +1,39 @@
+"""The latency shift register (Section 5.4).
+
+The DRAM Scheduler Subsystem may reorder and delay the MMA's replenishments;
+the latency register adds a fixed delay between a request leaving the MMA's
+lookahead and the corresponding cell being granted to the arbiter, equal to
+the worst-case extra delay a replenishment can suffer.  With that delay in
+place, every cell is guaranteed to be resident in the SRAM by the time its
+request emerges, so the arbiter still observes exact, in-order delivery.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.mma.shift_register import ShiftRegister
+
+
+class LatencyRegister(ShiftRegister[int]):
+    """A named :class:`~repro.mma.shift_register.ShiftRegister` carrying the
+    requests that have left the lookahead but are not yet due for service.
+
+    The only addition over the generic shift register is occupancy-peak
+    tracking, which the dimensioning tests use.
+    """
+
+    def __init__(self, length: int) -> None:
+        super().__init__(length)
+        self._peak_occupancy = 0
+
+    def shift(self, item: Optional[int] = None) -> Optional[int]:
+        leaving = super().shift(item)
+        occupancy = self.count()
+        if occupancy > self._peak_occupancy:
+            self._peak_occupancy = occupancy
+        return leaving
+
+    @property
+    def peak_occupancy(self) -> int:
+        return self._peak_occupancy

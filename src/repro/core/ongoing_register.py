@@ -1,0 +1,63 @@
+"""The Ongoing Requests Register (ORR).
+
+The ORR remembers which banks have an access in flight: it is a shift
+register of ``B/b - 1`` positions holding the bank identifiers of the most
+recently issued accesses (one new access can be issued per issue period and a
+bank stays busy for ``B/b`` periods, so an access remains "ongoing" for the
+``B/b - 1`` periods after the one it was issued in).  Banks listed in the ORR
+are *locked*: the DRAM Scheduler Algorithm never selects a request that
+targets one of them.
+
+In this reproduction the ORR is the authoritative lock set the scheduler uses;
+the tests additionally verify that its contents always agree with the busy
+state of the banked DRAM timing model.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterable, List, Optional, Sequence, Set, Tuple
+
+
+class OngoingRequestsRegister:
+    """Shift register of the banks currently being accessed.
+
+    Each position holds the banks issued in one issue period (one bank per
+    position in the head-side configuration; up to two — one read and one
+    write — in the full buffer, whose DRAM datapath runs at twice the line
+    rate).
+    """
+
+    def __init__(self, length: int) -> None:
+        if length < 0:
+            raise ValueError("length must be non-negative")
+        self.length = length
+        self._slots: Deque[Tuple[int, ...]] = deque([()] * length, maxlen=length or None)
+
+    def advance(self, issued_banks: Optional[Iterable[int]] = None) -> Tuple[int, ...]:
+        """Record the banks issued this period (possibly none) and drop the
+        oldest entry, whose banks are no longer locked."""
+        banks: Tuple[int, ...] = tuple(issued_banks) if issued_banks else ()
+        if self.length == 0:
+            return banks
+        oldest = self._slots[0]
+        self._slots.popleft()
+        self._slots.append(banks)
+        return oldest
+
+    def locked_banks(self) -> Set[int]:
+        """The set of banks that must not be issued this period."""
+        locked: Set[int] = set()
+        for banks in self._slots:
+            locked.update(banks)
+        return locked
+
+    def contents(self) -> List[Tuple[int, ...]]:
+        """Snapshot, oldest first."""
+        return list(self._slots)
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __contains__(self, bank: int) -> bool:
+        return bank in self.locked_banks()

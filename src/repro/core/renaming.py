@@ -1,0 +1,267 @@
+"""Queue renaming — the DRAM anti-fragmentation mechanism (Section 6).
+
+CFDS statically assigns each *physical* queue to one bank group, so a queue
+can only ever use ``1/G`` of the DRAM.  To let any logical queue grow into the
+whole DRAM, the paper renames: a logical queue ``Q_i`` is associated with a
+*sequence* of physical queues ``q_p`` held in a circular renaming register.
+New cells are written through the tail entry of the register (opening a new
+physical queue — in a different group — whenever the current group runs out of
+room), and reads are translated through the head entry; each entry carries a
+counter of the cells it still holds, so FIFO order across physical queues is
+preserved.
+
+To guarantee that ``Q`` logical queues can always be active, the number of
+physical queues is oversubscribed to ``P = K x Q`` (the paper's
+"oversubscribe the number of physical queues").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Set
+
+from repro.errors import RenamingError
+
+
+@dataclass
+class ReadTranslation:
+    """Result of translating a read through a renaming register."""
+
+    #: (physical queue, cells taken) pairs, in FIFO order.
+    takes: List[tuple]
+    #: Physical queues that drained completely and can be reused.
+    released: List[int]
+
+    @property
+    def primary_physical_queue(self) -> int:
+        """The physical queue the first cell of the read comes from."""
+        return self.takes[0][0]
+
+
+@dataclass
+class RenamingEntry:
+    """One element of a circular renaming register: a physical queue name and
+    the number of cells of the logical queue currently stored under it."""
+
+    physical_queue: int
+    count: int = 0
+
+
+class RenamingRegister:
+    """The circular register RN_i of one logical queue.
+
+    The *tail* entry is where newly arriving cells are recorded; the *head*
+    entry is where scheduler reads are translated.  Entries drain strictly in
+    order, which is what preserves the logical queue's FIFO semantics.
+    """
+
+    def __init__(self, logical_queue: int) -> None:
+        self.logical_queue = logical_queue
+        self._entries: Deque[RenamingEntry] = deque()
+
+    # -- write path ----------------------------------------------------- #
+    def tail_entry(self) -> Optional[RenamingEntry]:
+        return self._entries[-1] if self._entries else None
+
+    def open_entry(self, physical_queue: int) -> RenamingEntry:
+        entry = RenamingEntry(physical_queue=physical_queue, count=0)
+        self._entries.append(entry)
+        return entry
+
+    def record_write(self, cells: int) -> None:
+        if not self._entries:
+            raise RenamingError(
+                f"logical queue {self.logical_queue}: write recorded with no open entry")
+        self._entries[-1].count += cells
+
+    # -- read path ------------------------------------------------------ #
+    def head_entry(self) -> Optional[RenamingEntry]:
+        return self._entries[0] if self._entries else None
+
+    def record_read(self, cells: int) -> "ReadTranslation":
+        """Debit ``cells`` from the head entry (and successors if the head
+        drains); return which physical queues the cells came from and which
+        physical queues became empty and can be released to the pool."""
+        released: List[int] = []
+        takes: List[tuple] = []
+        remaining = cells
+        while remaining > 0:
+            if not self._entries:
+                raise RenamingError(
+                    f"logical queue {self.logical_queue}: read of {cells} cells "
+                    "exceeds the cells recorded in the renaming register")
+            head = self._entries[0]
+            take = min(head.count, remaining)
+            if take > 0:
+                takes.append((head.physical_queue, take))
+            head.count -= take
+            remaining -= take
+            if head.count == 0:
+                # Drained entries are always retired; if it was the last entry
+                # the logical queue is simply empty in DRAM until new cells
+                # arrive and a fresh physical queue is opened.
+                self._entries.popleft()
+                released.append(head.physical_queue)
+        return ReadTranslation(takes=takes, released=released)
+
+    # -- introspection --------------------------------------------------- #
+    def entries(self) -> List[RenamingEntry]:
+        return list(self._entries)
+
+    def total_cells(self) -> int:
+        return sum(entry.count for entry in self._entries)
+
+    def physical_queues(self) -> List[int]:
+        return [entry.physical_queue for entry in self._entries]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class RenamingTable:
+    """All renaming registers plus the pool of free physical queues.
+
+    Args:
+        num_logical: number of logical (VOQ) queues.
+        num_physical: number of physical queue names available (``K x Q``).
+        num_groups: number of DRAM bank groups; physical queue ``p`` belongs
+            to group ``p mod num_groups`` (matching
+            :class:`~repro.core.mapping.CFDSBankMapping`).
+        group_capacity_cells: DRAM capacity of one group, in cells; ``None``
+            disables capacity-driven spilling (a new physical queue is then
+            only opened when a logical queue first becomes active).
+    """
+
+    def __init__(self,
+                 num_logical: int,
+                 num_physical: int,
+                 num_groups: int,
+                 group_capacity_cells: Optional[int] = None) -> None:
+        if num_logical <= 0 or num_physical <= 0 or num_groups <= 0:
+            raise ValueError("num_logical, num_physical and num_groups must be positive")
+        if num_physical < num_logical:
+            raise RenamingError(
+                "the physical queue space must be at least as large as the logical one "
+                f"(got {num_physical} physical for {num_logical} logical)")
+        self.num_logical = num_logical
+        self.num_physical = num_physical
+        self.num_groups = num_groups
+        self.group_capacity_cells = group_capacity_cells
+        self._registers: Dict[int, RenamingRegister] = {
+            q: RenamingRegister(q) for q in range(num_logical)}
+        self._free_by_group: Dict[int, List[int]] = {g: [] for g in range(num_groups)}
+        for p in range(num_physical - 1, -1, -1):
+            self._free_by_group[p % num_groups].append(p)
+        self._group_occupancy: List[int] = [0] * num_groups
+        self._in_use: Set[int] = set()
+
+    # ------------------------------------------------------------------ #
+    # Write path
+    # ------------------------------------------------------------------ #
+    def translate_write(self, logical_queue: int, cells: int) -> int:
+        """Return the physical queue the next ``cells`` of ``logical_queue``
+        must be written to, opening a new physical queue if needed."""
+        self._check_logical(logical_queue)
+        if cells <= 0:
+            raise ValueError("cells must be positive")
+        register = self._registers[logical_queue]
+        entry = register.tail_entry()
+        if entry is None or not self._group_has_room(entry.physical_queue, cells):
+            physical = self._allocate_physical(cells)
+            register.open_entry(physical)
+        register.record_write(cells)
+        physical = register.tail_entry().physical_queue
+        self._group_occupancy[physical % self.num_groups] += cells
+        return physical
+
+    # ------------------------------------------------------------------ #
+    # Read path
+    # ------------------------------------------------------------------ #
+    def translate_read(self, logical_queue: int, cells: int = 1) -> int:
+        """Return the physical queue the next ``cells`` of ``logical_queue``
+        must be read from, releasing drained physical queues to the pool."""
+        self._check_logical(logical_queue)
+        if cells <= 0:
+            raise ValueError("cells must be positive")
+        register = self._registers[logical_queue]
+        head = register.head_entry()
+        if head is None:
+            raise RenamingError(
+                f"logical queue {logical_queue} has no cells recorded in DRAM")
+        translation = register.record_read(cells)
+        for physical, taken in translation.takes:
+            self._group_occupancy[physical % self.num_groups] -= taken
+        for freed in translation.released:
+            self._release_physical(freed)
+        return translation.primary_physical_queue
+
+    def peek_read(self, logical_queue: int) -> Optional[int]:
+        """Physical queue the next read of ``logical_queue`` would target."""
+        self._check_logical(logical_queue)
+        head = self._registers[logical_queue].head_entry()
+        return head.physical_queue if head is not None else None
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def register(self, logical_queue: int) -> RenamingRegister:
+        self._check_logical(logical_queue)
+        return self._registers[logical_queue]
+
+    def group_occupancy(self) -> List[int]:
+        """Cells stored per group (the DRAM-utilisation view the paper's
+        fragmentation argument is about)."""
+        return list(self._group_occupancy)
+
+    def physical_in_use(self) -> int:
+        return len(self._in_use)
+
+    def free_physical(self) -> int:
+        return self.num_physical - len(self._in_use)
+
+    def cells_recorded(self, logical_queue: int) -> int:
+        self._check_logical(logical_queue)
+        return self._registers[logical_queue].total_cells()
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _group_has_room(self, physical_queue: int, cells: int) -> bool:
+        if self.group_capacity_cells is None:
+            return True
+        group = physical_queue % self.num_groups
+        return self._group_occupancy[group] + cells <= self.group_capacity_cells
+
+    def _allocate_physical(self, cells: int) -> int:
+        """Pick a free physical queue from the group with the most free room
+        (the paper: "the assignment algorithm could select a q_p from the
+        group with the least cells")."""
+        candidates = []
+        for group in range(self.num_groups):
+            if not self._free_by_group[group]:
+                continue
+            if self.group_capacity_cells is not None:
+                free_room = self.group_capacity_cells - self._group_occupancy[group]
+                if free_room < cells:
+                    continue
+            else:
+                free_room = -self._group_occupancy[group]
+            candidates.append((self._group_occupancy[group], group))
+        if not candidates:
+            raise RenamingError(
+                "no physical queue available: every group is either full or out of names")
+        _, group = min(candidates)
+        physical = self._free_by_group[group].pop()
+        self._in_use.add(physical)
+        return physical
+
+    def _release_physical(self, physical_queue: int) -> None:
+        if physical_queue in self._in_use:
+            self._in_use.discard(physical_queue)
+            self._free_by_group[physical_queue % self.num_groups].append(physical_queue)
+
+    def _check_logical(self, logical_queue: int) -> None:
+        if not 0 <= logical_queue < self.num_logical:
+            raise ValueError(
+                f"logical queue {logical_queue} out of range (0..{self.num_logical - 1})")

@@ -1,0 +1,144 @@
+"""Slot-accurate simulator of the CFDS tail subsystem.
+
+The tail side works exactly like the RADS tail at granularity ``b`` — cells
+arrive into the tail SRAM and a threshold MMA evicts one block per issue
+period — with one difference: the eviction is expressed as a *write* request
+submitted to the DRAM Scheduler Subsystem, so the write stream occupies banks
+and competes with the head's read stream (this is why the paper's sizing
+formulas use ``2Q``).
+
+Modelling note: the cell *content* is handed to the eviction sink immediately
+(the data is on the line card either way and what matters for the worst-case
+guarantee is bank occupancy, not the few-slot residence of write data in a
+staging buffer); the *timing* of the write access is fully modelled through
+the DSS and the banked DRAM.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.core.config import CFDSConfig
+from repro.core.scheduler import DRAMSchedulerSubsystem
+from repro.errors import BufferOverflowError
+from repro.mma.tail_mma import ThresholdTailMMA
+from repro.types import Cell, ReplenishRequest, SimulationResult, TransferDirection
+
+#: An eviction sink receives ``(queue, cells)`` and stores the block in DRAM.
+#: It returns the ``(physical queue, block ordinal)`` the block was written to
+#: (used to build the WRITE request for bank-timing purposes), or ``None`` if
+#: the block could not be stored (DRAM/group full) and was dropped.
+EvictSink = Callable[[int, List[Cell]], Optional[Tuple[int, int]]]
+
+
+class CFDSTailBuffer:
+    """Tail-side CFDS simulator (t-SRAM + t-MMA feeding the DSS)."""
+
+    def __init__(self,
+                 config: CFDSConfig,
+                 scheduler: Optional[DRAMSchedulerSubsystem] = None,
+                 evict_sink: Optional[EvictSink] = None,
+                 mma: Optional[ThresholdTailMMA] = None) -> None:
+        self.config = config
+        self.scheduler = scheduler
+        self.evict_sink = evict_sink if evict_sink is not None else self._default_sink
+        self.mma = mma if mma is not None else ThresholdTailMMA(config.granularity)
+        self._write_counter: Dict[int, int] = {q: 0 for q in range(config.num_queues)}
+        self._queues: Dict[int, Deque[Cell]] = {q: deque() for q in range(config.num_queues)}
+        self._occupancy = 0
+        self._slot = 0
+        self._dropped_cells = 0
+        self.result = SimulationResult()
+
+    # ------------------------------------------------------------------ #
+    @property
+    def slot(self) -> int:
+        return self._slot
+
+    @property
+    def dropped_cells(self) -> int:
+        """Cells whose eviction block could not be stored in DRAM."""
+        return self._dropped_cells
+
+    def occupancy(self, queue: Optional[int] = None) -> int:
+        if queue is None:
+            return self._occupancy
+        return len(self._queues[queue])
+
+    def step(self, arrival: Optional[Cell] = None) -> Optional[List[Cell]]:
+        """Advance one slot: accept at most one arrival, and on issue-period
+        boundaries let the tail MMA evict one block through the DSS."""
+        slot = self._slot
+        evicted: Optional[List[Cell]] = None
+        if arrival is not None:
+            self._accept(arrival)
+        if slot % self.config.granularity == 0:
+            evicted = self._run_mma(slot)
+        self._slot += 1
+        self.result.slots_simulated = self._slot
+        self.result.max_tail_sram_occupancy = max(
+            self.result.max_tail_sram_occupancy, self._occupancy)
+        return evicted
+
+    def pop_direct(self, queue: int, count: int) -> List[Cell]:
+        """Cut-through: remove up to ``count`` head cells of ``queue``."""
+        fifo = self._queues[queue]
+        out: List[Cell] = []
+        while fifo and len(out) < count:
+            out.append(fifo.popleft())
+            self._occupancy -= 1
+        return out
+
+    def peek_direct(self, queue: int) -> Optional[Cell]:
+        """Oldest cell of ``queue`` still resident in the tail SRAM."""
+        fifo = self._queues[queue]
+        return fifo[0] if fifo else None
+
+    # ------------------------------------------------------------------ #
+    def _default_sink(self, queue: int, cells: List[Cell]) -> Optional[Tuple[int, int]]:
+        """Default: the block stays addressed by its own queue; successive
+        blocks of a queue get successive ordinals (static assignment)."""
+        index = self._write_counter[queue]
+        self._write_counter[queue] = index + 1
+        return queue, index
+
+    def _accept(self, cell: Cell) -> None:
+        capacity = self.config.effective_tail_sram_cells
+        if self._occupancy + 1 > capacity:
+            self.result.misses.append(None)
+            if self.config.strict:
+                raise BufferOverflowError("tail SRAM", capacity, self._occupancy + 1)
+            return
+        self._queues[cell.queue].append(cell)
+        self._occupancy += 1
+        self.result.cells_in += 1
+
+    def _run_mma(self, slot: int) -> Optional[List[Cell]]:
+        occupancy = [len(self._queues[q]) for q in range(self.config.num_queues)]
+        selection = self.mma.select(occupancy)
+        if selection is None:
+            return None
+        block: List[Cell] = []
+        fifo = self._queues[selection]
+        for _ in range(self.config.granularity):
+            if not fifo:
+                break
+            block.append(fifo.popleft())
+            self._occupancy -= 1
+        if not block:
+            return None
+        location = self.evict_sink(selection, block)
+        if location is None:
+            self._dropped_cells += len(block)
+            return block
+        physical_queue, block_index = location
+        if self.scheduler is not None:
+            request = ReplenishRequest(queue=physical_queue,
+                                       direction=TransferDirection.WRITE,
+                                       cells=len(block),
+                                       issue_slot=slot,
+                                       block_index=block_index)
+            self.scheduler.submit(request, payload=None)
+        self.result.dram_writes += 1
+        return block

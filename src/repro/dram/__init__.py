@@ -1,0 +1,29 @@
+"""Banked DRAM substrate.
+
+This package models the commodity DRAM the packet buffer sits on top of:
+
+* :mod:`repro.dram.timing` — the timing parameters that matter for the paper
+  (random access time in slots, number of banks);
+* :mod:`repro.dram.bank` — a single bank with busy/locked-until tracking and
+  strict conflict detection;
+* :mod:`repro.dram.dram` — the array of banks with an address->bank view;
+* :mod:`repro.dram.store` — the logical per-queue FIFO content store (what
+  data actually lives in DRAM, independent of which bank holds it).
+
+The timing model is deliberately slot-accurate rather than command-accurate
+(no explicit RAS/CAS/precharge): the paper's worst-case arguments are made in
+terms of the *random access time* of a bank measured in cell slots, so that is
+the granularity the guarantees must be checked at.
+"""
+
+from repro.dram.timing import DRAMTiming
+from repro.dram.bank import DRAMBank
+from repro.dram.dram import BankedDRAM
+from repro.dram.store import DRAMQueueStore
+
+__all__ = [
+    "DRAMTiming",
+    "DRAMBank",
+    "BankedDRAM",
+    "DRAMQueueStore",
+]

@@ -1,0 +1,72 @@
+"""A single DRAM bank with strict conflict detection."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import BankConflictError
+
+
+@dataclass
+class DRAMBank:
+    """One independently addressable DRAM bank.
+
+    A bank can hold exactly one access in flight.  Starting an access while a
+    previous one has not completed is a *bank conflict* — in a real packet
+    buffer this would stall the pipeline and break the worst-case bandwidth
+    guarantee, so the model treats it as a hard error (unless the caller opts
+    into recording mode via ``strict=False`` on :meth:`begin_access`).
+
+    Attributes:
+        index: absolute bank number.
+        random_access_slots: how many slots the bank stays busy per access.
+    """
+
+    index: int
+    random_access_slots: int
+    _busy_until: int = field(default=0, init=False)
+    _accesses: int = field(default=0, init=False)
+    _conflicts: int = field(default=0, init=False)
+
+    def is_busy(self, slot: int) -> bool:
+        """Return True if the bank is still executing an access at ``slot``."""
+        return slot < self._busy_until
+
+    def busy_until(self) -> int:
+        """First slot at which the bank is free again."""
+        return self._busy_until
+
+    def begin_access(self, slot: int, *, strict: bool = True) -> int:
+        """Start an access at ``slot``; return the slot at which it completes.
+
+        Raises :class:`BankConflictError` when the bank is still busy and
+        ``strict`` is True; otherwise the conflict is counted and the access
+        is serialised after the previous one (modelling a stall).
+        """
+        if self.is_busy(slot):
+            self._conflicts += 1
+            if strict:
+                raise BankConflictError(self.index, slot, self._busy_until)
+            start = self._busy_until
+        else:
+            start = slot
+        self._busy_until = start + self.random_access_slots
+        self._accesses += 1
+        return self._busy_until
+
+    @property
+    def access_count(self) -> int:
+        """Total accesses started on this bank."""
+        return self._accesses
+
+    @property
+    def conflict_count(self) -> int:
+        """Number of conflicting (overlapping) access attempts observed."""
+        return self._conflicts
+
+    def reset(self) -> None:
+        """Forget all state (used when re-running a simulation)."""
+        self._busy_until = 0
+        self._accesses = 0
+        self._conflicts = 0

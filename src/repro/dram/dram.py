@@ -1,0 +1,107 @@
+"""The banked DRAM array: a collection of banks plus access bookkeeping."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.dram.bank import DRAMBank
+from repro.dram.timing import DRAMTiming
+from repro.errors import ConfigurationError
+from repro.types import ReplenishRequest, TransferJob
+
+
+class BankedDRAM:
+    """An array of :class:`DRAMBank` with slot-level access tracking.
+
+    The object does not know about queues or interleaving policy — that
+    knowledge lives in :mod:`repro.core.mapping` (CFDS) or is absent (RADS,
+    which treats the DRAM as a single resource).  It only enforces the
+    physical constraint: a bank can serve one access per random access time.
+    """
+
+    def __init__(self, timing: DRAMTiming, *, strict: bool = True) -> None:
+        self.timing = timing
+        self.strict = strict
+        self._banks: List[DRAMBank] = [
+            DRAMBank(index=i, random_access_slots=timing.random_access_slots)
+            for i in range(timing.num_banks)
+        ]
+        self._in_flight: List[TransferJob] = []
+        self._completed_jobs = 0
+        self._last_issue_slot: Optional[int] = None
+
+    # ------------------------------------------------------------------ #
+    # Access initiation and completion
+    # ------------------------------------------------------------------ #
+    def start_access(self, request: ReplenishRequest, bank: int, slot: int) -> TransferJob:
+        """Initiate an access for ``request`` on ``bank`` at ``slot``.
+
+        Returns the :class:`TransferJob` tracking the in-flight access.  The
+        job completes (data available) at ``slot + random_access_slots``.
+        """
+        if not 0 <= bank < len(self._banks):
+            raise ConfigurationError(
+                f"bank index {bank} out of range (0..{len(self._banks) - 1})")
+        if (self._last_issue_slot is not None
+                and slot - self._last_issue_slot < self.timing.address_bus_slots
+                and slot != self._last_issue_slot):
+            # Address-bus constraint: modelled as a configuration error since
+            # RADS/CFDS never violate it when correctly dimensioned.
+            raise ConfigurationError(
+                f"address bus violation: accesses at slots {self._last_issue_slot} and {slot} "
+                f"are closer than {self.timing.address_bus_slots} slots")
+        finish = self._banks[bank].begin_access(slot, strict=self.strict)
+        job = TransferJob(request=request, bank=bank, start_slot=slot, finish_slot=finish)
+        self._in_flight.append(job)
+        self._last_issue_slot = slot
+        return job
+
+    def pop_completed(self, slot: int) -> List[TransferJob]:
+        """Return (and remove) jobs whose data is available at ``slot``."""
+        done = [job for job in self._in_flight if job.finish_slot <= slot]
+        if done:
+            self._in_flight = [job for job in self._in_flight if job.finish_slot > slot]
+            self._completed_jobs += len(done)
+        return done
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def bank(self, index: int) -> DRAMBank:
+        """Return the bank object at ``index``."""
+        return self._banks[index]
+
+    @property
+    def num_banks(self) -> int:
+        return len(self._banks)
+
+    def busy_banks(self, slot: int) -> List[int]:
+        """Indices of banks still executing an access at ``slot``."""
+        return [b.index for b in self._banks if b.is_busy(slot)]
+
+    def is_bank_busy(self, bank: int, slot: int) -> bool:
+        return self._banks[bank].is_busy(slot)
+
+    @property
+    def in_flight_count(self) -> int:
+        return len(self._in_flight)
+
+    @property
+    def completed_count(self) -> int:
+        return self._completed_jobs
+
+    @property
+    def total_conflicts(self) -> int:
+        """Sum of conflicting access attempts across all banks."""
+        return sum(b.conflict_count for b in self._banks)
+
+    def access_histogram(self) -> Dict[int, int]:
+        """Map of bank index -> number of accesses started (load-balance view)."""
+        return {b.index: b.access_count for b in self._banks}
+
+    def reset(self) -> None:
+        for b in self._banks:
+            b.reset()
+        self._in_flight.clear()
+        self._completed_jobs = 0
+        self._last_issue_slot = None

@@ -1,0 +1,125 @@
+"""Logical per-queue FIFO content of the DRAM.
+
+The banked timing model (:mod:`repro.dram.dram`) tracks *when* banks are busy;
+this module tracks *what* the DRAM holds: for each physical queue, the FIFO of
+cells that have been evicted from the tail SRAM and not yet fetched into the
+head SRAM.  Separating content from timing keeps both halves simple and lets
+the RADS and CFDS front-ends share the same storage code.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Optional
+
+from repro.errors import BufferOverflowError, QueueEmptyError
+from repro.types import Cell
+
+
+class DRAMQueueStore:
+    """Per-queue FIFO storage with an optional global capacity limit.
+
+    The store also supports an *infinite backlog* mode used for head-side-only
+    analyses: when a queue is marked as backlogged, popping from it fabricates
+    fresh cells with increasing sequence numbers instead of draining real
+    content.  This mirrors the assumption in the paper's head-MMA analysis
+    that the DRAM always has cells available for any queue the arbiter may
+    request.
+    """
+
+    def __init__(self, num_queues: int, capacity_cells: Optional[int] = None) -> None:
+        if num_queues <= 0:
+            raise ValueError("num_queues must be positive")
+        self.num_queues = num_queues
+        self.capacity_cells = capacity_cells
+        self._queues: Dict[int, Deque[Cell]] = {q: deque() for q in range(num_queues)}
+        self._backlogged: Dict[int, int] = {}
+        self._occupancy = 0
+        self._peak_occupancy = 0
+
+    # ------------------------------------------------------------------ #
+    # Backlog mode
+    # ------------------------------------------------------------------ #
+    def mark_backlogged(self, queues: Iterable[int]) -> None:
+        """Treat ``queues`` as having an unbounded supply of cells.
+
+        Synthetic cells continue the queue's sequence-number stream after any
+        real content already stored, so in-order delivery checks keep working.
+        """
+        for q in queues:
+            self._check_queue(q)
+            if q in self._backlogged:
+                continue
+            fifo = self._queues[q]
+            self._backlogged[q] = fifo[-1].seqno + 1 if fifo else 0
+
+    def is_backlogged(self, queue: int) -> bool:
+        return queue in self._backlogged
+
+    # ------------------------------------------------------------------ #
+    # FIFO operations
+    # ------------------------------------------------------------------ #
+    def push(self, cell: Cell) -> None:
+        """Append ``cell`` to the tail of its queue."""
+        self._check_queue(cell.queue)
+        if self.capacity_cells is not None and self._occupancy >= self.capacity_cells:
+            raise BufferOverflowError("DRAM", self.capacity_cells, self._occupancy + 1)
+        self._queues[cell.queue].append(cell)
+        self._occupancy += 1
+        self._peak_occupancy = max(self._peak_occupancy, self._occupancy)
+
+    def push_many(self, cells: Iterable[Cell]) -> None:
+        for cell in cells:
+            self.push(cell)
+
+    def pop_block(self, queue: int, count: int) -> List[Cell]:
+        """Remove and return up to ``count`` cells from the head of ``queue``.
+
+        For a backlogged queue, missing cells are synthesised.  For a regular
+        queue, fewer than ``count`` cells may be returned if the queue drains
+        (the MMA tolerates short blocks at the end of a queue).
+        """
+        self._check_queue(queue)
+        if count <= 0:
+            raise ValueError("count must be positive")
+        out: List[Cell] = []
+        fifo = self._queues[queue]
+        while fifo and len(out) < count:
+            out.append(fifo.popleft())
+            self._occupancy -= 1
+        if queue in self._backlogged:
+            next_seq = self._backlogged[queue]
+            while len(out) < count:
+                out.append(Cell(queue=queue, seqno=next_seq))
+                next_seq += 1
+            self._backlogged[queue] = next_seq
+        return out
+
+    def occupancy(self, queue: Optional[int] = None) -> int:
+        """Number of cells stored (for one queue, or in total)."""
+        if queue is None:
+            return self._occupancy
+        self._check_queue(queue)
+        return len(self._queues[queue])
+
+    @property
+    def peak_occupancy(self) -> int:
+        return self._peak_occupancy
+
+    def has_cells(self, queue: int) -> bool:
+        self._check_queue(queue)
+        return bool(self._queues[queue]) or queue in self._backlogged
+
+    def peek(self, queue: int) -> Cell:
+        """Return (without removing) the head cell of ``queue``."""
+        self._check_queue(queue)
+        fifo = self._queues[queue]
+        if not fifo:
+            if queue in self._backlogged:
+                return Cell(queue=queue, seqno=self._backlogged[queue])
+            raise QueueEmptyError(queue)
+        return fifo[0]
+
+    def _check_queue(self, queue: int) -> None:
+        if not 0 <= queue < self.num_queues:
+            raise ValueError(f"queue {queue} out of range (0..{self.num_queues - 1})")

@@ -1,0 +1,55 @@
+"""DRAM timing parameters used by the slot-level models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constants import (
+    DEFAULT_DRAM_RANDOM_ACCESS_NS,
+    slot_time_ns,
+)
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DRAMTiming:
+    """Timing of the DRAM array, expressed in cell slots.
+
+    Attributes:
+        random_access_slots: number of cell slots a bank remains busy after an
+            access is initiated (the paper's ``B`` for RADS: a new access to
+            the *same* bank may only start this many slots later).
+        num_banks: number of independently accessible banks (``M``).
+        address_bus_slots: minimum number of slots between initiating two
+            accesses to *any* banks (the address-bus limit discussed in
+            Section 4).  CFDS initiates one access every ``b`` slots, so this
+            must be <= b for a configuration to be feasible.
+    """
+
+    random_access_slots: int
+    num_banks: int = 1
+    address_bus_slots: int = 1
+
+    def __post_init__(self) -> None:
+        if self.random_access_slots <= 0:
+            raise ConfigurationError("random_access_slots must be positive")
+        if self.num_banks <= 0:
+            raise ConfigurationError("num_banks must be positive")
+        if self.address_bus_slots <= 0:
+            raise ConfigurationError("address_bus_slots must be positive")
+
+    @classmethod
+    def from_physical(cls,
+                      line_rate_bps: float,
+                      random_access_ns: float = DEFAULT_DRAM_RANDOM_ACCESS_NS,
+                      num_banks: int = 1,
+                      address_bus_ns: float = 0.0) -> "DRAMTiming":
+        """Build a timing object from physical parameters.
+
+        ``random_access_ns`` is converted to slots at the given line rate,
+        rounding up (a partially elapsed slot cannot be used).
+        """
+        slot_ns = slot_time_ns(line_rate_bps)
+        ras = max(1, -(-int(random_access_ns * 1000) // int(slot_ns * 1000)))
+        bus = max(1, -(-int(address_bus_ns * 1000) // int(slot_ns * 1000))) if address_bus_ns > 0 else 1
+        return cls(random_access_slots=ras, num_banks=num_banks, address_bus_slots=bus)

@@ -1,0 +1,79 @@
+"""Exception hierarchy for the packet-buffer reproduction library.
+
+Every failure mode the simulators can detect maps to a dedicated exception so
+tests (and users) can assert on the precise guarantee that was violated:
+
+* :class:`CacheMissError` — the head SRAM did not contain a cell the arbiter
+  requested.  RADS/CFDS are designed so this can *never* happen; raising it
+  in a simulation means the configuration (SRAM size, lookahead, latency) is
+  under-dimensioned or the algorithm is broken.
+* :class:`BankConflictError` — a DRAM bank was asked to start a new access
+  while a previous access was still in flight.  CFDS's scheduler exists to
+  make this impossible.
+* :class:`BufferOverflowError` — an SRAM or DRAM structure exceeded its
+  configured capacity.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration object is internally inconsistent."""
+
+
+class CacheMissError(ReproError):
+    """The head SRAM missed: a requested cell was not resident when needed."""
+
+    def __init__(self, queue: int, slot: int, message: str = "") -> None:
+        detail = message or (
+            f"head SRAM miss for queue {queue} at slot {slot}: "
+            "the requested cell was not resident"
+        )
+        super().__init__(detail)
+        self.queue = queue
+        self.slot = slot
+
+
+class BankConflictError(ReproError):
+    """A DRAM bank received a new access while still busy with a previous one."""
+
+    def __init__(self, bank: int, slot: int, busy_until: int) -> None:
+        super().__init__(
+            f"bank conflict: bank {bank} asked to start an access at slot {slot} "
+            f"but it is busy until slot {busy_until}"
+        )
+        self.bank = bank
+        self.slot = slot
+        self.busy_until = busy_until
+
+
+class BufferOverflowError(ReproError):
+    """A bounded structure (SRAM, register, DRAM queue) exceeded its capacity."""
+
+    def __init__(self, structure: str, capacity: int, occupancy: int) -> None:
+        super().__init__(
+            f"{structure} overflow: occupancy {occupancy} exceeds capacity {capacity}"
+        )
+        self.structure = structure
+        self.capacity = capacity
+        self.occupancy = occupancy
+
+
+class QueueEmptyError(ReproError):
+    """A cell was requested from a queue that holds no cells."""
+
+    def __init__(self, queue: int, message: str = "") -> None:
+        super().__init__(message or f"queue {queue} is empty")
+        self.queue = queue
+
+
+class RenamingError(ReproError):
+    """The renaming subsystem ran out of physical queues or violated FIFO order."""
+
+
+class SchedulingError(ReproError):
+    """The DRAM scheduler could not find a conflict-free request to issue."""

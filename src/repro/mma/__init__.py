@@ -1,0 +1,42 @@
+"""Memory Management Algorithms (MMAs) and their supporting registers.
+
+The MMA is the piece of the hybrid buffer that decides, every granularity
+period, which queue's block should be moved between DRAM and SRAM:
+
+* the *tail* MMA evicts blocks from the tail SRAM to DRAM so the tail SRAM
+  never overflows before the DRAM does;
+* the *head* MMA prefetches blocks from DRAM into the head SRAM so the
+  arbiter's requests never miss.
+
+The paper (following Iyer et al. [13]) uses the Earliest Critical Queue First
+(ECQF) policy for the head MMA together with a *lookahead* shift register that
+delays requests long enough for the MMA to react.  This package provides:
+
+* :class:`~repro.mma.shift_register.ShiftRegister` — the generic fixed-delay
+  shift register used for the lookahead and for CFDS's latency register;
+* :class:`~repro.mma.occupancy.OccupancyCounters` — the per-queue counters the
+  MMA reasons about;
+* :class:`~repro.mma.ecqf.ECQF` — the paper's head MMA;
+* :class:`~repro.mma.mdqf.MDQF` — the most-deficit-queue-first variant
+  (smaller lookahead, larger SRAM), included as the paper's reference point
+  for the lookahead/SRAM trade-off;
+* :class:`~repro.mma.tail_mma.ThresholdTailMMA` — the simple tail policy the
+  paper describes ("transfer B cells to DRAM from any queue with occupancy
+  >= B").
+"""
+
+from repro.mma.shift_register import ShiftRegister
+from repro.mma.occupancy import OccupancyCounters
+from repro.mma.base import HeadMMA
+from repro.mma.ecqf import ECQF
+from repro.mma.mdqf import MDQF
+from repro.mma.tail_mma import ThresholdTailMMA
+
+__all__ = [
+    "ShiftRegister",
+    "OccupancyCounters",
+    "HeadMMA",
+    "ECQF",
+    "MDQF",
+    "ThresholdTailMMA",
+]

@@ -1,0 +1,47 @@
+"""Interface shared by all head Memory Management Algorithms."""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Sequence
+
+
+class HeadMMA(abc.ABC):
+    """A head MMA selects which queue to replenish from DRAM.
+
+    The MMA is invoked once per granularity period (every ``B`` slots in RADS,
+    every ``b`` slots in CFDS) with:
+
+    * ``counters`` — the bookkeeping occupancy of every queue (cells already
+      in, or committed to, the head SRAM and not yet promised to the arbiter);
+    * ``lookahead`` — the pending arbiter requests, head first, where each
+      element is a queue index or ``None`` for an idle slot.
+
+    It returns the queue to replenish, or ``None`` if no replenishment is
+    needed this period.
+    """
+
+    #: Human-readable policy name (used in statistics and reports).
+    name: str = "mma"
+
+    @abc.abstractmethod
+    def select(self,
+               counters: Sequence[int],
+               lookahead: Sequence[Optional[int]]) -> Optional[int]:
+        """Return the queue index to replenish, or ``None``."""
+
+    # ------------------------------------------------------------------ #
+    # Shared helper
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def simulate_drain(counters: Sequence[int],
+                       lookahead: Sequence[Optional[int]]) -> list:
+        """Return the counters after (virtually) serving every request in the
+        lookahead, in order.  Negative values mean the queue would run dry
+        before the corresponding request is reached."""
+        result = list(counters)
+        for queue in lookahead:
+            if queue is None:
+                continue
+            result[queue] -= 1
+        return result

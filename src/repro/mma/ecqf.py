@@ -1,0 +1,85 @@
+"""Earliest Critical Queue First (ECQF) head MMA.
+
+This is the policy the paper adopts from Iyer et al. [13] because it minimises
+the SRAM size: walk the lookahead register from head to tail, virtually
+serving each request; the first queue whose (bookkeeping) occupancy would go
+negative is *critical* — it is the queue that will run dry soonest — and it is
+the one replenished.
+
+With a lookahead of ``Q(B-1)+1`` slots there is always at least one critical
+queue whenever the system is busy, and an SRAM of ``Q(B-1)`` cells plus the
+in-flight block suffices for zero misses.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.mma.base import HeadMMA
+
+
+class ECQF(HeadMMA):
+    """Earliest Critical Queue First.
+
+    Args:
+        fallback_to_most_deficit: when no queue is critical within the
+            lookahead (which can happen with lookaheads shorter than
+            ``Q(B-1)+1`` or under light load), optionally replenish the queue
+            with the largest deficit instead of doing nothing.  The paper's
+            dimensioning assumes the maximal lookahead where this never
+            matters; the fallback makes the policy robust for the shorter
+            lookaheads swept in Figure 8/10.
+    """
+
+    name = "ecqf"
+
+    def __init__(self, *, fallback_to_most_deficit: bool = True) -> None:
+        self.fallback_to_most_deficit = fallback_to_most_deficit
+
+    def select(self,
+               counters: Sequence[int],
+               lookahead: Sequence[Optional[int]]) -> Optional[int]:
+        # A queue whose bookkeeping occupancy is already negative has unmet
+        # requests that are *older* than anything still in the lookahead (they
+        # are travelling through the latency register), so it is the earliest
+        # critical queue by definition.  This cannot happen in the paper's
+        # worst-case model (the sizing guarantees replenishment before a
+        # request leaves the lookahead) but can in a closed-loop system with
+        # short queues and partial block transfers.
+        negative = [q for q, count in enumerate(counters) if count < 0]
+        if negative:
+            return min(negative, key=lambda q: (counters[q], q))
+        remaining = list(counters)
+        for queue in lookahead:
+            if queue is None:
+                continue
+            remaining[queue] -= 1
+            if remaining[queue] < 0:
+                return queue
+        if not self.fallback_to_most_deficit:
+            return None
+        return self._most_deficit(counters, lookahead)
+
+    @staticmethod
+    def _most_deficit(counters: Sequence[int],
+                      lookahead: Sequence[Optional[int]]) -> Optional[int]:
+        """Queue with the largest (requests-in-lookahead - occupancy) margin.
+
+        Only queues that actually appear in the lookahead are considered —
+        replenishing an unrequested queue cannot help and may pollute the
+        SRAM — and only if their demand actually exceeds their stock; fetching
+        for a queue that already holds enough cells would needlessly inflate
+        the SRAM occupancy.  Returns ``None`` when there is nothing useful to
+        do.
+        """
+        demand = {}
+        for queue in lookahead:
+            if queue is None:
+                continue
+            demand[queue] = demand.get(queue, 0) + 1
+        if not demand:
+            return None
+        best = max(demand, key=lambda q: (demand[q] - counters[q], -q))
+        if demand[best] - counters[best] <= 0:
+            return None
+        return best

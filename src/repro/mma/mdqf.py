@@ -1,0 +1,46 @@
+"""Most Deficit Queue First (MDQF) head MMA.
+
+MDQF is the other end of the lookahead/SRAM trade-off studied in [13] and
+referenced by the paper ("Other MMAs reduce the required lookahead and in turn
+pay the cost by having to increase SRAM size"): instead of looking far ahead
+for the queue that will become critical first, it replenishes the queue with
+the largest *deficit* — outstanding requests minus available cells — which
+works even with a very short (or empty) lookahead but needs an SRAM of roughly
+``Q·B·(2 + ln Q)`` cells.
+
+It is included as a baseline for the ablation benchmarks comparing MMA
+policies.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.mma.base import HeadMMA
+
+
+class MDQF(HeadMMA):
+    """Most Deficit Queue First."""
+
+    name = "mdqf"
+
+    def select(self,
+               counters: Sequence[int],
+               lookahead: Sequence[Optional[int]]) -> Optional[int]:
+        demand = [0] * len(counters)
+        for queue in lookahead:
+            if queue is None:
+                continue
+            demand[queue] += 1
+        best_queue: Optional[int] = None
+        best_deficit: Optional[int] = None
+        for queue, count in enumerate(counters):
+            deficit = demand[queue] - count
+            if best_deficit is None or deficit > best_deficit:
+                best_deficit = deficit
+                best_queue = queue
+        # Replenishing a queue with no demand and plenty of cells is useless;
+        # signal "nothing to do" instead.
+        if best_deficit is not None and best_deficit <= 0 and not any(demand):
+            return None
+        return best_queue

@@ -1,0 +1,67 @@
+"""Per-queue occupancy counters used by the MMAs."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+
+class OccupancyCounters:
+    """The per-queue counters the head MMA reasons about.
+
+    Important subtlety from the paper (Section 5.2): these counters are a
+    *bookkeeping* view, not the physical SRAM occupancy.  A counter is
+    incremented by the transfer granularity as soon as the MMA decides to
+    replenish a queue (even though the cells arrive several slots later), and
+    decremented when a request leaves the lookahead register (even though in
+    CFDS the cell is only handed to the arbiter after the additional latency
+    register).  The zero-miss argument is made on this bookkeeping view; the
+    simulators check that the physical SRAM then never actually misses.
+    """
+
+    def __init__(self, num_queues: int, initial: int = 0) -> None:
+        if num_queues <= 0:
+            raise ValueError("num_queues must be positive")
+        if initial < 0:
+            raise ValueError("initial occupancy cannot be negative")
+        self.num_queues = num_queues
+        self._counts: List[int] = [initial] * num_queues
+
+    def get(self, queue: int) -> int:
+        self._check(queue)
+        return self._counts[queue]
+
+    def add(self, queue: int, amount: int) -> None:
+        """Credit ``queue`` with ``amount`` cells (a replenishment decision)."""
+        self._check(queue)
+        self._counts[queue] += amount
+
+    def consume(self, queue: int, amount: int = 1) -> None:
+        """Debit ``queue`` by ``amount`` cells (requests leaving the lookahead)."""
+        self._check(queue)
+        self._counts[queue] -= amount
+
+    def snapshot(self) -> List[int]:
+        """Copy of all counters (used by MMAs to simulate future requests)."""
+        return list(self._counts)
+
+    def as_dict(self) -> Dict[int, int]:
+        return {q: c for q, c in enumerate(self._counts)}
+
+    def total(self) -> int:
+        return sum(self._counts)
+
+    def min_queue(self) -> int:
+        """Queue with the lowest counter (ties broken by lowest index)."""
+        return min(range(self.num_queues), key=lambda q: (self._counts[q], q))
+
+    def negative_queues(self) -> List[int]:
+        """Queues whose bookkeeping occupancy has gone negative (should never
+        happen in a correctly dimensioned system)."""
+        return [q for q, c in enumerate(self._counts) if c < 0]
+
+    def _check(self, queue: int) -> None:
+        if not 0 <= queue < self.num_queues:
+            raise ValueError(f"queue {queue} out of range (0..{self.num_queues - 1})")
+
+    def __len__(self) -> int:
+        return self.num_queues

@@ -1,0 +1,54 @@
+"""Fixed-length shift register used for the lookahead and latency delays."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Generic, Iterator, List, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class ShiftRegister(Generic[T]):
+    """A shift register of fixed length ``length``.
+
+    Every call to :meth:`shift` pushes one item in at the tail and returns the
+    item that falls out of the head, so an item experiences exactly
+    ``length`` shifts of delay.  Empty positions hold ``None`` (a "bubble"):
+    this is how slots in which the arbiter issues no request are represented.
+
+    A ``length`` of zero degenerates to a wire: :meth:`shift` returns its
+    argument immediately.
+    """
+
+    def __init__(self, length: int) -> None:
+        if length < 0:
+            raise ValueError("length must be non-negative")
+        self.length = length
+        self._slots: Deque[Optional[T]] = deque([None] * length, maxlen=length or None)
+
+    def shift(self, item: Optional[T] = None) -> Optional[T]:
+        """Insert ``item`` at the tail; return the item leaving the head."""
+        if self.length == 0:
+            return item
+        head = self._slots[0]
+        self._slots.popleft()
+        self._slots.append(item)
+        return head
+
+    def contents(self) -> List[Optional[T]]:
+        """Snapshot of the register from head (served soonest) to tail."""
+        return list(self._slots)
+
+    def occupied(self) -> List[T]:
+        """The non-bubble items, head first."""
+        return [item for item in self._slots if item is not None]
+
+    def count(self) -> int:
+        """Number of non-bubble items currently in the register."""
+        return sum(1 for item in self._slots if item is not None)
+
+    def __iter__(self) -> Iterator[Optional[T]]:
+        return iter(self._slots)
+
+    def __len__(self) -> int:
+        return self.length

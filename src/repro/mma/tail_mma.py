@@ -1,0 +1,46 @@
+"""Tail-side Memory Management Algorithm.
+
+The tail MMA is much simpler than the head MMA (Section 3): every granularity
+period it may evict one block of ``B`` (or ``b``) cells from the tail SRAM to
+DRAM, and it must guarantee the tail SRAM never fills up before the DRAM does.
+The paper's policy: "transfer B cells to DRAM from any queue with an occupancy
+counter higher than or equal to B"; with that policy a tail SRAM of
+``Q(B-1) + B`` cells suffices.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+
+class ThresholdTailMMA:
+    """Evict a block from any queue holding at least one full block.
+
+    Among eligible queues the one with the largest occupancy is chosen (this
+    drains the most loaded queue first and is the natural tie-break; any
+    eligible queue preserves the guarantee).
+    """
+
+    name = "threshold-tail"
+
+    def __init__(self, granularity: int) -> None:
+        if granularity <= 0:
+            raise ValueError("granularity must be positive")
+        self.granularity = granularity
+
+    def select(self, occupancy: Sequence[int]) -> Optional[int]:
+        """Return the queue to evict a block from, or ``None`` if no queue
+        holds a full block."""
+        best_queue: Optional[int] = None
+        best_occupancy = self.granularity - 1
+        for queue, count in enumerate(occupancy):
+            if count > best_occupancy:
+                best_occupancy = count
+                best_queue = queue
+        return best_queue
+
+    @staticmethod
+    def required_sram_cells(num_queues: int, granularity: int) -> int:
+        """Tail SRAM size that guarantees no premature loss: each queue can
+        hold at most ``B-1`` unevictable cells, plus one block being formed."""
+        return num_queues * (granularity - 1) + granularity

@@ -1,0 +1,40 @@
+"""RADS — the Random Access DRAM System baseline (Section 3 of the paper).
+
+RADS is the hybrid SRAM/DRAM packet buffer of Iyer et al. [13]: head and tail
+SRAM caches in front of a DRAM, with ECQF as the head MMA.  Transfers between
+SRAM and DRAM are blocks of ``B`` cells issued once per DRAM random access
+time, so the DRAM is treated as a single resource (banking is not exploited —
+that is exactly the limitation CFDS removes).
+
+The package provides the analytical sizing of the SRAMs and lookahead
+(:mod:`repro.rads.sizing`), a slot-accurate head-side simulator
+(:mod:`repro.rads.head_buffer`), the tail-side simulator
+(:mod:`repro.rads.tail_buffer`) and the assembled VOQ packet buffer
+(:mod:`repro.rads.buffer`).
+"""
+
+from repro.rads.config import RADSConfig
+from repro.rads.sizing import (
+    ecqf_max_lookahead,
+    ecqf_min_sram_cells,
+    ecqf_safe_lookahead,
+    rads_sram_size,
+    rads_sram_bytes,
+    tail_sram_cells,
+)
+from repro.rads.head_buffer import RADSHeadBuffer
+from repro.rads.tail_buffer import RADSTailBuffer
+from repro.rads.buffer import RADSPacketBuffer
+
+__all__ = [
+    "RADSConfig",
+    "ecqf_max_lookahead",
+    "ecqf_min_sram_cells",
+    "ecqf_safe_lookahead",
+    "rads_sram_size",
+    "rads_sram_bytes",
+    "tail_sram_cells",
+    "RADSHeadBuffer",
+    "RADSTailBuffer",
+    "RADSPacketBuffer",
+]

@@ -1,0 +1,119 @@
+"""Configuration object for RADS buffers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.constants import (
+    DEFAULT_DRAM_RANDOM_ACCESS_NS,
+    OC_LINE_RATES_BPS,
+    PAPER_GRANULARITY,
+    PAPER_QUEUES,
+    rads_granularity,
+)
+from repro.errors import ConfigurationError
+from repro.rads.sizing import (
+    ecqf_safe_lookahead,
+    rads_sram_size,
+    tail_sram_cells,
+)
+
+
+@dataclass(frozen=True)
+class RADSConfig:
+    """Static parameters of a RADS packet buffer.
+
+    Attributes:
+        num_queues: number of VOQ logical queues ``Q``.
+        granularity: cells per DRAM access ``B`` (also the DRAM random access
+            time in slots).
+        lookahead: length of the head-MMA lookahead register in slots; by
+            default the ECQF maximum ``Q(B-1)+1``.
+        head_sram_cells: capacity of the head SRAM; by default the analytical
+            requirement for the chosen lookahead plus one in-flight block.
+        tail_sram_cells: capacity of the tail SRAM; by default ``Q(B-1)+B``.
+        dram_cells: optional DRAM capacity (None = unbounded).
+        strict: raise on misses/overflows (True) or record them (False).
+    """
+
+    num_queues: int
+    granularity: int
+    lookahead: Optional[int] = None
+    head_sram_cells: Optional[int] = None
+    tail_sram_cells: Optional[int] = None
+    dram_cells: Optional[int] = None
+    strict: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_queues <= 0:
+            raise ConfigurationError("num_queues must be positive")
+        if self.granularity <= 0:
+            raise ConfigurationError("granularity must be positive")
+        if self.lookahead is not None and self.lookahead < 1:
+            raise ConfigurationError("lookahead must be at least 1 slot")
+        if self.head_sram_cells is not None and self.head_sram_cells <= 0:
+            raise ConfigurationError("head_sram_cells must be positive")
+        if self.tail_sram_cells is not None and self.tail_sram_cells <= 0:
+            raise ConfigurationError("tail_sram_cells must be positive")
+
+    # ------------------------------------------------------------------ #
+    # Derived values
+    # ------------------------------------------------------------------ #
+    @property
+    def effective_lookahead(self) -> int:
+        """Lookahead actually used: the ECQF maximum plus the decision-phase
+        margin (``Q(B-1)+B``), unless overridden."""
+        if self.lookahead is not None:
+            return self.lookahead
+        return ecqf_safe_lookahead(self.num_queues, self.granularity)
+
+    @property
+    def effective_head_sram_cells(self) -> int:
+        """Default head SRAM capacity enforced by the simulator.
+
+        The *analytical* requirement (what Figures 8/10 are computed from) is
+        ``rads_sram_size(L, Q, B)``; it is exactly tight for the paper's
+        decision-aligned worst case.  The dynamic ECQF prefetcher of the
+        simulator can additionally hold cells it fetched within the last
+        lookahead window for requests that have not reached the head yet, so
+        the enforced default adds that window (plus one in-flight block) as an
+        engineering margin.  Pass ``head_sram_cells`` to override.
+        """
+        if self.head_sram_cells is not None:
+            return self.head_sram_cells
+        analytical = rads_sram_size(self.effective_lookahead, self.num_queues,
+                                    self.granularity)
+        return analytical + self.effective_lookahead + self.granularity
+
+    @property
+    def effective_tail_sram_cells(self) -> int:
+        if self.tail_sram_cells is not None:
+            return self.tail_sram_cells
+        return tail_sram_cells(self.num_queues, self.granularity)
+
+    # ------------------------------------------------------------------ #
+    # Convenience constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def for_line_rate(cls,
+                      oc_name: str,
+                      num_queues: Optional[int] = None,
+                      dram_random_access_ns: float = DEFAULT_DRAM_RANDOM_ACCESS_NS,
+                      **kwargs) -> "RADSConfig":
+        """Build the configuration the paper uses for a given OC designation.
+
+        ``OC-768`` maps to Q=128, B=8 and ``OC-3072`` to Q=512, B=32 (with the
+        default 48 ns DRAM); other line rates derive B from the slot time.
+        """
+        if oc_name not in OC_LINE_RATES_BPS:
+            raise ConfigurationError(
+                f"unknown line rate designation {oc_name!r}; "
+                f"expected one of {sorted(OC_LINE_RATES_BPS)}")
+        rate = OC_LINE_RATES_BPS[oc_name]
+        queues = num_queues if num_queues is not None else PAPER_QUEUES.get(oc_name, 128)
+        if oc_name in PAPER_GRANULARITY and dram_random_access_ns == DEFAULT_DRAM_RANDOM_ACCESS_NS:
+            granularity = PAPER_GRANULARITY[oc_name]
+        else:
+            granularity = rads_granularity(rate, dram_random_access_ns)
+        return cls(num_queues=queues, granularity=granularity, **kwargs)

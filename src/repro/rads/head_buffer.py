@@ -1,0 +1,213 @@
+"""Slot-accurate simulator of the RADS head subsystem (h-SRAM + h-MMA).
+
+This is the part of the buffer the paper's dimensioning focuses on: the
+arbiter issues one cell request per slot, requests are delayed through a
+lookahead register of ``L`` slots, and every ``B`` slots the MMA orders one
+block transfer of ``B`` cells from DRAM to the head SRAM.  A *miss* occurs if
+a request leaves the lookahead and its cell is not resident in the SRAM.
+
+Timing model (one slot, in order):
+
+1. The arbiter's request for this slot (or a bubble) enters the lookahead and
+   the oldest element leaves it (it will be served at the end of the slot).
+2. DRAM transfers initiated ``B`` slots ago complete; their cells become
+   resident in the SRAM ("perfectly synchronized hardware" assumption of
+   Section 3: the batch enters as the last cell drains).
+3. If this is a granularity boundary, the MMA inspects the occupancy counters
+   and the lookahead — which at this point includes the request that arrived
+   this very slot — and may order one block transfer (counters are credited
+   immediately; the data arrives ``B`` slots later).
+4. The element that left the lookahead is served from the SRAM.
+
+The phasing in steps 1 and 3 matters: the ECQF dimensioning (lookahead
+``Q(B-1)+1``, SRAM ``Q(B-1)`` plus the in-flight block) is exactly tight under
+the round-robin adversary, and it only works out if a decision made at slot
+``t`` can already see the request issued at slot ``t``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.dram.store import DRAMQueueStore
+from repro.errors import CacheMissError
+from repro.mma.base import HeadMMA
+from repro.mma.ecqf import ECQF
+from repro.mma.occupancy import OccupancyCounters
+from repro.mma.shift_register import ShiftRegister
+from repro.rads.config import RADSConfig
+from repro.sram.cell_store import SharedSRAM
+from repro.types import Cell, MissRecord, SimulationResult
+
+
+@dataclass
+class _PendingTransfer:
+    """A DRAM->SRAM block transfer in flight."""
+
+    queue: int
+    cells: List[Cell]
+    finish_slot: int
+
+
+class RADSHeadBuffer:
+    """Head-side RADS simulator.
+
+    Args:
+        config: static RADS parameters.
+        mma: head MMA policy (ECQF by default).
+        dram: the per-queue DRAM content to replenish from.  When omitted, an
+            unbounded store with every queue backlogged is created — the
+            configuration used for worst-case dimensioning, where the DRAM
+            always has cells for whichever queue the arbiter requests.
+        bypass_source: optional callable ``(queue, expected_seqno) -> Cell or
+            None`` consulted when a due request finds no in-order cell in the
+            SRAM.  The closed-loop packet buffer wires this to the tail SRAM:
+            queues so short that their cells never left the tail cache are
+            served directly from it (the standard cut-through of hybrid
+            designs) instead of being counted as a miss of the head cache.
+    """
+
+    def __init__(self,
+                 config: RADSConfig,
+                 mma: Optional[HeadMMA] = None,
+                 dram: Optional[DRAMQueueStore] = None,
+                 bypass_source=None,
+                 sram_capacity: Optional[int] = None) -> None:
+        self.config = config
+        self.mma = mma if mma is not None else ECQF()
+        if dram is None:
+            dram = DRAMQueueStore(config.num_queues)
+            dram.mark_backlogged(range(config.num_queues))
+        self.dram = dram
+        self.bypass_source = bypass_source
+        self.bypass_serves = 0
+        if sram_capacity is None:
+            sram_capacity = config.effective_head_sram_cells
+        self.sram = SharedSRAM(config.num_queues,
+                               capacity_cells=sram_capacity if config.strict else None)
+        self.counters = OccupancyCounters(config.num_queues)
+        self.lookahead: ShiftRegister[int] = ShiftRegister(config.effective_lookahead)
+        self._pending: List[_PendingTransfer] = []
+        self._delivered: Dict[int, int] = {q: 0 for q in range(config.num_queues)}
+        self._slot = 0
+        self.result = SimulationResult()
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    @property
+    def slot(self) -> int:
+        """Current slot number (number of :meth:`step` calls so far)."""
+        return self._slot
+
+    def step(self, request: Optional[int] = None) -> Optional[Cell]:
+        """Advance one slot.
+
+        Args:
+            request: queue index the arbiter requests this slot, or ``None``
+                for an idle slot.
+
+        Returns:
+            The cell granted to the arbiter this slot (the request issued
+            ``lookahead`` slots ago), or ``None`` if that position was a
+            bubble or (in non-strict mode) a miss occurred.
+        """
+        if request is not None and not 0 <= request < self.config.num_queues:
+            raise ValueError(f"request for unknown queue {request}")
+
+        slot = self._slot
+        leaving = self.lookahead.shift(request)
+        if leaving is not None:
+            self.counters.consume(leaving)
+        self._deliver_completed(slot)
+        if slot % self.config.granularity == 0:
+            self._run_mma(slot)
+        served = self._serve(leaving, slot)
+
+        self._slot += 1
+        self.result.slots_simulated = self._slot
+        self.result.max_head_sram_occupancy = max(
+            self.result.max_head_sram_occupancy, self.sram.occupancy())
+        return served
+
+    def accept_direct(self, cell: Cell) -> None:
+        """Insert a cell straight into the head SRAM (arrival cut-through).
+
+        The closed-loop buffer routes a newly arriving cell here when its
+        queue has nothing in the tail SRAM or the DRAM, so short queues are
+        served entirely from the head cache — the standard companion
+        mechanism of hybrid SRAM/DRAM buffers.  The occupancy counter is
+        credited so the MMA does not try to fetch the cell again.
+        """
+        self.sram.insert(cell)
+        self.counters.add(cell.queue, 1)
+
+    def run(self, requests, max_slots: Optional[int] = None) -> SimulationResult:
+        """Feed an iterable of requests (queue index or ``None`` per slot),
+        then drain the lookahead with idle slots so every request is served."""
+        count = 0
+        for request in requests:
+            self.step(request)
+            count += 1
+            if max_slots is not None and count >= max_slots:
+                break
+        for _ in range(self.config.effective_lookahead):
+            self.step(None)
+        return self.result
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _deliver_completed(self, slot: int) -> None:
+        arrived = [t for t in self._pending if t.finish_slot <= slot]
+        if not arrived:
+            return
+        self._pending = [t for t in self._pending if t.finish_slot > slot]
+        for transfer in arrived:
+            self.sram.insert_block(transfer.cells)
+
+    def _run_mma(self, slot: int) -> None:
+        selection = self.mma.select(self.counters.snapshot(), self.lookahead.contents())
+        if selection is None:
+            return
+        cells = self.dram.pop_block(selection, self.config.granularity)
+        if not cells:
+            # Nothing left in DRAM for this queue; the credit would be bogus.
+            return
+        self.counters.add(selection, len(cells))
+        self._pending.append(_PendingTransfer(
+            queue=selection, cells=cells,
+            finish_slot=slot + self.config.granularity))
+        self.result.dram_reads += 1
+
+    def _serve(self, leaving: Optional[int], slot: int) -> Optional[Cell]:
+        if leaving is None:
+            return None
+        expected = self._delivered[leaving]
+        cell = self.sram.peek_next(leaving)
+        if cell is not None and cell.seqno == expected:
+            self.sram.pop_next(leaving)
+        else:
+            cell = self._bypass(leaving, expected)
+            if cell is None:
+                self.result.misses.append(MissRecord(queue=leaving, slot=slot))
+                if self.config.strict:
+                    raise CacheMissError(leaving, slot)
+                return None
+        self._delivered[leaving] = expected + 1
+        self.result.cells_out += 1
+        return cell
+
+    def _bypass(self, queue: int, expected_seqno: int) -> Optional[Cell]:
+        if self.bypass_source is None:
+            return None
+        cell = self.bypass_source(queue, expected_seqno)
+        if cell is None:
+            return None
+        if cell.seqno != expected_seqno:
+            raise ValueError(
+                f"bypass source returned out-of-order cell for queue {queue}: "
+                f"expected seqno {expected_seqno}, got {cell.seqno}")
+        self.bypass_serves += 1
+        return cell

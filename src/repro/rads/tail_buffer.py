@@ -1,0 +1,117 @@
+"""Slot-accurate simulator of the RADS tail subsystem (t-SRAM + t-MMA).
+
+Arriving cells are written into the tail SRAM (one per slot at most); every
+``B`` slots the tail MMA may evict one block of ``B`` cells of a single queue
+to DRAM.  The guarantee to maintain is that the tail SRAM never overflows as
+long as the DRAM has room — which the threshold policy achieves with a tail
+SRAM of ``Q(B-1)+B`` cells.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from repro.errors import BufferOverflowError
+from repro.mma.tail_mma import ThresholdTailMMA
+from repro.rads.config import RADSConfig
+from repro.types import Cell, SimulationResult
+
+
+class RADSTailBuffer:
+    """Tail-side RADS simulator.
+
+    The tail SRAM is modelled as per-queue FIFOs (cells cannot leave out of
+    order on the tail side), with a shared capacity limit.  Evicted blocks are
+    handed to a sink callable — the full buffer wires this to the DRAM store,
+    the standalone tests wire it to a list.
+    """
+
+    def __init__(self,
+                 config: RADSConfig,
+                 evict_sink=None,
+                 mma: Optional[ThresholdTailMMA] = None) -> None:
+        self.config = config
+        self.mma = mma if mma is not None else ThresholdTailMMA(config.granularity)
+        self.evict_sink = evict_sink if evict_sink is not None else (lambda queue, cells: None)
+        self._queues: Dict[int, Deque[Cell]] = {
+            q: deque() for q in range(config.num_queues)}
+        self._occupancy = 0
+        self._slot = 0
+        self.result = SimulationResult()
+
+    # ------------------------------------------------------------------ #
+    @property
+    def slot(self) -> int:
+        return self._slot
+
+    def occupancy(self, queue: Optional[int] = None) -> int:
+        if queue is None:
+            return self._occupancy
+        return len(self._queues[queue])
+
+    def step(self, arrival: Optional[Cell] = None) -> Optional[List[Cell]]:
+        """Advance one slot: accept at most one arriving cell, and on
+        granularity boundaries let the tail MMA evict one block to DRAM.
+
+        Returns the evicted block (list of cells) if an eviction happened.
+        """
+        slot = self._slot
+        evicted: Optional[List[Cell]] = None
+
+        if arrival is not None:
+            self._accept(arrival)
+
+        if slot % self.config.granularity == 0:
+            evicted = self._run_mma()
+
+        self._slot += 1
+        self.result.slots_simulated = self._slot
+        self.result.max_tail_sram_occupancy = max(
+            self.result.max_tail_sram_occupancy, self._occupancy)
+        return evicted
+
+    def pop_direct(self, queue: int, count: int) -> List[Cell]:
+        """Remove up to ``count`` head cells of ``queue`` directly (the
+        cut-through path used by the full buffer when a queue is so short its
+        cells never reached DRAM)."""
+        fifo = self._queues[queue]
+        out: List[Cell] = []
+        while fifo and len(out) < count:
+            out.append(fifo.popleft())
+            self._occupancy -= 1
+        return out
+
+    def peek_direct(self, queue: int) -> Optional[Cell]:
+        """Oldest cell of ``queue`` still resident in the tail SRAM."""
+        fifo = self._queues[queue]
+        return fifo[0] if fifo else None
+
+    # ------------------------------------------------------------------ #
+    def _accept(self, cell: Cell) -> None:
+        capacity = self.config.effective_tail_sram_cells
+        if self._occupancy + 1 > capacity:
+            self.result.misses.append(None)
+            if self.config.strict:
+                raise BufferOverflowError("tail SRAM", capacity, self._occupancy + 1)
+            return
+        self._queues[cell.queue].append(cell)
+        self._occupancy += 1
+        self.result.cells_in += 1
+
+    def _run_mma(self) -> Optional[List[Cell]]:
+        occupancy = [len(self._queues[q]) for q in range(self.config.num_queues)]
+        selection = self.mma.select(occupancy)
+        if selection is None:
+            return None
+        block: List[Cell] = []
+        fifo = self._queues[selection]
+        for _ in range(self.config.granularity):
+            if not fifo:
+                break
+            block.append(fifo.popleft())
+            self._occupancy -= 1
+        if block:
+            self.evict_sink(selection, block)
+            self.result.dram_writes += 1
+        return block

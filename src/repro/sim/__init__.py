@@ -1,0 +1,18 @@
+"""Closed-loop, slot-level simulation harness.
+
+The buffers in :mod:`repro.rads` and :mod:`repro.core` are stepped one slot at
+a time; this package provides the loop that drives a buffer with an arrival
+process and an arbiter, enforces admissibility, and gathers the statistics the
+examples and benchmarks report (throughput, delays, SRAM occupancies, zero-miss
+verdicts).
+"""
+
+from repro.sim.stats import LatencyStats, ThroughputStats
+from repro.sim.engine import ClosedLoopSimulation, SimulationReport
+
+__all__ = [
+    "LatencyStats",
+    "ThroughputStats",
+    "ClosedLoopSimulation",
+    "SimulationReport",
+]

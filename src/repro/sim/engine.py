@@ -1,0 +1,92 @@
+"""The closed-loop simulation driver."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.sim.stats import LatencyStats, ThroughputStats
+from repro.traffic.arbiters import Arbiter
+from repro.traffic.arrivals import ArrivalProcess
+from repro.traffic.trace import TrafficTrace
+from repro.types import SimulationResult
+
+
+@dataclass
+class SimulationReport:
+    """Everything a closed-loop run produces."""
+
+    throughput: ThroughputStats
+    latency: LatencyStats
+    buffer_result: SimulationResult
+    trace: Optional[TrafficTrace] = None
+
+    @property
+    def zero_miss(self) -> bool:
+        return self.buffer_result.zero_miss
+
+
+class ClosedLoopSimulation:
+    """Drives a packet buffer with an arrival process and an arbiter.
+
+    The buffer must expose the interface shared by
+    :class:`repro.rads.buffer.RADSPacketBuffer` and
+    :class:`repro.core.buffer.CFDSPacketBuffer`:
+    ``step(arrival, request)``, ``backlog(queue)``, ``can_request(queue)``,
+    ``drain()`` and ``combined_result()``.
+
+    Args:
+        buffer: the packet buffer under test.
+        arrivals: per-slot arrival process (may be ``None`` for a drain-only run).
+        arbiter: per-slot request generator (may be ``None`` for a fill-only run).
+        record_trace: keep the exact (arrival, request) sequence for replay.
+    """
+
+    def __init__(self,
+                 buffer,
+                 arrivals: Optional[ArrivalProcess] = None,
+                 arbiter: Optional[Arbiter] = None,
+                 record_trace: bool = False) -> None:
+        self.buffer = buffer
+        self.arrivals = arrivals
+        self.arbiter = arbiter
+        self.trace = TrafficTrace() if record_trace else None
+        self.latency = LatencyStats()
+        self.throughput = ThroughputStats()
+
+    # ------------------------------------------------------------------ #
+    def run(self, num_slots: int, drain: bool = True) -> SimulationReport:
+        """Simulate ``num_slots`` slots (plus an optional final drain)."""
+        if num_slots < 0:
+            raise ValueError("num_slots must be non-negative")
+        num_queues = self.buffer.config.num_queues
+        for slot in range(num_slots):
+            arrival = self.arrivals.next_arrival(slot) if self.arrivals else None
+            backlog = [self.buffer.backlog(q) for q in range(num_queues)]
+            request = self.arbiter.next_request(slot, backlog) if self.arbiter else None
+            if request is not None and not self.buffer.can_request(request):
+                request = None
+            if self.trace is not None:
+                self.trace.append(arrival, request)
+            served = self.buffer.step(arrival, request)
+            self._account(arrival, request, served)
+        if drain:
+            for cell in self.buffer.drain():
+                self.throughput.departures += 1
+                self.latency.record(cell.arrival_slot, self.buffer.slot)
+        self.throughput.slots = self.buffer.slot
+        self.throughput.drops = getattr(self.buffer, "dropped_cells", 0)
+        return SimulationReport(throughput=self.throughput,
+                                latency=self.latency,
+                                buffer_result=self.buffer.combined_result(),
+                                trace=self.trace)
+
+    # ------------------------------------------------------------------ #
+    def _account(self, arrival, request, served) -> None:
+        if arrival is not None:
+            self.throughput.arrivals += 1
+        if request is None:
+            self.throughput.idle_request_slots += 1
+        if served is not None:
+            self.throughput.departures += 1
+            self.latency.record(served.arrival_slot, self.buffer.slot)

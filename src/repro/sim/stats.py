@@ -1,0 +1,81 @@
+"""Statistics collectors for closed-loop simulations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class LatencyStats:
+    """Tracks per-cell delay (slots between arrival and departure)."""
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._total = 0
+        self._minimum: Optional[int] = None
+        self._maximum: Optional[int] = None
+        self._histogram: Dict[int, int] = {}
+
+    def record(self, arrival_slot: int, departure_slot: int) -> None:
+        delay = departure_slot - arrival_slot
+        if delay < 0:
+            raise ValueError("departure cannot precede arrival")
+        self._count += 1
+        self._total += delay
+        self._minimum = delay if self._minimum is None else min(self._minimum, delay)
+        self._maximum = delay if self._maximum is None else max(self._maximum, delay)
+        bucket = delay
+        self._histogram[bucket] = self._histogram.get(bucket, 0) + 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        return self._total / self._count if self._count else 0.0
+
+    @property
+    def minimum(self) -> int:
+        return self._minimum if self._minimum is not None else 0
+
+    @property
+    def maximum(self) -> int:
+        return self._maximum if self._maximum is not None else 0
+
+    def percentile(self, fraction: float) -> int:
+        """Delay value at the given percentile (0 < fraction <= 1)."""
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        if not self._histogram:
+            return 0
+        target = fraction * self._count
+        seen = 0
+        for delay in sorted(self._histogram):
+            seen += self._histogram[delay]
+            if seen >= target:
+                return delay
+        return max(self._histogram)
+
+
+@dataclass
+class ThroughputStats:
+    """Counts of offered, carried and lost traffic."""
+
+    arrivals: int = 0
+    departures: int = 0
+    drops: int = 0
+    idle_request_slots: int = 0
+    slots: int = 0
+
+    @property
+    def offered_load(self) -> float:
+        return self.arrivals / self.slots if self.slots else 0.0
+
+    @property
+    def carried_load(self) -> float:
+        return self.departures / self.slots if self.slots else 0.0
+
+    @property
+    def loss_fraction(self) -> float:
+        return self.drops / self.arrivals if self.arrivals else 0.0

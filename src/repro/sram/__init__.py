@@ -1,0 +1,36 @@
+"""SRAM cache substrate.
+
+The head and tail SRAMs of the hybrid buffer are *shared* (all queues live in
+one physical memory) because that minimises total capacity.  This package
+provides:
+
+* :mod:`repro.sram.base` — the abstract interface every cell store implements,
+  plus occupancy accounting shared by all implementations;
+* :mod:`repro.sram.cell_store` — the reference dictionary-based shared store
+  used by the simulators (fast, order-aware, supports the out-of-order block
+  insertion CFDS needs);
+* :mod:`repro.sram.global_cam` — a functional model of the paper's
+  "global CAM" organisation (Section 7.1): every cell carries a
+  (queue, order) tag and lookups are associative;
+* :mod:`repro.sram.linked_list` — a functional model of the paper's
+  "unified linked list" organisation: one direct-mapped cell array with
+  explicit next-pointers plus a head/tail pointer table, including the
+  per-bank split (``(B/b) x Q`` lists) that CFDS needs to tolerate
+  out-of-order writes.
+
+The physical (area / access-time) models of these organisations live in
+:mod:`repro.tech.sram_designs`; here we model behaviour so the data-structure
+manipulations the paper describes can be executed and tested.
+"""
+
+from repro.sram.base import SRAMCellStore
+from repro.sram.cell_store import SharedSRAM
+from repro.sram.global_cam import GlobalCAMStore
+from repro.sram.linked_list import UnifiedLinkedListStore
+
+__all__ = [
+    "SRAMCellStore",
+    "SharedSRAM",
+    "GlobalCAMStore",
+    "UnifiedLinkedListStore",
+]

@@ -1,0 +1,71 @@
+"""Abstract interface for shared SRAM cell stores."""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, List, Optional
+
+from repro.types import Cell
+
+
+class SRAMCellStore(abc.ABC):
+    """A bounded, shared store of cells organised as per-queue FIFOs.
+
+    Implementations differ in *how* they locate the next cell of a queue
+    (associative search in :class:`~repro.sram.global_cam.GlobalCAMStore`,
+    pointer chasing in
+    :class:`~repro.sram.linked_list.UnifiedLinkedListStore`, plain Python
+    dictionaries in :class:`~repro.sram.cell_store.SharedSRAM`), but they all
+    expose the same operations, which is what lets the buffer simulators and
+    the property-based equivalence tests treat them interchangeably.
+    """
+
+    def __init__(self, capacity_cells: Optional[int]) -> None:
+        if capacity_cells is not None and capacity_cells <= 0:
+            raise ValueError("capacity_cells must be positive (or None for unbounded)")
+        self.capacity_cells = capacity_cells
+        self._peak_occupancy = 0
+
+    # -- operations every store must provide --------------------------------
+    @abc.abstractmethod
+    def insert(self, cell: Cell) -> None:
+        """Add one cell.  Cells of the same queue may arrive out of order
+        (CFDS); the store must still return them in ``seqno`` order."""
+
+    @abc.abstractmethod
+    def pop_next(self, queue: int) -> Optional[Cell]:
+        """Remove and return the lowest-``seqno`` resident cell of ``queue``,
+        or ``None`` if the store currently holds no cell of that queue."""
+
+    @abc.abstractmethod
+    def peek_next(self, queue: int) -> Optional[Cell]:
+        """Return (without removing) the lowest-``seqno`` resident cell."""
+
+    @abc.abstractmethod
+    def occupancy(self, queue: Optional[int] = None) -> int:
+        """Number of resident cells (for one queue or in total)."""
+
+    # -- shared helpers ------------------------------------------------------
+    def insert_block(self, cells: Iterable[Cell]) -> None:
+        """Insert a batch of cells (one DRAM->SRAM transfer)."""
+        for cell in cells:
+            self.insert(cell)
+
+    def has_cell(self, queue: int) -> bool:
+        """True if at least one cell of ``queue`` is resident."""
+        return self.peek_next(queue) is not None
+
+    @property
+    def peak_occupancy(self) -> int:
+        """Largest total occupancy ever observed (for dimensioning checks)."""
+        return self._peak_occupancy
+
+    def _note_occupancy(self, occupancy: int) -> None:
+        if occupancy > self._peak_occupancy:
+            self._peak_occupancy = occupancy
+
+    def _check_capacity(self, occupancy_after_insert: int) -> None:
+        from repro.errors import BufferOverflowError
+
+        if self.capacity_cells is not None and occupancy_after_insert > self.capacity_cells:
+            raise BufferOverflowError("SRAM", self.capacity_cells, occupancy_after_insert)

@@ -1,0 +1,63 @@
+"""Reference shared SRAM store used by the buffer simulators."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional
+
+from repro.sram.base import SRAMCellStore
+from repro.types import Cell
+
+
+class SharedSRAM(SRAMCellStore):
+    """Dictionary/heap based shared cell store.
+
+    Cells are kept per queue in a min-heap ordered by ``seqno`` so that
+    out-of-order insertion (which happens in CFDS, where DRAM blocks can be
+    delivered in a different order than they were requested) still yields
+    in-order retrieval.  This is the store the simulators use because it is
+    the fastest of the three behavioural models; the CAM and linked-list
+    stores exist to model the hardware organisations and are checked for
+    equivalence against this one in the test suite.
+    """
+
+    def __init__(self, num_queues: int, capacity_cells: Optional[int] = None) -> None:
+        super().__init__(capacity_cells)
+        if num_queues <= 0:
+            raise ValueError("num_queues must be positive")
+        self.num_queues = num_queues
+        self._heaps: Dict[int, List] = {q: [] for q in range(num_queues)}
+        self._total = 0
+
+    def insert(self, cell: Cell) -> None:
+        self._check_queue(cell.queue)
+        self._check_capacity(self._total + 1)
+        heapq.heappush(self._heaps[cell.queue], (cell.seqno, id(cell), cell))
+        self._total += 1
+        self._note_occupancy(self._total)
+
+    def pop_next(self, queue: int) -> Optional[Cell]:
+        self._check_queue(queue)
+        heap = self._heaps[queue]
+        if not heap:
+            return None
+        _, _, cell = heapq.heappop(heap)
+        self._total -= 1
+        return cell
+
+    def peek_next(self, queue: int) -> Optional[Cell]:
+        self._check_queue(queue)
+        heap = self._heaps[queue]
+        if not heap:
+            return None
+        return heap[0][2]
+
+    def occupancy(self, queue: Optional[int] = None) -> int:
+        if queue is None:
+            return self._total
+        self._check_queue(queue)
+        return len(self._heaps[queue])
+
+    def _check_queue(self, queue: int) -> None:
+        if not 0 <= queue < self.num_queues:
+            raise ValueError(f"queue {queue} out of range (0..{self.num_queues - 1})")

@@ -1,0 +1,125 @@
+"""Functional model of the paper's "global CAM" shared-SRAM organisation.
+
+Section 7.1 describes a fully content-addressable memory in which every
+resident cell is stored in an arbitrary free entry together with a tag
+``(queue identifier, relative order within the queue)``.  Reading the next
+cell of a queue is an associative search on the tag.  This module models that
+organisation explicitly: a flat entry array, a free list, and tag matching —
+so tests can verify it behaves exactly like the reference store, and so the
+out-of-order write path CFDS needs (Section 8.2: "the implementation of
+out-of-order writing operations is trivial in this configuration") is
+demonstrated rather than asserted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.sram.base import SRAMCellStore
+from repro.types import Cell
+
+
+@dataclass
+class _CAMEntry:
+    """One CAM entry: a valid bit, the tag and the stored cell."""
+
+    valid: bool = False
+    queue: int = -1
+    order: int = -1
+    cell: Optional[Cell] = None
+
+
+class GlobalCAMStore(SRAMCellStore):
+    """Content-addressable shared store.
+
+    The ``order`` half of the tag is the per-queue arrival number modulo a
+    wrap window.  Hardware would size this field just large enough to cover
+    the maximum number of resident cells per queue; the model keeps the full
+    sequence number but additionally records per-queue *next expected order*
+    so that the associative lookup mirrors what the hardware match lines do:
+    "find the entry whose tag equals (q, next_order[q])".
+    """
+
+    def __init__(self, num_queues: int, capacity_cells: int) -> None:
+        super().__init__(capacity_cells)
+        if num_queues <= 0:
+            raise ValueError("num_queues must be positive")
+        self.num_queues = num_queues
+        self._entries: List[_CAMEntry] = [_CAMEntry() for _ in range(capacity_cells)]
+        self._free: List[int] = list(range(capacity_cells - 1, -1, -1))
+        self._next_order: Dict[int, int] = {}
+        self._total = 0
+
+    # ------------------------------------------------------------------ #
+    # SRAMCellStore interface
+    # ------------------------------------------------------------------ #
+    def insert(self, cell: Cell) -> None:
+        self._check_queue(cell.queue)
+        self._check_capacity(self._total + 1)
+        if not self._free:
+            # capacity_cells is authoritative; _check_capacity already raised
+            # unless capacity is None, which this organisation does not allow.
+            from repro.errors import BufferOverflowError
+
+            raise BufferOverflowError("global CAM", len(self._entries), self._total + 1)
+        slot = self._free.pop()
+        entry = self._entries[slot]
+        entry.valid = True
+        entry.queue = cell.queue
+        entry.order = cell.seqno
+        entry.cell = cell
+        self._total += 1
+        self._note_occupancy(self._total)
+        # Track the lowest outstanding order per queue so lookups know which
+        # tag to search for.
+        if cell.queue not in self._next_order or cell.seqno < self._next_order[cell.queue]:
+            self._next_order[cell.queue] = min(
+                self._next_order.get(cell.queue, cell.seqno), cell.seqno)
+
+    def pop_next(self, queue: int) -> Optional[Cell]:
+        index = self._match(queue)
+        if index is None:
+            return None
+        entry = self._entries[index]
+        cell = entry.cell
+        entry.valid = False
+        entry.cell = None
+        self._free.append(index)
+        self._total -= 1
+        assert cell is not None
+        # Advance the expected order for this queue.
+        self._next_order[queue] = cell.seqno + 1
+        return cell
+
+    def peek_next(self, queue: int) -> Optional[Cell]:
+        index = self._match(queue)
+        if index is None:
+            return None
+        return self._entries[index].cell
+
+    def occupancy(self, queue: Optional[int] = None) -> int:
+        if queue is None:
+            return self._total
+        self._check_queue(queue)
+        return sum(1 for e in self._entries if e.valid and e.queue == queue)
+
+    # ------------------------------------------------------------------ #
+    # Associative search
+    # ------------------------------------------------------------------ #
+    def _match(self, queue: int) -> Optional[int]:
+        """Return the entry index holding the lowest-order valid cell of
+        ``queue`` (what the hardware's match-line + priority encoder does)."""
+        self._check_queue(queue)
+        best_index: Optional[int] = None
+        best_order: Optional[int] = None
+        for i, entry in enumerate(self._entries):
+            if entry.valid and entry.queue == queue:
+                if best_order is None or entry.order < best_order:
+                    best_order = entry.order
+                    best_index = i
+        return best_index
+
+    def _check_queue(self, queue: int) -> None:
+        if not 0 <= queue < self.num_queues:
+            raise ValueError(f"queue {queue} out of range (0..{self.num_queues - 1})")

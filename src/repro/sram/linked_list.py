@@ -1,0 +1,173 @@
+"""Functional model of the paper's "unified linked list" SRAM organisation.
+
+Section 7.1 describes the minimum-area design: one direct-mapped cell array in
+which every entry holds a cell plus a pointer to the next entry of the same
+list, and a small side table with the head and tail pointers of each queue.
+Section 8.2 extends it for CFDS: because CFDS can deliver blocks of the same
+queue out of order, the structure is split into ``(B/b) x Q`` lists — one list
+per (queue, bank-within-group) — since two operations on the same bank are
+always performed in order.
+
+This module implements both variants with explicit pointer arrays (no Python
+lists of cells), so the pointer manipulations the paper argues about are
+actually exercised by the tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import BufferOverflowError
+from repro.sram.base import SRAMCellStore
+from repro.types import Cell
+
+#: Sentinel for "no entry" in the pointer arrays.
+NIL: int = -1
+
+
+class UnifiedLinkedListStore(SRAMCellStore):
+    """Direct-mapped cell array with explicit linked lists per sub-queue.
+
+    Args:
+        num_queues: number of (physical) queues sharing the store.
+        capacity_cells: number of entries in the cell array.
+        lists_per_queue: 1 reproduces the plain RADS organisation; ``B/b``
+            reproduces the CFDS-modified organisation in which cells of the
+            same queue are distributed over per-bank lists in round-robin
+            order of their block index.
+        block_cells: cells per DRAM block (``b``); used to derive the block
+            index of a cell from its sequence number when
+            ``lists_per_queue > 1``.
+    """
+
+    def __init__(self,
+                 num_queues: int,
+                 capacity_cells: int,
+                 *,
+                 lists_per_queue: int = 1,
+                 block_cells: int = 1) -> None:
+        super().__init__(capacity_cells)
+        if num_queues <= 0:
+            raise ValueError("num_queues must be positive")
+        if lists_per_queue <= 0:
+            raise ValueError("lists_per_queue must be positive")
+        if block_cells <= 0:
+            raise ValueError("block_cells must be positive")
+        self.num_queues = num_queues
+        self.lists_per_queue = lists_per_queue
+        self.block_cells = block_cells
+
+        # The direct-mapped arrays a hardware implementation would have.
+        self._cells: List[Optional[Cell]] = [None] * capacity_cells
+        self._next: List[int] = [NIL] * capacity_cells
+        self._free_head: int = 0
+        for i in range(capacity_cells - 1):
+            self._next[i] = i + 1
+        if capacity_cells > 0:
+            self._next[capacity_cells - 1] = NIL
+
+        # Head/tail pointer table, one entry per (queue, sub-list).
+        self._head: Dict[Tuple[int, int], int] = {}
+        self._tail: Dict[Tuple[int, int], int] = {}
+        self._total = 0
+
+    # ------------------------------------------------------------------ #
+    # Helpers
+    # ------------------------------------------------------------------ #
+    def _sublist(self, cell_seqno: int) -> int:
+        """Sub-list index for a cell: the bank-within-group its block maps to."""
+        block_index = cell_seqno // self.block_cells
+        return block_index % self.lists_per_queue
+
+    def _alloc(self) -> int:
+        if self._free_head == NIL:
+            raise BufferOverflowError("unified linked list", len(self._cells), self._total + 1)
+        index = self._free_head
+        self._free_head = self._next[index]
+        self._next[index] = NIL
+        return index
+
+    def _release(self, index: int) -> None:
+        self._cells[index] = None
+        self._next[index] = self._free_head
+        self._free_head = index
+
+    # ------------------------------------------------------------------ #
+    # SRAMCellStore interface
+    # ------------------------------------------------------------------ #
+    def insert(self, cell: Cell) -> None:
+        self._check_queue(cell.queue)
+        self._check_capacity(self._total + 1)
+        key = (cell.queue, self._sublist(cell.seqno))
+        index = self._alloc()
+        self._cells[index] = cell
+        old_tail = self._tail.get(key, NIL)
+        if old_tail == NIL:
+            self._head[key] = index
+        else:
+            self._next[old_tail] = index
+        self._tail[key] = index
+        self._total += 1
+        self._note_occupancy(self._total)
+
+    def pop_next(self, queue: int) -> Optional[Cell]:
+        self._check_queue(queue)
+        key = self._lowest_key(queue)
+        if key is None:
+            return None
+        index = self._head[key]
+        cell = self._cells[index]
+        assert cell is not None
+        nxt = self._next[index]
+        if nxt == NIL:
+            del self._head[key]
+            del self._tail[key]
+        else:
+            self._head[key] = nxt
+        self._release(index)
+        self._total -= 1
+        return cell
+
+    def peek_next(self, queue: int) -> Optional[Cell]:
+        self._check_queue(queue)
+        key = self._lowest_key(queue)
+        if key is None:
+            return None
+        return self._cells[self._head[key]]
+
+    def occupancy(self, queue: Optional[int] = None) -> int:
+        if queue is None:
+            return self._total
+        self._check_queue(queue)
+        count = 0
+        for sublist in range(self.lists_per_queue):
+            index = self._head.get((queue, sublist), NIL)
+            while index != NIL:
+                count += 1
+                index = self._next[index]
+        return count
+
+    # ------------------------------------------------------------------ #
+    # Internal: choose which sub-list holds the next in-order cell.
+    # ------------------------------------------------------------------ #
+    def _lowest_key(self, queue: int) -> Optional[Tuple[int, int]]:
+        """Return the (queue, sub-list) key whose head cell has the lowest
+        sequence number; hardware achieves the same by keeping a small
+        per-queue cursor over the ``B/b`` sub-lists."""
+        best_key: Optional[Tuple[int, int]] = None
+        best_seq: Optional[int] = None
+        for sublist in range(self.lists_per_queue):
+            key = (queue, sublist)
+            index = self._head.get(key, NIL)
+            if index == NIL:
+                continue
+            cell = self._cells[index]
+            assert cell is not None
+            if best_seq is None or cell.seqno < best_seq:
+                best_seq = cell.seqno
+                best_key = key
+        return best_key
+
+    def _check_queue(self, queue: int) -> None:
+        if not 0 <= queue < self.num_queues:
+            raise ValueError(f"queue {queue} out of range (0..{self.num_queues - 1})")

@@ -1,0 +1,105 @@
+"""Commodity DRAM parts and the DRAM-only buffer bandwidth analysis.
+
+The introduction of the paper motivates the hybrid design with a back-of-the-
+envelope analysis of DRAM-only packet buffers: a single 16 Mb SDRAM chip with
+a 16-bit interface at 100 MHz peaks at 1.6 Gb/s but only guarantees about
+1.2 Gb/s once activate/precharge overhead is charged to every (worst-case
+random) cell access, and widening the data path to 8 chips only reaches about
+5.12 Gb/s because the fixed overhead is amortised over ever fewer data
+transfer cycles.  This module reproduces that analysis and carries a small
+catalog of the DRAM families the paper cites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.constants import CELL_SIZE_BYTES
+
+
+@dataclass(frozen=True)
+class DRAMChip:
+    """A commodity DRAM part, reduced to the parameters the analysis needs.
+
+    Attributes:
+        name: part family.
+        capacity_mbit: storage per chip.
+        io_bits: data interface width.
+        clock_mhz: interface clock (data transfers per second = clock x
+            transfers_per_clock).
+        transfers_per_clock: 1 for SDR, 2 for DDR-style interfaces.
+        random_access_ns: worst-case random (row) cycle time.
+        overhead_cycles: activate + precharge + CAS cycles charged to each
+            worst-case random access at the interface clock.
+    """
+
+    name: str
+    capacity_mbit: int
+    io_bits: int
+    clock_mhz: float
+    transfers_per_clock: int
+    random_access_ns: float
+    overhead_cycles: int
+
+    # ------------------------------------------------------------------ #
+    @property
+    def peak_bandwidth_gbps(self) -> float:
+        """Peak interface bandwidth of one chip."""
+        return self.io_bits * self.clock_mhz * 1e6 * self.transfers_per_clock / 1e9
+
+    def guaranteed_bandwidth_gbps(self, num_chips: int = 1,
+                                  access_bytes: int = CELL_SIZE_BYTES) -> float:
+        """Worst-case (guaranteed) bandwidth of ``num_chips`` chips in parallel.
+
+        Every ``access_bytes`` unit is charged the activate/precharge overhead
+        on top of its data-transfer cycles; widening the data path shrinks the
+        data-transfer cycles but not the overhead, which is why efficiency
+        falls as chips are added.
+        """
+        if num_chips <= 0:
+            raise ValueError("num_chips must be positive")
+        if access_bytes <= 0:
+            raise ValueError("access_bytes must be positive")
+        bits_per_access = access_bytes * 8
+        bus_bits = self.io_bits * num_chips
+        data_transfers = -(-bits_per_access // bus_bits)
+        data_cycles = data_transfers / self.transfers_per_clock
+        total_cycles = data_cycles + self.overhead_cycles
+        cycle_s = 1.0 / (self.clock_mhz * 1e6)
+        return bits_per_access / (total_cycles * cycle_s) / 1e9
+
+
+#: Parts referenced in the paper (parameters from the cited data sheets /
+#: typical values for the families; the SDRAM entry matches the Glykopoulos
+#: single-chip study the introduction quotes).
+COMMODITY_DRAM_CHIPS: Dict[str, DRAMChip] = {
+    "sdram-16mb": DRAMChip(name="sdram-16mb", capacity_mbit=16, io_bits=16,
+                           clock_mhz=100.0, transfers_per_clock=1,
+                           random_access_ns=70.0, overhead_cycles=6),
+    "sdram-166mhz": DRAMChip(name="sdram-166mhz", capacity_mbit=256, io_bits=16,
+                             clock_mhz=166.0, transfers_per_clock=1,
+                             random_access_ns=60.0, overhead_cycles=8),
+    "ddr-sdram": DRAMChip(name="ddr-sdram", capacity_mbit=256, io_bits=16,
+                          clock_mhz=166.0, transfers_per_clock=2,
+                          random_access_ns=60.0, overhead_cycles=8),
+    "drdram": DRAMChip(name="drdram", capacity_mbit=256, io_bits=16,
+                       clock_mhz=400.0, transfers_per_clock=2,
+                       random_access_ns=53.0, overhead_cycles=16),
+    "fcram": DRAMChip(name="fcram", capacity_mbit=256, io_bits=16,
+                      clock_mhz=200.0, transfers_per_clock=2,
+                      random_access_ns=25.0, overhead_cycles=5),
+    "rldram": DRAMChip(name="rldram", capacity_mbit=256, io_bits=16,
+                       clock_mhz=300.0, transfers_per_clock=2,
+                       random_access_ns=20.0, overhead_cycles=6),
+}
+
+
+def guaranteed_buffer_bandwidth_gbps(chip_name: str, num_chips: int,
+                                     access_bytes: int = CELL_SIZE_BYTES) -> float:
+    """Convenience wrapper over :meth:`DRAMChip.guaranteed_bandwidth_gbps`."""
+    if chip_name not in COMMODITY_DRAM_CHIPS:
+        raise ValueError(f"unknown DRAM chip {chip_name!r}; "
+                         f"expected one of {sorted(COMMODITY_DRAM_CHIPS)}")
+    return COMMODITY_DRAM_CHIPS[chip_name].guaranteed_bandwidth_gbps(
+        num_chips, access_bytes)

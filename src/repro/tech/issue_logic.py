@@ -1,0 +1,93 @@
+"""Feasibility model for the Requests Register wake-up/select logic.
+
+Section 8.1 argues the Requests Register is buildable by analogy with
+superscalar issue queues: the Alpha 21264, in a 0.35 um process, selects up to
+four instructions out of a 20-entry issue queue in about 1 ns using about
+0.05 cm^2.  We scale that reference point to other register sizes and process
+nodes to decide whether a given (RR size, available scheduling time) pair is
+feasible — which is how the paper concludes that the OC-3072 b=1
+configuration "is certainly of difficult viability" while everything else is
+attainable.
+
+Scaling model (documented, deliberately simple):
+
+* select latency grows with the logarithm of the number of entries (the
+  selection tree depth) plus a wake-up term linear in the number of entries
+  (tag broadcast across the queue);
+* both terms shrink linearly with the feature size;
+* area grows linearly with the number of entries and quadratically with the
+  linear shrink.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class IssueLogicModel:
+    """Scaled issue-queue (wake-up + select) timing/area model.
+
+    The wake-up term is linear in the number of entries (tag broadcast load),
+    the select term logarithmic (selection-tree depth); the per-entry and
+    per-level coefficients are chosen so the model reproduces both the Alpha
+    21264 reference point (about 1 ns for 20 entries at 0.35 um) and the
+    paper's own feasibility verdicts for Table 2 (trivial for OC-768 and for
+    OC-3072 with b >= 4, aggressive-but-possible for b = 2, of difficult
+    viability for b = 1).
+    """
+
+    #: Reference design: Alpha 21264 integer issue queue.
+    reference_entries: int = 20
+    reference_area_cm2: float = 0.05
+    reference_feature_um: float = 0.35
+    #: Wake-up broadcast cost per entry, at the reference feature size.
+    wakeup_ns_per_entry: float = 0.0107
+    #: Selection-tree cost per level (log2 of the entry count), at the
+    #: reference feature size.
+    select_ns_per_level: float = 0.25
+    #: Target process node (the paper's 0.13 um).
+    feature_um: float = 0.13
+
+    # ------------------------------------------------------------------ #
+    @property
+    def reference_latency_ns(self) -> float:
+        """Model prediction for the reference design at its own node."""
+        return (self.wakeup_ns_per_entry * self.reference_entries
+                + self.select_ns_per_level * math.log2(self.reference_entries))
+
+    def scheduling_latency_ns(self, entries: int) -> float:
+        """Estimated time to wake up and select one request from ``entries``."""
+        if entries <= 0:
+            return 0.0
+        shrink = self.feature_um / self.reference_feature_um
+        wakeup = self.wakeup_ns_per_entry * entries
+        select = self.select_ns_per_level * math.log2(max(entries, 2))
+        return (wakeup + select) * shrink
+
+    def area_cm2(self, entries: int) -> float:
+        """Estimated area of the Requests Register scheduling logic."""
+        if entries <= 0:
+            return 0.0
+        shrink = self.feature_um / self.reference_feature_um
+        return self.reference_area_cm2 * (entries / self.reference_entries) * shrink ** 2
+
+    def is_feasible(self, entries: int, available_ns: float) -> bool:
+        """True when a request can be scheduled within ``available_ns``."""
+        if entries <= 0:
+            return True
+        return self.scheduling_latency_ns(entries) <= available_ns
+
+    def feasibility_label(self, entries: int, available_ns: float) -> str:
+        """Three-way label mirroring the paper's discussion: "trivial" when
+        the latency fits in half the budget, "aggressive" when it fits at all,
+        "infeasible" otherwise."""
+        if entries <= 0:
+            return "not needed"
+        latency = self.scheduling_latency_ns(entries)
+        if latency <= available_ns / 2:
+            return "trivial"
+        if latency <= available_ns:
+            return "aggressive"
+        return "infeasible"

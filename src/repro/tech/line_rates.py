@@ -1,0 +1,59 @@
+"""Line-rate descriptors: slot times, access budgets and RADS granularities."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constants import (
+    DEFAULT_DRAM_RANDOM_ACCESS_NS,
+    OC_LINE_RATES_BPS,
+    rads_granularity,
+    required_buffer_bytes,
+    slot_time_ns,
+)
+
+
+@dataclass(frozen=True)
+class LineRate:
+    """One SONET/SDH line rate and the buffer parameters it implies."""
+
+    name: str
+    bits_per_second: float
+
+    @classmethod
+    def from_name(cls, name: str) -> "LineRate":
+        if name not in OC_LINE_RATES_BPS:
+            raise ValueError(f"unknown line rate {name!r}; "
+                             f"expected one of {sorted(OC_LINE_RATES_BPS)}")
+        return cls(name=name, bits_per_second=OC_LINE_RATES_BPS[name])
+
+    # ------------------------------------------------------------------ #
+    @property
+    def slot_ns(self) -> float:
+        """Transmission time of one 64-byte cell (the basic time slot)."""
+        return slot_time_ns(self.bits_per_second)
+
+    @property
+    def sram_access_budget_ns(self) -> float:
+        """The SRAM must serve one cell per slot, so its access time budget is
+        the slot time (3.2 ns at OC-3072, 12.8 ns at OC-768)."""
+        return self.slot_ns
+
+    @property
+    def buffer_bandwidth_gbps(self) -> float:
+        """Required packet-buffer bandwidth: twice the line rate."""
+        return 2 * self.bits_per_second / 1e9
+
+    def rads_granularity(self,
+                         dram_random_access_ns: float = DEFAULT_DRAM_RANDOM_ACCESS_NS) -> int:
+        """The RADS granularity ``B`` this line rate forces."""
+        return rads_granularity(self.bits_per_second, dram_random_access_ns)
+
+    def buffer_size_bytes(self, round_trip_time_s: float = 0.2) -> int:
+        """Rule-of-thumb DRAM buffer size (RTT x line rate)."""
+        return required_buffer_bytes(self.bits_per_second, round_trip_time_s)
+
+
+#: The two line rates the paper evaluates.
+OC768 = LineRate.from_name("OC-768")
+OC3072 = LineRate.from_name("OC-3072")

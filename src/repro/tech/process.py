@@ -1,0 +1,83 @@
+"""Technology-process constants for the area/timing models.
+
+The reference process is the 0.13 um node the paper uses with CACTI 3.0.  The
+coefficients below are *calibrated*, not derived from first principles: they
+are chosen so that the resulting access-time and area curves pass through the
+operating points the paper reports (OC-768 RADS SRAM of 300 kB / 64 kB, the
+~7 ns best access time of the OC-3072 RADS SRAM at maximum lookahead, the
+2 cm^2-class area of the OC-3072 RADS SRAM pair, and the sub-3.2 ns access of
+the CFDS b=8 SRAM).  Scaling to other nodes is provided through a simple
+linear-dimension factor so sensitivity studies can be run, but all headline
+results use the default node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TechnologyProcess:
+    """Process node parameters used by :class:`repro.tech.cacti.CactiModel`.
+
+    Attributes:
+        feature_um: drawn feature size in micrometres.
+        sram_cell_area_um2: area of one 6T SRAM bit cell.
+        cam_cell_area_um2: area of one CAM bit cell (storage + comparator).
+        periphery_overhead: multiplicative overhead for decoders, sense
+            amplifiers and wiring.
+        port_area_factor: extra area per additional port, as a fraction of the
+            single-port cell.
+        port_time_factor: extra delay per additional port (longer word/bit
+            lines), as a fraction of the single-port delay.
+        t_fixed_ns / t_decode_ns_per_bit / t_wire_ns_per_sqrt_bit: delay model
+            coefficients for direct-mapped arrays.
+        t_cam_fixed_ns / t_cam_encode_ns_per_bit / t_cam_search_ns_per_entry:
+            delay model coefficients for the CAM search path.
+    """
+
+    feature_um: float = 0.13
+    sram_cell_area_um2: float = 3.5
+    cam_cell_area_um2: float = 7.0
+    periphery_overhead: float = 1.3
+    port_area_factor: float = 0.6
+    port_time_factor: float = 0.35
+    t_fixed_ns: float = 0.30
+    t_decode_ns_per_bit: float = 0.05
+    t_wire_ns_per_sqrt_bit: float = 0.0004
+    t_cam_fixed_ns: float = 0.70
+    t_cam_encode_ns_per_bit: float = 0.08
+    t_cam_search_ns_per_entry: float = 0.0003
+
+    def __post_init__(self) -> None:
+        if self.feature_um <= 0:
+            raise ValueError("feature_um must be positive")
+
+    def scaled_to(self, feature_um: float) -> "TechnologyProcess":
+        """Return a process scaled to another feature size.
+
+        Areas scale with the square of the linear shrink, delays scale
+        linearly with it (a deliberately simple constant-field model; good
+        enough for the sensitivity studies in the ablation benchmarks).
+        """
+        if feature_um <= 0:
+            raise ValueError("feature_um must be positive")
+        ratio = feature_um / self.feature_um
+        return TechnologyProcess(
+            feature_um=feature_um,
+            sram_cell_area_um2=self.sram_cell_area_um2 * ratio ** 2,
+            cam_cell_area_um2=self.cam_cell_area_um2 * ratio ** 2,
+            periphery_overhead=self.periphery_overhead,
+            port_area_factor=self.port_area_factor,
+            port_time_factor=self.port_time_factor,
+            t_fixed_ns=self.t_fixed_ns * ratio,
+            t_decode_ns_per_bit=self.t_decode_ns_per_bit * ratio,
+            t_wire_ns_per_sqrt_bit=self.t_wire_ns_per_sqrt_bit * ratio,
+            t_cam_fixed_ns=self.t_cam_fixed_ns * ratio,
+            t_cam_encode_ns_per_bit=self.t_cam_encode_ns_per_bit * ratio,
+            t_cam_search_ns_per_entry=self.t_cam_search_ns_per_entry * ratio,
+        )
+
+
+#: The default 0.13 um process used throughout the evaluation.
+DEFAULT_PROCESS = TechnologyProcess()

@@ -1,0 +1,165 @@
+"""Physical models of the two shared-SRAM buffer organisations (Section 7.1).
+
+Both designs store a given number of 64-byte cells shared by ``Q`` queues and
+must support one cell read towards the arbiter and one cell write from the
+DRAM per slot.  They differ in how the "next cell of queue q" is located:
+
+* **Global CAM** — every cell carries a ``(queue, order)`` tag; lookup is one
+  associative search.  Fast (one access per slot and port) but the CAM cells
+  and match logic cost area, and the search slows down as the number of
+  entries grows.  This is the design "targeted at the shortest access time".
+* **Unified linked list (time-multiplexed)** — one direct-mapped array holding
+  ``cell + next-pointer`` entries plus a small head/tail pointer table.  A
+  cell operation needs three array accesses (read entry, update pointer,
+  update head/tail table); time-multiplexing them over one single-ported
+  array minimises area at the cost of a 3x longer effective access time.
+  This is the design "targeted at minimum area".  The CFDS variant keeps
+  ``(B/b) x Q`` lists (out-of-order block arrival tolerance, Section 8.2),
+  which only changes the size of the pointer table.
+
+Each design exposes ``access_time_ns`` and ``area_cm2`` as functions of the
+cell capacity, which is exactly what the Figure 8/10/11 sweeps need.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Iterable, List, Optional
+
+from repro.constants import CELL_SIZE_BYTES
+from repro.tech.cacti import CactiModel
+from repro.tech.process import TechnologyProcess
+
+#: Bits in one cell.
+_CELL_BITS = CELL_SIZE_BYTES * 8
+
+
+class SRAMBufferDesign(abc.ABC):
+    """A physical organisation of the shared SRAM cell buffer."""
+
+    #: Human-readable name used in reports and figure legends.
+    name: str = "design"
+
+    def __init__(self, num_queues: int,
+                 process: Optional[TechnologyProcess] = None) -> None:
+        if num_queues <= 0:
+            raise ValueError("num_queues must be positive")
+        self.num_queues = num_queues
+        self.model = CactiModel(process)
+
+    @abc.abstractmethod
+    def access_time_ns(self, capacity_cells: int) -> float:
+        """Worst-case time to perform one cell operation."""
+
+    @abc.abstractmethod
+    def area_cm2(self, capacity_cells: int) -> float:
+        """Silicon area of the organisation."""
+
+    def meets_budget(self, capacity_cells: int, budget_ns: float) -> bool:
+        """True when one cell operation fits in ``budget_ns`` (one slot)."""
+        return self.access_time_ns(capacity_cells) <= budget_ns
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _check_capacity(capacity_cells: int) -> None:
+        if capacity_cells <= 0:
+            raise ValueError("capacity_cells must be positive")
+
+
+class GlobalCAMDesign(SRAMBufferDesign):
+    """Fully associative shared buffer (the shortest-access-time design)."""
+
+    name = "global-cam"
+
+    def __init__(self, num_queues: int,
+                 process: Optional[TechnologyProcess] = None,
+                 order_bits: int = 16) -> None:
+        super().__init__(num_queues, process)
+        if order_bits <= 0:
+            raise ValueError("order_bits must be positive")
+        self.order_bits = order_bits
+
+    def tag_bits(self) -> int:
+        """Tag width: queue identifier plus relative order within the queue."""
+        return max(1, math.ceil(math.log2(self.num_queues))) + self.order_bits
+
+    def access_time_ns(self, capacity_cells: int) -> float:
+        self._check_capacity(capacity_cells)
+        return self.model.cam_access_time_ns(entries=capacity_cells,
+                                             tag_bits=self.tag_bits(),
+                                             data_bits_per_entry=_CELL_BITS,
+                                             ports=2)
+
+    def area_cm2(self, capacity_cells: int) -> float:
+        self._check_capacity(capacity_cells)
+        return self.model.cam_area_cm2(entries=capacity_cells,
+                                       tag_bits=self.tag_bits(),
+                                       data_bits_per_entry=_CELL_BITS,
+                                       ports=2)
+
+
+class UnifiedLinkedListDesign(SRAMBufferDesign):
+    """Direct-mapped cell array with explicit linked lists (minimum-area
+    design), accessed in a time-multiplexed fashion over a single port."""
+
+    name = "unified-linked-list"
+
+    #: Array accesses serialised per cell operation (entry, pointer, table).
+    ACCESSES_PER_OPERATION = 3
+
+    def __init__(self, num_queues: int,
+                 process: Optional[TechnologyProcess] = None,
+                 lists_per_queue: int = 1,
+                 time_multiplexed: bool = True) -> None:
+        super().__init__(num_queues, process)
+        if lists_per_queue <= 0:
+            raise ValueError("lists_per_queue must be positive")
+        self.lists_per_queue = lists_per_queue
+        self.time_multiplexed = time_multiplexed
+
+    # ------------------------------------------------------------------ #
+    def entry_bits(self, capacity_cells: int) -> int:
+        """Bits per array entry: the cell plus a next pointer."""
+        pointer_bits = max(1, math.ceil(math.log2(capacity_cells)))
+        return _CELL_BITS + pointer_bits
+
+    def array_bits(self, capacity_cells: int) -> int:
+        return capacity_cells * self.entry_bits(capacity_cells)
+
+    def pointer_table_bits(self, capacity_cells: int) -> int:
+        """Head + tail pointer per (queue, sub-list)."""
+        pointer_bits = max(1, math.ceil(math.log2(capacity_cells)))
+        return self.num_queues * self.lists_per_queue * 2 * pointer_bits
+
+    # ------------------------------------------------------------------ #
+    def access_time_ns(self, capacity_cells: int) -> float:
+        self._check_capacity(capacity_cells)
+        ports = 1 if self.time_multiplexed else 3
+        single = self.model.sram_access_time_ns(self.array_bits(capacity_cells), ports=ports)
+        if self.time_multiplexed:
+            return single * self.ACCESSES_PER_OPERATION
+        return single
+
+    def area_cm2(self, capacity_cells: int) -> float:
+        self._check_capacity(capacity_cells)
+        ports = 1 if self.time_multiplexed else 3
+        array = self.model.sram_area_cm2(self.array_bits(capacity_cells), ports=ports)
+        # The pointer table needs an extra write port either way.
+        table = self.model.sram_area_cm2(self.pointer_table_bits(capacity_cells), ports=2)
+        return array + table
+
+
+def best_design(designs: Iterable[SRAMBufferDesign],
+                capacity_cells: int,
+                budget_ns: Optional[float] = None) -> Optional[SRAMBufferDesign]:
+    """Return the fastest design at the given capacity (optionally requiring
+    it to meet an access-time budget); ``None`` if no design qualifies."""
+    qualifying: List[SRAMBufferDesign] = []
+    for design in designs:
+        time_ns = design.access_time_ns(capacity_cells)
+        if budget_ns is None or time_ns <= budget_ns:
+            qualifying.append(design)
+    if not qualifying:
+        return None
+    return min(qualifying, key=lambda d: d.access_time_ns(capacity_cells))

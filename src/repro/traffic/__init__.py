@@ -1,0 +1,56 @@
+"""Traffic generation: packets, cells, arrival processes, arbiters and traces.
+
+The paper's guarantees are *worst case* — they must hold for any arrival
+pattern and any sequence of arbiter requests.  This package supplies both the
+adversarial patterns used to stress those guarantees (most importantly the
+round-robin request pattern Section 3 identifies as the worst case for ECQF)
+and the stochastic/bursty patterns used for average-case studies and
+property-based testing:
+
+* :mod:`repro.traffic.packet` / :mod:`repro.traffic.segmentation` — variable
+  size IP packets and their segmentation into 64-byte cells (and reassembly);
+* :mod:`repro.traffic.arrivals` — per-slot cell arrival processes (Bernoulli,
+  bursty on/off, hot-spot, deterministic);
+* :mod:`repro.traffic.arbiters` — per-slot request generators (round-robin
+  adversary, random, longest-queue-first, work-conserving wrappers);
+* :mod:`repro.traffic.trace` — recording and replaying (arrival, request)
+  traces so experiments are reproducible.
+"""
+
+from repro.traffic.packet import Packet
+from repro.traffic.segmentation import Segmenter, Reassembler
+from repro.traffic.arrivals import (
+    ArrivalProcess,
+    BernoulliArrivals,
+    BurstyArrivals,
+    HotspotArrivals,
+    DeterministicArrivals,
+    RoundRobinArrivals,
+)
+from repro.traffic.arbiters import (
+    Arbiter,
+    RoundRobinAdversary,
+    RandomArbiter,
+    LongestQueueArbiter,
+    OldestCellArbiter,
+)
+from repro.traffic.trace import TrafficTrace, TraceRecorder
+
+__all__ = [
+    "Packet",
+    "Segmenter",
+    "Reassembler",
+    "ArrivalProcess",
+    "BernoulliArrivals",
+    "BurstyArrivals",
+    "HotspotArrivals",
+    "DeterministicArrivals",
+    "RoundRobinArrivals",
+    "Arbiter",
+    "RoundRobinAdversary",
+    "RandomArbiter",
+    "LongestQueueArbiter",
+    "OldestCellArbiter",
+    "TrafficTrace",
+    "TraceRecorder",
+]

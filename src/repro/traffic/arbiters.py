@@ -1,0 +1,119 @@
+"""Per-slot request generators (models of the switch-fabric arbiter).
+
+The head SRAM's dimensioning must hold for any request sequence the arbiter
+can produce.  The generators here cover:
+
+* the **round-robin adversary** — the pattern Section 3 singles out as the
+  worst case for ECQF ("the scheduler requests goes through the queues in a
+  round-robin manner removing one packet per queue"), which makes all SRAM
+  queues drain at almost the same time;
+* random and longest-queue arbiters for average-case studies;
+* an oldest-cell (FIFO) arbiter used by the closed-loop examples.
+
+Arbiters are given the per-queue backlog (cells present and not yet promised)
+so they only issue admissible requests when driving a closed-loop buffer; for
+the head-only worst-case studies the backlog is simply reported as unbounded.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Optional, Sequence
+
+
+class Arbiter(abc.ABC):
+    """Interface of every request generator."""
+
+    @abc.abstractmethod
+    def next_request(self, slot: int, backlog: Sequence[int]) -> Optional[int]:
+        """Queue to request a cell from at ``slot``, or ``None`` to stay idle.
+
+        ``backlog[q]`` is the number of cells of queue ``q`` the arbiter may
+        still legally request.
+        """
+
+
+class RoundRobinAdversary(Arbiter):
+    """The ECQF worst case: request one cell from each queue in turn.
+
+    Queues with no backlog are skipped (so the pattern stays admissible in
+    closed-loop use); with unbounded backlog the pattern is a strict
+    round-robin, which drains every head-SRAM queue at the same rate.
+    """
+
+    def __init__(self, num_queues: int, start_queue: int = 0) -> None:
+        if num_queues <= 0:
+            raise ValueError("num_queues must be positive")
+        self.num_queues = num_queues
+        self._next = start_queue % num_queues
+
+    def next_request(self, slot: int, backlog: Sequence[int]) -> Optional[int]:
+        for offset in range(self.num_queues):
+            queue = (self._next + offset) % self.num_queues
+            if backlog[queue] > 0:
+                self._next = (queue + 1) % self.num_queues
+                return queue
+        return None
+
+
+class RandomArbiter(Arbiter):
+    """Requests a uniformly random backlogged queue, idling with probability
+    ``1 - load``."""
+
+    def __init__(self, num_queues: int, load: float = 1.0, seed: int = 0) -> None:
+        if num_queues <= 0:
+            raise ValueError("num_queues must be positive")
+        if not 0.0 <= load <= 1.0:
+            raise ValueError("load must be in [0, 1]")
+        self.num_queues = num_queues
+        self.load = load
+        self._rng = random.Random(seed)
+
+    def next_request(self, slot: int, backlog: Sequence[int]) -> Optional[int]:
+        if self._rng.random() >= self.load:
+            return None
+        eligible = [q for q in range(self.num_queues) if backlog[q] > 0]
+        if not eligible:
+            return None
+        return self._rng.choice(eligible)
+
+
+class LongestQueueArbiter(Arbiter):
+    """Always serves the queue with the largest backlog (ties to the lowest
+    index) — a common switch-scheduler approximation."""
+
+    def __init__(self, num_queues: int) -> None:
+        if num_queues <= 0:
+            raise ValueError("num_queues must be positive")
+        self.num_queues = num_queues
+
+    def next_request(self, slot: int, backlog: Sequence[int]) -> Optional[int]:
+        best_queue = None
+        best_backlog = 0
+        for queue in range(self.num_queues):
+            if backlog[queue] > best_backlog:
+                best_backlog = backlog[queue]
+                best_queue = queue
+        return best_queue
+
+
+class OldestCellArbiter(Arbiter):
+    """Work-conserving arbiter that serves queues in the order their backlog
+    was created (approximated by smallest queue index among backlogged queues
+    after rotating the start point each slot, which avoids starving high
+    indices)."""
+
+    def __init__(self, num_queues: int) -> None:
+        if num_queues <= 0:
+            raise ValueError("num_queues must be positive")
+        self.num_queues = num_queues
+        self._rotation = 0
+
+    def next_request(self, slot: int, backlog: Sequence[int]) -> Optional[int]:
+        for offset in range(self.num_queues):
+            queue = (self._rotation + offset) % self.num_queues
+            if backlog[queue] > 0:
+                self._rotation = (self._rotation + 1) % self.num_queues
+                return queue
+        return None

@@ -1,0 +1,169 @@
+"""Per-slot cell arrival processes.
+
+An arrival process answers one question per slot: "which queue (if any) does
+the cell arriving this slot belong to?" — at most one cell can arrive per slot
+because the write port of the buffer runs at the line rate.
+
+All stochastic processes take an explicit seed so experiments and
+property-based tests are reproducible.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+
+class ArrivalProcess(abc.ABC):
+    """Interface of every arrival process."""
+
+    @abc.abstractmethod
+    def next_arrival(self, slot: int) -> Optional[int]:
+        """Queue of the cell arriving at ``slot``, or ``None`` for an idle slot."""
+
+    def arrivals(self, num_slots: int) -> Iterator[Optional[int]]:
+        """Generate ``num_slots`` arrivals."""
+        for slot in range(num_slots):
+            yield self.next_arrival(slot)
+
+
+class DeterministicArrivals(ArrivalProcess):
+    """Replays a fixed per-slot pattern (cycling if shorter than the run)."""
+
+    def __init__(self, pattern: Sequence[Optional[int]]) -> None:
+        if not pattern:
+            raise ValueError("pattern must not be empty")
+        self.pattern = list(pattern)
+
+    def next_arrival(self, slot: int) -> Optional[int]:
+        return self.pattern[slot % len(self.pattern)]
+
+
+class RoundRobinArrivals(ArrivalProcess):
+    """One cell per slot, cycling over all queues — the arrival-side analogue
+    of the round-robin adversary (keeps every queue equally backlogged)."""
+
+    def __init__(self, num_queues: int, load: float = 1.0, seed: int = 0) -> None:
+        if num_queues <= 0:
+            raise ValueError("num_queues must be positive")
+        if not 0.0 <= load <= 1.0:
+            raise ValueError("load must be in [0, 1]")
+        self.num_queues = num_queues
+        self.load = load
+        self._rng = random.Random(seed)
+        self._next_queue = 0
+
+    def next_arrival(self, slot: int) -> Optional[int]:
+        if self.load < 1.0 and self._rng.random() >= self.load:
+            return None
+        queue = self._next_queue
+        self._next_queue = (self._next_queue + 1) % self.num_queues
+        return queue
+
+
+class BernoulliArrivals(ArrivalProcess):
+    """Independent per-slot arrivals with configurable queue popularity.
+
+    Args:
+        num_queues: number of VOQs.
+        load: probability that a cell arrives in a slot.
+        weights: relative popularity of each queue (uniform by default).
+        seed: RNG seed.
+    """
+
+    def __init__(self,
+                 num_queues: int,
+                 load: float = 1.0,
+                 weights: Optional[Sequence[float]] = None,
+                 seed: int = 0) -> None:
+        if num_queues <= 0:
+            raise ValueError("num_queues must be positive")
+        if not 0.0 <= load <= 1.0:
+            raise ValueError("load must be in [0, 1]")
+        if weights is not None and len(weights) != num_queues:
+            raise ValueError("weights must have one entry per queue")
+        if weights is not None and any(w < 0 for w in weights):
+            raise ValueError("weights must be non-negative")
+        self.num_queues = num_queues
+        self.load = load
+        self.weights = list(weights) if weights is not None else [1.0] * num_queues
+        self._rng = random.Random(seed)
+        self._queues = list(range(num_queues))
+
+    def next_arrival(self, slot: int) -> Optional[int]:
+        if self._rng.random() >= self.load:
+            return None
+        return self._rng.choices(self._queues, weights=self.weights, k=1)[0]
+
+
+class HotspotArrivals(BernoulliArrivals):
+    """Bernoulli arrivals where a fraction of the traffic targets a small set
+    of hot queues — the skewed pattern that provokes DRAM fragmentation when
+    renaming is disabled."""
+
+    def __init__(self,
+                 num_queues: int,
+                 hot_queues: Sequence[int],
+                 hot_fraction: float = 0.9,
+                 load: float = 1.0,
+                 seed: int = 0) -> None:
+        if not hot_queues:
+            raise ValueError("hot_queues must not be empty")
+        if not 0.0 <= hot_fraction <= 1.0:
+            raise ValueError("hot_fraction must be in [0, 1]")
+        hot_set = set(hot_queues)
+        if any(not 0 <= q < num_queues for q in hot_set):
+            raise ValueError("hot queue index out of range")
+        cold_count = num_queues - len(hot_set)
+        weights: List[float] = []
+        for queue in range(num_queues):
+            if queue in hot_set:
+                weights.append(hot_fraction / len(hot_set))
+            else:
+                weights.append((1.0 - hot_fraction) / cold_count if cold_count else 0.0)
+        super().__init__(num_queues, load=load, weights=weights, seed=seed)
+        self.hot_queues = sorted(hot_set)
+        self.hot_fraction = hot_fraction
+
+
+class BurstyArrivals(ArrivalProcess):
+    """Two-state (on/off) Markov-modulated arrivals per queue.
+
+    While a queue is *on* it receives a cell in every slot in which it is the
+    active burst owner; bursts have geometrically distributed lengths.  This
+    mimics the packet trains produced by segmenting large packets and by TCP
+    windows, and is the standard bursty stressor for buffer designs.
+    """
+
+    def __init__(self,
+                 num_queues: int,
+                 mean_burst_cells: float = 16.0,
+                 load: float = 1.0,
+                 seed: int = 0) -> None:
+        if num_queues <= 0:
+            raise ValueError("num_queues must be positive")
+        if mean_burst_cells < 1.0:
+            raise ValueError("mean_burst_cells must be >= 1")
+        if not 0.0 <= load <= 1.0:
+            raise ValueError("load must be in [0, 1]")
+        self.num_queues = num_queues
+        self.mean_burst_cells = mean_burst_cells
+        self.load = load
+        self._rng = random.Random(seed)
+        self._current_queue: Optional[int] = None
+        self._remaining_burst = 0
+
+    def next_arrival(self, slot: int) -> Optional[int]:
+        if self._rng.random() >= self.load:
+            return None
+        if self._remaining_burst <= 0:
+            self._current_queue = self._rng.randrange(self.num_queues)
+            # Geometric burst length with the requested mean (>= 1 cell).
+            p = 1.0 / self.mean_burst_cells
+            length = 1
+            while self._rng.random() >= p:
+                length += 1
+            self._remaining_burst = length
+        self._remaining_burst -= 1
+        return self._current_queue

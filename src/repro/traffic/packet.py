@@ -1,0 +1,42 @@
+"""IP packet model used by the segmentation/reassembly machinery."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Smallest IP packet the generators produce (a TCP ACK-sized packet).
+MIN_PACKET_BYTES: int = 40
+
+#: Largest packet (standard Ethernet MTU).
+MAX_PACKET_BYTES: int = 1500
+
+
+@dataclass(frozen=True)
+class Packet:
+    """A variable-size packet destined to one VOQ.
+
+    Attributes:
+        packet_id: globally unique identifier.
+        queue: VOQ (output interface x class of service) the packet belongs to.
+        size_bytes: payload size in bytes; determines how many 64-byte cells
+            the packet is segmented into.
+        arrival_slot: slot at which the packet's first cell arrives.
+    """
+
+    packet_id: int
+    queue: int
+    size_bytes: int
+    arrival_slot: int = 0
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError("size_bytes must be positive")
+        if self.queue < 0:
+            raise ValueError("queue must be non-negative")
+
+    @property
+    def num_cells(self) -> int:
+        """Number of 64-byte cells the packet occupies (ceiling division)."""
+        from repro.constants import CELL_SIZE_BYTES
+
+        return -(-self.size_bytes // CELL_SIZE_BYTES)

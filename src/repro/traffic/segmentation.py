@@ -1,0 +1,105 @@
+"""Segmentation of packets into cells and reassembly at the output.
+
+Section 2 of the paper: "packets in the router are internally fragmented into
+fixed-length 64 byte units that we call cells [...] they are reassembled at
+the output port before packet transmission."
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional
+
+from repro.constants import CELL_SIZE_BYTES
+from repro.traffic.packet import Packet
+from repro.types import Cell
+
+
+class Segmenter:
+    """Splits packets into per-queue sequences of cells.
+
+    The segmenter owns the per-queue cell sequence numbers, so cells produced
+    for the same queue — regardless of which packet they belong to — carry
+    strictly increasing ``seqno`` values, which is the property the buffers'
+    in-order delivery checks rely on.
+    """
+
+    def __init__(self, num_queues: int) -> None:
+        if num_queues <= 0:
+            raise ValueError("num_queues must be positive")
+        self.num_queues = num_queues
+        self._next_seqno: Dict[int, int] = defaultdict(int)
+
+    def segment(self, packet: Packet) -> List[Cell]:
+        """Return the cells of ``packet`` in transmission order."""
+        if not 0 <= packet.queue < self.num_queues:
+            raise ValueError(f"packet queue {packet.queue} out of range")
+        cells: List[Cell] = []
+        total = packet.num_cells
+        for offset in range(total):
+            seqno = self._next_seqno[packet.queue]
+            self._next_seqno[packet.queue] = seqno + 1
+            cells.append(Cell(queue=packet.queue,
+                              seqno=seqno,
+                              packet_id=packet.packet_id,
+                              offset=offset,
+                              last=(offset == total - 1),
+                              arrival_slot=packet.arrival_slot))
+        return cells
+
+    def cells_emitted(self, queue: int) -> int:
+        """Total cells produced so far for ``queue``."""
+        return self._next_seqno[queue]
+
+
+class Reassembler:
+    """Rebuilds packets from the cells leaving the buffer.
+
+    Cells of one queue must arrive in order (that is the buffer's guarantee);
+    cells of different queues may interleave arbitrarily.  A packet is
+    complete when its ``last`` cell has been seen and every offset from 0 to
+    that cell's offset is present.
+    """
+
+    def __init__(self) -> None:
+        self._partial: Dict[int, List[Cell]] = defaultdict(list)
+        self._completed: List[Packet] = []
+        self._out_of_order = 0
+
+    def push(self, cell: Cell) -> Optional[Packet]:
+        """Account for one departing cell; return the reassembled packet when
+        the cell completes one."""
+        if cell.packet_id is None:
+            return None
+        fragments = self._partial[cell.packet_id]
+        if fragments and cell.offset != fragments[-1].offset + 1:
+            self._out_of_order += 1
+        fragments.append(cell)
+        if not cell.last:
+            return None
+        expected_offsets = list(range(cell.offset + 1))
+        got_offsets = sorted(fragment.offset for fragment in fragments)
+        if got_offsets != expected_offsets:
+            self._out_of_order += 1
+            return None
+        packet = Packet(packet_id=cell.packet_id,
+                        queue=cell.queue,
+                        size_bytes=len(fragments) * CELL_SIZE_BYTES,
+                        arrival_slot=fragments[0].arrival_slot)
+        self._completed.append(packet)
+        del self._partial[cell.packet_id]
+        return packet
+
+    @property
+    def completed_packets(self) -> List[Packet]:
+        return list(self._completed)
+
+    @property
+    def out_of_order_events(self) -> int:
+        """Number of ordering anomalies observed (must stay zero when the
+        buffer honours its in-order delivery guarantee)."""
+        return self._out_of_order
+
+    @property
+    def pending_packets(self) -> int:
+        return len(self._partial)

@@ -1,0 +1,89 @@
+"""Recording and replaying traffic traces.
+
+A trace is the per-slot pair ``(arrival queue, request queue)`` (either may be
+``None``).  Traces make experiments reproducible and let interesting
+adversarial patterns found by the property-based tests be stored as
+regression inputs.  The on-disk format is deliberately simple: one line per
+slot, two comma-separated fields, ``-`` for "no event".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+SlotEvent = Tuple[Optional[int], Optional[int]]
+
+
+@dataclass
+class TrafficTrace:
+    """An in-memory trace of per-slot (arrival, request) events."""
+
+    events: List[SlotEvent] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ #
+    def append(self, arrival: Optional[int], request: Optional[int]) -> None:
+        self.events.append((arrival, request))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[SlotEvent]:
+        return iter(self.events)
+
+    def arrivals(self) -> List[Optional[int]]:
+        return [arrival for arrival, _ in self.events]
+
+    def requests(self) -> List[Optional[int]]:
+        return [request for _, request in self.events]
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+    def save(self, path) -> None:
+        """Write the trace to ``path`` (one "arrival,request" line per slot)."""
+        lines = []
+        for arrival, request in self.events:
+            lines.append(f"{self._fmt(arrival)},{self._fmt(request)}")
+        Path(path).write_text("\n".join(lines) + ("\n" if lines else ""),
+                              encoding="ascii")
+
+    @classmethod
+    def load(cls, path) -> "TrafficTrace":
+        """Read a trace previously written by :meth:`save`."""
+        trace = cls()
+        text = Path(path).read_text(encoding="ascii")
+        for line_number, line in enumerate(text.splitlines(), start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split(",")
+            if len(parts) != 2:
+                raise ValueError(f"{path}:{line_number}: expected 2 fields, got {len(parts)}")
+            trace.append(cls._parse(parts[0]), cls._parse(parts[1]))
+        return trace
+
+    @staticmethod
+    def _fmt(value: Optional[int]) -> str:
+        return "-" if value is None else str(value)
+
+    @staticmethod
+    def _parse(token: str) -> Optional[int]:
+        token = token.strip()
+        return None if token == "-" else int(token)
+
+
+class TraceRecorder:
+    """Wraps an arrival process and an arbiter, recording what they produce."""
+
+    def __init__(self, arrivals=None, arbiter=None) -> None:
+        self.arrivals = arrivals
+        self.arbiter = arbiter
+        self.trace = TrafficTrace()
+
+    def next_events(self, slot: int, backlog) -> SlotEvent:
+        arrival = self.arrivals.next_arrival(slot) if self.arrivals is not None else None
+        request = self.arbiter.next_request(slot, backlog) if self.arbiter is not None else None
+        self.trace.append(arrival, request)
+        return arrival, request

@@ -1,0 +1,147 @@
+"""Common value types used throughout the packet-buffer models.
+
+These are intentionally small, immutable (where possible) dataclasses: a
+*cell* (the fixed 64-byte unit the buffer stores), the *requests* exchanged
+between subsystems, and the *transfer jobs* the DRAM executes.  Keeping them
+in one module lets the RADS baseline, the CFDS design and the traffic
+machinery speak the same vocabulary.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class TransferDirection(enum.Enum):
+    """Direction of a DRAM<->SRAM transfer."""
+
+    #: DRAM -> head SRAM (replenishment ordered by the head MMA).
+    READ = "read"
+    #: tail SRAM -> DRAM (eviction ordered by the tail MMA).
+    WRITE = "write"
+
+
+@dataclass(frozen=True)
+class Cell:
+    """A fixed-size cell: the unit of storage and scheduling in the buffer.
+
+    Attributes:
+        queue: logical VOQ the cell belongs to.
+        seqno: 0-based arrival order of the cell *within its logical queue*.
+            Zero-miss delivery means cells leave the buffer in strictly
+            increasing ``seqno`` order per queue.
+        packet_id: identifier of the packet the cell was segmented from, or
+            ``None`` for synthetic cells generated directly at cell level.
+        offset: position of the cell within its packet (0-based), used by the
+            reassembler.
+        last: True when the cell is the final cell of its packet.
+        arrival_slot: slot at which the cell entered the buffer (informational;
+            used for latency statistics).
+    """
+
+    queue: int
+    seqno: int
+    packet_id: Optional[int] = None
+    offset: int = 0
+    last: bool = True
+    arrival_slot: int = 0
+
+
+@dataclass(frozen=True)
+class CellRequest:
+    """A request from the switch-fabric arbiter for one cell of a queue."""
+
+    queue: int
+    issue_slot: int
+
+
+@dataclass(frozen=True)
+class ReplenishRequest:
+    """A request from an MMA to move a block of cells between DRAM and SRAM.
+
+    In RADS the block size is the granularity ``B``; in CFDS it is the reduced
+    granularity ``b`` and the request additionally carries the physical queue
+    and block index that the bank-mapping function needs.
+    """
+
+    queue: int
+    direction: TransferDirection
+    cells: int
+    issue_slot: int
+    block_index: int = 0
+    tag: int = 0
+
+    def __post_init__(self) -> None:
+        if self.cells <= 0:
+            raise ValueError(f"a replenish request must move at least 1 cell, got {self.cells}")
+
+
+@dataclass(frozen=True)
+class BankAddress:
+    """The resolved location of a block inside the banked DRAM."""
+
+    group: int
+    bank_in_group: int
+    bank: int
+
+
+@dataclass
+class TransferJob:
+    """An in-flight DRAM access executing a :class:`ReplenishRequest`.
+
+    Attributes:
+        request: the request being serviced.
+        bank: absolute bank index being accessed.
+        start_slot: slot at which the access was initiated.
+        finish_slot: first slot at which the data is available (read) or
+            committed (write); the bank stays busy until this slot.
+    """
+
+    request: ReplenishRequest
+    bank: int
+    start_slot: int
+    finish_slot: int
+
+    @property
+    def duration(self) -> int:
+        """Number of slots the access occupies its bank."""
+        return self.finish_slot - self.start_slot
+
+
+@dataclass
+class MissRecord:
+    """Record of a head-SRAM miss observed by a simulator running in
+    'record' (non-raising) mode."""
+
+    queue: int
+    slot: int
+
+
+@dataclass
+class SimulationResult:
+    """Aggregate statistics returned by the buffer simulators."""
+
+    slots_simulated: int = 0
+    cells_in: int = 0
+    cells_out: int = 0
+    dram_reads: int = 0
+    dram_writes: int = 0
+    misses: list = field(default_factory=list)
+    max_head_sram_occupancy: int = 0
+    max_tail_sram_occupancy: int = 0
+    max_request_register_occupancy: int = 0
+    max_reorder_delay_slots: int = 0
+    bank_conflicts: int = 0
+
+    @property
+    def miss_count(self) -> int:
+        """Number of head-SRAM misses observed (must be zero for a correctly
+        dimensioned RADS/CFDS configuration)."""
+        return len(self.misses)
+
+    @property
+    def zero_miss(self) -> bool:
+        """True when the run honoured the paper's zero-miss guarantee."""
+        return not self.misses

@@ -1,0 +1,67 @@
+"""Tests for the Figure 10 reproduction (RADS vs CFDS area / access time)."""
+
+import pytest
+
+from repro.analysis.figure10 import figure10, figure10_summary
+
+
+@pytest.fixture(scope="module")
+def points():
+    return figure10(points=8)
+
+
+@pytest.fixture(scope="module")
+def summary():
+    return figure10_summary()
+
+
+class TestHeadlineComparison:
+    def test_some_cfds_configuration_meets_the_budget(self, summary):
+        assert summary["cfds_compliant_exists"]
+
+    def test_rads_never_meets_the_budget(self, points):
+        rads = [p for p in points if p.scheme == "RADS"]
+        assert rads and not any(p.meets_budget for p in rads)
+
+    def test_rads_best_access_time_is_several_ns(self, summary):
+        assert 5.0 < summary["best_rads_access_ns"] < 9.0    # paper: ~7 ns
+
+    def test_cfds_compliant_delay_is_tens_of_microseconds_at_most(self, summary):
+        assert summary["best_cfds_delay_us"] < 20.0          # paper: ~10 us
+
+    def test_cfds_needs_much_less_area_than_rads(self, summary):
+        assert summary["best_cfds_area_cm2"] < 0.5 * summary["best_rads_area_cm2"]
+
+
+class TestTradeoffShape:
+    def test_intermediate_granularity_is_optimal(self, points):
+        """The paper: 'there is an optimal value of b for any given CFDS
+        implementation' — the smallest SRAM is not at b=1 nor at b=16."""
+        best_by_b = {}
+        for p in points:
+            if p.scheme != "CFDS":
+                continue
+            best_by_b.setdefault(p.granularity, min(
+                q.head_sram_cells for q in points
+                if q.scheme == "CFDS" and q.granularity == p.granularity))
+        granularities = sorted(best_by_b)
+        best_b = min(best_by_b, key=best_by_b.get)
+        assert best_b not in (granularities[0], granularities[-1])
+
+    def test_delay_includes_latency_register_for_cfds(self, points):
+        for p in points:
+            if p.scheme == "CFDS":
+                assert p.latency_slots > 0
+            else:
+                assert p.latency_slots == 0
+
+    def test_smaller_granularity_shrinks_base_sram(self, points):
+        # At comparable (maximal) lookahead the b=8 head SRAM is far smaller
+        # than the RADS (b=32) one.
+        rads_max = max(p.head_sram_cells for p in points if p.scheme == "RADS")
+        cfds_b8_max = max(p.head_sram_cells for p in points
+                          if p.scheme == "CFDS" and p.granularity == 8)
+        assert cfds_b8_max < rads_max / 2
+
+    def test_points_carry_budget(self, points):
+        assert all(p.budget_ns == pytest.approx(3.2) for p in points)

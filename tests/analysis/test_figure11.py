@@ -1,0 +1,64 @@
+"""Tests for the Figure 11 reproduction (maximum number of queues)."""
+
+import pytest
+
+from repro.analysis.figure11 import figure11, figure11_summary, max_queues_for_granularity
+
+
+@pytest.fixture(scope="module")
+def points():
+    return figure11()
+
+
+@pytest.fixture(scope="module")
+def summary():
+    return figure11_summary()
+
+
+class TestHeadline:
+    def test_cfds_supports_several_hundred_queues(self, summary):
+        """Paper: up to ~850 queues for OC-3072."""
+        assert 500 <= summary["cfds_max_queues"] <= 1100
+
+    def test_rads_supports_far_fewer(self, summary):
+        assert summary["rads_max_queues"] < 300
+
+    def test_improvement_factor_is_large(self, summary):
+        """Paper: 'CFDS allows 6 times more queues'; we accept 3x-8x given the
+        calibrated technology model."""
+        assert 3.0 <= summary["improvement_ratio"] <= 8.0
+
+    def test_best_granularity_is_intermediate(self, summary):
+        assert summary["cfds_best_granularity"] in (2, 4, 8, 16)
+
+
+class TestShape:
+    def test_one_point_per_granularity(self, points):
+        assert [p.granularity for p in points] == [32, 16, 8, 4, 2, 1]
+        assert points[0].scheme == "RADS"
+        assert all(p.scheme == "CFDS" for p in points[1:])
+
+    def test_queue_counts_rise_then_fall(self, points):
+        counts = [p.max_queues for p in points]
+        peak_index = counts.index(max(counts))
+        assert 0 < peak_index < len(counts) - 1
+        assert counts[peak_index] > counts[0]
+        assert counts[peak_index] > counts[-1]
+
+    def test_reported_access_time_meets_budget(self, points):
+        for p in points:
+            if p.max_queues > 0:
+                assert p.access_time_ns <= p.budget_ns
+
+
+class TestSinglePoint:
+    def test_zero_queue_result_when_budget_unreachable(self):
+        point = max_queues_for_granularity(granularity=32, dram_access_slots=32,
+                                           oc_name="OC-3072", queue_limit=4096)
+        assert point.scheme == "RADS"
+        assert point.max_queues > 0
+
+    def test_respects_queue_limit(self):
+        point = max_queues_for_granularity(granularity=8, dram_access_slots=32,
+                                           queue_limit=100)
+        assert point.max_queues <= 100

@@ -1,0 +1,54 @@
+"""Tests for the Figure 8 reproduction (RADS SRAM vs lookahead)."""
+
+import pytest
+
+from repro.analysis.figure8 import figure8, figure8_summary
+
+
+class TestOC768Panel:
+    def test_sram_size_endpoints_match_paper(self):
+        summary = figure8_summary("OC-768")
+        assert 250 < summary["sram_kbytes_min_lookahead"] < 350   # paper: ~300 kB
+        assert 50 < summary["sram_kbytes_max_lookahead"] < 70     # paper: ~64 kB
+
+    def test_oc768_is_feasible(self):
+        """Paper conclusion: RADS is an ideal way of buffering at OC-768."""
+        points = figure8("OC-768")
+        assert all(p.linked_list_meets_budget for p in points)
+        assert all(p.cam_meets_budget for p in points)
+
+    def test_linked_list_area_is_modest(self):
+        points = figure8("OC-768")
+        assert all(p.linked_list_area_cm2 < 0.2 for p in points)
+
+
+class TestOC3072Panel:
+    def test_sram_size_endpoints_match_paper(self):
+        summary = figure8_summary("OC-3072")
+        assert 5.5 * 1024 < summary["sram_kbytes_min_lookahead"] < 7.0 * 1024  # ~6.2 MB
+        assert 0.9 * 1024 < summary["sram_kbytes_max_lookahead"] < 1.1 * 1024  # ~1.0 MB
+
+    def test_no_design_meets_the_3_2ns_budget(self):
+        """Paper conclusion: RADS does not scale to OC-3072."""
+        summary = figure8_summary("OC-3072")
+        assert not summary["any_design_meets_budget"]
+
+    def test_best_access_time_about_7ns_at_max_lookahead(self):
+        summary = figure8_summary("OC-3072")
+        assert 5.0 < summary["best_access_ns_max_lookahead"] < 8.5   # paper: ~7 ns
+
+
+class TestCurveShape:
+    def test_access_time_decreases_with_lookahead(self):
+        points = figure8("OC-3072", points=12)
+        cam_times = [p.cam_access_ns for p in points]
+        assert cam_times[0] > cam_times[-1]
+
+    def test_area_decreases_with_lookahead(self):
+        points = figure8("OC-768", points=12)
+        areas = [p.linked_list_area_cm2 for p in points]
+        assert areas[0] > areas[-1]
+
+    def test_queue_override(self):
+        points = figure8("OC-768", num_queues=64, points=4)
+        assert all(p.num_queues == 64 for p in points)

@@ -1,0 +1,53 @@
+"""Tests for the introduction's DRAM-only bandwidth analysis."""
+
+import pytest
+
+from repro.analysis.intro_dram import dram_family_comparison, intro_dram_analysis
+from repro.tech.dram_chips import COMMODITY_DRAM_CHIPS, guaranteed_buffer_bandwidth_gbps
+
+
+class TestSingleChipNumbers:
+    def test_peak_bandwidth_matches_paper(self):
+        chip = COMMODITY_DRAM_CHIPS["sdram-16mb"]
+        assert chip.peak_bandwidth_gbps == pytest.approx(1.6)
+
+    def test_guaranteed_bandwidth_close_to_paper(self):
+        """Paper: ~1.2 Gb/s guaranteed for the single chip (we model the
+        activate/precharge overhead slightly differently; within 15%)."""
+        value = guaranteed_buffer_bandwidth_gbps("sdram-16mb", 1)
+        assert value == pytest.approx(1.2, rel=0.15)
+
+    def test_eight_chip_configuration_matches_paper(self):
+        """Paper: an 8-chip, 8x wider configuration only guarantees 5.12 Gb/s."""
+        value = guaranteed_buffer_bandwidth_gbps("sdram-16mb", 8)
+        assert value == pytest.approx(5.12, rel=0.05)
+
+    def test_diminishing_returns(self):
+        one = guaranteed_buffer_bandwidth_gbps("sdram-16mb", 1)
+        eight = guaranteed_buffer_bandwidth_gbps("sdram-16mb", 8)
+        assert eight < 8 * one
+
+    def test_unknown_chip(self):
+        with pytest.raises(ValueError):
+            guaranteed_buffer_bandwidth_gbps("no-such-chip", 1)
+
+
+class TestAnalysisRows:
+    def test_rows_cover_requested_counts(self):
+        rows = intro_dram_analysis(chip_counts=(1, 4, 8))
+        assert [r.num_chips for r in rows] == [1, 4, 8]
+        assert all(r.guaranteed_gbps <= r.peak_gbps for r in rows)
+
+    def test_efficiency_decreases_with_width(self):
+        rows = intro_dram_analysis(chip_counts=(1, 2, 4, 8, 16))
+        efficiencies = [r.efficiency for r in rows]
+        assert efficiencies == sorted(efficiencies, reverse=True)
+
+    def test_no_configuration_reaches_oc3072(self):
+        rows = intro_dram_analysis(chip_counts=(1, 8, 32))
+        assert not any(r.supports_oc3072 for r in rows)
+
+    def test_family_comparison_includes_cited_parts(self):
+        rows = dram_family_comparison(num_chips=8)
+        names = {r.chip for r in rows}
+        assert {"rldram", "fcram", "ddr-sdram"} <= names

@@ -1,0 +1,31 @@
+"""Tests for the text-table formatter."""
+
+import pytest
+
+from repro.analysis.report import format_table
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        text = format_table(["a", "bee"], [[1, 2.5], [30, None]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "bee" in lines[0]
+        assert "-" in lines[-1]  # None renders as a dash
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="My table")
+        assert text.splitlines()[0] == "My table"
+
+    def test_bool_rendering(self):
+        text = format_table(["ok"], [[True], [False]])
+        assert "yes" in text and "no" in text
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[1234.5678], [0.00123], [3.14159]])
+        assert "1234.6" in text
+        assert "3.14" in text

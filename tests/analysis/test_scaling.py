@@ -1,0 +1,63 @@
+"""Tests for the technology-scaling extension study."""
+
+import pytest
+
+from repro.analysis.scaling import (
+    granularity_roadmap,
+    projected_dram_access_ns,
+    years_until_rads_suffices,
+)
+
+
+class TestProjection:
+    def test_no_elapsed_time_is_identity(self):
+        assert projected_dram_access_ns(0) == pytest.approx(48.0)
+
+    def test_18_months_is_ten_percent(self):
+        assert projected_dram_access_ns(1.5) == pytest.approx(48.0 * 0.9)
+
+    def test_monotone_decrease(self):
+        values = [projected_dram_access_ns(y) for y in (0, 3, 6, 12)]
+        assert values == sorted(values, reverse=True)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            projected_dram_access_ns(-1)
+        with pytest.raises(ValueError):
+            projected_dram_access_ns(1, improvement_per_18_months=1.5)
+
+
+class TestRoadmap:
+    def test_granularity_shrinks_over_time(self):
+        points = granularity_roadmap("OC-3072", num_queues=512)
+        granularities = [p.granularity for p in points]
+        assert granularities[0] == 32
+        assert granularities[-1] < granularities[0]
+        assert granularities == sorted(granularities, reverse=True)
+
+    def test_sram_shrinks_with_granularity(self):
+        points = granularity_roadmap("OC-3072", num_queues=512, years=[0, 9])
+        assert points[1].head_sram_cells < points[0].head_sram_cells
+
+    def test_oc3072_rads_not_feasible_today(self):
+        point = granularity_roadmap("OC-3072", num_queues=512, years=[0])[0]
+        assert not point.meets_budget
+
+    def test_oc768_rads_feasible_today(self):
+        point = granularity_roadmap("OC-768", num_queues=128, years=[0])[0]
+        assert point.meets_budget
+
+
+class TestYearsUntilSufficient:
+    def test_oc768_needs_no_waiting(self):
+        assert years_until_rads_suffices("OC-768", 128) == 0
+
+    def test_oc3072_needs_many_years_of_dram_scaling(self):
+        """The paper's motivating point: architectural change (CFDS) beats
+        waiting for DRAM to get faster."""
+        years = years_until_rads_suffices("OC-3072", 512)
+        assert years is None or years > 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            years_until_rads_suffices("OC-768", 128, horizon_years=0)

@@ -1,0 +1,63 @@
+"""Tests for the Table 2 reproduction."""
+
+import pytest
+
+from repro.analysis.table2 import (
+    PAPER_TABLE2_RR_SIZES,
+    PAPER_TABLE2_SCHED_TIMES_NS,
+    table2,
+)
+
+
+class TestRequestRegisterSizes:
+    @pytest.mark.parametrize("oc_name", ["OC-768", "OC-3072"])
+    def test_rr_sizes_match_paper_exactly(self, oc_name):
+        rows = {row.granularity: row for row in table2(oc_name)}
+        for granularity, expected in PAPER_TABLE2_RR_SIZES[oc_name].items():
+            row = rows[granularity]
+            if expected is None:
+                assert not row.valid or row.granularity == row.dram_access_slots
+            else:
+                assert row.rr_size_hardware == expected, (
+                    f"{oc_name} b={granularity}: expected RR {expected}, "
+                    f"got {row.rr_size_hardware}")
+
+
+class TestSchedulingTimes:
+    @pytest.mark.parametrize("oc_name", ["OC-768", "OC-3072"])
+    def test_scheduling_times_match_paper(self, oc_name):
+        rows = {row.granularity: row for row in table2(oc_name)}
+        for granularity, expected in PAPER_TABLE2_SCHED_TIMES_NS[oc_name].items():
+            row = rows[granularity]
+            if expected is None:
+                assert row.scheduling_time_ns is None
+            else:
+                assert row.scheduling_time_ns == pytest.approx(expected)
+
+
+class TestFeasibilityVerdicts:
+    def test_oc768_is_always_feasible(self):
+        """Paper: 'the implementation of the RR logic for OC-768 is fairly
+        trivial'."""
+        for row in table2("OC-768"):
+            if row.valid and row.scheduling_time_ns is not None:
+                assert row.feasibility == "trivial"
+
+    def test_oc3072_b1_is_infeasible(self):
+        """Paper: 'the implementation ... for OC-3072 and b=1 is certainly of
+        difficult viability'."""
+        rows = {row.granularity: row for row in table2("OC-3072")}
+        assert rows[1].feasibility == "infeasible"
+
+    def test_oc3072_intermediate_granularities_attainable(self):
+        """Paper: 'the design is attainable for values of b higher than 2, and
+        possible (yet aggressive) for b=2'."""
+        rows = {row.granularity: row for row in table2("OC-3072")}
+        for granularity in (16, 8, 4):
+            assert rows[granularity].feasibility == "trivial"
+        assert rows[2].feasibility in ("aggressive", "trivial")
+
+    def test_invalid_granularities_flagged(self):
+        rows = {row.granularity: row for row in table2("OC-768")}
+        assert not rows[32].valid
+        assert not rows[16].valid

@@ -1,0 +1,26 @@
+"""Shared pytest fixtures and helpers for the packet-buffer test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import CFDSConfig
+from repro.rads.config import RADSConfig
+from repro.types import Cell
+
+
+@pytest.fixture
+def small_rads_config() -> RADSConfig:
+    """A small but non-trivial RADS configuration used across tests."""
+    return RADSConfig(num_queues=4, granularity=3)
+
+
+@pytest.fixture
+def small_cfds_config() -> CFDSConfig:
+    """A small but non-trivial CFDS configuration (B/b = 4 banks per group)."""
+    return CFDSConfig(num_queues=8, dram_access_slots=8, granularity=2, num_banks=32)
+
+
+def make_cells(queue: int, count: int, start_seqno: int = 0):
+    """Build ``count`` consecutive cells of one queue."""
+    return [Cell(queue=queue, seqno=start_seqno + i) for i in range(count)]

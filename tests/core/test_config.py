@@ -1,0 +1,76 @@
+"""Tests for CFDSConfig."""
+
+import pytest
+
+from repro.core.config import CFDSConfig
+from repro.core import sizing
+from repro.errors import ConfigurationError
+from repro.rads.sizing import ecqf_safe_lookahead
+
+
+class TestDefaults:
+    def test_lookahead_defaults_to_ecqf_safe_value_for_b(self):
+        config = CFDSConfig(num_queues=16, dram_access_slots=8, granularity=2, num_banks=32)
+        assert config.effective_lookahead == ecqf_safe_lookahead(16, 2)
+
+    def test_latency_defaults_to_equation3(self):
+        config = CFDSConfig(num_queues=16, dram_access_slots=8, granularity=2, num_banks=32)
+        assert config.effective_latency == sizing.latency_slots(16, 32, 8, 2)
+
+    def test_rr_capacity_defaults_to_hardware_size(self):
+        config = CFDSConfig(num_queues=512, dram_access_slots=32, granularity=8)
+        assert config.effective_rr_capacity == 64  # Table 2, OC-3072, b=8
+
+    def test_rr_capacity_at_least_one_for_degenerate_case(self):
+        config = CFDSConfig(num_queues=16, dram_access_slots=8, granularity=8, num_banks=8)
+        assert config.effective_rr_capacity == 1
+
+    def test_head_sram_default_uses_equation4_plus_prefetch_margin(self):
+        config = CFDSConfig(num_queues=16, dram_access_slots=8, granularity=2, num_banks=32)
+        expected = (sizing.cfds_sram_size(config.effective_lookahead, 16, 32, 8, 2)
+                    + config.effective_lookahead + 2)
+        assert config.effective_head_sram_cells == expected
+
+    def test_physical_access_time_defaults_to_half_b(self):
+        config = CFDSConfig(num_queues=16, dram_access_slots=8, granularity=2, num_banks=32)
+        assert config.effective_dram_random_access_slots == 4
+        assert config.orr_size == 1
+
+    def test_structure_properties(self):
+        config = CFDSConfig(num_queues=16, dram_access_slots=8, granularity=2, num_banks=32)
+        assert config.banks_per_group == 4
+        assert config.num_groups == 8
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"num_queues": 0, "dram_access_slots": 8, "granularity": 2},
+        {"num_queues": 4, "dram_access_slots": 8, "granularity": 3},
+        {"num_queues": 4, "dram_access_slots": 8, "granularity": 2, "num_banks": 30},
+        {"num_queues": 4, "dram_access_slots": 8, "granularity": 2, "lookahead": 0},
+        {"num_queues": 4, "dram_access_slots": 8, "granularity": 2, "latency": -1},
+        {"num_queues": 4, "dram_access_slots": 8, "granularity": 2,
+         "dram_random_access_slots": 9},
+    ])
+    def test_bad_parameters_rejected(self, kwargs):
+        kwargs.setdefault("num_banks", 32)
+        with pytest.raises(ConfigurationError):
+            CFDSConfig(**kwargs)
+
+
+class TestForLineRate:
+    def test_oc3072_paper_configuration(self):
+        config = CFDSConfig.for_line_rate("OC-3072", granularity=8)
+        assert config.num_queues == 512
+        assert config.dram_access_slots == 32
+        assert config.granularity == 8
+        assert config.num_banks == 256
+
+    def test_oc768_paper_configuration(self):
+        config = CFDSConfig.for_line_rate("OC-768", granularity=2)
+        assert config.dram_access_slots == 8
+        assert config.num_queues == 128
+
+    def test_unknown_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CFDSConfig.for_line_rate("OC-1", granularity=2)

@@ -1,0 +1,49 @@
+"""Tests for the FIFO Requests Register used by the DSA ablation."""
+
+import pytest
+
+from repro.core.request_register import FIFORequestRegister, RequestRegister
+from repro.types import ReplenishRequest, TransferDirection
+
+
+def _request(queue=0, slot=0, block=0):
+    return ReplenishRequest(queue=queue, direction=TransferDirection.READ,
+                            cells=2, issue_slot=slot, block_index=block)
+
+
+class TestFIFORequestRegister:
+    def test_policy_names(self):
+        assert RequestRegister().policy == "oldest-ready"
+        assert FIFORequestRegister().policy == "fifo"
+
+    def test_issues_in_strict_fifo_order(self):
+        rr = FIFORequestRegister()
+        rr.push(_request(queue=0), bank=1, slot=0)
+        rr.push(_request(queue=1), bank=2, slot=1)
+        assert rr.select(set()).request.queue == 0
+        assert rr.select(set()).request.queue == 1
+
+    def test_stalls_when_head_is_blocked_even_if_younger_is_ready(self):
+        rr = FIFORequestRegister()
+        rr.push(_request(queue=0), bank=1, slot=0)
+        rr.push(_request(queue=1), bank=2, slot=1)
+        assert rr.select(locked_banks={1}) is None
+        assert rr.occupancy() == 2
+        assert rr.max_skips_observed >= 1
+
+    def test_issues_head_once_unblocked(self):
+        rr = FIFORequestRegister()
+        rr.push(_request(queue=0), bank=1, slot=0)
+        rr.select(locked_banks={1})
+        entry = rr.select(locked_banks=set())
+        assert entry is not None and entry.request.queue == 0
+
+    def test_scheduler_accepts_policy_names(self):
+        from repro.core.config import CFDSConfig
+        from repro.core.scheduler import DRAMSchedulerSubsystem
+
+        config = CFDSConfig(num_queues=8, dram_access_slots=8, granularity=2, num_banks=32)
+        fifo = DRAMSchedulerSubsystem(config, dsa_policy="fifo")
+        assert isinstance(fifo.request_register, FIFORequestRegister)
+        with pytest.raises(ValueError):
+            DRAMSchedulerSubsystem(config, dsa_policy="round-robin")

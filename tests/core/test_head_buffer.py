@@ -1,0 +1,111 @@
+"""Tests for the CFDS head-side simulator."""
+
+import pytest
+
+from repro.core.config import CFDSConfig
+from repro.core.head_buffer import CFDSHeadBuffer
+from repro.errors import CacheMissError
+from repro.traffic.arbiters import RandomArbiter, RoundRobinAdversary
+
+UNBOUNDED = [10 ** 9] * 64
+
+
+def _run(config, arbiter, slots):
+    buffer = CFDSHeadBuffer(config)
+    result = buffer.run(arbiter.next_request(s, UNBOUNDED[:config.num_queues])
+                        for s in range(slots))
+    return buffer, result
+
+
+class TestZeroMissGuarantee:
+    @pytest.mark.parametrize("num_queues,big_b,b,banks", [
+        (8, 8, 2, 16), (8, 8, 4, 16), (16, 8, 2, 32), (16, 16, 4, 64), (6, 4, 2, 8)])
+    def test_round_robin_adversary_never_misses(self, num_queues, big_b, b, banks):
+        config = CFDSConfig(num_queues=num_queues, dram_access_slots=big_b,
+                            granularity=b, num_banks=banks)
+        _, result = _run(config, RoundRobinAdversary(num_queues), 4000)
+        assert result.zero_miss
+        assert result.cells_out == 4000
+        assert result.bank_conflicts == 0
+
+    def test_random_requests_never_miss(self):
+        config = CFDSConfig(num_queues=12, dram_access_slots=8, granularity=2, num_banks=32)
+        _, result = _run(config, RandomArbiter(12, load=1.0, seed=3), 4000)
+        assert result.zero_miss
+        assert result.bank_conflicts == 0
+
+    def test_in_order_delivery_per_queue(self):
+        config = CFDSConfig(num_queues=8, dram_access_slots=8, granularity=2, num_banks=16)
+        buffer = CFDSHeadBuffer(config)
+        adversary = RoundRobinAdversary(8)
+        served = []
+        for slot in range(1200):
+            cell = buffer.step(adversary.next_request(slot, UNBOUNDED[:8]))
+            if cell is not None:
+                served.append(cell)
+        per_queue = {}
+        for cell in served:
+            per_queue.setdefault(cell.queue, []).append(cell.seqno)
+        for seqnos in per_queue.values():
+            assert seqnos == list(range(len(seqnos)))
+
+    def test_structures_stay_within_analytical_bounds(self):
+        config = CFDSConfig(num_queues=16, dram_access_slots=16, granularity=4, num_banks=64)
+        _, result = _run(config, RoundRobinAdversary(16), 5000)
+        assert result.max_head_sram_occupancy <= config.effective_head_sram_cells
+        assert result.max_request_register_occupancy <= config.effective_rr_capacity
+        # Total request-to-data delay never exceeds lookahead-equivalent bound:
+        # the RR wait plus the physical access fits inside the latency budget
+        # plus one MMA period.
+        assert result.max_reorder_delay_slots <= (config.effective_latency
+                                                  + config.granularity
+                                                  + config.dram_access_slots)
+
+    def test_grossly_undersized_latency_register_misses(self):
+        # Remove the latency register entirely and shrink the lookahead: the
+        # reordering delay is no longer absorbed and misses appear.
+        config = CFDSConfig(num_queues=16, dram_access_slots=16, granularity=2,
+                            num_banks=32, latency=0, lookahead=4, strict=False)
+        _, result = _run(config, RoundRobinAdversary(16), 3000)
+        assert result.miss_count > 0
+
+    def test_strict_mode_raises_on_miss(self):
+        config = CFDSConfig(num_queues=16, dram_access_slots=16, granularity=2,
+                            num_banks=32, latency=0, lookahead=4, strict=True)
+        buffer = CFDSHeadBuffer(config)
+        adversary = RoundRobinAdversary(16)
+        with pytest.raises(CacheMissError):
+            for slot in range(3000):
+                buffer.step(adversary.next_request(slot, UNBOUNDED[:16]))
+
+
+class TestMechanics:
+    def test_total_request_delay_is_lookahead_plus_latency(self):
+        config = CFDSConfig(num_queues=8, dram_access_slots=8, granularity=2, num_banks=16)
+        buffer = CFDSHeadBuffer(config)
+        assert buffer.total_request_delay == (config.effective_lookahead
+                                              + config.effective_latency)
+
+    def test_grant_arrives_exactly_after_total_delay(self):
+        config = CFDSConfig(num_queues=4, dram_access_slots=4, granularity=2,
+                            num_banks=8, lookahead=6, latency=5)
+        buffer = CFDSHeadBuffer(config)
+        buffer.step(2)
+        grants = [buffer.step(None) for _ in range(20)]
+        first_grant_index = next(i for i, g in enumerate(grants) if g is not None)
+        # The request entered at slot 0 and must be granted 11 slots later,
+        # i.e. on the 11th subsequent step (index 10 in this list).
+        assert first_grant_index == 10
+        assert grants[first_grant_index].queue == 2
+
+    def test_invalid_request_rejected(self):
+        config = CFDSConfig(num_queues=4, dram_access_slots=4, granularity=2, num_banks=8)
+        buffer = CFDSHeadBuffer(config)
+        with pytest.raises(ValueError):
+            buffer.step(4)
+
+    def test_dram_reads_counted(self):
+        config = CFDSConfig(num_queues=8, dram_access_slots=8, granularity=2, num_banks=16)
+        _, result = _run(config, RoundRobinAdversary(8), 1000)
+        assert result.dram_reads > 0
+        assert result.cells_out == 1000

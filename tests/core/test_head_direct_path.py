@@ -1,0 +1,62 @@
+"""Tests for the head buffers' direct-acceptance (cut-through) paths."""
+
+import pytest
+
+from repro.core.config import CFDSConfig
+from repro.core.head_buffer import CFDSHeadBuffer
+from repro.dram.store import DRAMQueueStore
+from repro.rads.config import RADSConfig
+from repro.rads.head_buffer import RADSHeadBuffer
+from repro.types import Cell
+
+
+class TestRADSAcceptDirect:
+    def test_direct_cell_is_served_without_a_dram_read(self):
+        config = RADSConfig(num_queues=2, granularity=2, lookahead=3)
+        dram = DRAMQueueStore(2)   # empty, nothing backlogged
+        buffer = RADSHeadBuffer(config, dram=dram)
+        buffer.accept_direct(Cell(queue=1, seqno=0))
+        assert buffer.counters.get(1) == 1
+        buffer.step(1)
+        served = [buffer.step(None) for _ in range(5)]
+        granted = [c for c in served if c is not None]
+        assert len(granted) == 1
+        assert granted[0].queue == 1 and granted[0].seqno == 0
+        assert buffer.result.dram_reads == 0
+
+    def test_bypass_serve_counts(self):
+        config = RADSConfig(num_queues=2, granularity=2, lookahead=2)
+        dram = DRAMQueueStore(2)
+        stash = {1: Cell(queue=1, seqno=0)}
+
+        def bypass(queue, expected_seqno):
+            cell = stash.get(queue)
+            if cell is not None and cell.seqno == expected_seqno:
+                del stash[queue]
+                return cell
+            return None
+
+        buffer = RADSHeadBuffer(config, dram=dram, bypass_source=bypass)
+        buffer.step(1)
+        for _ in range(3):
+            buffer.step(None)
+        assert buffer.bypass_serves == 1
+        assert buffer.result.zero_miss
+
+
+class TestCFDSAcceptDirect:
+    def test_direct_cell_served_in_order_with_fetched_cells(self):
+        config = CFDSConfig(num_queues=4, dram_access_slots=4, granularity=2,
+                            num_banks=8, lookahead=4, latency=4)
+        dram = DRAMQueueStore(4)
+        dram.push_many([Cell(queue=2, seqno=0), Cell(queue=2, seqno=1)])
+        buffer = CFDSHeadBuffer(config, dram=dram)
+        # Cell 2 of queue 2 never went to DRAM; it is accepted directly.
+        buffer.accept_direct(Cell(queue=2, seqno=2))
+        served = []
+        for request in [2, 2, 2] + [None] * 20:
+            cell = buffer.step(request)
+            if cell is not None:
+                served.append(cell.seqno)
+        assert served == [0, 1, 2]
+        assert buffer.result.zero_miss

@@ -1,0 +1,24 @@
+"""Tests for the latency shift register."""
+
+from repro.core.latency_register import LatencyRegister
+
+
+class TestLatencyRegister:
+    def test_delays_by_exactly_length(self):
+        register = LatencyRegister(length=4)
+        outputs = [register.shift(i) for i in range(10)]
+        assert outputs[:4] == [None] * 4
+        assert outputs[4:] == [0, 1, 2, 3, 4, 5]
+
+    def test_zero_length_passthrough(self):
+        register = LatencyRegister(length=0)
+        assert register.shift(9) == 9
+
+    def test_peak_occupancy_tracked(self):
+        register = LatencyRegister(length=5)
+        for i in range(3):
+            register.shift(i)
+        for _ in range(10):
+            register.shift(None)
+        assert register.peak_occupancy == 3
+        assert register.count() == 0

@@ -1,0 +1,88 @@
+"""Tests for the block-cyclic bank/group mapping (Figure 6)."""
+
+import pytest
+
+from repro.core.mapping import CFDSBankMapping
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def mapping():
+    # 32 banks, B=8, b=2 -> 4 banks per group, 8 groups, 16 queues.
+    return CFDSBankMapping(num_queues=16, num_banks=32, dram_access_slots=8, granularity=2)
+
+
+class TestStructure:
+    def test_groups_and_banks_per_group(self, mapping):
+        assert mapping.banks_per_group == 4
+        assert mapping.num_groups == 8
+        assert mapping.queues_per_group == 2
+
+    def test_invalid_divisibility(self):
+        with pytest.raises(ConfigurationError):
+            CFDSBankMapping(num_queues=4, num_banks=32, dram_access_slots=8, granularity=3)
+        with pytest.raises(ConfigurationError):
+            CFDSBankMapping(num_queues=4, num_banks=30, dram_access_slots=8, granularity=2)
+
+    def test_queues_per_group_rounds_up(self):
+        mapping = CFDSBankMapping(num_queues=17, num_banks=32,
+                                  dram_access_slots=8, granularity=2)
+        assert mapping.queues_per_group == 3
+
+
+class TestBankAssignment:
+    def test_queue_stays_in_its_group(self, mapping):
+        for queue in range(16):
+            group = mapping.group_of(queue)
+            for block in range(10):
+                address = mapping.bank_of(queue, block)
+                assert address.group == group
+                assert group * 4 <= address.bank < (group + 1) * 4
+
+    def test_block_cyclic_rotation(self, mapping):
+        banks = [mapping.bank_of(5, block).bank_in_group for block in range(8)]
+        assert banks == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_consecutive_blocks_never_collide_within_window(self, mapping):
+        """B/b consecutive accesses to the same queue touch distinct banks."""
+        window = mapping.banks_per_group
+        for queue in range(16):
+            for start in range(6):
+                banks = {mapping.bank_of(queue, start + i).bank for i in range(window)}
+                assert len(banks) == window
+
+    def test_different_groups_use_disjoint_banks(self, mapping):
+        banks_of_group = {}
+        for queue in range(16):
+            group = mapping.group_of(queue)
+            banks_of_group.setdefault(group, set()).add(mapping.bank_of(queue, 0).bank)
+        all_banks = [bank for banks in banks_of_group.values() for bank in banks]
+        assert len(all_banks) == len(set(all_banks))
+
+    def test_validation(self, mapping):
+        with pytest.raises(ValueError):
+            mapping.bank_of(99, 0)
+        with pytest.raises(ValueError):
+            mapping.bank_of(0, -1)
+
+
+class TestAddressEncoding:
+    def test_roundtrip(self, mapping):
+        for queue in (0, 3, 15):
+            for block in (0, 1, 7, 123):
+                address = mapping.encode_address(queue, block)
+                assert mapping.decode_queue_block(address) == (queue, block)
+                assert mapping.decode_address(address) == mapping.bank_of(queue, block)
+
+    def test_low_order_bits_are_zero(self, mapping):
+        # Addresses are aligned to b x 64 bytes (Figure 6: the low-order bits
+        # are always zero).
+        alignment = mapping.granularity * 64
+        for queue in range(4):
+            assert mapping.encode_address(queue, 5) % alignment == 0
+
+    def test_out_of_range_block(self):
+        mapping = CFDSBankMapping(num_queues=4, num_banks=8, dram_access_slots=4,
+                                  granularity=2, queue_capacity_blocks=16)
+        with pytest.raises(ValueError):
+            mapping.encode_address(0, 16)

@@ -1,0 +1,48 @@
+"""Tests for the Ongoing Requests Register."""
+
+import pytest
+
+from repro.core.ongoing_register import OngoingRequestsRegister
+
+
+class TestORR:
+    def test_banks_stay_locked_for_exactly_length_periods(self):
+        orr = OngoingRequestsRegister(length=3)
+        orr.advance([7])
+        assert 7 in orr
+        orr.advance([])
+        orr.advance([])
+        assert 7 in orr
+        orr.advance([])
+        assert 7 not in orr
+
+    def test_multiple_banks_per_period(self):
+        orr = OngoingRequestsRegister(length=2)
+        orr.advance([1, 2])
+        orr.advance([3])
+        assert orr.locked_banks() == {1, 2, 3}
+        orr.advance([])
+        assert orr.locked_banks() == {3}
+
+    def test_zero_length_never_locks(self):
+        orr = OngoingRequestsRegister(length=0)
+        orr.advance([5])
+        assert orr.locked_banks() == set()
+
+    def test_advance_returns_retired_entry(self):
+        orr = OngoingRequestsRegister(length=1)
+        assert orr.advance([4]) == ()
+        assert orr.advance([6]) == (4,)
+
+    def test_contents_snapshot(self):
+        orr = OngoingRequestsRegister(length=2)
+        orr.advance([1])
+        orr.advance([2, 3])
+        assert orr.contents() == [(1,), (2, 3)]
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            OngoingRequestsRegister(length=-1)
+
+    def test_len(self):
+        assert len(OngoingRequestsRegister(length=5)) == 5

@@ -1,0 +1,120 @@
+"""Tests for the queue-renaming anti-fragmentation mechanism (Section 6)."""
+
+import pytest
+
+from repro.core.renaming import RenamingRegister, RenamingTable
+from repro.errors import RenamingError
+
+
+class TestRenamingRegister:
+    def test_write_then_read_roundtrip(self):
+        register = RenamingRegister(logical_queue=0)
+        register.open_entry(physical_queue=7)
+        register.record_write(4)
+        assert register.total_cells() == 4
+        translation = register.record_read(2)
+        assert translation.takes == [(7, 2)]
+        assert translation.released == []
+        assert register.total_cells() == 2
+
+    def test_entry_released_when_drained(self):
+        register = RenamingRegister(logical_queue=0)
+        register.open_entry(3)
+        register.record_write(2)
+        translation = register.record_read(2)
+        assert translation.released == [3]
+        assert len(register) == 0
+
+    def test_reads_span_entries_in_fifo_order(self):
+        register = RenamingRegister(logical_queue=0)
+        register.open_entry(3)
+        register.record_write(2)
+        register.open_entry(9)
+        register.record_write(2)
+        translation = register.record_read(3)
+        assert translation.takes == [(3, 2), (9, 1)]
+        assert translation.released == [3]
+        assert register.physical_queues() == [9]
+
+    def test_read_beyond_recorded_cells_fails(self):
+        register = RenamingRegister(logical_queue=0)
+        register.open_entry(1)
+        register.record_write(1)
+        with pytest.raises(RenamingError):
+            register.record_read(5)
+
+    def test_write_without_entry_fails(self):
+        register = RenamingRegister(logical_queue=0)
+        with pytest.raises(RenamingError):
+            register.record_write(1)
+
+
+class TestRenamingTable:
+    def test_logical_queue_spills_across_groups_when_group_fills(self):
+        table = RenamingTable(num_logical=2, num_physical=8, num_groups=4,
+                              group_capacity_cells=4)
+        physicals = set()
+        for _ in range(4):  # 4 blocks of 4 cells = 16 cells >> one group's 4
+            physicals.add(table.translate_write(0, 4))
+        groups = {p % 4 for p in physicals}
+        assert len(groups) == 4, "the logical queue must occupy several groups"
+        # The whole DRAM is usable by a single logical queue.
+        assert sum(table.group_occupancy()) == 16
+
+    def test_without_capacity_one_physical_queue_per_logical(self):
+        table = RenamingTable(num_logical=2, num_physical=4, num_groups=2)
+        first = table.translate_write(0, 3)
+        second = table.translate_write(0, 3)
+        assert first == second
+        assert table.physical_in_use() == 1
+
+    def test_reads_follow_writes_in_fifo_order(self):
+        table = RenamingTable(num_logical=1, num_physical=8, num_groups=4,
+                              group_capacity_cells=2)
+        written = [table.translate_write(0, 2) for _ in range(3)]
+        read = [table.translate_read(0, 2) for _ in range(3)]
+        assert read == written
+
+    def test_physical_queue_reused_after_release(self):
+        table = RenamingTable(num_logical=1, num_physical=2, num_groups=1,
+                              group_capacity_cells=100)
+        first = table.translate_write(0, 2)
+        table.translate_read(0, 2)
+        assert table.physical_in_use() == 0
+        second = table.translate_write(0, 2)
+        assert second in (0, 1)
+        assert table.physical_in_use() == 1
+
+    def test_runs_out_of_room_when_everything_is_full(self):
+        table = RenamingTable(num_logical=1, num_physical=2, num_groups=2,
+                              group_capacity_cells=2)
+        table.translate_write(0, 2)
+        table.translate_write(0, 2)
+        with pytest.raises(RenamingError):
+            table.translate_write(0, 2)
+
+    def test_read_of_inactive_queue_fails(self):
+        table = RenamingTable(num_logical=2, num_physical=4, num_groups=2)
+        with pytest.raises(RenamingError):
+            table.translate_read(1, 1)
+
+    def test_group_balance_prefers_emptier_group(self):
+        table = RenamingTable(num_logical=4, num_physical=8, num_groups=2,
+                              group_capacity_cells=100)
+        table.translate_write(0, 10)      # group of physical 0
+        second = table.translate_write(1, 2)
+        first_group = table.register(0).physical_queues()[0] % 2
+        assert second % 2 != first_group
+
+    def test_oversubscription_validation(self):
+        with pytest.raises(RenamingError):
+            RenamingTable(num_logical=8, num_physical=4, num_groups=2)
+        with pytest.raises(ValueError):
+            RenamingTable(num_logical=0, num_physical=4, num_groups=2)
+
+    def test_cells_recorded_and_peek(self):
+        table = RenamingTable(num_logical=2, num_physical=4, num_groups=2)
+        assert table.peek_read(0) is None
+        physical = table.translate_write(0, 4)
+        assert table.cells_recorded(0) == 4
+        assert table.peek_read(0) == physical

@@ -1,0 +1,88 @@
+"""Tests for the Requests Register (issue-queue) model."""
+
+import pytest
+
+from repro.core.request_register import RequestRegister
+from repro.errors import BufferOverflowError
+from repro.types import ReplenishRequest, TransferDirection
+
+
+def _request(queue=0, slot=0, block=0):
+    return ReplenishRequest(queue=queue, direction=TransferDirection.READ,
+                            cells=2, issue_slot=slot, block_index=block)
+
+
+class TestWakeUpSelect:
+    def test_oldest_ready_entry_is_selected(self):
+        rr = RequestRegister()
+        rr.push(_request(queue=0), bank=1, slot=0)
+        rr.push(_request(queue=1), bank=2, slot=2)
+        rr.push(_request(queue=2), bank=3, slot=4)
+        entry = rr.select(locked_banks=set())
+        assert entry.request.queue == 0
+        assert rr.occupancy() == 2
+
+    def test_locked_banks_are_skipped(self):
+        rr = RequestRegister()
+        rr.push(_request(queue=0), bank=1, slot=0)
+        rr.push(_request(queue=1), bank=2, slot=2)
+        entry = rr.select(locked_banks={1})
+        assert entry.request.queue == 1
+        # The skipped entry is still there and recorded one skip.
+        remaining = rr.entries()
+        assert len(remaining) == 1
+        assert remaining[0].request.queue == 0
+        assert remaining[0].skips == 1
+
+    def test_select_returns_none_when_everything_locked(self):
+        rr = RequestRegister()
+        rr.push(_request(queue=0), bank=1, slot=0)
+        assert rr.select(locked_banks={1}) is None
+        assert rr.occupancy() == 1
+        assert rr.max_skips_observed == 1
+
+    def test_select_empty_register(self):
+        rr = RequestRegister()
+        assert rr.select(set()) is None
+
+    def test_age_order_maintained_after_out_of_order_issue(self):
+        rr = RequestRegister()
+        for queue, bank in enumerate([5, 6, 7, 5]):
+            rr.push(_request(queue=queue), bank=bank, slot=queue)
+        rr.select(locked_banks={5})          # issues queue 1 (bank 6)
+        banks = rr.pending_banks()
+        assert banks == [5, 7, 5]            # compaction keeps age order
+
+    def test_wake_up_vector(self):
+        rr = RequestRegister()
+        rr.push(_request(queue=0), bank=1, slot=0)
+        rr.push(_request(queue=1), bank=2, slot=1)
+        assert rr.wake_up({2}) == [True, False]
+
+
+class TestCapacityAndStats:
+    def test_capacity_enforced(self):
+        rr = RequestRegister(capacity=2)
+        rr.push(_request(), bank=0, slot=0)
+        rr.push(_request(), bank=1, slot=1)
+        with pytest.raises(BufferOverflowError):
+            rr.push(_request(), bank=2, slot=2)
+
+    def test_peak_occupancy_and_issue_count(self):
+        rr = RequestRegister()
+        for i in range(5):
+            rr.push(_request(queue=i), bank=i, slot=i)
+        for _ in range(3):
+            rr.select(set())
+        assert rr.peak_occupancy == 5
+        assert rr.issued_count == 3
+        assert len(rr) == 2
+
+    def test_payload_travels_with_entry(self):
+        rr = RequestRegister()
+        rr.push(_request(queue=3), bank=0, slot=0, payload="cells")
+        assert rr.select(set()).payload == "cells"
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            RequestRegister(capacity=-1)

@@ -1,0 +1,106 @@
+"""Tests for the CFDS sizing equations (1)-(4) and the Table 2 values."""
+
+import pytest
+
+from repro.core import sizing
+from repro.errors import ConfigurationError
+
+
+class TestStructure:
+    def test_banks_per_group(self):
+        assert sizing.banks_per_group(32, 8) == 4
+        assert sizing.banks_per_group(32, 32) == 1
+
+    def test_num_groups(self):
+        assert sizing.num_groups(256, 32, 8) == 64
+        assert sizing.num_groups(256, 32, 1) == 8
+
+    def test_queues_per_group_with_and_without_writes(self):
+        assert sizing.queues_per_group(512, 256, 32, 8, account_writes=True) == 16
+        assert sizing.queues_per_group(512, 256, 32, 8, account_writes=False) == 8
+
+    def test_orr_size(self):
+        assert sizing.orr_size(32, 8) == 3
+        assert sizing.orr_size(32, 32) == 0
+
+    def test_invalid_divisibility(self):
+        with pytest.raises(ConfigurationError):
+            sizing.banks_per_group(32, 5)
+        with pytest.raises(ConfigurationError):
+            sizing.num_groups(100, 32, 1)
+
+
+class TestTable2RequestRegisterSizes:
+    """The ten Requests Register sizes printed in Table 2 must be reproduced
+    exactly by the hardware (power-of-two) size."""
+
+    @pytest.mark.parametrize("granularity,expected", [
+        (32, 0), (16, 8), (8, 64), (4, 256), (2, 1024), (1, 4096)])
+    def test_oc3072_row(self, granularity, expected):
+        assert sizing.request_register_hardware_size(512, 256, 32, granularity) == expected
+
+    @pytest.mark.parametrize("granularity,expected", [
+        (8, 0), (4, 2), (2, 16), (1, 64)])
+    def test_oc768_row(self, granularity, expected):
+        assert sizing.request_register_hardware_size(128, 256, 8, granularity) == expected
+
+    def test_analytical_size_never_exceeds_hardware_size(self):
+        for granularity in (1, 2, 4, 8, 16, 32):
+            analytical = sizing.request_register_size(512, 256, 32, granularity)
+            hardware = sizing.request_register_hardware_size(512, 256, 32, granularity)
+            assert analytical <= hardware or hardware == 0
+
+
+class TestTable2SchedulingTimes:
+    @pytest.mark.parametrize("granularity,expected_ns", [
+        (16, 51.2), (8, 25.6), (4, 12.8), (2, 6.4), (1, 3.2)])
+    def test_oc3072_scheduling_time(self, granularity, expected_ns):
+        assert sizing.scheduling_time_ns(granularity, 160e9) == pytest.approx(expected_ns)
+
+    @pytest.mark.parametrize("granularity,expected_ns", [
+        (4, 51.2), (2, 25.6), (1, 12.8)])
+    def test_oc768_scheduling_time(self, granularity, expected_ns):
+        assert sizing.scheduling_time_ns(granularity, 40e9) == pytest.approx(expected_ns)
+
+    def test_invalid_granularity(self):
+        with pytest.raises(ConfigurationError):
+            sizing.scheduling_time_ns(0, 40e9)
+
+
+class TestDelayAndSRAM:
+    def test_latency_is_zero_extra_when_b_equals_big_b(self):
+        # b == B degenerates to RADS: no reordering, only the (B - b) = 0 term.
+        assert sizing.latency_slots(512, 256, 32, 32) == 0
+
+    def test_latency_grows_as_granularity_shrinks(self):
+        values = [sizing.latency_slots(512, 256, 32, b) for b in (16, 8, 4, 2, 1)]
+        assert values == sorted(values)
+
+    def test_max_skips_matches_rr_size_form(self):
+        assert sizing.max_skips(512, 256, 32, 8) == sizing.request_register_size(512, 256, 32, 8)
+
+    def test_cfds_sram_exceeds_rads_at_same_granularity(self):
+        from repro.rads.sizing import rads_sram_size
+
+        lookahead = 512 * 7 + 1
+        cfds = sizing.cfds_sram_size(lookahead, 512, 256, 32, 8)
+        rads = rads_sram_size(lookahead, 512, 8)
+        assert cfds > rads
+        assert cfds == rads + sizing.latency_slots(512, 256, 32, 8)
+
+    def test_cfds_sram_much_smaller_than_rads_at_paper_point(self):
+        """The headline claim: granularity reduction shrinks the SRAM by
+        roughly an order of magnitude despite the reordering overhead."""
+        from repro.rads.sizing import ecqf_max_lookahead, rads_sram_size
+
+        rads_cells = rads_sram_size(ecqf_max_lookahead(512, 32), 512, 32)
+        cfds_cells = sizing.cfds_sram_size(ecqf_max_lookahead(512, 8), 512, 256, 32, 8)
+        assert cfds_cells < rads_cells / 3
+
+    def test_total_delay_combines_lookahead_and_latency(self):
+        total = sizing.cfds_total_delay_slots(100, 512, 256, 32, 8)
+        assert total == 100 + sizing.latency_slots(512, 256, 32, 8)
+
+    def test_cfds_sram_bytes(self):
+        cells = sizing.cfds_sram_size(100, 64, 64, 16, 4)
+        assert sizing.cfds_sram_bytes(100, 64, 64, 16, 4) == cells * 64

@@ -1,0 +1,82 @@
+"""Tests for the CFDS tail-side simulator."""
+
+import pytest
+
+from repro.core.config import CFDSConfig
+from repro.core.scheduler import DRAMSchedulerSubsystem
+from repro.core.tail_buffer import CFDSTailBuffer
+from repro.types import Cell, TransferDirection
+
+
+def _config(**overrides):
+    defaults = dict(num_queues=8, dram_access_slots=8, granularity=2, num_banks=32)
+    defaults.update(overrides)
+    return CFDSConfig(**defaults)
+
+
+def _cell(queue, seqno):
+    return Cell(queue=queue, seqno=seqno)
+
+
+class TestEvictionsThroughScheduler:
+    def test_eviction_submits_write_request(self):
+        config = _config()
+        scheduler = DRAMSchedulerSubsystem(config)
+        stored = []
+        tail = CFDSTailBuffer(config, scheduler=scheduler,
+                              evict_sink=lambda q, cells: (stored.append((q, cells)) or (q, 0)))
+        for seqno in range(4):
+            tail.step(_cell(0, seqno))
+        assert stored, "a block must have been evicted"
+        pending = scheduler.request_register.entries() or scheduler._in_flight
+        assert tail.result.dram_writes >= 1
+
+    def test_write_requests_carry_block_ordinals(self):
+        config = _config()
+        scheduler = DRAMSchedulerSubsystem(config)
+        tail = CFDSTailBuffer(config, scheduler=scheduler)
+        for seqno in range(12):
+            tail.step(_cell(3, seqno))
+        directions = set()
+        blocks = []
+        for entry in scheduler.request_register.entries():
+            directions.add(entry.request.direction)
+            blocks.append(entry.request.block_index)
+        for job, _ in scheduler._in_flight:
+            directions.add(job.request.direction)
+            blocks.append(job.request.block_index)
+        issued = scheduler.dram.completed_count
+        assert directions <= {TransferDirection.WRITE}
+        assert sorted(blocks) == list(range(issued + len(blocks)))[issued:]
+
+    def test_dropped_block_counts_cells(self):
+        config = _config()
+        tail = CFDSTailBuffer(config, evict_sink=lambda q, cells: None)
+        for seqno in range(6):
+            tail.step(_cell(0, seqno))
+        assert tail.dropped_cells >= 2
+
+    def test_default_sink_assigns_sequential_ordinals(self):
+        config = _config()
+        tail = CFDSTailBuffer(config)
+        locations = []
+        original = tail.evict_sink
+
+        def spy(queue, cells):
+            location = original(queue, cells)
+            locations.append(location)
+            return location
+
+        tail.evict_sink = spy
+        for seqno in range(8):
+            tail.step(_cell(1, seqno))
+        assert locations == [(1, 0), (1, 1), (1, 2)]
+
+    def test_peek_and_pop_direct(self):
+        config = _config()
+        tail = CFDSTailBuffer(config)
+        tail.step(_cell(2, 0))
+        assert tail.peek_direct(2).seqno == 0
+        assert [c.seqno for c in tail.pop_direct(2, 3)] == [0]
+        assert tail.peek_direct(2) is None
+        assert tail.occupancy(2) == 0

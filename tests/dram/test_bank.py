@@ -1,0 +1,61 @@
+"""Tests for a single DRAM bank's busy tracking and conflict detection."""
+
+import pytest
+
+from repro.dram.bank import DRAMBank
+from repro.errors import BankConflictError
+
+
+class TestBusyTracking:
+    def test_idle_initially(self):
+        bank = DRAMBank(index=0, random_access_slots=8)
+        assert not bank.is_busy(0)
+        assert bank.busy_until() == 0
+
+    def test_access_makes_bank_busy_for_access_time(self):
+        bank = DRAMBank(index=0, random_access_slots=8)
+        finish = bank.begin_access(10)
+        assert finish == 18
+        assert bank.is_busy(10)
+        assert bank.is_busy(17)
+        assert not bank.is_busy(18)
+
+    def test_back_to_back_accesses_allowed_at_boundary(self):
+        bank = DRAMBank(index=0, random_access_slots=4)
+        bank.begin_access(0)
+        finish = bank.begin_access(4)
+        assert finish == 8
+        assert bank.conflict_count == 0
+
+    def test_access_count(self):
+        bank = DRAMBank(index=1, random_access_slots=2)
+        bank.begin_access(0)
+        bank.begin_access(2)
+        bank.begin_access(4)
+        assert bank.access_count == 3
+
+
+class TestConflicts:
+    def test_overlapping_access_raises_in_strict_mode(self):
+        bank = DRAMBank(index=0, random_access_slots=8)
+        bank.begin_access(0)
+        with pytest.raises(BankConflictError) as info:
+            bank.begin_access(5)
+        assert info.value.bank == 0
+        assert info.value.busy_until == 8
+
+    def test_overlapping_access_serialises_in_relaxed_mode(self):
+        bank = DRAMBank(index=0, random_access_slots=8)
+        bank.begin_access(0)
+        finish = bank.begin_access(5, strict=False)
+        assert finish == 16  # queued behind the first access
+        assert bank.conflict_count == 1
+
+    def test_reset_clears_everything(self):
+        bank = DRAMBank(index=0, random_access_slots=8)
+        bank.begin_access(0)
+        bank.begin_access(3, strict=False)
+        bank.reset()
+        assert not bank.is_busy(0)
+        assert bank.access_count == 0
+        assert bank.conflict_count == 0

@@ -1,0 +1,78 @@
+"""Tests for the banked DRAM array."""
+
+import pytest
+
+from repro.dram.dram import BankedDRAM
+from repro.dram.timing import DRAMTiming
+from repro.errors import BankConflictError, ConfigurationError
+from repro.types import ReplenishRequest, TransferDirection
+
+
+def _request(queue=0, cells=2, slot=0, block=0):
+    return ReplenishRequest(queue=queue, direction=TransferDirection.READ,
+                            cells=cells, issue_slot=slot, block_index=block)
+
+
+@pytest.fixture
+def dram():
+    return BankedDRAM(DRAMTiming(random_access_slots=4, num_banks=8))
+
+
+class TestAccessLifecycle:
+    def test_start_and_complete(self, dram):
+        job = dram.start_access(_request(), bank=3, slot=0)
+        assert job.finish_slot == 4
+        assert dram.in_flight_count == 1
+        assert dram.pop_completed(3) == []
+        done = dram.pop_completed(4)
+        assert len(done) == 1
+        assert done[0].bank == 3
+        assert dram.in_flight_count == 0
+        assert dram.completed_count == 1
+
+    def test_parallel_accesses_to_different_banks(self, dram):
+        for bank in range(8):
+            dram.start_access(_request(queue=bank), bank=bank, slot=0)
+        assert dram.in_flight_count == 8
+        assert sorted(dram.busy_banks(0)) == list(range(8))
+        assert len(dram.pop_completed(4)) == 8
+
+    def test_conflict_detected(self, dram):
+        dram.start_access(_request(), bank=2, slot=0)
+        with pytest.raises(BankConflictError):
+            dram.start_access(_request(), bank=2, slot=2)
+        assert dram.total_conflicts == 1
+
+    def test_relaxed_mode_counts_but_does_not_raise(self):
+        dram = BankedDRAM(DRAMTiming(random_access_slots=4, num_banks=2), strict=False)
+        dram.start_access(_request(), bank=0, slot=0)
+        dram.start_access(_request(), bank=0, slot=1)
+        assert dram.total_conflicts == 1
+
+    def test_bank_index_out_of_range(self, dram):
+        with pytest.raises(ConfigurationError):
+            dram.start_access(_request(), bank=99, slot=0)
+
+
+class TestIntrospection:
+    def test_access_histogram(self, dram):
+        dram.start_access(_request(), bank=1, slot=0)
+        dram.start_access(_request(), bank=1, slot=4)
+        dram.start_access(_request(), bank=5, slot=4)
+        histogram = dram.access_histogram()
+        assert histogram[1] == 2
+        assert histogram[5] == 1
+        assert histogram[0] == 0
+
+    def test_is_bank_busy(self, dram):
+        dram.start_access(_request(), bank=6, slot=10)
+        assert dram.is_bank_busy(6, 12)
+        assert not dram.is_bank_busy(6, 14)
+        assert not dram.is_bank_busy(0, 12)
+
+    def test_reset(self, dram):
+        dram.start_access(_request(), bank=0, slot=0)
+        dram.reset()
+        assert dram.in_flight_count == 0
+        assert dram.total_conflicts == 0
+        assert dram.busy_banks(0) == []

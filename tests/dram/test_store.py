@@ -1,0 +1,93 @@
+"""Tests for the per-queue DRAM content store."""
+
+import pytest
+
+from repro.dram.store import DRAMQueueStore
+from repro.errors import BufferOverflowError, QueueEmptyError
+from repro.types import Cell
+
+
+def _cells(queue, count, start=0):
+    return [Cell(queue=queue, seqno=start + i) for i in range(count)]
+
+
+class TestFIFOBehaviour:
+    def test_push_then_pop_preserves_order(self):
+        store = DRAMQueueStore(num_queues=2)
+        store.push_many(_cells(0, 5))
+        block = store.pop_block(0, 3)
+        assert [c.seqno for c in block] == [0, 1, 2]
+        block = store.pop_block(0, 3)
+        assert [c.seqno for c in block] == [3, 4]
+
+    def test_queues_are_independent(self):
+        store = DRAMQueueStore(num_queues=3)
+        store.push_many(_cells(0, 2))
+        store.push_many(_cells(2, 2))
+        assert store.occupancy(0) == 2
+        assert store.occupancy(1) == 0
+        assert store.occupancy(2) == 2
+        assert store.occupancy() == 4
+
+    def test_peek_does_not_remove(self):
+        store = DRAMQueueStore(num_queues=1)
+        store.push_many(_cells(0, 2))
+        assert store.peek(0).seqno == 0
+        assert store.occupancy(0) == 2
+
+    def test_peek_empty_raises(self):
+        store = DRAMQueueStore(num_queues=1)
+        with pytest.raises(QueueEmptyError):
+            store.peek(0)
+
+    def test_pop_block_requires_positive_count(self):
+        store = DRAMQueueStore(num_queues=1)
+        with pytest.raises(ValueError):
+            store.pop_block(0, 0)
+
+    def test_unknown_queue_rejected(self):
+        store = DRAMQueueStore(num_queues=2)
+        with pytest.raises(ValueError):
+            store.push(Cell(queue=5, seqno=0))
+        with pytest.raises(ValueError):
+            store.occupancy(9)
+
+
+class TestCapacity:
+    def test_overflow_raises(self):
+        store = DRAMQueueStore(num_queues=1, capacity_cells=3)
+        store.push_many(_cells(0, 3))
+        with pytest.raises(BufferOverflowError):
+            store.push(Cell(queue=0, seqno=3))
+
+    def test_peak_occupancy_tracked(self):
+        store = DRAMQueueStore(num_queues=1)
+        store.push_many(_cells(0, 4))
+        store.pop_block(0, 4)
+        assert store.peak_occupancy == 4
+        assert store.occupancy() == 0
+
+
+class TestBacklogMode:
+    def test_backlogged_queue_synthesises_cells(self):
+        store = DRAMQueueStore(num_queues=2)
+        store.mark_backlogged([1])
+        block = store.pop_block(1, 4)
+        assert [c.seqno for c in block] == [0, 1, 2, 3]
+        block = store.pop_block(1, 2)
+        assert [c.seqno for c in block] == [4, 5]
+
+    def test_backlogged_queue_serves_real_cells_first(self):
+        store = DRAMQueueStore(num_queues=1)
+        store.push_many(_cells(0, 2))
+        store.mark_backlogged([0])
+        block = store.pop_block(0, 4)
+        assert [c.seqno for c in block] == [0, 1, 2, 3]  # synthetic cells continue the stream
+
+    def test_has_cells(self):
+        store = DRAMQueueStore(num_queues=2)
+        store.mark_backlogged([0])
+        assert store.has_cells(0)
+        assert not store.has_cells(1)
+        store.push(Cell(queue=1, seqno=0))
+        assert store.has_cells(1)

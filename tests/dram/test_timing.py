@@ -1,0 +1,44 @@
+"""Tests for the DRAM timing parameters."""
+
+import pytest
+
+from repro.constants import OC_LINE_RATES_BPS
+from repro.dram.timing import DRAMTiming
+from repro.errors import ConfigurationError
+
+
+class TestValidation:
+    def test_rejects_non_positive_access_time(self):
+        with pytest.raises(ConfigurationError):
+            DRAMTiming(random_access_slots=0)
+
+    def test_rejects_non_positive_banks(self):
+        with pytest.raises(ConfigurationError):
+            DRAMTiming(random_access_slots=4, num_banks=0)
+
+    def test_rejects_non_positive_bus(self):
+        with pytest.raises(ConfigurationError):
+            DRAMTiming(random_access_slots=4, address_bus_slots=0)
+
+    def test_defaults(self):
+        timing = DRAMTiming(random_access_slots=8)
+        assert timing.num_banks == 1
+        assert timing.address_bus_slots == 1
+
+
+class TestFromPhysical:
+    def test_48ns_at_oc3072_is_15_slots(self):
+        timing = DRAMTiming.from_physical(OC_LINE_RATES_BPS["OC-3072"], 48.0)
+        assert timing.random_access_slots == 15  # 48 / 3.2
+
+    def test_48ns_at_oc768_rounds_up(self):
+        timing = DRAMTiming.from_physical(OC_LINE_RATES_BPS["OC-768"], 48.0)
+        assert timing.random_access_slots == 4  # ceil(48 / 12.8) = 4
+
+    def test_never_below_one_slot(self):
+        timing = DRAMTiming.from_physical(OC_LINE_RATES_BPS["OC-192"], 1.0)
+        assert timing.random_access_slots == 1
+
+    def test_bank_count_carried_through(self):
+        timing = DRAMTiming.from_physical(OC_LINE_RATES_BPS["OC-768"], 48.0, num_banks=64)
+        assert timing.num_banks == 64

@@ -1,0 +1,85 @@
+"""Closed-loop integration tests: full buffers under realistic traffic."""
+
+import pytest
+
+from repro.core.buffer import CFDSPacketBuffer
+from repro.core.config import CFDSConfig
+from repro.rads.buffer import RADSPacketBuffer
+from repro.rads.config import RADSConfig
+from repro.sim.engine import ClosedLoopSimulation
+from repro.traffic.arbiters import (
+    LongestQueueArbiter,
+    OldestCellArbiter,
+    RandomArbiter,
+)
+from repro.traffic.arrivals import (
+    BernoulliArrivals,
+    BurstyArrivals,
+    HotspotArrivals,
+    RoundRobinArrivals,
+)
+
+TRAFFIC_MIXES = [
+    ("bernoulli-random", lambda n, s: BernoulliArrivals(n, load=0.9, seed=s),
+     lambda n: RandomArbiter(n, load=0.95, seed=99)),
+    ("bursty-longest", lambda n, s: BurstyArrivals(n, mean_burst_cells=20, load=0.9, seed=s),
+     lambda n: LongestQueueArbiter(n)),
+    ("hotspot-oldest", lambda n, s: HotspotArrivals(n, hot_queues=[0, 1], hot_fraction=0.7,
+                                                    load=0.9, seed=s),
+     lambda n: OldestCellArbiter(n)),
+    ("roundrobin-oldest", lambda n, s: RoundRobinArrivals(n, load=1.0, seed=s),
+     lambda n: OldestCellArbiter(n)),
+]
+
+
+@pytest.mark.parametrize("name,make_arrivals,make_arbiter", TRAFFIC_MIXES,
+                         ids=[t[0] for t in TRAFFIC_MIXES])
+class TestRADSClosedLoop:
+    def test_no_miss_no_loss_and_work_conserving(self, name, make_arrivals, make_arbiter):
+        config = RADSConfig(num_queues=8, granularity=4)
+        buffer = RADSPacketBuffer(config)
+        report = ClosedLoopSimulation(buffer, make_arrivals(8, 7), make_arbiter(8)).run(4000)
+        assert report.zero_miss
+        assert report.throughput.drops == 0
+        assert report.throughput.departures > 0.85 * report.throughput.arrivals
+
+
+@pytest.mark.parametrize("name,make_arrivals,make_arbiter", TRAFFIC_MIXES,
+                         ids=[t[0] for t in TRAFFIC_MIXES])
+class TestCFDSClosedLoop:
+    def test_no_miss_no_conflict_and_work_conserving(self, name, make_arrivals, make_arbiter):
+        config = CFDSConfig(num_queues=8, dram_access_slots=8, granularity=2, num_banks=32)
+        buffer = CFDSPacketBuffer(config)
+        report = ClosedLoopSimulation(buffer, make_arrivals(8, 11), make_arbiter(8)).run(4000)
+        assert report.zero_miss
+        assert report.buffer_result.bank_conflicts == 0
+        assert report.throughput.departures > 0.85 * report.throughput.arrivals
+
+
+class TestDelayAccounting:
+    def test_cfds_delay_exceeds_rads_by_the_latency_register(self):
+        """CFDS buys its smaller SRAM with extra pipeline delay: the minimum
+        cell delay grows by exactly the latency register length."""
+        rads_config = RADSConfig(num_queues=8, granularity=4)
+        cfds_config = CFDSConfig(num_queues=8, dram_access_slots=8, granularity=2,
+                                 num_banks=32)
+        rads = RADSPacketBuffer(rads_config)
+        cfds = CFDSPacketBuffer(cfds_config)
+        rads_report = ClosedLoopSimulation(
+            rads, BernoulliArrivals(8, load=0.5, seed=3),
+            RandomArbiter(8, load=0.6, seed=4)).run(3000)
+        cfds_report = ClosedLoopSimulation(
+            cfds, BernoulliArrivals(8, load=0.5, seed=3),
+            RandomArbiter(8, load=0.6, seed=4)).run(3000)
+        assert rads_report.latency.minimum >= rads_config.effective_lookahead
+        assert cfds_report.latency.minimum >= (cfds_config.effective_lookahead
+                                               + cfds_config.effective_latency)
+
+    def test_throughput_statistics_are_consistent(self):
+        config = CFDSConfig(num_queues=4, dram_access_slots=4, granularity=2, num_banks=16)
+        buffer = CFDSPacketBuffer(config)
+        report = ClosedLoopSimulation(buffer,
+                                      BernoulliArrivals(4, load=0.6, seed=8),
+                                      OldestCellArbiter(4)).run(2000)
+        assert report.latency.count == report.throughput.departures
+        assert report.throughput.slots >= 2000

@@ -1,0 +1,81 @@
+"""Property-based tests of the zero-miss guarantee (the paper's central claim).
+
+The head subsystem — RADS or CFDS — must never miss for *any* request
+sequence when dimensioned by the paper's formulas.  Hypothesis generates
+arbitrary admissible request sequences (including idle slots); the round-robin
+adversary from Section 3 is covered separately by deterministic tests.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import CFDSConfig
+from repro.core.head_buffer import CFDSHeadBuffer
+from repro.rads.config import RADSConfig
+from repro.rads.head_buffer import RADSHeadBuffer
+
+
+def _request_sequences(num_queues: int, length: int):
+    return st.lists(
+        st.one_of(st.none(), st.integers(min_value=0, max_value=num_queues - 1)),
+        min_size=length, max_size=length)
+
+
+class TestRADSZeroMissProperty:
+    @given(_request_sequences(num_queues=5, length=400))
+    @settings(max_examples=40, deadline=None)
+    def test_any_request_pattern_is_served_without_miss(self, requests):
+        config = RADSConfig(num_queues=5, granularity=3)
+        buffer = RADSHeadBuffer(config)
+        result = buffer.run(requests)
+        assert result.zero_miss
+        assert result.cells_out == sum(1 for r in requests if r is not None)
+
+    @given(_request_sequences(num_queues=3, length=300),
+           st.integers(min_value=2, max_value=5))
+    @settings(max_examples=30, deadline=None)
+    def test_guarantee_holds_across_granularities(self, requests, granularity):
+        config = RADSConfig(num_queues=3, granularity=granularity)
+        buffer = RADSHeadBuffer(config)
+        result = buffer.run(requests)
+        assert result.zero_miss
+
+    @given(_request_sequences(num_queues=4, length=400))
+    @settings(max_examples=30, deadline=None)
+    def test_sram_never_exceeds_configured_capacity(self, requests):
+        config = RADSConfig(num_queues=4, granularity=4)
+        buffer = RADSHeadBuffer(config)
+        result = buffer.run(requests)
+        assert result.max_head_sram_occupancy <= config.effective_head_sram_cells
+
+
+class TestCFDSZeroMissProperty:
+    @given(_request_sequences(num_queues=8, length=500))
+    @settings(max_examples=30, deadline=None)
+    def test_any_request_pattern_is_served_without_miss(self, requests):
+        config = CFDSConfig(num_queues=8, dram_access_slots=8, granularity=2, num_banks=32)
+        buffer = CFDSHeadBuffer(config)
+        result = buffer.run(requests)
+        assert result.zero_miss
+        assert result.bank_conflicts == 0
+        assert result.cells_out == sum(1 for r in requests if r is not None)
+
+    @given(_request_sequences(num_queues=6, length=400),
+           st.sampled_from([(8, 2), (8, 4), (4, 2), (16, 4)]))
+    @settings(max_examples=25, deadline=None)
+    def test_guarantee_holds_across_geometries(self, requests, geometry):
+        big_b, b = geometry
+        config = CFDSConfig(num_queues=6, dram_access_slots=big_b, granularity=b,
+                            num_banks=big_b // b * 8)
+        buffer = CFDSHeadBuffer(config)
+        result = buffer.run(requests)
+        assert result.zero_miss
+        assert result.bank_conflicts == 0
+
+    @given(_request_sequences(num_queues=8, length=400))
+    @settings(max_examples=25, deadline=None)
+    def test_reordering_structures_stay_within_bounds(self, requests):
+        config = CFDSConfig(num_queues=8, dram_access_slots=8, granularity=2, num_banks=32)
+        buffer = CFDSHeadBuffer(config)
+        result = buffer.run(requests)
+        assert result.max_request_register_occupancy <= config.effective_rr_capacity
+        assert result.max_head_sram_occupancy <= config.effective_head_sram_cells

@@ -1,0 +1,73 @@
+"""Tests for the Earliest Critical Queue First MMA."""
+
+import pytest
+
+from repro.mma.ecqf import ECQF
+
+
+class TestPaperExample:
+    def test_section3_example_selects_queue_1(self):
+        """The worked example of Section 3: Q=4, B=3, occupancy (1,2,1,3) and
+        lookahead 3 3 1 1 1 ... — queue 1 (index 0 here) must be selected,
+        otherwise it misses after 5 slots."""
+        # The figure's queues are 1-indexed; index 0 below is 'queue 1'.
+        counters = [1, 2, 1, 3]
+        # Lookahead head-to-tail: requests for queues 1,1,1,3,3,... (paper
+        # figure shows "3 3 1 1 1" written tail-to-head).
+        lookahead = [0, 0, 0, 2, 2, 1]
+        assert ECQF().select(counters, lookahead) == 0
+
+
+class TestCriticality:
+    def test_first_critical_queue_wins(self):
+        ecqf = ECQF()
+        counters = [1, 0, 5]
+        lookahead = [0, 1, 0, 2]
+        # queue 1 runs dry at the second request (counter 0), queue 0 at the
+        # third (counter 1 but two requests): queue 1 becomes critical first.
+        assert ecqf.select(counters, lookahead) == 1
+
+    def test_order_within_lookahead_matters(self):
+        ecqf = ECQF()
+        counters = [0, 0]
+        assert ecqf.select(counters, [0, 1]) == 0
+        assert ecqf.select(counters, [1, 0]) == 1
+
+    def test_bubbles_are_ignored(self):
+        ecqf = ECQF()
+        assert ecqf.select([0, 1], [None, None, 1, None, 1]) == 1
+
+    def test_negative_counter_takes_priority(self):
+        # A queue whose counter already went negative has unmet requests older
+        # than anything in the lookahead: it must be replenished first.
+        ecqf = ECQF()
+        counters = [1, -2, -1]
+        lookahead = [0, 0, 0]
+        assert ecqf.select(counters, lookahead) == 1
+
+    def test_no_critical_queue_without_fallback(self):
+        ecqf = ECQF(fallback_to_most_deficit=False)
+        assert ecqf.select([3, 3], [0, 1, 0]) is None
+
+    def test_no_critical_queue_with_fallback_picks_most_deficit(self):
+        ecqf = ECQF(fallback_to_most_deficit=True)
+        # Neither queue goes negative, but queue 0 has unmet demand (3 > 2).
+        assert ecqf.select([2, 5], [0, 0, 0, 1]) == 0
+
+    def test_fallback_does_nothing_when_every_demand_is_covered(self):
+        ecqf = ECQF(fallback_to_most_deficit=True)
+        # Queue 2 has the lowest occupancy but no pending request, and the
+        # requested queues already hold more cells than they owe.
+        assert ecqf.select([4, 3, 0], [0, 1]) is None
+
+    def test_idle_lookahead_returns_none(self):
+        assert ECQF().select([1, 1], [None, None]) is None
+        assert ECQF(fallback_to_most_deficit=False).select([1, 1], []) is None
+
+
+class TestSimulateDrainHelper:
+    def test_simulate_drain(self):
+        from repro.mma.base import HeadMMA
+
+        remaining = HeadMMA.simulate_drain([2, 1], [0, 1, 0, 0, None])
+        assert remaining == [-1, 0]

@@ -1,0 +1,27 @@
+"""Tests for the Most Deficit Queue First MMA."""
+
+from repro.mma.mdqf import MDQF
+
+
+class TestMDQF:
+    def test_selects_largest_deficit(self):
+        mdqf = MDQF()
+        counters = [4, 1, 0]
+        lookahead = [0, 1, 1, 2, 2, 2]
+        # deficits: q0 = 1-4 = -3, q1 = 2-1 = 1, q2 = 3-0 = 3
+        assert mdqf.select(counters, lookahead) == 2
+
+    def test_negative_counters_count_as_deficit(self):
+        mdqf = MDQF()
+        assert mdqf.select([-3, 0], [1]) == 0
+
+    def test_idle_system_returns_none(self):
+        mdqf = MDQF()
+        assert mdqf.select([2, 2], [None, None]) is None
+
+    def test_tie_breaks_to_lowest_index(self):
+        mdqf = MDQF()
+        assert mdqf.select([0, 0], [0, 1]) == 0
+
+    def test_name(self):
+        assert MDQF().name == "mdqf"

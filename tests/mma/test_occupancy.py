@@ -1,0 +1,58 @@
+"""Tests for the MMA occupancy counters."""
+
+import pytest
+
+from repro.mma.occupancy import OccupancyCounters
+
+
+class TestOccupancyCounters:
+    def test_initial_values(self):
+        counters = OccupancyCounters(num_queues=3, initial=2)
+        assert counters.snapshot() == [2, 2, 2]
+        assert counters.total() == 6
+
+    def test_add_and_consume(self):
+        counters = OccupancyCounters(num_queues=2)
+        counters.add(0, 4)
+        counters.consume(0)
+        counters.consume(0, 2)
+        assert counters.get(0) == 1
+        assert counters.get(1) == 0
+
+    def test_counters_can_go_negative(self):
+        # Bookkeeping may go negative transiently in a closed-loop system;
+        # the counters themselves do not clamp.
+        counters = OccupancyCounters(num_queues=1)
+        counters.consume(0)
+        assert counters.get(0) == -1
+        assert counters.negative_queues() == [0]
+
+    def test_min_queue(self):
+        counters = OccupancyCounters(num_queues=3)
+        counters.add(0, 5)
+        counters.add(2, 1)
+        assert counters.min_queue() == 1
+
+    def test_min_queue_tie_breaks_to_lowest_index(self):
+        counters = OccupancyCounters(num_queues=3, initial=1)
+        assert counters.min_queue() == 0
+
+    def test_snapshot_is_a_copy(self):
+        counters = OccupancyCounters(num_queues=2)
+        snapshot = counters.snapshot()
+        snapshot[0] = 99
+        assert counters.get(0) == 0
+
+    def test_as_dict(self):
+        counters = OccupancyCounters(num_queues=2)
+        counters.add(1, 3)
+        assert counters.as_dict() == {0: 0, 1: 3}
+
+    def test_bounds_checked(self):
+        counters = OccupancyCounters(num_queues=2)
+        with pytest.raises(ValueError):
+            counters.get(5)
+        with pytest.raises(ValueError):
+            OccupancyCounters(num_queues=0)
+        with pytest.raises(ValueError):
+            OccupancyCounters(num_queues=1, initial=-1)

@@ -1,0 +1,58 @@
+"""Tests for the fixed-delay shift register."""
+
+import pytest
+
+from repro.mma.shift_register import ShiftRegister
+
+
+class TestShiftRegister:
+    def test_item_emerges_after_exactly_length_shifts(self):
+        register = ShiftRegister(length=3)
+        assert register.shift("a") is None
+        assert register.shift("b") is None
+        assert register.shift("c") is None
+        assert register.shift("d") == "a"
+        assert register.shift(None) == "b"
+
+    def test_zero_length_is_a_wire(self):
+        register = ShiftRegister(length=0)
+        assert register.shift("x") == "x"
+        assert register.shift(None) is None
+
+    def test_bubbles_propagate(self):
+        register = ShiftRegister(length=2)
+        register.shift("a")
+        register.shift(None)
+        assert register.shift("b") == "a"
+        assert register.shift(None) is None
+        assert register.shift(None) == "b"
+
+    def test_contents_head_first(self):
+        register = ShiftRegister(length=3)
+        register.shift(1)
+        register.shift(2)
+        assert register.contents() == [None, 1, 2]
+
+    def test_occupied_and_count(self):
+        register = ShiftRegister(length=4)
+        register.shift(1)
+        register.shift(None)
+        register.shift(3)
+        assert register.occupied() == [1, 3]
+        assert register.count() == 2
+
+    def test_len(self):
+        assert len(ShiftRegister(length=7)) == 7
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            ShiftRegister(length=-1)
+
+    def test_fifo_order_preserved_over_long_sequence(self):
+        register = ShiftRegister(length=5)
+        out = []
+        for i in range(50):
+            result = register.shift(i)
+            if result is not None:
+                out.append(result)
+        assert out == list(range(45))

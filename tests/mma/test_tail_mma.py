@@ -1,0 +1,31 @@
+"""Tests for the threshold tail MMA."""
+
+import pytest
+
+from repro.mma.tail_mma import ThresholdTailMMA
+
+
+class TestThresholdTailMMA:
+    def test_selects_queue_with_full_block(self):
+        mma = ThresholdTailMMA(granularity=4)
+        assert mma.select([2, 4, 1]) == 1
+
+    def test_prefers_largest_occupancy(self):
+        mma = ThresholdTailMMA(granularity=4)
+        assert mma.select([6, 4, 9]) == 2
+
+    def test_no_queue_eligible(self):
+        mma = ThresholdTailMMA(granularity=4)
+        assert mma.select([3, 3, 0]) is None
+
+    def test_granularity_one_always_eligible_when_nonempty(self):
+        mma = ThresholdTailMMA(granularity=1)
+        assert mma.select([0, 0, 1]) == 2
+        assert mma.select([0, 0, 0]) is None
+
+    def test_required_sram_cells(self):
+        assert ThresholdTailMMA.required_sram_cells(num_queues=4, granularity=3) == 4 * 2 + 3
+
+    def test_invalid_granularity(self):
+        with pytest.raises(ValueError):
+            ThresholdTailMMA(granularity=0)

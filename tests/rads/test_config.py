@@ -1,0 +1,65 @@
+"""Tests for RADSConfig."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.rads.config import RADSConfig
+from repro.rads.sizing import ecqf_max_lookahead, ecqf_safe_lookahead, rads_sram_size
+
+
+class TestDefaults:
+    def test_effective_lookahead_is_ecqf_maximum_plus_phase_margin(self):
+        config = RADSConfig(num_queues=16, granularity=4)
+        assert config.effective_lookahead == ecqf_safe_lookahead(16, 4)
+        assert config.effective_lookahead == ecqf_max_lookahead(16, 4) + 3
+
+    def test_explicit_lookahead_respected(self):
+        config = RADSConfig(num_queues=16, granularity=4, lookahead=10)
+        assert config.effective_lookahead == 10
+
+    def test_head_sram_default_adds_prefetch_window_margin(self):
+        config = RADSConfig(num_queues=16, granularity=4)
+        expected = (rads_sram_size(config.effective_lookahead, 16, 4)
+                    + config.effective_lookahead + 4)
+        assert config.effective_head_sram_cells == expected
+
+    def test_tail_sram_default(self):
+        config = RADSConfig(num_queues=16, granularity=4)
+        assert config.effective_tail_sram_cells == 16 * 3 + 4
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"num_queues": 0, "granularity": 4},
+        {"num_queues": 4, "granularity": 0},
+        {"num_queues": 4, "granularity": 4, "lookahead": 0},
+        {"num_queues": 4, "granularity": 4, "head_sram_cells": 0},
+        {"num_queues": 4, "granularity": 4, "tail_sram_cells": -1},
+    ])
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            RADSConfig(**kwargs)
+
+
+class TestForLineRate:
+    def test_oc768_defaults(self):
+        config = RADSConfig.for_line_rate("OC-768")
+        assert config.num_queues == 128
+        assert config.granularity == 8
+
+    def test_oc3072_defaults(self):
+        config = RADSConfig.for_line_rate("OC-3072")
+        assert config.num_queues == 512
+        assert config.granularity == 32
+
+    def test_queue_override(self):
+        config = RADSConfig.for_line_rate("OC-768", num_queues=64)
+        assert config.num_queues == 64
+
+    def test_custom_dram_changes_granularity(self):
+        config = RADSConfig.for_line_rate("OC-3072", dram_random_access_ns=20.0)
+        assert config.granularity < 32
+
+    def test_unknown_line_rate(self):
+        with pytest.raises(ConfigurationError):
+            RADSConfig.for_line_rate("OC-9999")

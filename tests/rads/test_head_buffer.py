@@ -1,0 +1,119 @@
+"""Tests for the RADS head-side simulator."""
+
+import pytest
+
+from repro.errors import CacheMissError
+from repro.mma.mdqf import MDQF
+from repro.rads.config import RADSConfig
+from repro.rads.head_buffer import RADSHeadBuffer
+from repro.traffic.arbiters import RoundRobinAdversary
+
+
+def _run_adversary(config, slots=3000):
+    buffer = RADSHeadBuffer(config)
+    adversary = RoundRobinAdversary(config.num_queues)
+    unbounded = [10 ** 9] * config.num_queues
+    return buffer, buffer.run(adversary.next_request(s, unbounded) for s in range(slots))
+
+
+class TestZeroMissGuarantee:
+    @pytest.mark.parametrize("num_queues,granularity", [(4, 3), (8, 4), (16, 8), (5, 2)])
+    def test_round_robin_adversary_never_misses(self, num_queues, granularity):
+        config = RADSConfig(num_queues=num_queues, granularity=granularity)
+        _, result = _run_adversary(config)
+        assert result.zero_miss
+        assert result.cells_out == 3000
+
+    def test_every_request_is_served_exactly_in_order(self):
+        config = RADSConfig(num_queues=4, granularity=3)
+        buffer = RADSHeadBuffer(config)
+        adversary = RoundRobinAdversary(4)
+        served = []
+        for slot in range(800):
+            cell = buffer.step(adversary.next_request(slot, [10 ** 9] * 4))
+            if cell is not None:
+                served.append(cell)
+        for _ in range(config.effective_lookahead):
+            cell = buffer.step(None)
+            if cell is not None:
+                served.append(cell)
+        per_queue = {}
+        for cell in served:
+            per_queue.setdefault(cell.queue, []).append(cell.seqno)
+        for queue, seqnos in per_queue.items():
+            assert seqnos == list(range(len(seqnos)))
+
+    def test_sram_occupancy_stays_near_analytical_bound_under_adversary(self):
+        """Under the paper's worst-case (round-robin) pattern the occupancy
+        stays at the analytical Q(B-1) requirement plus at most two blocks
+        (the in-flight block and the decision-phase margin)."""
+        config = RADSConfig(num_queues=8, granularity=4)
+        _, result = _run_adversary(config)
+        analytical = 8 * 3
+        assert result.max_head_sram_occupancy <= analytical + 2 * 4
+        assert result.max_head_sram_occupancy <= config.effective_head_sram_cells
+
+    def test_undersized_lookahead_misses_in_record_mode(self):
+        # Cut the lookahead far below the ECQF requirement: the adversary must
+        # eventually provoke a miss, demonstrating that the bound is not slack.
+        config = RADSConfig(num_queues=8, granularity=4, lookahead=4, strict=False)
+        _, result = _run_adversary(config, slots=2000)
+        assert result.miss_count > 0
+
+    def test_undersized_lookahead_raises_in_strict_mode(self):
+        config = RADSConfig(num_queues=8, granularity=4, lookahead=4, strict=True)
+        buffer = RADSHeadBuffer(config)
+        adversary = RoundRobinAdversary(8)
+        with pytest.raises(CacheMissError):
+            for slot in range(2000):
+                buffer.step(adversary.next_request(slot, [10 ** 9] * 8))
+
+
+class TestMechanics:
+    def test_requests_delayed_by_exactly_the_lookahead(self):
+        config = RADSConfig(num_queues=2, granularity=2, lookahead=6)
+        buffer = RADSHeadBuffer(config)
+        buffer.step(0)
+        grants = []
+        for _ in range(10):
+            grants.append(buffer.step(None))
+        # The grant appears on the shift that happens 6 slots after issue.
+        assert grants[:5] == [None] * 5
+        assert grants[5] is not None and grants[5].queue == 0
+
+    def test_idle_slots_produce_no_grant(self):
+        config = RADSConfig(num_queues=2, granularity=2)
+        buffer = RADSHeadBuffer(config)
+        for _ in range(50):
+            assert buffer.step(None) is None
+
+    def test_invalid_request_rejected(self):
+        config = RADSConfig(num_queues=2, granularity=2)
+        buffer = RADSHeadBuffer(config)
+        with pytest.raises(ValueError):
+            buffer.step(7)
+
+    def test_dram_reads_counted(self):
+        config = RADSConfig(num_queues=4, granularity=3)
+        _, result = _run_adversary(config, slots=600)
+        assert result.dram_reads > 0
+        # One block read per granularity period at most.
+        assert result.dram_reads <= 600 // 3 + config.effective_lookahead // 3 + 2
+
+    def test_works_with_mdqf_policy(self):
+        config = RADSConfig(num_queues=6, granularity=3)
+        buffer = RADSHeadBuffer(config, mma=MDQF())
+        adversary = RoundRobinAdversary(6)
+        result = buffer.run(adversary.next_request(s, [10 ** 9] * 6) for s in range(1500))
+        assert result.zero_miss
+
+    def test_bypass_source_must_return_in_order_cell(self):
+        from repro.types import Cell
+
+        config = RADSConfig(num_queues=2, granularity=2, lookahead=2, strict=False)
+        buffer = RADSHeadBuffer(config, bypass_source=lambda q, seq: Cell(queue=q, seqno=seq + 5))
+        buffer.dram._backlogged.clear()  # force the SRAM to be empty
+        buffer.step(0)
+        buffer.step(None)
+        with pytest.raises(ValueError):
+            buffer.step(None)

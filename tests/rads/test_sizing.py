@@ -1,0 +1,79 @@
+"""Tests for the RADS analytical sizing formulas."""
+
+import pytest
+
+from repro.rads import sizing
+
+
+class TestECQFBounds:
+    def test_max_lookahead(self):
+        assert sizing.ecqf_max_lookahead(128, 8) == 128 * 7 + 1
+        assert sizing.ecqf_max_lookahead(512, 32) == 512 * 31 + 1
+
+    def test_safe_lookahead_adds_one_decision_period(self):
+        assert (sizing.ecqf_safe_lookahead(128, 8)
+                == sizing.ecqf_max_lookahead(128, 8) + 7)
+
+    def test_min_sram(self):
+        assert sizing.ecqf_min_sram_cells(128, 8) == 896
+        assert sizing.ecqf_min_sram_cells(512, 32) == 15872
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sizing.ecqf_max_lookahead(0, 8)
+        with pytest.raises(ValueError):
+            sizing.ecqf_min_sram_cells(8, 0)
+
+
+class TestRadsSramSize:
+    def test_max_lookahead_matches_floor(self):
+        lookahead = sizing.ecqf_max_lookahead(128, 8)
+        assert sizing.rads_sram_size(lookahead, 128, 8) == 896
+
+    def test_monotone_decreasing_in_lookahead(self):
+        sizes = [sizing.rads_sram_size(l, 128, 8) for l in (8, 64, 256, 512, 897)]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_paper_endpoints_oc768(self):
+        """Figure 8 discussion: 300 kB at minimum lookahead, 64 kB at maximum."""
+        min_kb = sizing.rads_sram_bytes(8, 128, 8) / 1024
+        max_kb = sizing.rads_sram_bytes(sizing.ecqf_max_lookahead(128, 8), 128, 8) / 1024
+        assert 250 < min_kb < 350
+        assert 50 < max_kb < 70
+
+    def test_paper_endpoints_oc3072(self):
+        """Figure 8 discussion: 6.2 MB at minimum lookahead, 1.0 MB at maximum."""
+        min_mb = sizing.rads_sram_bytes(32, 512, 32) / 2 ** 20
+        max_mb = sizing.rads_sram_bytes(sizing.ecqf_max_lookahead(512, 32), 512, 32) / 2 ** 20
+        assert 5.5 < min_mb < 7.0
+        assert 0.9 < max_mb < 1.1
+
+    def test_larger_lookahead_than_max_does_not_reduce_further(self):
+        max_lookahead = sizing.ecqf_max_lookahead(64, 4)
+        assert (sizing.rads_sram_size(10 * max_lookahead, 64, 4)
+                == sizing.rads_sram_size(max_lookahead, 64, 4))
+
+    def test_granularity_one_degenerates(self):
+        assert sizing.rads_sram_size(1, 16, 1) == 16
+
+    def test_invalid_lookahead(self):
+        with pytest.raises(ValueError):
+            sizing.rads_sram_size(0, 8, 4)
+
+
+class TestOtherBounds:
+    def test_mdqf_larger_than_ecqf(self):
+        assert sizing.mdqf_sram_cells(128, 8) > sizing.ecqf_min_sram_cells(128, 8)
+
+    def test_tail_sram(self):
+        assert sizing.tail_sram_cells(4, 3) == 4 * 2 + 3
+
+    def test_lookahead_sweep_covers_range(self):
+        sweep = sizing.lookahead_sweep(128, 8, points=10)
+        assert sweep[0] >= 8
+        assert sweep[-1] == sizing.ecqf_max_lookahead(128, 8)
+        assert sweep == sorted(sweep)
+
+    def test_lookahead_sweep_validation(self):
+        with pytest.raises(ValueError):
+            sizing.lookahead_sweep(128, 8, points=1)

@@ -1,0 +1,92 @@
+"""Tests for the RADS tail-side simulator."""
+
+import pytest
+
+from repro.errors import BufferOverflowError
+from repro.rads.config import RADSConfig
+from repro.rads.tail_buffer import RADSTailBuffer
+from repro.types import Cell
+
+
+def _cell(queue, seqno):
+    return Cell(queue=queue, seqno=seqno)
+
+
+class TestEvictions:
+    def test_full_block_evicted_once_threshold_reached(self):
+        evicted = []
+        config = RADSConfig(num_queues=2, granularity=3)
+        tail = RADSTailBuffer(config, evict_sink=lambda q, cells: evicted.append((q, cells)))
+        seqno = 0
+        for _ in range(6):
+            tail.step(_cell(0, seqno))
+            seqno += 1
+        assert evicted, "a block should have been evicted"
+        queue, cells = evicted[0]
+        assert queue == 0
+        assert len(cells) == 3
+        assert [c.seqno for c in cells] == [0, 1, 2]
+
+    def test_eviction_cadence_is_one_block_per_granularity(self):
+        config = RADSConfig(num_queues=1, granularity=4)
+        evictions = []
+        tail = RADSTailBuffer(config, evict_sink=lambda q, cells: evictions.append(len(cells)))
+        for seqno in range(64):
+            tail.step(_cell(0, seqno))
+        # One arrival per slot and one block of 4 per 4 slots: the tail should
+        # keep up and never hold more than a block or two.
+        assert tail.result.max_tail_sram_occupancy <= config.effective_tail_sram_cells
+        assert sum(evictions) + tail.occupancy() == 64
+
+    def test_no_eviction_below_threshold(self):
+        config = RADSConfig(num_queues=4, granularity=4)
+        evictions = []
+        tail = RADSTailBuffer(config, evict_sink=lambda q, cells: evictions.append(cells))
+        for queue in range(4):
+            for seqno in range(3):
+                tail.step(_cell(queue, seqno))
+        assert not evictions
+        assert tail.occupancy() == 12
+
+    def test_fifo_order_preserved_across_evictions(self):
+        config = RADSConfig(num_queues=1, granularity=2)
+        collected = []
+        tail = RADSTailBuffer(config, evict_sink=lambda q, cells: collected.extend(cells))
+        for seqno in range(10):
+            tail.step(_cell(0, seqno))
+        for _ in range(4):
+            tail.step(None)
+        collected.extend(tail.pop_direct(0, 10))
+        assert [c.seqno for c in collected] == list(range(10))
+
+
+class TestCapacity:
+    def test_overflow_detected_when_arrivals_exceed_capacity(self):
+        # With 4 queues at granularity 4, keeping every queue below the
+        # threshold (3 cells) while adding a 4th queue beyond capacity should
+        # overflow a deliberately undersized SRAM.
+        config = RADSConfig(num_queues=4, granularity=4, tail_sram_cells=5, strict=True)
+        tail = RADSTailBuffer(config)
+        tail.step(_cell(0, 0))
+        tail.step(_cell(0, 1))
+        tail.step(_cell(1, 0))
+        tail.step(_cell(1, 1))
+        tail.step(_cell(2, 0))
+        with pytest.raises(BufferOverflowError):
+            tail.step(_cell(3, 0))
+
+    def test_record_mode_counts_instead_of_raising(self):
+        config = RADSConfig(num_queues=4, granularity=4, tail_sram_cells=2, strict=False)
+        tail = RADSTailBuffer(config)
+        for queue in range(4):
+            tail.step(_cell(queue, 0))
+        assert tail.result.miss_count == 2
+
+    def test_peek_and_pop_direct(self):
+        config = RADSConfig(num_queues=2, granularity=4)
+        tail = RADSTailBuffer(config)
+        tail.step(_cell(1, 0))
+        tail.step(_cell(1, 1))
+        assert tail.peek_direct(1).seqno == 0
+        assert [c.seqno for c in tail.pop_direct(1, 5)] == [0, 1]
+        assert tail.peek_direct(1) is None

@@ -1,0 +1,50 @@
+"""Tests for the simulation statistics collectors."""
+
+import pytest
+
+from repro.sim.stats import LatencyStats, ThroughputStats
+
+
+class TestLatencyStats:
+    def test_mean_min_max(self):
+        stats = LatencyStats()
+        for arrival, departure in [(0, 5), (2, 4), (10, 20)]:
+            stats.record(arrival, departure)
+        assert stats.count == 3
+        assert stats.mean == pytest.approx((5 + 2 + 10) / 3)
+        assert stats.minimum == 2
+        assert stats.maximum == 10
+
+    def test_percentile(self):
+        stats = LatencyStats()
+        for delay in [1, 2, 3, 4, 5, 6, 7, 8, 9, 10]:
+            stats.record(0, delay)
+        assert stats.percentile(0.5) == 5
+        assert stats.percentile(1.0) == 10
+        assert stats.percentile(0.1) == 1
+
+    def test_empty_stats(self):
+        stats = LatencyStats()
+        assert stats.mean == 0.0
+        assert stats.percentile(0.5) == 0
+
+    def test_invalid_inputs(self):
+        stats = LatencyStats()
+        with pytest.raises(ValueError):
+            stats.record(5, 2)
+        with pytest.raises(ValueError):
+            stats.percentile(0.0)
+
+
+class TestThroughputStats:
+    def test_loads(self):
+        stats = ThroughputStats(arrivals=80, departures=75, drops=5, slots=100)
+        assert stats.offered_load == pytest.approx(0.8)
+        assert stats.carried_load == pytest.approx(0.75)
+        assert stats.loss_fraction == pytest.approx(5 / 80)
+
+    def test_zero_division_guards(self):
+        stats = ThroughputStats()
+        assert stats.offered_load == 0.0
+        assert stats.carried_load == 0.0
+        assert stats.loss_fraction == 0.0

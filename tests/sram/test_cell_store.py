@@ -1,0 +1,87 @@
+"""Tests for the reference SharedSRAM cell store."""
+
+import pytest
+
+from repro.errors import BufferOverflowError
+from repro.sram.cell_store import SharedSRAM
+from repro.types import Cell
+
+
+def _cell(queue, seqno):
+    return Cell(queue=queue, seqno=seqno)
+
+
+class TestBasicOperations:
+    def test_insert_and_pop_in_order(self):
+        sram = SharedSRAM(num_queues=2, capacity_cells=10)
+        for seqno in range(3):
+            sram.insert(_cell(0, seqno))
+        assert [sram.pop_next(0).seqno for _ in range(3)] == [0, 1, 2]
+
+    def test_pop_empty_returns_none(self):
+        sram = SharedSRAM(num_queues=1)
+        assert sram.pop_next(0) is None
+        assert sram.peek_next(0) is None
+
+    def test_out_of_order_insert_pops_in_seqno_order(self):
+        sram = SharedSRAM(num_queues=1)
+        for seqno in [4, 2, 3, 0, 1]:
+            sram.insert(_cell(0, seqno))
+        assert [sram.pop_next(0).seqno for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_queues_do_not_interfere(self):
+        sram = SharedSRAM(num_queues=3)
+        sram.insert(_cell(0, 0))
+        sram.insert(_cell(2, 5))
+        assert sram.pop_next(1) is None
+        assert sram.pop_next(2).seqno == 5
+        assert sram.occupancy() == 1
+
+    def test_occupancy_per_queue_and_total(self):
+        sram = SharedSRAM(num_queues=2)
+        sram.insert_block([_cell(0, 0), _cell(0, 1), _cell(1, 0)])
+        assert sram.occupancy(0) == 2
+        assert sram.occupancy(1) == 1
+        assert sram.occupancy() == 3
+
+    def test_has_cell(self):
+        sram = SharedSRAM(num_queues=2)
+        sram.insert(_cell(1, 0))
+        assert sram.has_cell(1)
+        assert not sram.has_cell(0)
+
+    def test_queue_bounds_checked(self):
+        sram = SharedSRAM(num_queues=2)
+        with pytest.raises(ValueError):
+            sram.insert(_cell(7, 0))
+        with pytest.raises(ValueError):
+            sram.pop_next(-1)
+
+
+class TestCapacity:
+    def test_overflow_raises(self):
+        sram = SharedSRAM(num_queues=1, capacity_cells=2)
+        sram.insert(_cell(0, 0))
+        sram.insert(_cell(0, 1))
+        with pytest.raises(BufferOverflowError):
+            sram.insert(_cell(0, 2))
+
+    def test_unbounded_when_capacity_none(self):
+        sram = SharedSRAM(num_queues=1, capacity_cells=None)
+        for seqno in range(100):
+            sram.insert(_cell(0, seqno))
+        assert sram.occupancy() == 100
+
+    def test_peak_occupancy(self):
+        sram = SharedSRAM(num_queues=1, capacity_cells=10)
+        sram.insert_block([_cell(0, i) for i in range(5)])
+        for _ in range(5):
+            sram.pop_next(0)
+        assert sram.peak_occupancy == 5
+        assert sram.occupancy() == 0
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            SharedSRAM(num_queues=0)
+        with pytest.raises(ValueError):
+            SharedSRAM(num_queues=1, capacity_cells=0)

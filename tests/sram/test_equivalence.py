@@ -1,0 +1,74 @@
+"""Property-based equivalence of the three SRAM cell-store implementations.
+
+The global CAM and unified linked-list models must behave exactly like the
+reference SharedSRAM store under any legal sequence of insertions and
+retrievals — that is what lets the simulators use the fast store while the
+hardware-organisation models remain faithful.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sram.cell_store import SharedSRAM
+from repro.sram.global_cam import GlobalCAMStore
+from repro.sram.linked_list import UnifiedLinkedListStore
+from repro.types import Cell
+
+NUM_QUEUES = 3
+CAPACITY = 64
+
+
+def _operations():
+    """A sequence of (queue, op) pairs; op is 'insert' or 'pop'."""
+    return st.lists(
+        st.tuples(st.integers(min_value=0, max_value=NUM_QUEUES - 1),
+                  st.sampled_from(["insert", "pop"])),
+        min_size=1, max_size=120)
+
+
+@given(_operations())
+@settings(max_examples=60, deadline=None)
+def test_cam_matches_reference(operations):
+    reference = SharedSRAM(NUM_QUEUES, CAPACITY)
+    cam = GlobalCAMStore(NUM_QUEUES, CAPACITY)
+    next_seqno = [0] * NUM_QUEUES
+    for queue, op in operations:
+        if op == "insert":
+            if reference.occupancy() >= CAPACITY:
+                continue
+            cell = Cell(queue=queue, seqno=next_seqno[queue])
+            next_seqno[queue] += 1
+            reference.insert(cell)
+            cam.insert(cell)
+        else:
+            expected = reference.pop_next(queue)
+            got = cam.pop_next(queue)
+            assert (expected is None) == (got is None)
+            if expected is not None:
+                assert got.seqno == expected.seqno
+    assert cam.occupancy() == reference.occupancy()
+    for queue in range(NUM_QUEUES):
+        assert cam.occupancy(queue) == reference.occupancy(queue)
+
+
+@given(_operations(), st.integers(min_value=1, max_value=4))
+@settings(max_examples=60, deadline=None)
+def test_linked_list_matches_reference(operations, lists_per_queue):
+    reference = SharedSRAM(NUM_QUEUES, CAPACITY)
+    linked = UnifiedLinkedListStore(NUM_QUEUES, CAPACITY,
+                                    lists_per_queue=lists_per_queue, block_cells=1)
+    next_seqno = [0] * NUM_QUEUES
+    for queue, op in operations:
+        if op == "insert":
+            if reference.occupancy() >= CAPACITY:
+                continue
+            cell = Cell(queue=queue, seqno=next_seqno[queue])
+            next_seqno[queue] += 1
+            reference.insert(cell)
+            linked.insert(cell)
+        else:
+            expected = reference.pop_next(queue)
+            got = linked.pop_next(queue)
+            assert (expected is None) == (got is None)
+            if expected is not None:
+                assert got.seqno == expected.seqno
+    assert linked.occupancy() == reference.occupancy()

@@ -1,0 +1,61 @@
+"""Tests for the global-CAM behavioural model."""
+
+import pytest
+
+from repro.errors import BufferOverflowError
+from repro.sram.global_cam import GlobalCAMStore
+from repro.types import Cell
+
+
+def _cell(queue, seqno):
+    return Cell(queue=queue, seqno=seqno)
+
+
+class TestCAMStore:
+    def test_in_order_retrieval(self):
+        cam = GlobalCAMStore(num_queues=2, capacity_cells=8)
+        for seqno in range(4):
+            cam.insert(_cell(1, seqno))
+        assert [cam.pop_next(1).seqno for _ in range(4)] == [0, 1, 2, 3]
+
+    def test_out_of_order_insert_is_trivial_for_cam(self):
+        # Section 8.2: out-of-order writes are trivial in the CAM because the
+        # order is part of the tag.
+        cam = GlobalCAMStore(num_queues=1, capacity_cells=8)
+        for seqno in [3, 1, 0, 2]:
+            cam.insert(_cell(0, seqno))
+        assert [cam.pop_next(0).seqno for _ in range(4)] == [0, 1, 2, 3]
+
+    def test_entries_are_reused_after_pop(self):
+        cam = GlobalCAMStore(num_queues=1, capacity_cells=2)
+        cam.insert(_cell(0, 0))
+        cam.insert(_cell(0, 1))
+        cam.pop_next(0)
+        cam.insert(_cell(0, 2))  # fits because an entry was freed
+        assert cam.occupancy() == 2
+
+    def test_capacity_enforced(self):
+        cam = GlobalCAMStore(num_queues=1, capacity_cells=2)
+        cam.insert(_cell(0, 0))
+        cam.insert(_cell(0, 1))
+        with pytest.raises(BufferOverflowError):
+            cam.insert(_cell(0, 2))
+
+    def test_per_queue_occupancy(self):
+        cam = GlobalCAMStore(num_queues=3, capacity_cells=8)
+        cam.insert(_cell(0, 0))
+        cam.insert(_cell(2, 0))
+        cam.insert(_cell(2, 1))
+        assert cam.occupancy(0) == 1
+        assert cam.occupancy(1) == 0
+        assert cam.occupancy(2) == 2
+
+    def test_peek_does_not_remove(self):
+        cam = GlobalCAMStore(num_queues=1, capacity_cells=4)
+        cam.insert(_cell(0, 7))
+        assert cam.peek_next(0).seqno == 7
+        assert cam.occupancy() == 1
+
+    def test_empty_queue(self):
+        cam = GlobalCAMStore(num_queues=2, capacity_cells=4)
+        assert cam.pop_next(1) is None

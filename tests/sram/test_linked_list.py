@@ -1,0 +1,76 @@
+"""Tests for the unified linked-list behavioural model."""
+
+import pytest
+
+from repro.errors import BufferOverflowError
+from repro.sram.linked_list import UnifiedLinkedListStore
+from repro.types import Cell
+
+
+def _cell(queue, seqno):
+    return Cell(queue=queue, seqno=seqno)
+
+
+class TestSingleListPerQueue:
+    def test_fifo_per_queue(self):
+        store = UnifiedLinkedListStore(num_queues=2, capacity_cells=8)
+        for seqno in range(4):
+            store.insert(_cell(0, seqno))
+        store.insert(_cell(1, 0))
+        assert [store.pop_next(0).seqno for _ in range(4)] == [0, 1, 2, 3]
+        assert store.pop_next(1).seqno == 0
+
+    def test_entries_recycled_through_free_list(self):
+        store = UnifiedLinkedListStore(num_queues=1, capacity_cells=3)
+        for seqno in range(3):
+            store.insert(_cell(0, seqno))
+        store.pop_next(0)
+        store.pop_next(0)
+        store.insert(_cell(0, 3))
+        store.insert(_cell(0, 4))
+        assert [store.pop_next(0).seqno for _ in range(3)] == [2, 3, 4]
+
+    def test_overflow(self):
+        store = UnifiedLinkedListStore(num_queues=1, capacity_cells=2)
+        store.insert(_cell(0, 0))
+        store.insert(_cell(0, 1))
+        with pytest.raises(BufferOverflowError):
+            store.insert(_cell(0, 2))
+
+    def test_occupancy_walks_pointers(self):
+        store = UnifiedLinkedListStore(num_queues=2, capacity_cells=8)
+        for seqno in range(3):
+            store.insert(_cell(1, seqno))
+        assert store.occupancy(1) == 3
+        assert store.occupancy(0) == 0
+        assert store.occupancy() == 3
+
+
+class TestPerBankLists:
+    """The CFDS variant: (B/b) lists per queue, one per bank of the group."""
+
+    def test_out_of_order_blocks_resolved_across_sublists(self):
+        # Blocks of 2 cells distributed over 2 sub-lists; block 1 (seqnos 2,3)
+        # arrives before block 0 (seqnos 0,1) — as CFDS reordering can cause —
+        # yet retrieval is still in seqno order.
+        store = UnifiedLinkedListStore(num_queues=1, capacity_cells=8,
+                                       lists_per_queue=2, block_cells=2)
+        store.insert(_cell(0, 2))
+        store.insert(_cell(0, 3))
+        store.insert(_cell(0, 0))
+        store.insert(_cell(0, 1))
+        assert [store.pop_next(0).seqno for _ in range(4)] == [0, 1, 2, 3]
+
+    def test_same_sublist_stays_fifo(self):
+        store = UnifiedLinkedListStore(num_queues=1, capacity_cells=8,
+                                       lists_per_queue=2, block_cells=1)
+        # blocks alternate sub-lists: seqno 0 -> list 0, 1 -> list 1, 2 -> list 0 ...
+        for seqno in [0, 1, 2, 3]:
+            store.insert(_cell(0, seqno))
+        assert [store.pop_next(0).seqno for _ in range(4)] == [0, 1, 2, 3]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            UnifiedLinkedListStore(num_queues=1, capacity_cells=4, lists_per_queue=0)
+        with pytest.raises(ValueError):
+            UnifiedLinkedListStore(num_queues=1, capacity_cells=4, block_cells=0)

@@ -1,0 +1,74 @@
+"""Tests for the CACTI-style analytical memory model."""
+
+import pytest
+
+from repro.tech.cacti import CactiModel
+
+
+@pytest.fixture
+def model():
+    return CactiModel()
+
+
+class TestSRAMModel:
+    def test_access_time_monotone_in_capacity(self, model):
+        small = model.sram_access_time_ns(64 * 1024 * 8)
+        large = model.sram_access_time_ns(1024 * 1024 * 8)
+        assert large > small
+
+    def test_area_monotone_and_roughly_linear(self, model):
+        one = model.sram_area_cm2(1024 * 1024 * 8)
+        two = model.sram_area_cm2(2 * 1024 * 1024 * 8)
+        assert two == pytest.approx(2 * one, rel=1e-6)
+
+    def test_multi_port_costs_time_and_area(self, model):
+        bits = 256 * 1024 * 8
+        assert model.sram_access_time_ns(bits, ports=2) > model.sram_access_time_ns(bits, ports=1)
+        assert model.sram_area_cm2(bits, ports=2) > model.sram_area_cm2(bits, ports=1)
+
+    def test_reasonable_absolute_values_at_013um(self, model):
+        # 64 kB direct-mapped SRAM: around 1-2 ns and a few mm^2.
+        time_ns = model.sram_access_time_ns(64 * 1024 * 8)
+        area = model.sram_area_cm2(64 * 1024 * 8)
+        assert 0.5 < time_ns < 3.0
+        assert 0.001 < area < 0.1
+
+    def test_estimate_bundles_values(self, model):
+        estimate = model.sram_estimate(1024 * 8, ports=1)
+        assert estimate.bits == 1024 * 8
+        assert estimate.access_time_ns > 0
+        assert estimate.area_cm2 > 0
+
+    def test_invalid_inputs(self, model):
+        with pytest.raises(ValueError):
+            model.sram_access_time_ns(0)
+        with pytest.raises(ValueError):
+            model.sram_area_cm2(100, ports=0)
+
+
+class TestCAMModel:
+    def test_search_time_grows_with_entries(self, model):
+        small = model.cam_access_time_ns(entries=1024, tag_bits=24, data_bits_per_entry=512)
+        large = model.cam_access_time_ns(entries=65536, tag_bits=24, data_bits_per_entry=512)
+        assert large > 4 * small  # dominated by the linear search term
+
+    def test_area_includes_tag_and_data(self, model):
+        area = model.cam_area_cm2(entries=4096, tag_bits=24, data_bits_per_entry=512)
+        data_only = model.sram_area_cm2(4096 * 512)
+        assert area > data_only
+
+    def test_large_cam_misses_oc3072_budget(self, model):
+        # 6.2 MB worth of cells (about 100k entries) cannot be searched in
+        # 3.2 ns — the Figure 8 conclusion for OC-3072 RADS.
+        entries = 100_000
+        assert model.cam_access_time_ns(entries, 25, 512) > 3.2
+
+    def test_small_cam_meets_oc3072_budget(self, model):
+        # A few thousand entries (the CFDS sizes) fit within 3.2 ns.
+        assert model.cam_access_time_ns(3000, 25, 512) < 3.2
+
+    def test_invalid_inputs(self, model):
+        with pytest.raises(ValueError):
+            model.cam_access_time_ns(0, 10, 512)
+        with pytest.raises(ValueError):
+            model.cam_area_cm2(10, 0, 512)

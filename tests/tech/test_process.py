@@ -1,0 +1,27 @@
+"""Tests for the technology-process descriptor."""
+
+import pytest
+
+from repro.tech.process import DEFAULT_PROCESS, TechnologyProcess
+
+
+class TestTechnologyProcess:
+    def test_default_is_013um(self):
+        assert DEFAULT_PROCESS.feature_um == pytest.approx(0.13)
+
+    def test_scaling_shrinks_area_quadratically_and_delay_linearly(self):
+        scaled = DEFAULT_PROCESS.scaled_to(0.065)
+        assert scaled.sram_cell_area_um2 == pytest.approx(
+            DEFAULT_PROCESS.sram_cell_area_um2 / 4, rel=1e-6)
+        assert scaled.t_fixed_ns == pytest.approx(DEFAULT_PROCESS.t_fixed_ns / 2, rel=1e-6)
+
+    def test_scaling_up_grows_parameters(self):
+        scaled = DEFAULT_PROCESS.scaled_to(0.26)
+        assert scaled.cam_cell_area_um2 > DEFAULT_PROCESS.cam_cell_area_um2
+        assert scaled.t_cam_search_ns_per_entry > DEFAULT_PROCESS.t_cam_search_ns_per_entry
+
+    def test_invalid_feature_size(self):
+        with pytest.raises(ValueError):
+            TechnologyProcess(feature_um=0)
+        with pytest.raises(ValueError):
+            DEFAULT_PROCESS.scaled_to(-0.09)

@@ -1,0 +1,74 @@
+"""Tests for the shared-SRAM buffer organisations (Section 7.1)."""
+
+import pytest
+
+from repro.tech.sram_designs import (
+    GlobalCAMDesign,
+    UnifiedLinkedListDesign,
+    best_design,
+)
+
+
+class TestGlobalCAMDesign:
+    def test_tag_bits_cover_queue_and_order(self):
+        design = GlobalCAMDesign(num_queues=512, order_bits=16)
+        assert design.tag_bits() == 9 + 16
+
+    def test_access_time_grows_with_capacity(self):
+        design = GlobalCAMDesign(num_queues=128)
+        assert design.access_time_ns(10_000) > design.access_time_ns(1_000)
+
+    def test_meets_budget_helper(self):
+        design = GlobalCAMDesign(num_queues=128)
+        assert design.meets_budget(1_000, budget_ns=12.8)
+        assert not design.meets_budget(200_000, budget_ns=3.2)
+
+    def test_invalid_capacity(self):
+        design = GlobalCAMDesign(num_queues=4)
+        with pytest.raises(ValueError):
+            design.access_time_ns(0)
+
+
+class TestUnifiedLinkedListDesign:
+    def test_entry_includes_pointer(self):
+        design = UnifiedLinkedListDesign(num_queues=128)
+        assert design.entry_bits(capacity_cells=1024) == 512 + 10
+
+    def test_time_multiplexing_triples_access_time(self):
+        time_mux = UnifiedLinkedListDesign(num_queues=128, time_multiplexed=True)
+        multi_port = UnifiedLinkedListDesign(num_queues=128, time_multiplexed=False)
+        cells = 4096
+        assert time_mux.access_time_ns(cells) > 2.5 * multi_port.access_time_ns(cells) / 1.7
+        # and the time-muxed variant is the smaller one
+        assert time_mux.area_cm2(cells) < multi_port.area_cm2(cells)
+
+    def test_cfds_variant_only_grows_pointer_table(self):
+        base = UnifiedLinkedListDesign(num_queues=128, lists_per_queue=1)
+        cfds = UnifiedLinkedListDesign(num_queues=128, lists_per_queue=4)
+        cells = 4096
+        assert cfds.pointer_table_bits(cells) == 4 * base.pointer_table_bits(cells)
+        assert cfds.area_cm2(cells) > base.area_cm2(cells)
+        assert cfds.access_time_ns(cells) == base.access_time_ns(cells)
+
+    def test_area_smaller_than_cam_for_same_capacity(self):
+        # The linked list is the paper's minimum-area design.
+        cells = 8192
+        linked = UnifiedLinkedListDesign(num_queues=128)
+        cam = GlobalCAMDesign(num_queues=128)
+        assert linked.area_cm2(cells) < cam.area_cm2(cells)
+
+
+class TestBestDesign:
+    def test_picks_fastest(self):
+        cam = GlobalCAMDesign(num_queues=128)
+        linked = UnifiedLinkedListDesign(num_queues=128)
+        cells = 4096
+        fastest = best_design([cam, linked], cells)
+        expected = cam if cam.access_time_ns(cells) < linked.access_time_ns(cells) else linked
+        assert fastest is expected
+
+    def test_budget_filter(self):
+        cam = GlobalCAMDesign(num_queues=512)
+        linked = UnifiedLinkedListDesign(num_queues=512)
+        # At very large capacities nothing meets the OC-3072 budget.
+        assert best_design([cam, linked], 150_000, budget_ns=3.2) is None

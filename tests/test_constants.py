@@ -1,0 +1,95 @@
+"""Tests for repro.constants: slot times, granularities, helpers."""
+
+import math
+
+import pytest
+
+from repro import constants
+
+
+class TestSlotTime:
+    def test_oc3072_slot_is_3_2_ns(self):
+        assert constants.slot_time_ns(constants.OC_LINE_RATES_BPS["OC-3072"]) == pytest.approx(3.2)
+
+    def test_oc768_slot_is_12_8_ns(self):
+        assert constants.slot_time_ns(constants.OC_LINE_RATES_BPS["OC-768"]) == pytest.approx(12.8)
+
+    def test_oc192_slot_is_51_2_ns(self):
+        assert constants.slot_time_ns(constants.OC_LINE_RATES_BPS["OC-192"]) == pytest.approx(51.2)
+
+    def test_slot_time_seconds_consistent_with_ns(self):
+        rate = constants.OC_LINE_RATES_BPS["OC-768"]
+        assert constants.slot_time_s(rate) == pytest.approx(constants.slot_time_ns(rate) * 1e-9)
+
+    def test_rejects_non_positive_rate(self):
+        with pytest.raises(ValueError):
+            constants.slot_time_s(0)
+        with pytest.raises(ValueError):
+            constants.slot_time_ns(-1)
+
+
+class TestRadsGranularity:
+    def test_paper_value_for_oc768(self):
+        assert constants.rads_granularity(constants.OC_LINE_RATES_BPS["OC-768"]) == 8
+
+    def test_paper_value_for_oc3072(self):
+        assert constants.rads_granularity(constants.OC_LINE_RATES_BPS["OC-3072"]) == 32
+
+    def test_without_power_of_two_rounding(self):
+        value = constants.rads_granularity(constants.OC_LINE_RATES_BPS["OC-768"],
+                                           round_to_power_of_two=False)
+        assert value == 8  # ceil(48 / 6.4) = 8 already
+
+    def test_faster_dram_reduces_granularity(self):
+        slow = constants.rads_granularity(constants.OC_LINE_RATES_BPS["OC-3072"], 48.0)
+        fast = constants.rads_granularity(constants.OC_LINE_RATES_BPS["OC-3072"], 20.0)
+        assert fast < slow
+
+    def test_rejects_non_positive_access_time(self):
+        with pytest.raises(ValueError):
+            constants.rads_granularity(40e9, 0.0)
+
+
+class TestBufferSize:
+    def test_paper_rule_of_thumb_4gb_at_oc3072(self):
+        size = constants.required_buffer_bytes(constants.OC_LINE_RATES_BPS["OC-3072"])
+        assert size == pytest.approx(4e9, rel=0.01)
+
+    def test_scales_linearly_with_rtt(self):
+        rate = constants.OC_LINE_RATES_BPS["OC-768"]
+        assert constants.required_buffer_bytes(rate, 0.4) == pytest.approx(
+            2 * constants.required_buffer_bytes(rate, 0.2), rel=1e-9)
+
+    def test_rejects_non_positive_rtt(self):
+        with pytest.raises(ValueError):
+            constants.required_buffer_bytes(1e9, 0)
+
+
+class TestPowerOfTwoHelpers:
+    @pytest.mark.parametrize("value,expected", [(0, 1), (1, 1), (2, 2), (3, 4),
+                                                (5, 8), (8, 8), (9, 16), (1000, 1024)])
+    def test_next_power_of_two(self, value, expected):
+        assert constants.next_power_of_two(value) == expected
+
+    def test_next_power_of_two_rejects_negative(self):
+        with pytest.raises(ValueError):
+            constants.next_power_of_two(-1)
+
+    @pytest.mark.parametrize("value,expected", [(1, True), (2, True), (3, False),
+                                                (0, False), (-4, False), (64, True)])
+    def test_is_power_of_two(self, value, expected):
+        assert constants.is_power_of_two(value) is expected
+
+
+class TestPaperParameters:
+    def test_paper_queue_counts(self):
+        assert constants.PAPER_QUEUES["OC-768"] == 128
+        assert constants.PAPER_QUEUES["OC-3072"] == 512
+
+    def test_paper_granularities(self):
+        assert constants.PAPER_GRANULARITY["OC-768"] == 8
+        assert constants.PAPER_GRANULARITY["OC-3072"] == 32
+
+    def test_cell_size(self):
+        assert constants.CELL_SIZE_BYTES == 64
+        assert constants.CELL_SIZE_BITS == 512

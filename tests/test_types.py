@@ -1,0 +1,67 @@
+"""Tests for the shared value types."""
+
+import pytest
+
+from repro.types import (
+    Cell,
+    CellRequest,
+    MissRecord,
+    ReplenishRequest,
+    SimulationResult,
+    TransferDirection,
+    TransferJob,
+)
+
+
+class TestCell:
+    def test_defaults(self):
+        cell = Cell(queue=3, seqno=7)
+        assert cell.queue == 3
+        assert cell.seqno == 7
+        assert cell.packet_id is None
+        assert cell.last is True
+
+    def test_cells_are_immutable(self):
+        cell = Cell(queue=0, seqno=0)
+        with pytest.raises(AttributeError):
+            cell.queue = 5
+
+    def test_equality_by_value(self):
+        assert Cell(queue=1, seqno=2) == Cell(queue=1, seqno=2)
+        assert Cell(queue=1, seqno=2) != Cell(queue=1, seqno=3)
+
+
+class TestReplenishRequest:
+    def test_requires_positive_cell_count(self):
+        with pytest.raises(ValueError):
+            ReplenishRequest(queue=0, direction=TransferDirection.READ,
+                             cells=0, issue_slot=0)
+
+    def test_carries_block_index(self):
+        request = ReplenishRequest(queue=2, direction=TransferDirection.WRITE,
+                                   cells=4, issue_slot=10, block_index=5)
+        assert request.block_index == 5
+        assert request.direction is TransferDirection.WRITE
+
+
+class TestTransferJob:
+    def test_duration(self):
+        request = ReplenishRequest(queue=0, direction=TransferDirection.READ,
+                                   cells=2, issue_slot=0)
+        job = TransferJob(request=request, bank=3, start_slot=10, finish_slot=18)
+        assert job.duration == 8
+
+
+class TestSimulationResult:
+    def test_zero_miss_property(self):
+        result = SimulationResult()
+        assert result.zero_miss is True
+        assert result.miss_count == 0
+        result.misses.append(MissRecord(queue=1, slot=5))
+        assert result.zero_miss is False
+        assert result.miss_count == 1
+
+    def test_request_type(self):
+        request = CellRequest(queue=4, issue_slot=9)
+        assert request.queue == 4
+        assert request.issue_slot == 9

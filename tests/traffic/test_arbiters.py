@@ -1,0 +1,79 @@
+"""Tests for the request-generating arbiters."""
+
+import pytest
+
+from repro.traffic.arbiters import (
+    LongestQueueArbiter,
+    OldestCellArbiter,
+    RandomArbiter,
+    RoundRobinAdversary,
+)
+
+
+class TestRoundRobinAdversary:
+    def test_cycles_all_queues_with_unbounded_backlog(self):
+        arbiter = RoundRobinAdversary(num_queues=4)
+        backlog = [10] * 4
+        assert [arbiter.next_request(s, backlog) for s in range(8)] == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_skips_empty_queues(self):
+        arbiter = RoundRobinAdversary(num_queues=3)
+        backlog = [5, 0, 5]
+        assert [arbiter.next_request(s, backlog) for s in range(4)] == [0, 2, 0, 2]
+
+    def test_idles_when_everything_empty(self):
+        arbiter = RoundRobinAdversary(num_queues=3)
+        assert arbiter.next_request(0, [0, 0, 0]) is None
+
+    def test_start_queue(self):
+        arbiter = RoundRobinAdversary(num_queues=4, start_queue=2)
+        assert arbiter.next_request(0, [1] * 4) == 2
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            RoundRobinAdversary(num_queues=0)
+
+
+class TestRandomArbiter:
+    def test_only_requests_backlogged_queues(self):
+        arbiter = RandomArbiter(num_queues=4, load=1.0, seed=1)
+        backlog = [0, 3, 0, 1]
+        for slot in range(200):
+            request = arbiter.next_request(slot, backlog)
+            assert request in (1, 3)
+
+    def test_idles_at_partial_load(self):
+        arbiter = RandomArbiter(num_queues=2, load=0.3, seed=2)
+        requests = [arbiter.next_request(s, [5, 5]) for s in range(2000)]
+        busy = sum(1 for r in requests if r is not None)
+        assert 400 < busy < 800
+
+    def test_idles_when_no_backlog(self):
+        arbiter = RandomArbiter(num_queues=2, load=1.0, seed=3)
+        assert arbiter.next_request(0, [0, 0]) is None
+
+
+class TestLongestQueueArbiter:
+    def test_selects_longest(self):
+        arbiter = LongestQueueArbiter(num_queues=3)
+        assert arbiter.next_request(0, [1, 7, 3]) == 1
+
+    def test_ties_to_lowest_index(self):
+        arbiter = LongestQueueArbiter(num_queues=3)
+        assert arbiter.next_request(0, [5, 5, 5]) == 0
+
+    def test_idle_when_empty(self):
+        arbiter = LongestQueueArbiter(num_queues=2)
+        assert arbiter.next_request(0, [0, 0]) is None
+
+
+class TestOldestCellArbiter:
+    def test_work_conserving(self):
+        arbiter = OldestCellArbiter(num_queues=3)
+        for slot in range(10):
+            assert arbiter.next_request(slot, [1, 1, 1]) is not None
+
+    def test_rotates_across_queues(self):
+        arbiter = OldestCellArbiter(num_queues=3)
+        requests = [arbiter.next_request(s, [5, 5, 5]) for s in range(9)]
+        assert set(requests) == {0, 1, 2}

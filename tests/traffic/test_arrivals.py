@@ -1,0 +1,110 @@
+"""Tests for the arrival processes."""
+
+import pytest
+
+from repro.traffic.arrivals import (
+    BernoulliArrivals,
+    BurstyArrivals,
+    DeterministicArrivals,
+    HotspotArrivals,
+    RoundRobinArrivals,
+)
+
+
+class TestDeterministicArrivals:
+    def test_replays_and_wraps(self):
+        arrivals = DeterministicArrivals([0, None, 2])
+        assert [arrivals.next_arrival(s) for s in range(6)] == [0, None, 2, 0, None, 2]
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            DeterministicArrivals([])
+
+
+class TestRoundRobinArrivals:
+    def test_full_load_cycles_queues(self):
+        arrivals = RoundRobinArrivals(num_queues=3)
+        assert [arrivals.next_arrival(s) for s in range(6)] == [0, 1, 2, 0, 1, 2]
+
+    def test_partial_load_produces_idle_slots(self):
+        arrivals = RoundRobinArrivals(num_queues=2, load=0.5, seed=1)
+        slots = [arrivals.next_arrival(s) for s in range(2000)]
+        idle = sum(1 for s in slots if s is None)
+        assert 700 < idle < 1300
+
+
+class TestBernoulliArrivals:
+    def test_load_respected(self):
+        arrivals = BernoulliArrivals(num_queues=4, load=0.25, seed=3)
+        slots = [arrivals.next_arrival(s) for s in range(4000)]
+        busy = sum(1 for s in slots if s is not None)
+        assert 800 < busy < 1200
+
+    def test_all_queues_seen_under_uniform_weights(self):
+        arrivals = BernoulliArrivals(num_queues=4, load=1.0, seed=5)
+        seen = {arrivals.next_arrival(s) for s in range(500)}
+        assert seen == {0, 1, 2, 3}
+
+    def test_weights_bias_selection(self):
+        arrivals = BernoulliArrivals(num_queues=2, load=1.0, weights=[9.0, 1.0], seed=7)
+        slots = [arrivals.next_arrival(s) for s in range(2000)]
+        assert slots.count(0) > 3 * slots.count(1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BernoulliArrivals(num_queues=0)
+        with pytest.raises(ValueError):
+            BernoulliArrivals(num_queues=2, load=1.5)
+        with pytest.raises(ValueError):
+            BernoulliArrivals(num_queues=2, weights=[1.0])
+        with pytest.raises(ValueError):
+            BernoulliArrivals(num_queues=2, weights=[1.0, -1.0])
+
+    def test_reproducible_with_same_seed(self):
+        a = BernoulliArrivals(num_queues=4, load=0.8, seed=42)
+        b = BernoulliArrivals(num_queues=4, load=0.8, seed=42)
+        assert [a.next_arrival(s) for s in range(100)] == [b.next_arrival(s) for s in range(100)]
+
+
+class TestHotspotArrivals:
+    def test_hot_queues_dominate(self):
+        arrivals = HotspotArrivals(num_queues=8, hot_queues=[0], hot_fraction=0.9,
+                                   load=1.0, seed=11)
+        slots = [arrivals.next_arrival(s) for s in range(4000)]
+        hot = slots.count(0)
+        assert hot > 0.8 * len(slots)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HotspotArrivals(num_queues=4, hot_queues=[])
+        with pytest.raises(ValueError):
+            HotspotArrivals(num_queues=4, hot_queues=[9])
+        with pytest.raises(ValueError):
+            HotspotArrivals(num_queues=4, hot_queues=[0], hot_fraction=1.5)
+
+
+class TestBurstyArrivals:
+    def test_produces_runs_of_same_queue(self):
+        arrivals = BurstyArrivals(num_queues=8, mean_burst_cells=16, load=1.0, seed=13)
+        slots = [arrivals.next_arrival(s) for s in range(2000)]
+        # Count how often consecutive busy slots keep the same queue: with a
+        # mean burst of 16 this should be the overwhelming majority.
+        same = sum(1 for a, b in zip(slots, slots[1:])
+                   if a is not None and a == b)
+        assert same > 1500
+
+    def test_mean_burst_about_right(self):
+        arrivals = BurstyArrivals(num_queues=4, mean_burst_cells=8, load=1.0, seed=17)
+        slots = [arrivals.next_arrival(s) for s in range(8000)]
+        bursts = 1
+        for a, b in zip(slots, slots[1:]):
+            if a != b:
+                bursts += 1
+        mean = len(slots) / bursts
+        assert 5 < mean < 12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BurstyArrivals(num_queues=0)
+        with pytest.raises(ValueError):
+            BurstyArrivals(num_queues=2, mean_burst_cells=0.5)

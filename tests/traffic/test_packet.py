@@ -1,0 +1,24 @@
+"""Tests for the packet model."""
+
+import pytest
+
+from repro.traffic.packet import Packet
+
+
+class TestPacket:
+    def test_num_cells_rounds_up(self):
+        assert Packet(packet_id=1, queue=0, size_bytes=64).num_cells == 1
+        assert Packet(packet_id=2, queue=0, size_bytes=65).num_cells == 2
+        assert Packet(packet_id=3, queue=0, size_bytes=1500).num_cells == 24
+        assert Packet(packet_id=4, queue=0, size_bytes=40).num_cells == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Packet(packet_id=1, queue=0, size_bytes=0)
+        with pytest.raises(ValueError):
+            Packet(packet_id=1, queue=-1, size_bytes=64)
+
+    def test_immutability(self):
+        packet = Packet(packet_id=1, queue=2, size_bytes=128)
+        with pytest.raises(AttributeError):
+            packet.queue = 3

@@ -1,0 +1,74 @@
+"""Tests for packet segmentation and reassembly."""
+
+import pytest
+
+from repro.traffic.packet import Packet
+from repro.traffic.segmentation import Reassembler, Segmenter
+
+
+class TestSegmenter:
+    def test_cell_count_matches_packet_size(self):
+        segmenter = Segmenter(num_queues=4)
+        cells = segmenter.segment(Packet(packet_id=1, queue=2, size_bytes=200))
+        assert len(cells) == 4  # ceil(200/64)
+        assert all(c.queue == 2 for c in cells)
+        assert [c.offset for c in cells] == [0, 1, 2, 3]
+        assert [c.last for c in cells] == [False, False, False, True]
+
+    def test_seqnos_are_contiguous_per_queue_across_packets(self):
+        segmenter = Segmenter(num_queues=2)
+        first = segmenter.segment(Packet(packet_id=1, queue=0, size_bytes=128))
+        second = segmenter.segment(Packet(packet_id=2, queue=0, size_bytes=64))
+        other = segmenter.segment(Packet(packet_id=3, queue=1, size_bytes=64))
+        assert [c.seqno for c in first] == [0, 1]
+        assert [c.seqno for c in second] == [2]
+        assert [c.seqno for c in other] == [0]
+        assert segmenter.cells_emitted(0) == 3
+
+    def test_rejects_unknown_queue(self):
+        segmenter = Segmenter(num_queues=1)
+        with pytest.raises(ValueError):
+            segmenter.segment(Packet(packet_id=1, queue=5, size_bytes=64))
+
+
+class TestReassembler:
+    def test_roundtrip_single_packet(self):
+        segmenter = Segmenter(num_queues=1)
+        packet = Packet(packet_id=7, queue=0, size_bytes=300)
+        reassembler = Reassembler()
+        rebuilt = None
+        for cell in segmenter.segment(packet):
+            rebuilt = reassembler.push(cell)
+        assert rebuilt is not None
+        assert rebuilt.packet_id == 7
+        assert rebuilt.num_cells == packet.num_cells
+        assert reassembler.out_of_order_events == 0
+        assert reassembler.pending_packets == 0
+
+    def test_interleaved_queues_reassemble_independently(self):
+        segmenter = Segmenter(num_queues=2)
+        p0 = segmenter.segment(Packet(packet_id=1, queue=0, size_bytes=128))
+        p1 = segmenter.segment(Packet(packet_id=2, queue=1, size_bytes=128))
+        reassembler = Reassembler()
+        done = []
+        for cell in [p0[0], p1[0], p0[1], p1[1]]:
+            packet = reassembler.push(cell)
+            if packet:
+                done.append(packet.packet_id)
+        assert done == [1, 2]
+
+    def test_out_of_order_cells_detected(self):
+        segmenter = Segmenter(num_queues=1)
+        cells = segmenter.segment(Packet(packet_id=1, queue=0, size_bytes=192))
+        reassembler = Reassembler()
+        reassembler.push(cells[1])
+        reassembler.push(cells[0])
+        reassembler.push(cells[2])
+        assert reassembler.out_of_order_events > 0
+
+    def test_synthetic_cells_without_packet_are_ignored(self):
+        from repro.types import Cell
+
+        reassembler = Reassembler()
+        assert reassembler.push(Cell(queue=0, seqno=0)) is None
+        assert reassembler.pending_packets == 0

@@ -1,0 +1,59 @@
+"""Tests for trace recording and replay."""
+
+import pytest
+
+from repro.traffic.arbiters import RoundRobinAdversary
+from repro.traffic.arrivals import RoundRobinArrivals
+from repro.traffic.trace import TraceRecorder, TrafficTrace
+
+
+class TestTrafficTrace:
+    def test_append_and_accessors(self):
+        trace = TrafficTrace()
+        trace.append(1, None)
+        trace.append(None, 2)
+        assert len(trace) == 2
+        assert trace.arrivals() == [1, None]
+        assert trace.requests() == [None, 2]
+
+    def test_save_and_load_roundtrip(self, tmp_path):
+        trace = TrafficTrace()
+        trace.append(3, 1)
+        trace.append(None, None)
+        trace.append(0, 4)
+        path = tmp_path / "trace.csv"
+        trace.save(path)
+        loaded = TrafficTrace.load(path)
+        assert loaded.events == trace.events
+
+    def test_load_skips_comments_and_blank_lines(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text("# header\n1,2\n\n-,3\n")
+        loaded = TrafficTrace.load(path)
+        assert loaded.events == [(1, 2), (None, 3)]
+
+    def test_load_rejects_malformed_lines(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text("1,2,3\n")
+        with pytest.raises(ValueError):
+            TrafficTrace.load(path)
+
+    def test_iteration(self):
+        trace = TrafficTrace()
+        trace.append(1, 1)
+        assert list(trace) == [(1, 1)]
+
+
+class TestTraceRecorder:
+    def test_records_generated_events(self):
+        recorder = TraceRecorder(arrivals=RoundRobinArrivals(2),
+                                 arbiter=RoundRobinAdversary(2))
+        backlog = [5, 5]
+        for slot in range(4):
+            recorder.next_events(slot, backlog)
+        assert recorder.trace.arrivals() == [0, 1, 0, 1]
+        assert recorder.trace.requests() == [0, 1, 0, 1]
+
+    def test_handles_missing_components(self):
+        recorder = TraceRecorder()
+        assert recorder.next_events(0, []) == (None, None)
