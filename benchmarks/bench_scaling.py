@@ -5,17 +5,34 @@ times improve only ~10% every 18 months, so waiting for faster DRAM is not a
 substitute for the architectural fix: even after a decade of scaling, plain
 RADS still cannot meet the OC-3072 SRAM budget with 512 queues, while CFDS
 meets it today.
+
+Since the runner refactor the roadmap sweep is a job list executed by
+:class:`~repro.runner.sweep.SweepRunner`; this benchmark times the parallel
+path (4 workers) and checks it is result-identical to the serial one.
 """
 
 import pytest
 
 from repro.analysis.report import format_table
-from repro.analysis.scaling import granularity_roadmap, years_until_rads_suffices
+from repro.analysis.scaling import (
+    granularity_roadmap_jobs,
+    years_until_rads_suffices,
+)
+from repro.runner.sweep import SweepRunner
+
+YEARS = [0.0, 3.0, 6.0, 9.0, 12.0, 15.0]
+
+
+def _roadmap(jobs: int):
+    runner = SweepRunner(jobs=jobs)
+    return runner.run(granularity_roadmap_jobs("OC-3072", 512, YEARS))
 
 
 def test_dram_scaling_alone_does_not_rescue_rads(benchmark, echo):
-    points = benchmark(granularity_roadmap, "OC-3072", 512,
-                       [0, 3, 6, 9, 12, 15])
+    points = benchmark(_roadmap, 4)
+
+    # The parallel sweep must be result-identical to the serial one.
+    assert points == _roadmap(1)
 
     assert not points[0].meets_budget
     # Granularity and SRAM shrink over time, but a decade of scaling is still

@@ -5,79 +5,80 @@ the round-robin adversary, both the RADS baseline and the CFDS design deliver
 every requested cell with zero head-SRAM misses, CFDS additionally with zero
 bank conflicts and with its reordering structures inside the analytical
 bounds — while using a granularity (and hence an SRAM) several times smaller.
-The benchmark timings also document the simulator's own throughput.
+
+Since the runner refactor the two adversary runs live in
+:mod:`repro.sim.worstcase` as job functions, so the combined benchmark times
+the parallel path (both schemes simulating at once in worker processes) and
+checks it is result-identical to running them serially.  The benchmark
+timings also document the simulator's own throughput.
 """
 
 import pytest
 
 from repro.analysis.report import format_table
-from repro.core.config import CFDSConfig
-from repro.core.head_buffer import CFDSHeadBuffer
-from repro.rads.config import RADSConfig
-from repro.rads.head_buffer import RADSHeadBuffer
-from repro.traffic.arbiters import RoundRobinAdversary
+from repro.runner.jobs import Job
+from repro.runner.sweep import SweepRunner
+from repro.sim.worstcase import run_cfds_worst_case, run_rads_worst_case
 
 SLOTS = 20_000
 
+RADS_KWARGS = {"num_queues": 32, "granularity": 8, "slots": SLOTS}
+CFDS_KWARGS = {"num_queues": 32, "dram_access_slots": 8, "granularity": 2,
+               "num_banks": 64, "slots": SLOTS}
 
-def _run_rads():
-    config = RADSConfig(num_queues=32, granularity=8)
-    buffer = RADSHeadBuffer(config)
-    adversary = RoundRobinAdversary(config.num_queues)
-    unbounded = [10 ** 9] * config.num_queues
-    result = buffer.run(adversary.next_request(s, unbounded) for s in range(SLOTS))
-    return config, result
-
-
-def _run_cfds():
-    config = CFDSConfig(num_queues=32, dram_access_slots=8, granularity=2, num_banks=64)
-    buffer = CFDSHeadBuffer(config)
-    adversary = RoundRobinAdversary(config.num_queues)
-    unbounded = [10 ** 9] * config.num_queues
-    result = buffer.run(adversary.next_request(s, unbounded) for s in range(SLOTS))
-    return config, result
+JOBS = [
+    Job(func="repro.sim.worstcase:run_rads_worst_case", kwargs=RADS_KWARGS,
+        tag="RADS"),
+    Job(func="repro.sim.worstcase:run_cfds_worst_case", kwargs=CFDS_KWARGS,
+        tag="CFDS"),
+]
 
 
 def test_rads_worst_case_simulation(benchmark, echo):
-    config, result = benchmark(_run_rads)
-    assert result.zero_miss
-    assert result.cells_out == SLOTS
-    assert result.max_head_sram_occupancy <= config.effective_head_sram_cells
+    summary = benchmark(run_rads_worst_case, **RADS_KWARGS)
+    assert summary.zero_miss
+    assert summary.cells_out == SLOTS
+    assert summary.max_head_sram_occupancy <= summary.head_sram_bound
     echo(format_table(
         ["scheme", "slots", "misses", "peak SRAM cells", "SRAM bound"],
-        [["RADS", SLOTS, result.miss_count, result.max_head_sram_occupancy,
-          config.effective_head_sram_cells]],
+        [["RADS", SLOTS, summary.miss_count, summary.max_head_sram_occupancy,
+          summary.head_sram_bound]],
         title="Worst-case adversary — RADS head subsystem"))
 
 
 def test_cfds_worst_case_simulation(benchmark, echo):
-    config, result = benchmark(_run_cfds)
-    assert result.zero_miss
-    assert result.bank_conflicts == 0
-    assert result.cells_out == SLOTS
-    assert result.max_request_register_occupancy <= config.effective_rr_capacity
+    summary = benchmark(run_cfds_worst_case, **CFDS_KWARGS)
+    assert summary.zero_miss
+    assert summary.bank_conflicts == 0
+    assert summary.cells_out == SLOTS
+    assert (summary.max_request_register_occupancy
+            <= summary.request_register_bound)
     echo(format_table(
         ["scheme", "slots", "misses", "conflicts", "peak RR", "RR bound",
          "peak SRAM cells", "SRAM bound"],
-        [["CFDS", SLOTS, result.miss_count, result.bank_conflicts,
-          result.max_request_register_occupancy, config.effective_rr_capacity,
-          result.max_head_sram_occupancy, config.effective_head_sram_cells]],
+        [["CFDS", SLOTS, summary.miss_count, summary.bank_conflicts,
+          summary.max_request_register_occupancy,
+          summary.request_register_bound,
+          summary.max_head_sram_occupancy, summary.head_sram_bound]],
         title="Worst-case adversary — CFDS head subsystem"))
 
 
 def test_cfds_uses_far_less_sram_than_rads_for_same_guarantee(benchmark, echo):
-    def both():
-        return _run_rads(), _run_cfds()
+    def both_parallel():
+        return SweepRunner(jobs=2).run(JOBS)
 
-    (rads_config, rads_result), (cfds_config, cfds_result) = benchmark(both)
-    assert rads_result.zero_miss and cfds_result.zero_miss
-    ratio = rads_config.effective_head_sram_cells / cfds_config.effective_head_sram_cells
+    rads, cfds = benchmark(both_parallel)
+    # Worker-process results must match an in-process serial run exactly.
+    assert [rads, cfds] == SweepRunner(jobs=1).run(JOBS)
+
+    assert rads.zero_miss and cfds.zero_miss
+    ratio = rads.head_sram_bound / cfds.head_sram_bound
     assert ratio > 2.0
     echo(format_table(
         ["scheme", "granularity", "SRAM bound (cells)", "peak SRAM (cells)",
          "extra delay (slots)"],
-        [["RADS", rads_config.granularity, rads_config.effective_head_sram_cells,
-          rads_result.max_head_sram_occupancy, 0],
-         ["CFDS", cfds_config.granularity, cfds_config.effective_head_sram_cells,
-          cfds_result.max_head_sram_occupancy, cfds_config.effective_latency]],
+        [["RADS", rads.granularity, rads.head_sram_bound,
+          rads.max_head_sram_occupancy, 0],
+         ["CFDS", cfds.granularity, cfds.head_sram_bound,
+          cfds.max_head_sram_occupancy, cfds.extra_latency_slots]],
         title=f"Same zero-miss guarantee, {ratio:.1f}x less SRAM for CFDS"))

@@ -62,6 +62,7 @@ from repro.core import (
     RequestRegister,
 )
 from repro.mma import ECQF, MDQF, OccupancyCounters, ShiftRegister, ThresholdTailMMA
+from repro.runner import Job, ResultCache, SweepRunner, get_runner, set_runner, using_runner
 from repro.sim import ClosedLoopSimulation, SimulationReport
 from repro.tech import (
     CactiModel,
@@ -137,6 +138,13 @@ __all__ = [
     # simulation harness
     "ClosedLoopSimulation",
     "SimulationReport",
+    # experiment runner
+    "Job",
+    "ResultCache",
+    "SweepRunner",
+    "get_runner",
+    "set_runner",
+    "using_runner",
     # technology models
     "TechnologyProcess",
     "CactiModel",

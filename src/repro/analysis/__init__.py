@@ -19,14 +19,19 @@ benchmarks (``benchmarks/``) and EXPERIMENTS.md.
   examples and benchmarks.
 """
 
-from repro.analysis.intro_dram import IntroDRAMRow, intro_dram_analysis
-from repro.analysis.figure8 import Figure8Point, figure8
-from repro.analysis.table2 import Table2Row, table2
-from repro.analysis.figure10 import Figure10Point, figure10
-from repro.analysis.figure11 import Figure11Point, figure11
+from repro.analysis.intro_dram import (
+    IntroDRAMRow,
+    intro_dram_analysis,
+    intro_dram_jobs,
+)
+from repro.analysis.figure8 import Figure8Point, figure8, figure8_jobs
+from repro.analysis.table2 import Table2Row, table2, table2_jobs
+from repro.analysis.figure10 import Figure10Point, figure10, figure10_jobs
+from repro.analysis.figure11 import Figure11Point, figure11, figure11_jobs
 from repro.analysis.scaling import (
     RoadmapPoint,
     granularity_roadmap,
+    granularity_roadmap_jobs,
     projected_dram_access_ns,
     years_until_rads_suffices,
 )
@@ -35,16 +40,22 @@ from repro.analysis.report import format_table
 __all__ = [
     "IntroDRAMRow",
     "intro_dram_analysis",
+    "intro_dram_jobs",
     "Figure8Point",
     "figure8",
+    "figure8_jobs",
     "Table2Row",
     "table2",
+    "table2_jobs",
     "Figure10Point",
     "figure10",
+    "figure10_jobs",
     "Figure11Point",
     "figure11",
+    "figure11_jobs",
     "RoadmapPoint",
     "granularity_roadmap",
+    "granularity_roadmap_jobs",
     "projected_dram_access_ns",
     "years_until_rads_suffices",
     "format_table",

@@ -12,6 +12,10 @@ meet the 3.2 ns budget at delays around ten microseconds with a fraction of
 the RADS area, RADS never gets below several nanoseconds even at >50 us
 delay, and there is an optimal granularity (the two SRAM-size terms pull in
 opposite directions).
+
+The sweep is expressed as one :class:`~repro.runner.jobs.Job` per granularity
+curve (:func:`figure10_curve`), the natural parallel grain: curves are
+independent, points within a curve share the per-granularity setup.
 """
 
 from __future__ import annotations
@@ -23,6 +27,8 @@ from repro.constants import CELL_SIZE_BYTES, PAPER_NUM_BANKS
 from repro.core.sizing import cfds_sram_size, latency_slots
 from repro.rads.config import RADSConfig
 from repro.rads.sizing import lookahead_sweep, rads_sram_size, tail_sram_cells
+from repro.runner.jobs import Job
+from repro.runner.sweep import get_runner
 from repro.tech.line_rates import LineRate
 from repro.tech.process import TechnologyProcess
 from repro.tech.sram_designs import GlobalCAMDesign, UnifiedLinkedListDesign
@@ -51,6 +57,57 @@ class Figure10Point:
         return self.access_time_ns <= self.budget_ns
 
 
+def figure10_curve(oc_name: str = "OC-3072",
+                   granularity: int = 32,
+                   num_queues: Optional[int] = None,
+                   num_banks: int = PAPER_NUM_BANKS,
+                   points: int = 16,
+                   process: Optional[TechnologyProcess] = None) -> List[Figure10Point]:
+    """Compute one granularity curve of Figure 10 (job-friendly).
+
+    Returns an empty list when ``granularity`` does not divide the line
+    rate's DRAM access granularity ``B``.
+    """
+    config = RADSConfig.for_line_rate(oc_name, num_queues=num_queues)
+    line_rate = LineRate.from_name(oc_name)
+    big_b = config.granularity
+    b = granularity
+    if b > big_b or big_b % b != 0:
+        return []
+    scheme = "RADS" if b == big_b else "CFDS"
+    extra = 0 if b == big_b else latency_slots(
+        config.num_queues, num_banks, big_b, b)
+    tail_cells = tail_sram_cells(config.num_queues, b)
+    results: List[Figure10Point] = []
+    for lookahead in lookahead_sweep(config.num_queues, b, points):
+        if b == big_b:
+            head_cells = rads_sram_size(lookahead, config.num_queues, b)
+        else:
+            head_cells = cfds_sram_size(lookahead, config.num_queues,
+                                        num_banks, big_b, b)
+        results.append(_evaluate_point(oc_name, scheme, b, lookahead, extra,
+                                       head_cells, tail_cells,
+                                       config.num_queues, line_rate, process))
+    return results
+
+
+def figure10_jobs(oc_name: str = "OC-3072",
+                  num_queues: Optional[int] = None,
+                  num_banks: int = PAPER_NUM_BANKS,
+                  granularities: Sequence[int] = (32, 16, 8, 4, 2, 1),
+                  points: int = 16) -> List[Job]:
+    """The figure's sweep as runner jobs, one per granularity curve."""
+    jobs: List[Job] = []
+    for b in granularities:
+        kwargs = {"oc_name": oc_name, "granularity": b,
+                  "num_banks": num_banks, "points": points}
+        if num_queues is not None:
+            kwargs["num_queues"] = num_queues
+        jobs.append(Job(func="repro.analysis.figure10:figure10_curve",
+                        kwargs=kwargs, tag=f"b={b}"))
+    return jobs
+
+
 def figure10(oc_name: str = "OC-3072",
              num_queues: Optional[int] = None,
              num_banks: int = PAPER_NUM_BANKS,
@@ -58,28 +115,16 @@ def figure10(oc_name: str = "OC-3072",
              points: int = 16,
              process: Optional[TechnologyProcess] = None) -> List[Figure10Point]:
     """Compute every curve of Figure 10 (one list entry per curve point)."""
-    config = RADSConfig.for_line_rate(oc_name, num_queues=num_queues)
-    line_rate = LineRate.from_name(oc_name)
-    big_b = config.granularity
-    results: List[Figure10Point] = []
-    for b in granularities:
-        if b > big_b or big_b % b != 0:
-            continue
-        scheme = "RADS" if b == big_b else "CFDS"
-        extra = 0 if b == big_b else latency_slots(
-            config.num_queues, num_banks, big_b, b)
-        tail_cells = tail_sram_cells(config.num_queues, b)
-        for lookahead in lookahead_sweep(config.num_queues, b, points):
-            if b == big_b:
-                head_cells = rads_sram_size(lookahead, config.num_queues, b)
-            else:
-                head_cells = cfds_sram_size(lookahead, config.num_queues,
-                                            num_banks, big_b, b)
-            point = _evaluate_point(oc_name, scheme, b, lookahead, extra,
-                                    head_cells, tail_cells,
-                                    config.num_queues, line_rate, process)
-            results.append(point)
-    return results
+    if process is not None:
+        curves = [figure10_curve(oc_name, b, num_queues=num_queues,
+                                 num_banks=num_banks, points=points,
+                                 process=process)
+                  for b in granularities]
+    else:
+        curves = get_runner().run(figure10_jobs(
+            oc_name, num_queues=num_queues, num_banks=num_banks,
+            granularities=granularities, points=points))
+    return [point for curve in curves for point in curve]
 
 
 def _evaluate_point(oc_name: str, scheme: str, granularity: int,
@@ -111,14 +156,8 @@ def _evaluate_point(oc_name: str, scheme: str, granularity: int,
         area_cm2=area, budget_ns=line_rate.sram_access_budget_ns)
 
 
-def figure10_summary(oc_name: str = "OC-3072",
-                     num_queues: Optional[int] = None,
-                     num_banks: int = PAPER_NUM_BANKS,
-                     process: Optional[TechnologyProcess] = None) -> dict:
-    """Headline comparison the paper quotes: the best compliant CFDS
-    configuration versus the best RADS operating point."""
-    points = figure10(oc_name, num_queues=num_queues, num_banks=num_banks,
-                      process=process)
+def figure10_summary_from_points(points: List[Figure10Point]) -> dict:
+    """Summary of already-computed curves (used by the CLI report)."""
     rads_points = [p for p in points if p.scheme == "RADS"]
     cfds_points = [p for p in points if p.scheme == "CFDS"]
     compliant = [p for p in cfds_points if p.meets_budget]
@@ -134,3 +173,14 @@ def figure10_summary(oc_name: str = "OC-3072",
         "best_rads_area_cm2": best_rads.area_cm2,
         "budget_ns": best_rads.budget_ns,
     }
+
+
+def figure10_summary(oc_name: str = "OC-3072",
+                     num_queues: Optional[int] = None,
+                     num_banks: int = PAPER_NUM_BANKS,
+                     process: Optional[TechnologyProcess] = None) -> dict:
+    """Headline comparison the paper quotes: the best compliant CFDS
+    configuration versus the best RADS operating point."""
+    points = figure10(oc_name, num_queues=num_queues, num_banks=num_banks,
+                      process=process)
+    return figure10_summary_from_points(points)

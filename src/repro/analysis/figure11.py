@@ -15,6 +15,8 @@ from typing import List, Optional, Sequence
 from repro.constants import PAPER_NUM_BANKS
 from repro.core.sizing import cfds_sram_size
 from repro.rads.sizing import ecqf_max_lookahead, rads_sram_size, tail_sram_cells
+from repro.runner.jobs import Job
+from repro.runner.sweep import get_runner
 from repro.tech.line_rates import LineRate
 from repro.tech.process import TechnologyProcess
 from repro.tech.sram_designs import GlobalCAMDesign, UnifiedLinkedListDesign
@@ -79,6 +81,29 @@ def max_queues_for_granularity(granularity: int,
                          access_time_ns=best_time, budget_ns=budget)
 
 
+def figure11_jobs(oc_name: str = "OC-3072",
+                  dram_access_slots: int = 32,
+                  num_banks: int = PAPER_NUM_BANKS,
+                  granularities: Sequence[int] = (32, 16, 8, 4, 2, 1),
+                  queue_limit: int = 4096) -> List[Job]:
+    """The figure's sweep as runner jobs, one binary search per bar.
+
+    The per-bar binary search is the expensive part of this figure (dozens of
+    CACTI evaluations each), which makes the bar the right parallel grain.
+    """
+    jobs: List[Job] = []
+    for b in granularities:
+        if b > dram_access_slots or dram_access_slots % b != 0:
+            continue
+        jobs.append(Job(
+            func="repro.analysis.figure11:max_queues_for_granularity",
+            kwargs={"granularity": b, "dram_access_slots": dram_access_slots,
+                    "oc_name": oc_name, "num_banks": num_banks,
+                    "queue_limit": queue_limit},
+            tag=f"b={b}"))
+    return jobs
+
+
 def figure11(oc_name: str = "OC-3072",
              dram_access_slots: int = 32,
              num_banks: int = PAPER_NUM_BANKS,
@@ -86,22 +111,19 @@ def figure11(oc_name: str = "OC-3072",
              queue_limit: int = 4096,
              process: Optional[TechnologyProcess] = None) -> List[Figure11Point]:
     """Compute every bar of Figure 11."""
-    results: List[Figure11Point] = []
-    for b in granularities:
-        if b > dram_access_slots or dram_access_slots % b != 0:
-            continue
-        results.append(max_queues_for_granularity(
-            b, dram_access_slots, oc_name=oc_name, num_banks=num_banks,
-            queue_limit=queue_limit, process=process))
-    return results
+    if process is not None:
+        return [max_queues_for_granularity(
+                    b, dram_access_slots, oc_name=oc_name, num_banks=num_banks,
+                    queue_limit=queue_limit, process=process)
+                for b in granularities
+                if b <= dram_access_slots and dram_access_slots % b == 0]
+    return get_runner().run(figure11_jobs(
+        oc_name, dram_access_slots, num_banks=num_banks,
+        granularities=granularities, queue_limit=queue_limit))
 
 
-def figure11_summary(oc_name: str = "OC-3072",
-                     dram_access_slots: int = 32,
-                     num_banks: int = PAPER_NUM_BANKS,
-                     process: Optional[TechnologyProcess] = None) -> dict:
-    """The headline ratio the paper quotes: best CFDS queue count over RADS."""
-    points = figure11(oc_name, dram_access_slots, num_banks, process=process)
+def figure11_summary_from_points(points: List[Figure11Point]) -> dict:
+    """Summary of already-computed bars (used by the CLI report)."""
     rads = next(p for p in points if p.scheme == "RADS")
     cfds_best = max((p for p in points if p.scheme == "CFDS"),
                     key=lambda p: p.max_queues)
@@ -112,3 +134,12 @@ def figure11_summary(oc_name: str = "OC-3072",
         "improvement_ratio": (cfds_best.max_queues / rads.max_queues
                               if rads.max_queues else float("inf")),
     }
+
+
+def figure11_summary(oc_name: str = "OC-3072",
+                     dram_access_slots: int = 32,
+                     num_banks: int = PAPER_NUM_BANKS,
+                     process: Optional[TechnologyProcess] = None) -> dict:
+    """The headline ratio the paper quotes: best CFDS queue count over RADS."""
+    points = figure11(oc_name, dram_access_slots, num_banks, process=process)
+    return figure11_summary_from_points(points)

@@ -7,6 +7,11 @@ SRAM organisations of Section 7.1 (global CAM and time-multiplexed unified
 linked list) with CACTI.  The conclusion to reproduce: both organisations meet
 the 12.8 ns OC-768 budget comfortably, neither meets the 3.2 ns OC-3072
 budget.
+
+The sweep is expressed as one :class:`~repro.runner.jobs.Job` per lookahead
+point (:func:`figure8_point`), so the CLI can run a panel through the cached,
+parallel :class:`~repro.runner.sweep.SweepRunner`; :func:`figure8` remains the
+serial-compatible entry point and produces identical numbers either way.
 """
 
 from __future__ import annotations
@@ -17,6 +22,8 @@ from typing import List, Optional
 from repro.constants import CELL_SIZE_BYTES
 from repro.rads.config import RADSConfig
 from repro.rads.sizing import lookahead_sweep, rads_sram_size
+from repro.runner.jobs import Job
+from repro.runner.sweep import get_runner
 from repro.tech.line_rates import LineRate
 from repro.tech.process import TechnologyProcess
 from repro.tech.sram_designs import GlobalCAMDesign, UnifiedLinkedListDesign
@@ -48,33 +55,77 @@ class Figure8Point:
         return self.linked_list_access_ns <= self.budget_ns
 
 
+def figure8_point(oc_name: str,
+                  lookahead: int,
+                  num_queues: Optional[int] = None,
+                  process: Optional[TechnologyProcess] = None) -> Figure8Point:
+    """Compute one Figure 8 point.  Job-friendly: module-level, and every
+    argument except ``process`` is a plain JSON value."""
+    config = RADSConfig.for_line_rate(oc_name, num_queues=num_queues)
+    line_rate = LineRate.from_name(oc_name)
+    cam = GlobalCAMDesign(config.num_queues, process)
+    linked_list = UnifiedLinkedListDesign(config.num_queues, process)
+    cells = rads_sram_size(lookahead, config.num_queues, config.granularity)
+    return Figure8Point(
+        oc_name=oc_name,
+        num_queues=config.num_queues,
+        granularity=config.granularity,
+        lookahead_slots=lookahead,
+        delay_us=lookahead * line_rate.slot_ns / 1e3,
+        sram_cells=cells,
+        sram_kbytes=cells * CELL_SIZE_BYTES / 1024.0,
+        cam_access_ns=cam.access_time_ns(cells),
+        cam_area_cm2=cam.area_cm2(cells),
+        linked_list_access_ns=linked_list.access_time_ns(cells),
+        linked_list_area_cm2=linked_list.area_cm2(cells),
+        budget_ns=line_rate.sram_access_budget_ns,
+    )
+
+
+def figure8_jobs(oc_name: str,
+                 num_queues: Optional[int] = None,
+                 points: int = 24) -> List[Job]:
+    """The panel's sweep as runner jobs, one per lookahead point."""
+    config = RADSConfig.for_line_rate(oc_name, num_queues=num_queues)
+    jobs: List[Job] = []
+    for lookahead in lookahead_sweep(config.num_queues, config.granularity, points):
+        kwargs = {"oc_name": oc_name, "lookahead": lookahead}
+        if num_queues is not None:
+            kwargs["num_queues"] = num_queues
+        jobs.append(Job(func="repro.analysis.figure8:figure8_point",
+                        kwargs=kwargs, tag=oc_name))
+    return jobs
+
+
 def figure8(oc_name: str,
             num_queues: Optional[int] = None,
             points: int = 24,
             process: Optional[TechnologyProcess] = None) -> List[Figure8Point]:
     """Compute one panel (access time + area curves) of Figure 8."""
-    config = RADSConfig.for_line_rate(oc_name, num_queues=num_queues)
-    line_rate = LineRate.from_name(oc_name)
-    cam = GlobalCAMDesign(config.num_queues, process)
-    linked_list = UnifiedLinkedListDesign(config.num_queues, process)
-    results: List[Figure8Point] = []
-    for lookahead in lookahead_sweep(config.num_queues, config.granularity, points):
-        cells = rads_sram_size(lookahead, config.num_queues, config.granularity)
-        results.append(Figure8Point(
-            oc_name=oc_name,
-            num_queues=config.num_queues,
-            granularity=config.granularity,
-            lookahead_slots=lookahead,
-            delay_us=lookahead * line_rate.slot_ns / 1e3,
-            sram_cells=cells,
-            sram_kbytes=cells * CELL_SIZE_BYTES / 1024.0,
-            cam_access_ns=cam.access_time_ns(cells),
-            cam_area_cm2=cam.area_cm2(cells),
-            linked_list_access_ns=linked_list.access_time_ns(cells),
-            linked_list_area_cm2=linked_list.area_cm2(cells),
-            budget_ns=line_rate.sram_access_budget_ns,
-        ))
-    return results
+    if process is not None:
+        # Technology overrides are live objects and cannot ride in a job's
+        # JSON kwargs; compute those sweeps inline.
+        config = RADSConfig.for_line_rate(oc_name, num_queues=num_queues)
+        return [figure8_point(oc_name, lookahead, num_queues=num_queues,
+                              process=process)
+                for lookahead in lookahead_sweep(config.num_queues,
+                                                 config.granularity, points)]
+    return get_runner().run(figure8_jobs(oc_name, num_queues=num_queues,
+                                         points=points))
+
+
+def figure8_summary_from_points(points: List[Figure8Point]) -> dict:
+    """Summary of an already-computed panel (used by the CLI report)."""
+    first, last = points[0], points[-1]
+    return {
+        "oc_name": first.oc_name,
+        "sram_kbytes_min_lookahead": first.sram_kbytes,
+        "sram_kbytes_max_lookahead": last.sram_kbytes,
+        "best_access_ns_max_lookahead": min(last.cam_access_ns, last.linked_list_access_ns),
+        "any_design_meets_budget": any(
+            p.cam_meets_budget or p.linked_list_meets_budget for p in points),
+        "budget_ns": first.budget_ns,
+    }
 
 
 def figure8_summary(oc_name: str,
@@ -83,13 +134,4 @@ def figure8_summary(oc_name: str,
     """Headline numbers the paper quotes in the Figure 8 discussion: SRAM size
     at minimum and maximum lookahead, and whether any design meets the budget."""
     points = figure8(oc_name, num_queues=num_queues, points=24, process=process)
-    first, last = points[0], points[-1]
-    return {
-        "oc_name": oc_name,
-        "sram_kbytes_min_lookahead": first.sram_kbytes,
-        "sram_kbytes_max_lookahead": last.sram_kbytes,
-        "best_access_ns_max_lookahead": min(last.cam_access_ns, last.linked_list_access_ns),
-        "any_design_meets_budget": any(
-            p.cam_meets_budget or p.linked_list_meets_budget for p in points),
-        "budget_ns": first.budget_ns,
-    }
+    return figure8_summary_from_points(points)

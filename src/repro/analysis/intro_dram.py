@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence
 
+from repro.runner.jobs import Job
+from repro.runner.sweep import get_runner
 from repro.tech.dram_chips import COMMODITY_DRAM_CHIPS, DRAMChip
 from repro.tech.line_rates import LineRate
 
@@ -29,51 +31,55 @@ class IntroDRAMRow:
     supports_oc3072: bool
 
 
-def intro_dram_analysis(chip_name: str = "sdram-16mb",
-                        chip_counts: Sequence[int] = (1, 2, 4, 8, 16, 32),
-                        ) -> List[IntroDRAMRow]:
-    """Return the guaranteed-bandwidth rows for a widening DRAM data path."""
+def intro_dram_row(chip_name: str, num_chips: int) -> IntroDRAMRow:
+    """One configuration of the DRAM-only analysis (job-friendly)."""
     if chip_name not in COMMODITY_DRAM_CHIPS:
         raise ValueError(f"unknown DRAM chip {chip_name!r}")
     chip = COMMODITY_DRAM_CHIPS[chip_name]
     oc768 = LineRate.from_name("OC-768")
     oc3072 = LineRate.from_name("OC-3072")
-    rows: List[IntroDRAMRow] = []
-    for count in chip_counts:
-        peak = chip.peak_bandwidth_gbps * count
-        guaranteed = chip.guaranteed_bandwidth_gbps(count)
-        rows.append(IntroDRAMRow(
-            chip=chip.name,
-            num_chips=count,
-            bus_bits=chip.io_bits * count,
-            peak_gbps=peak,
-            guaranteed_gbps=guaranteed,
-            efficiency=guaranteed / peak if peak else 0.0,
-            supports_oc768=guaranteed >= oc768.buffer_bandwidth_gbps,
-            supports_oc3072=guaranteed >= oc3072.buffer_bandwidth_gbps,
-        ))
-    return rows
+    peak = chip.peak_bandwidth_gbps * num_chips
+    guaranteed = chip.guaranteed_bandwidth_gbps(num_chips)
+    return IntroDRAMRow(
+        chip=chip.name,
+        num_chips=num_chips,
+        bus_bits=chip.io_bits * num_chips,
+        peak_gbps=peak,
+        guaranteed_gbps=guaranteed,
+        efficiency=guaranteed / peak if peak else 0.0,
+        supports_oc768=guaranteed >= oc768.buffer_bandwidth_gbps,
+        supports_oc3072=guaranteed >= oc3072.buffer_bandwidth_gbps,
+    )
+
+
+def intro_dram_jobs(chip_name: str = "sdram-16mb",
+                    chip_counts: Sequence[int] = (1, 2, 4, 8, 16, 32)) -> List[Job]:
+    """The widening-data-path sweep as runner jobs, one per chip count."""
+    if chip_name not in COMMODITY_DRAM_CHIPS:
+        raise ValueError(f"unknown DRAM chip {chip_name!r}")
+    return [Job(func="repro.analysis.intro_dram:intro_dram_row",
+                kwargs={"chip_name": chip_name, "num_chips": count},
+                tag=chip_name)
+            for count in chip_counts]
+
+
+def intro_dram_analysis(chip_name: str = "sdram-16mb",
+                        chip_counts: Sequence[int] = (1, 2, 4, 8, 16, 32),
+                        ) -> List[IntroDRAMRow]:
+    """Return the guaranteed-bandwidth rows for a widening DRAM data path."""
+    return get_runner().run(intro_dram_jobs(chip_name, chip_counts))
+
+
+def dram_family_jobs(num_chips: int = 8) -> List[Job]:
+    """The cross-family comparison as runner jobs, one per DRAM part."""
+    return [Job(func="repro.analysis.intro_dram:intro_dram_row",
+                kwargs={"chip_name": name, "num_chips": num_chips},
+                tag="family")
+            for name in sorted(COMMODITY_DRAM_CHIPS)]
 
 
 def dram_family_comparison(num_chips: int = 8) -> List[IntroDRAMRow]:
     """Extension: the same analysis across the DRAM families the paper cites
     (DDR, DRDRAM, FCRAM, RLDRAM), showing that even faster parts fall short of
     OC-3072 without the hybrid architecture."""
-    oc768 = LineRate.from_name("OC-768")
-    oc3072 = LineRate.from_name("OC-3072")
-    rows: List[IntroDRAMRow] = []
-    for name in sorted(COMMODITY_DRAM_CHIPS):
-        chip = COMMODITY_DRAM_CHIPS[name]
-        peak = chip.peak_bandwidth_gbps * num_chips
-        guaranteed = chip.guaranteed_bandwidth_gbps(num_chips)
-        rows.append(IntroDRAMRow(
-            chip=chip.name,
-            num_chips=num_chips,
-            bus_bits=chip.io_bits * num_chips,
-            peak_gbps=peak,
-            guaranteed_gbps=guaranteed,
-            efficiency=guaranteed / peak if peak else 0.0,
-            supports_oc768=guaranteed >= oc768.buffer_bandwidth_gbps,
-            supports_oc3072=guaranteed >= oc3072.buffer_bandwidth_gbps,
-        ))
-    return rows
+    return get_runner().run(dram_family_jobs(num_chips))

@@ -1,8 +1,14 @@
-"""Plain-text table formatting for examples, benchmarks and EXPERIMENTS.md."""
+"""Plain-text reports: table formatting plus one renderer per exhibit.
+
+:func:`format_table` is the shared low-level formatter.  The ``render_*``
+functions turn the result lists produced by the analysis modules (and, via
+the runner, by ``python -m repro``) into the text reports the CLI prints —
+so the CLI, the examples and the benchmarks all show the same tables.
+"""
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Iterable, List, Optional, Sequence
 
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
@@ -28,6 +34,108 @@ def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
     for row in rendered_rows:
         lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
     return "\n".join(lines)
+
+
+def render_intro_dram(rows, family_rows) -> str:
+    """Report for the introduction's DRAM-only bandwidth analysis."""
+    widening = format_table(
+        ["chip", "chips", "bus bits", "peak Gb/s", "guaranteed Gb/s",
+         "efficiency", "OC-768 ok", "OC-3072 ok"],
+        [[r.chip, r.num_chips, r.bus_bits, r.peak_gbps, r.guaranteed_gbps,
+          r.efficiency, r.supports_oc768, r.supports_oc3072] for r in rows],
+        title="Intro — guaranteed bandwidth of a widening DRAM-only buffer")
+    family = format_table(
+        ["chip", "chips", "bus bits", "peak Gb/s", "guaranteed Gb/s",
+         "efficiency", "OC-768 ok", "OC-3072 ok"],
+        [[r.chip, r.num_chips, r.bus_bits, r.peak_gbps, r.guaranteed_gbps,
+          r.efficiency, r.supports_oc768, r.supports_oc3072]
+         for r in family_rows],
+        title="Intro — DRAM families the paper cites, same chip count")
+    return widening + "\n\n" + family
+
+
+def render_figure8(points) -> str:
+    """Report for Figure 8 (one table per OC panel plus headline numbers)."""
+    blocks: List[str] = []
+    for oc_name in _ordered_unique(p.oc_name for p in points):
+        panel = [p for p in points if p.oc_name == oc_name]
+        blocks.append(format_table(
+            ["lookahead", "delay (us)", "SRAM (kB)", "CAM (ns)",
+             "CAM (cm^2)", "linked list (ns)", "linked list (cm^2)",
+             "budget (ns)"],
+            [[p.lookahead_slots, p.delay_us, p.sram_kbytes, p.cam_access_ns,
+              p.cam_area_cm2, p.linked_list_access_ns, p.linked_list_area_cm2,
+              p.budget_ns] for p in panel],
+            title=(f"Figure 8 — RADS h-SRAM vs lookahead, {oc_name} "
+                   f"(Q={panel[0].num_queues}, B={panel[0].granularity})")))
+        feasible = any(p.cam_meets_budget or p.linked_list_meets_budget
+                       for p in panel)
+        blocks.append(f"{oc_name}: any design meets the "
+                      f"{panel[0].budget_ns:g} ns budget: "
+                      f"{'yes' if feasible else 'no'}")
+    return "\n\n".join(blocks)
+
+
+def render_table2(rows) -> str:
+    """Report for Table 2 (one table per OC line rate)."""
+    blocks: List[str] = []
+    for oc_name in _ordered_unique(r.oc_name for r in rows):
+        group = [r for r in rows if r.oc_name == oc_name]
+        blocks.append(format_table(
+            ["b", "valid", "RR (analytical)", "RR (hardware)",
+             "sched time (ns)", "sched latency (ns)", "feasibility"],
+            [[r.granularity, r.valid, r.rr_size_analytical, r.rr_size_hardware,
+              r.scheduling_time_ns, r.scheduling_latency_ns, r.feasibility]
+             for r in group],
+            title=(f"Table 2 — Requests Register and scheduling time, "
+                   f"{oc_name} (Q={group[0].num_queues}, "
+                   f"B={group[0].dram_access_slots})")))
+    return "\n\n".join(blocks)
+
+
+def render_figure10(points) -> str:
+    """Report for Figure 10 (all curves in one table, RADS then CFDS)."""
+    return format_table(
+        ["scheme", "b", "lookahead", "latency", "delay (us)", "h-SRAM (kB)",
+         "access (ns)", "fastest design", "area (cm^2)", "meets budget"],
+        [[p.scheme, p.granularity, p.lookahead_slots, p.latency_slots,
+          p.delay_us, p.head_sram_kbytes, p.access_time_ns, p.fastest_design,
+          p.area_cm2, p.meets_budget] for p in points],
+        title=(f"Figure 10 — SRAM access time and area vs delay, "
+               f"{points[0].oc_name} (budget {points[0].budget_ns:g} ns)"))
+
+
+def render_figure11(points) -> str:
+    """Report for Figure 11 (maximum queues per granularity)."""
+    return format_table(
+        ["scheme", "b", "max queues", "h-SRAM cells", "access (ns)",
+         "budget (ns)"],
+        [[p.scheme, p.granularity, p.max_queues, p.head_sram_cells,
+          p.access_time_ns, p.budget_ns] for p in points],
+        title=(f"Figure 11 — maximum queues meeting the SRAM budget, "
+               f"{points[0].oc_name}"))
+
+
+def render_scaling(points, years_to_suffice: Optional[float]) -> str:
+    """Report for the DRAM-scaling extension study."""
+    suffix = (f"{years_to_suffice:g}" if years_to_suffice is not None
+              else ">30")
+    return format_table(
+        ["years from 2003", "DRAM T_RC (ns)", "B", "head SRAM (kB)",
+         "best access (ns)", "meets budget"],
+        [[p.years_from_now, p.dram_access_ns, p.granularity,
+          p.head_sram_kbytes, p.best_access_time_ns, p.meets_budget]
+         for p in points],
+        title=("Extension — RADS under the paper's DRAM scaling trend "
+               f"(RADS sufficient after: {suffix} years)"))
+
+
+def _ordered_unique(values: Iterable[str]) -> List[str]:
+    seen: List[str] = []
+    for value in values:
+        if value not in seen:
+            seen.append(value)
+    return seen
 
 
 def _fmt(value: object) -> str:

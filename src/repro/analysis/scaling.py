@@ -23,6 +23,8 @@ from typing import List, Optional
 
 from repro.constants import DEFAULT_DRAM_RANDOM_ACCESS_NS, rads_granularity
 from repro.rads.sizing import ecqf_max_lookahead, rads_sram_size
+from repro.runner.jobs import Job
+from repro.runner.sweep import get_runner
 from repro.tech.line_rates import LineRate
 from repro.tech.process import TechnologyProcess
 from repro.tech.sram_designs import GlobalCAMDesign, UnifiedLinkedListDesign
@@ -57,33 +59,59 @@ class RoadmapPoint:
     meets_budget: bool
 
 
+def roadmap_point(oc_name: str,
+                  num_queues: int,
+                  year: float,
+                  process: Optional[TechnologyProcess] = None) -> RoadmapPoint:
+    """RADS requirements at one point of the DRAM scaling roadmap
+    (job-friendly)."""
+    line_rate = LineRate.from_name(oc_name)
+    cam = GlobalCAMDesign(num_queues, process)
+    linked_list = UnifiedLinkedListDesign(num_queues, process)
+    access_ns = projected_dram_access_ns(year)
+    granularity = rads_granularity(line_rate.bits_per_second, access_ns)
+    lookahead = ecqf_max_lookahead(num_queues, granularity)
+    cells = rads_sram_size(lookahead, num_queues, granularity)
+    best_ns = min(cam.access_time_ns(cells), linked_list.access_time_ns(cells))
+    return RoadmapPoint(
+        years_from_now=year,
+        dram_access_ns=access_ns,
+        granularity=granularity,
+        head_sram_cells=cells,
+        head_sram_kbytes=cells * 64 / 1024.0,
+        best_access_time_ns=best_ns,
+        meets_budget=best_ns <= line_rate.sram_access_budget_ns,
+    )
+
+
+#: Default roadmap horizon (years from the paper's publication).
+DEFAULT_ROADMAP_YEARS: List[float] = [0, 3, 6, 9, 12, 15]
+
+
+def granularity_roadmap_jobs(oc_name: str,
+                             num_queues: int,
+                             years: Optional[List[float]] = None) -> List[Job]:
+    """The roadmap sweep as runner jobs, one per year."""
+    if years is None:
+        years = DEFAULT_ROADMAP_YEARS
+    return [Job(func="repro.analysis.scaling:roadmap_point",
+                kwargs={"oc_name": oc_name, "num_queues": num_queues,
+                        "year": year},
+                tag=f"{year}y")
+            for year in years]
+
+
 def granularity_roadmap(oc_name: str,
                         num_queues: int,
                         years: Optional[List[float]] = None,
                         process: Optional[TechnologyProcess] = None) -> List[RoadmapPoint]:
     """RADS granularity / SRAM / feasibility over a DRAM scaling roadmap."""
-    if years is None:
-        years = [0, 3, 6, 9, 12, 15]
-    line_rate = LineRate.from_name(oc_name)
-    cam = GlobalCAMDesign(num_queues, process)
-    linked_list = UnifiedLinkedListDesign(num_queues, process)
-    points: List[RoadmapPoint] = []
-    for year in years:
-        access_ns = projected_dram_access_ns(year)
-        granularity = rads_granularity(line_rate.bits_per_second, access_ns)
-        lookahead = ecqf_max_lookahead(num_queues, granularity)
-        cells = rads_sram_size(lookahead, num_queues, granularity)
-        best_ns = min(cam.access_time_ns(cells), linked_list.access_time_ns(cells))
-        points.append(RoadmapPoint(
-            years_from_now=year,
-            dram_access_ns=access_ns,
-            granularity=granularity,
-            head_sram_cells=cells,
-            head_sram_kbytes=cells * 64 / 1024.0,
-            best_access_time_ns=best_ns,
-            meets_budget=best_ns <= line_rate.sram_access_budget_ns,
-        ))
-    return points
+    if process is not None:
+        if years is None:
+            years = DEFAULT_ROADMAP_YEARS
+        return [roadmap_point(oc_name, num_queues, year, process=process)
+                for year in years]
+    return get_runner().run(granularity_roadmap_jobs(oc_name, num_queues, years))
 
 
 def years_until_rads_suffices(oc_name: str,
@@ -96,10 +124,11 @@ def years_until_rads_suffices(oc_name: str,
     if horizon_years <= 0 or step_years <= 0:
         raise ValueError("horizon_years and step_years must be positive")
     steps = int(horizon_years / step_years) + 1
+    # Deliberately a serial early-exit search (not a runner sweep): the
+    # common case stops after a handful of cheap formula evaluations.
     for i in range(steps):
         year = i * step_years
-        point = granularity_roadmap(oc_name, num_queues, years=[year],
-                                    process=process)[0]
+        point = roadmap_point(oc_name, num_queues, year, process=process)
         if point.meets_budget:
             return year
     return None

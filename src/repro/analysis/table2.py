@@ -17,6 +17,8 @@ from repro.core.sizing import (
     scheduling_time_ns,
 )
 from repro.rads.config import RADSConfig
+from repro.runner.jobs import Job
+from repro.runner.sweep import get_runner
 from repro.tech.issue_logic import IssueLogicModel
 from repro.tech.line_rates import LineRate
 
@@ -37,47 +39,75 @@ class Table2Row:
     feasibility: str
 
 
+def table2_row(oc_name: str,
+               granularity: int,
+               num_queues: Optional[int] = None,
+               num_banks: int = PAPER_NUM_BANKS,
+               issue_logic: Optional[IssueLogicModel] = None) -> Table2Row:
+    """Compute one (line rate, granularity) row of Table 2 (job-friendly)."""
+    config = RADSConfig.for_line_rate(oc_name, num_queues=num_queues)
+    line_rate = LineRate.from_name(oc_name)
+    logic = issue_logic if issue_logic is not None else IssueLogicModel()
+    b = granularity
+    if b > config.granularity or config.granularity % b != 0:
+        return Table2Row(
+            oc_name=oc_name, num_queues=config.num_queues,
+            dram_access_slots=config.granularity, granularity=b,
+            valid=False, rr_size_analytical=None, rr_size_hardware=None,
+            scheduling_time_ns=None, scheduling_latency_ns=None,
+            feasibility="invalid")
+    analytical = request_register_size(config.num_queues, num_banks,
+                                       config.granularity, b)
+    hardware = request_register_hardware_size(config.num_queues, num_banks,
+                                              config.granularity, b)
+    if b == config.granularity:
+        # Degenerate case: b == B is RADS, no scheduling needed.
+        return Table2Row(
+            oc_name=oc_name, num_queues=config.num_queues,
+            dram_access_slots=config.granularity, granularity=b,
+            valid=True, rr_size_analytical=analytical, rr_size_hardware=hardware,
+            scheduling_time_ns=None, scheduling_latency_ns=None,
+            feasibility="not needed")
+    available = scheduling_time_ns(b, line_rate.bits_per_second)
+    latency = logic.scheduling_latency_ns(hardware)
+    return Table2Row(
+        oc_name=oc_name, num_queues=config.num_queues,
+        dram_access_slots=config.granularity, granularity=b,
+        valid=True, rr_size_analytical=analytical, rr_size_hardware=hardware,
+        scheduling_time_ns=available, scheduling_latency_ns=latency,
+        feasibility=logic.feasibility_label(hardware, available))
+
+
+def table2_jobs(oc_name: str,
+                num_queues: Optional[int] = None,
+                num_banks: int = PAPER_NUM_BANKS,
+                granularities: Sequence[int] = (32, 16, 8, 4, 2, 1)) -> List[Job]:
+    """The table's sweep as runner jobs, one per granularity row."""
+    jobs: List[Job] = []
+    for b in granularities:
+        kwargs = {"oc_name": oc_name, "granularity": b, "num_banks": num_banks}
+        if num_queues is not None:
+            kwargs["num_queues"] = num_queues
+        jobs.append(Job(func="repro.analysis.table2:table2_row",
+                        kwargs=kwargs, tag=oc_name))
+    return jobs
+
+
 def table2(oc_name: str,
            num_queues: Optional[int] = None,
            num_banks: int = PAPER_NUM_BANKS,
            granularities: Sequence[int] = (32, 16, 8, 4, 2, 1),
            issue_logic: Optional[IssueLogicModel] = None) -> List[Table2Row]:
     """Compute the Table 2 rows for one line rate."""
-    config = RADSConfig.for_line_rate(oc_name, num_queues=num_queues)
-    line_rate = LineRate.from_name(oc_name)
-    logic = issue_logic if issue_logic is not None else IssueLogicModel()
-    rows: List[Table2Row] = []
-    for b in granularities:
-        if b > config.granularity or config.granularity % b != 0:
-            rows.append(Table2Row(
-                oc_name=oc_name, num_queues=config.num_queues,
-                dram_access_slots=config.granularity, granularity=b,
-                valid=False, rr_size_analytical=None, rr_size_hardware=None,
-                scheduling_time_ns=None, scheduling_latency_ns=None,
-                feasibility="invalid"))
-            continue
-        analytical = request_register_size(config.num_queues, num_banks,
-                                           config.granularity, b)
-        hardware = request_register_hardware_size(config.num_queues, num_banks,
-                                                  config.granularity, b)
-        if b == config.granularity:
-            # Degenerate case: b == B is RADS, no scheduling needed.
-            rows.append(Table2Row(
-                oc_name=oc_name, num_queues=config.num_queues,
-                dram_access_slots=config.granularity, granularity=b,
-                valid=True, rr_size_analytical=analytical, rr_size_hardware=hardware,
-                scheduling_time_ns=None, scheduling_latency_ns=None,
-                feasibility="not needed"))
-            continue
-        available = scheduling_time_ns(b, line_rate.bits_per_second)
-        latency = logic.scheduling_latency_ns(hardware)
-        rows.append(Table2Row(
-            oc_name=oc_name, num_queues=config.num_queues,
-            dram_access_slots=config.granularity, granularity=b,
-            valid=True, rr_size_analytical=analytical, rr_size_hardware=hardware,
-            scheduling_time_ns=available, scheduling_latency_ns=latency,
-            feasibility=logic.feasibility_label(hardware, available)))
-    return rows
+    if issue_logic is not None:
+        # A custom issue-logic model is a live object and cannot ride in a
+        # job's JSON kwargs; compute those rows inline.
+        return [table2_row(oc_name, b, num_queues=num_queues,
+                           num_banks=num_banks, issue_logic=issue_logic)
+                for b in granularities]
+    return get_runner().run(table2_jobs(oc_name, num_queues=num_queues,
+                                        num_banks=num_banks,
+                                        granularities=granularities))
 
 
 #: The RR sizes printed in the paper's Table 2, used by the regression tests

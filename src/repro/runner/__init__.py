@@ -1,0 +1,50 @@
+"""Parallel, cached experiment execution.
+
+The analysis modules under :mod:`repro.analysis` describe *what* to compute
+(one :class:`Job` per sweep point); this package decides *how*: the
+:class:`SweepRunner` executes job lists serially or over a
+:mod:`multiprocessing` pool with deterministic result ordering, the
+:class:`ResultCache` persists results as JSON under ``.repro_cache/<version>/``
+so re-running a figure is near-instant, and :mod:`repro.runner.cli` exposes
+it all as the ``python -m repro`` command.
+
+Typical library use::
+
+    from repro.runner import ResultCache, SweepRunner, using_runner
+    from repro.analysis.figure8 import figure8
+
+    with using_runner(SweepRunner(jobs=4, cache=ResultCache())):
+        points = figure8("OC-3072")   # parallel + cached, same numbers
+"""
+
+from repro.runner.cache import MISS, ResultCache
+from repro.runner.jobs import Job, resolve_function, run_job
+from repro.runner.serialize import from_jsonable, to_jsonable
+from repro.runner.sweep import (
+    SweepRunner,
+    default_jobs,
+    get_runner,
+    set_runner,
+    using_runner,
+)
+
+# NOTE: repro.runner.experiments (the registry behind the CLI) is deliberately
+# not imported here.  It imports the analysis modules, which in turn import
+# this package for Job/SweepRunner — importing it eagerly would make
+# ``import repro.analysis.figure8`` circular.  Import it explicitly:
+# ``from repro.runner.experiments import EXPERIMENTS``.
+
+__all__ = [
+    "Job",
+    "resolve_function",
+    "run_job",
+    "ResultCache",
+    "MISS",
+    "SweepRunner",
+    "default_jobs",
+    "get_runner",
+    "set_runner",
+    "using_runner",
+    "to_jsonable",
+    "from_jsonable",
+]

@@ -1,0 +1,119 @@
+"""On-disk result cache for experiment jobs.
+
+Results live as JSON files under ``.repro_cache/<code-version>/<key>.json``.
+The key is a SHA-256 over the job's canonical signature (function path plus
+sorted kwargs) and the code version, so a cache entry is invalidated by
+changing *either* the experiment configuration *or* the package version —
+re-running a figure after an upgrade never serves stale numbers.  The
+version-stamped directory also means ``repro cache --clear`` style cleanups
+can simply delete old version directories.
+
+Writes are atomic (temp file + :func:`os.replace`) so a parallel sweep whose
+workers finish while the parent is writing, or two concurrent CLI invocations,
+never leave a truncated entry behind; a corrupted or unreadable entry is
+treated as a miss and recomputed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Optional
+
+import repro
+from repro.errors import ReproError
+from repro.runner.jobs import Job
+from repro.runner.serialize import from_jsonable, to_jsonable
+
+#: Default cache root, relative to the current working directory.
+DEFAULT_CACHE_ROOT = ".repro_cache"
+
+#: Sentinel distinguishing "no cached value" from a cached ``None``.
+MISS = object()
+
+
+class ResultCache:
+    """A version-stamped JSON store of job results.
+
+    Args:
+        root: cache root directory (created on first write).
+        version: code version folded into every key and used as the
+            subdirectory name; defaults to :data:`repro.__version__`.
+    """
+
+    def __init__(self, root: Optional[os.PathLike] = None,
+                 version: Optional[str] = None) -> None:
+        self.root = Path(root) if root is not None else Path(DEFAULT_CACHE_ROOT)
+        self.version = version if version is not None else repro.__version__
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def directory(self) -> Path:
+        """The version-stamped directory entries live in."""
+        return self.root / self.version
+
+    def key(self, job: Job) -> str:
+        """Stable hex digest identifying ``job`` under the current version."""
+        payload = {"version": self.version, "job": job.signature()}
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def path(self, job: Job) -> Path:
+        return self.directory / f"{self.key(job)}.json"
+
+    # ------------------------------------------------------------------ #
+    def get(self, job: Job) -> Any:
+        """Return the cached result for ``job``, or :data:`MISS`."""
+        path = self.path(job)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+            if not isinstance(entry, dict) or entry.get("key") != self.key(job):
+                # Hash collision or hand-edited file: treat as a miss.
+                raise ValueError("cache entry key mismatch")
+            result = from_jsonable(entry["result"])
+        except (OSError, ValueError, KeyError, TypeError, ReproError):
+            # Unreadable, corrupted, or no-longer-deserialisable (e.g. a
+            # result class was renamed without a version bump): recompute.
+            self.misses += 1
+            return MISS
+        self.hits += 1
+        return result
+
+    def put(self, job: Job, result: Any) -> None:
+        """Store ``result`` for ``job`` atomically."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "key": self.key(job),
+            "version": self.version,
+            "func": job.func,
+            "kwargs": dict(job.kwargs),
+            "result": to_jsonable(result),
+        }
+        path = self.path(job)
+        tmp = path.with_name(path.name + f".tmp.{os.getpid()}")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(entry, handle, sort_keys=True)
+        os.replace(tmp, path)
+
+    # ------------------------------------------------------------------ #
+    def clear(self) -> int:
+        """Delete every entry of the current version; returns the count."""
+        removed = 0
+        if self.directory.is_dir():
+            for path in self.directory.glob("*.json"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def __len__(self) -> int:
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob("*.json"))

@@ -1,0 +1,121 @@
+"""The ``python -m repro`` command line.
+
+Reproduce any exhibit of the paper from a terminal::
+
+    python -m repro figure8              # one exhibit
+    python -m repro all --jobs 4         # everything, 4 worker processes
+    python -m repro figure10 --no-cache  # force recomputation
+    python -m repro table2 -o table2.txt # write the report to a file
+    python -m repro scaling --dry-run    # show the jobs, compute nothing
+
+Results are cached as JSON under ``.repro_cache/<version>/`` keyed by the
+job's configuration and the package version, so a second invocation of the
+same exhibit is served from disk without re-simulating.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional, Sequence
+
+import repro
+from repro.errors import ReproError
+from repro.runner.cache import ResultCache
+from repro.runner.experiments import EXPERIMENTS, get_experiment
+from repro.runner.sweep import SweepRunner
+
+#: Subcommand that runs every registered experiment.
+ALL = "all"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=("Reproduce the tables and figures of 'Design and "
+                     "Implementation of High-Performance Memory Systems for "
+                     "Future Packet Buffers' (Garcia et al., MICRO-36, 2003)."))
+    parser.add_argument("--version", action="version",
+                        version=f"repro {repro.__version__}")
+
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("-j", "--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for the sweep (0 = one per "
+                             "CPU; default: 1, serial)")
+    common.add_argument("--no-cache", action="store_true",
+                        help="recompute everything; neither read nor write "
+                             "the on-disk result cache")
+    common.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="cache root directory (default: .repro_cache)")
+    common.add_argument("-o", "--output", default=None, metavar="FILE",
+                        help="write the report to FILE instead of stdout")
+    common.add_argument("--dry-run", action="store_true",
+                        help="print the jobs the experiment would run, "
+                             "without computing anything")
+
+    subparsers = parser.add_subparsers(dest="experiment", metavar="EXPERIMENT")
+    for name, spec in EXPERIMENTS.items():
+        subparsers.add_parser(name, parents=[common], help=spec.description,
+                              description=f"{spec.title}. {spec.description}")
+    subparsers.add_parser(
+        ALL, parents=[common], help="run every experiment",
+        description="Reproduce every registered exhibit in one run.")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.experiment is None:
+        parser.print_help()
+        return 2
+
+    names = list(EXPERIMENTS) if args.experiment == ALL else [args.experiment]
+    specs = [get_experiment(name) for name in names]
+
+    if args.dry_run:
+        lines: List[str] = []
+        for spec in specs:
+            jobs = spec.build_jobs()
+            lines.append(f"{spec.name}: {len(jobs)} jobs")
+            lines.extend(f"  {job.describe()}" for job in jobs)
+        return _emit("\n".join(lines), args.output)
+
+    cache = None if args.no_cache else ResultCache(root=args.cache_dir)
+    try:
+        runner = SweepRunner(jobs=args.jobs, cache=cache)
+    except ReproError as exc:
+        parser.error(str(exc))
+
+    blocks: List[str] = []
+    started = time.perf_counter()
+    for spec in specs:
+        jobs = spec.build_jobs()
+        try:
+            results = runner.run(jobs)
+        except ReproError as exc:
+            print(f"error while running {spec.name}: {exc}", file=sys.stderr)
+            return 1
+        blocks.append(f"== {spec.title} ==\n\n{spec.render(results, jobs)}")
+    elapsed = time.perf_counter() - started
+
+    hits = cache.hits if cache is not None else 0
+    blocks.append(f"[runner] {runner.executed} jobs executed, {hits} cache "
+                  f"hits, {runner.jobs} worker(s), {elapsed:.2f} s")
+    return _emit("\n\n".join(blocks), args.output)
+
+
+def _emit(text: str, output: Optional[str]) -> int:
+    if output is None:
+        print(text)
+        return 0
+    try:
+        with open(output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+    except OSError as exc:
+        print(f"error: cannot write {output}: {exc}", file=sys.stderr)
+        return 1
+    return 0

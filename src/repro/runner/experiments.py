@@ -1,0 +1,204 @@
+"""The named experiments ``python -m repro`` can reproduce.
+
+Each :class:`ExperimentSpec` pairs a job-list builder with a renderer: the
+builder declares the sweep (so ``--dry-run`` can print it and the cache can
+key on it), the renderer turns the runner's results into the text report the
+CLI prints.  The specs deliberately contain no execution logic — serial
+versus parallel versus cached is entirely the
+:class:`~repro.runner.sweep.SweepRunner`'s business.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List
+
+from repro.analysis.figure8 import figure8_jobs, figure8_summary_from_points
+from repro.analysis.figure10 import figure10_jobs, figure10_summary_from_points
+from repro.analysis.figure11 import figure11_jobs, figure11_summary_from_points
+from repro.analysis.intro_dram import dram_family_jobs, intro_dram_jobs
+from repro.analysis.report import (
+    format_table,
+    render_figure8,
+    render_figure10,
+    render_figure11,
+    render_intro_dram,
+    render_scaling,
+    render_table2,
+)
+from repro.analysis.scaling import (
+    granularity_roadmap_jobs,
+    years_until_rads_suffices,
+)
+from repro.analysis.table2 import table2_jobs
+from repro.errors import ConfigurationError
+from repro.runner.jobs import Job
+
+#: The OC-3072 scaling study's queue count (the paper's Q for that rate).
+SCALING_NUM_QUEUES = 512
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One reproducible exhibit: a sweep plus its report."""
+
+    name: str
+    title: str
+    description: str
+    build_jobs: Callable[[], List[Job]]
+    render: Callable[[List[Any], List[Job]], str]
+
+
+# --------------------------------------------------------------------- #
+# Job builders.
+
+def _intro_dram_jobs() -> List[Job]:
+    return list(intro_dram_jobs()) + list(dram_family_jobs())
+
+
+def _figure8_jobs() -> List[Job]:
+    return list(figure8_jobs("OC-768")) + list(figure8_jobs("OC-3072"))
+
+
+def _table2_jobs() -> List[Job]:
+    return list(table2_jobs("OC-768")) + list(table2_jobs("OC-3072"))
+
+
+def _scaling_jobs() -> List[Job]:
+    return granularity_roadmap_jobs("OC-3072", SCALING_NUM_QUEUES)
+
+
+def _worstcase_jobs() -> List[Job]:
+    # Parameters are spelled out (not left to the callees' defaults) so the
+    # cache key captures the actual configuration and --dry-run shows it.
+    return [
+        Job(func="repro.sim.worstcase:run_rads_worst_case",
+            kwargs={"num_queues": 32, "granularity": 8, "slots": 20_000},
+            tag="RADS"),
+        Job(func="repro.sim.worstcase:run_cfds_worst_case",
+            kwargs={"num_queues": 32, "dram_access_slots": 8,
+                    "granularity": 2, "num_banks": 64, "slots": 20_000},
+            tag="CFDS"),
+    ]
+
+
+# --------------------------------------------------------------------- #
+# Renderers.
+
+def _render_intro_dram(results: List[Any], jobs: List[Job]) -> str:
+    widening = [row for row, job in zip(results, jobs) if job.tag != "family"]
+    family = [row for row, job in zip(results, jobs) if job.tag == "family"]
+    return render_intro_dram(widening, family)
+
+
+def _render_figure8(results: List[Any], jobs: List[Job]) -> str:
+    text = render_figure8(results)
+    for oc_name in dict.fromkeys(p.oc_name for p in results):
+        panel = [p for p in results if p.oc_name == oc_name]
+        summary = figure8_summary_from_points(panel)
+        text += (f"\n{oc_name}: h-SRAM from "
+                 f"{summary['sram_kbytes_min_lookahead']:.0f} kB (min lookahead) "
+                 f"down to {summary['sram_kbytes_max_lookahead']:.0f} kB "
+                 f"(max lookahead)")
+    return text
+
+
+def _render_table2(results: List[Any], jobs: List[Job]) -> str:
+    return render_table2(results)
+
+
+def _render_figure10(results: List[Any], jobs: List[Job]) -> str:
+    points = [p for curve in results for p in curve]
+    summary = figure10_summary_from_points(points)
+    text = render_figure10(points)
+    if summary["cfds_compliant_exists"]:
+        text += (f"\nbest compliant CFDS: b={summary['best_cfds_granularity']}"
+                 f" at {summary['best_cfds_delay_us']:.1f} us, "
+                 f"{summary['best_cfds_area_cm2']:.2f} cm^2; "
+                 f"best RADS access {summary['best_rads_access_ns']:.2f} ns "
+                 f"(budget {summary['budget_ns']:g} ns)")
+    return text
+
+
+def _render_figure11(results: List[Any], jobs: List[Job]) -> str:
+    summary = figure11_summary_from_points(results)
+    return (render_figure11(results) +
+            f"\nCFDS sustains {summary['cfds_max_queues']} queues at "
+            f"b={summary['cfds_best_granularity']} versus "
+            f"{summary['rads_max_queues']} for RADS "
+            f"({summary['improvement_ratio']:.1f}x)")
+
+
+def _render_scaling(results: List[Any], jobs: List[Job]) -> str:
+    years = years_until_rads_suffices("OC-3072", SCALING_NUM_QUEUES)
+    return render_scaling(results, years)
+
+
+def _render_worstcase(results: List[Any], jobs: List[Job]) -> str:
+    return format_table(
+        ["scheme", "slots", "cells out", "misses", "conflicts",
+         "peak SRAM", "SRAM bound", "peak RR", "RR bound", "extra delay"],
+        [[r.scheme, r.slots, r.cells_out, r.miss_count, r.bank_conflicts,
+          r.max_head_sram_occupancy, r.head_sram_bound,
+          r.max_request_register_occupancy, r.request_register_bound,
+          r.extra_latency_slots] for r in results],
+        title="Section 5 — worst-case round-robin adversary, RADS vs CFDS")
+
+
+# --------------------------------------------------------------------- #
+
+EXPERIMENTS: Dict[str, ExperimentSpec] = {
+    spec.name: spec for spec in [
+        ExperimentSpec(
+            name="intro-dram",
+            title="Introduction: DRAM-only guaranteed bandwidth",
+            description="Why DRAM alone cannot buffer at line rate.",
+            build_jobs=_intro_dram_jobs,
+            render=_render_intro_dram),
+        ExperimentSpec(
+            name="figure8",
+            title="Figure 8: RADS h-SRAM vs lookahead",
+            description="RADS SRAM access time and area, OC-768 and OC-3072.",
+            build_jobs=_figure8_jobs,
+            render=_render_figure8),
+        ExperimentSpec(
+            name="table2",
+            title="Table 2: Requests Register sizes and scheduling times",
+            description="CFDS scheduler feasibility across granularities.",
+            build_jobs=_table2_jobs,
+            render=_render_table2),
+        ExperimentSpec(
+            name="figure10",
+            title="Figure 10: SRAM vs delay, RADS vs CFDS",
+            description="Access time and area against total delay at OC-3072.",
+            build_jobs=figure10_jobs,
+            render=_render_figure10),
+        ExperimentSpec(
+            name="figure11",
+            title="Figure 11: maximum sustainable queues",
+            description="Largest queue count meeting the OC-3072 budget.",
+            build_jobs=figure11_jobs,
+            render=_render_figure11),
+        ExperimentSpec(
+            name="scaling",
+            title="Extension: DRAM technology scaling vs CFDS",
+            description="How long DRAM scaling alone would take to rescue RADS.",
+            build_jobs=_scaling_jobs,
+            render=_render_scaling),
+        ExperimentSpec(
+            name="worstcase",
+            title="Section 5: worst-case adversary simulations",
+            description="Slot-accurate zero-miss runs of RADS and CFDS.",
+            build_jobs=_worstcase_jobs,
+            render=_render_worstcase),
+    ]
+}
+
+
+def get_experiment(name: str) -> ExperimentSpec:
+    """Look up one experiment by CLI name."""
+    try:
+        return EXPERIMENTS[name]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise ConfigurationError(f"unknown experiment {name!r} (known: {known})")

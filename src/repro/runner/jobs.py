@@ -1,0 +1,95 @@
+"""Experiment jobs: the unit of work the sweep runner executes.
+
+A :class:`Job` names a module-level function by dotted path and carries
+JSON-serialisable keyword arguments.  Keeping jobs declarative (strings and
+plain values, no live objects) buys three properties at once:
+
+* they pickle trivially, so a :mod:`multiprocessing` pool can execute them in
+  worker processes;
+* they hash stably, so the on-disk result cache can key on the job itself;
+* they print usefully, so the CLI's ``--dry-run`` can show exactly what an
+  experiment would compute.
+"""
+
+from __future__ import annotations
+
+import importlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Mapping
+
+from repro.errors import ConfigurationError
+
+#: Separator between module path and attribute path in a job's ``func``.
+FUNC_SEPARATOR = ":"
+
+
+@dataclass(frozen=True)
+class Job:
+    """One unit of experiment work: ``func(**kwargs)``.
+
+    Attributes:
+        func: dotted path of a module-level callable, written as
+            ``"package.module:function"``.
+        kwargs: keyword arguments for the call; must be JSON-serialisable so
+            the job can be hashed, cached and shipped to worker processes.
+        tag: free-form label used by experiments to regroup results (e.g. the
+            panel a point belongs to); not part of the computation.
+    """
+
+    func: str
+    kwargs: Mapping[str, Any] = field(default_factory=dict)
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        if FUNC_SEPARATOR not in self.func:
+            raise ConfigurationError(
+                f"job func {self.func!r} must be written as 'module:attribute'")
+        try:
+            json.dumps(dict(self.kwargs), sort_keys=True)
+        except (TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"job kwargs for {self.func} are not JSON-serialisable: {exc}")
+
+    # ------------------------------------------------------------------ #
+    def resolve(self) -> Callable[..., Any]:
+        """Import and return the callable this job names."""
+        return resolve_function(self.func)
+
+    def describe(self) -> str:
+        """One-line human-readable form, used by ``--dry-run``."""
+        args = ", ".join(f"{k}={v!r}" for k, v in sorted(self.kwargs.items()))
+        return f"{self.func}({args})"
+
+    def signature(self) -> Dict[str, Any]:
+        """The canonical, hashable identity of this job (used by the cache).
+
+        The ``tag`` is deliberately excluded: it influences presentation, not
+        the computed value.
+        """
+        return {"func": self.func, "kwargs": dict(self.kwargs)}
+
+
+def resolve_function(path: str) -> Callable[..., Any]:
+    """Resolve ``"package.module:attr"`` (or ``:attr.subattr``) to a callable."""
+    module_path, _, attr_path = path.partition(FUNC_SEPARATOR)
+    if not module_path or not attr_path:
+        raise ConfigurationError(f"malformed function path {path!r}")
+    try:
+        target: Any = importlib.import_module(module_path)
+    except ImportError as exc:
+        raise ConfigurationError(f"cannot import module {module_path!r}: {exc}")
+    for part in attr_path.split("."):
+        try:
+            target = getattr(target, part)
+        except AttributeError:
+            raise ConfigurationError(
+                f"module {module_path!r} has no attribute {attr_path!r}")
+    if not callable(target):
+        raise ConfigurationError(f"{path!r} does not name a callable")
+    return target
+
+
+def run_job(job: Job) -> Any:
+    """Execute one job.  Module-level so a worker process can import it."""
+    return job.resolve()(**job.kwargs)

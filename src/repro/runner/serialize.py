@@ -1,0 +1,88 @@
+"""JSON round-tripping for experiment results.
+
+Every analysis module returns frozen dataclasses of plain numbers and strings
+(:class:`~repro.analysis.figure8.Figure8Point` and friends).  The on-disk
+cache stores them as JSON; this module tags each dataclass with its dotted
+class path so the cached value reconstructs to an object that compares equal
+to a freshly computed one — the property the runner's equivalence tests rely
+on.
+
+Only value-like dataclasses are supported: fields must themselves be
+JSON-serialisable or nested dataclasses/lists/dicts thereof.  That covers all
+experiment result types by construction; anything richer (live buffers,
+technology-model objects) does not belong in a cacheable result.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import importlib
+from typing import Any
+
+from repro.errors import ConfigurationError
+
+#: Tag key marking a serialised dataclass.
+DATACLASS_TAG = "__dataclass__"
+#: Tag key marking a serialised tuple (JSON has no tuple type).
+TUPLE_TAG = "__tuple__"
+
+
+def to_jsonable(value: Any) -> Any:
+    """Convert an experiment result to a JSON-serialisable structure."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        cls = type(value)
+        fields = {f.name: to_jsonable(getattr(value, f.name))
+                  for f in dataclasses.fields(value)}
+        return {DATACLASS_TAG: f"{cls.__module__}:{cls.__qualname__}",
+                "fields": fields}
+    if isinstance(value, tuple):
+        return {TUPLE_TAG: [to_jsonable(item) for item in value]}
+    if isinstance(value, list):
+        return [to_jsonable(item) for item in value]
+    if isinstance(value, dict):
+        out = {}
+        for key, item in value.items():
+            if not isinstance(key, str):
+                # JSON object keys are strings; keep numeric keys round-trippable.
+                raise ConfigurationError(
+                    f"cannot serialise dict with non-string key {key!r}")
+            out[key] = to_jsonable(item)
+        return out
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise ConfigurationError(
+        f"cannot serialise value of type {type(value).__name__} for the cache")
+
+
+def from_jsonable(value: Any) -> Any:
+    """Inverse of :func:`to_jsonable`."""
+    if isinstance(value, dict):
+        if DATACLASS_TAG in value:
+            cls = _resolve_class(value[DATACLASS_TAG])
+            fields = {name: from_jsonable(item)
+                      for name, item in value["fields"].items()}
+            return cls(**fields)
+        if TUPLE_TAG in value:
+            return tuple(from_jsonable(item) for item in value[TUPLE_TAG])
+        return {key: from_jsonable(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [from_jsonable(item) for item in value]
+    return value
+
+
+def _resolve_class(path: str) -> type:
+    module_path, _, qualname = path.partition(":")
+    try:
+        target: Any = importlib.import_module(module_path)
+    except ImportError as exc:
+        raise ConfigurationError(
+            f"cached result references unimportable module {module_path!r}: {exc}")
+    for part in qualname.split("."):
+        try:
+            target = getattr(target, part)
+        except AttributeError:
+            raise ConfigurationError(
+                f"cached result references unknown class {path!r}")
+    if not (isinstance(target, type) and dataclasses.is_dataclass(target)):
+        raise ConfigurationError(f"{path!r} is not a dataclass")
+    return target

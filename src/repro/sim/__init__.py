@@ -9,10 +9,18 @@ verdicts).
 
 from repro.sim.stats import LatencyStats, ThroughputStats
 from repro.sim.engine import ClosedLoopSimulation, SimulationReport
+from repro.sim.worstcase import (
+    WorstCaseSummary,
+    run_cfds_worst_case,
+    run_rads_worst_case,
+)
 
 __all__ = [
     "LatencyStats",
     "ThroughputStats",
     "ClosedLoopSimulation",
     "SimulationReport",
+    "WorstCaseSummary",
+    "run_rads_worst_case",
+    "run_cfds_worst_case",
 ]

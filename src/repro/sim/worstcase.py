@@ -1,0 +1,100 @@
+"""Worst-case adversary simulations packaged as runner jobs.
+
+The Section 5 correctness claims (zero head-SRAM misses, zero bank conflicts,
+reordering structures inside the analytical bounds) are checked by driving a
+head buffer with the round-robin adversary for tens of thousands of slots.
+These runs are the only genuinely slow sweeps in the repository, so this
+module exposes them as module-level functions with JSON-serialisable
+arguments and a compact, JSON-serialisable result — exactly what
+:class:`~repro.runner.sweep.SweepRunner` needs to fan them out over worker
+processes and cache the outcome.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import CFDSConfig
+from repro.core.head_buffer import CFDSHeadBuffer
+from repro.rads.config import RADSConfig
+from repro.rads.head_buffer import RADSHeadBuffer
+from repro.traffic.arbiters import RoundRobinAdversary
+
+
+@dataclass(frozen=True)
+class WorstCaseSummary:
+    """The outcome of one worst-case adversary run, reduced to the numbers
+    the paper's claims are stated in."""
+
+    scheme: str
+    num_queues: int
+    granularity: int
+    slots: int
+    cells_out: int
+    miss_count: int
+    bank_conflicts: int
+    max_head_sram_occupancy: int
+    max_request_register_occupancy: int
+    head_sram_bound: int
+    request_register_bound: int
+    extra_latency_slots: int
+
+    @property
+    def zero_miss(self) -> bool:
+        return self.miss_count == 0
+
+
+def run_rads_worst_case(num_queues: int = 32,
+                        granularity: int = 8,
+                        slots: int = 20_000) -> WorstCaseSummary:
+    """Drive a RADS head buffer with the round-robin adversary."""
+    config = RADSConfig(num_queues=num_queues, granularity=granularity)
+    buffer = RADSHeadBuffer(config)
+    adversary = RoundRobinAdversary(config.num_queues)
+    unbounded = [10 ** 9] * config.num_queues
+    result = buffer.run(adversary.next_request(s, unbounded)
+                        for s in range(slots))
+    return WorstCaseSummary(
+        scheme="RADS",
+        num_queues=config.num_queues,
+        granularity=config.granularity,
+        slots=slots,
+        cells_out=result.cells_out,
+        miss_count=result.miss_count,
+        bank_conflicts=result.bank_conflicts,
+        max_head_sram_occupancy=result.max_head_sram_occupancy,
+        max_request_register_occupancy=result.max_request_register_occupancy,
+        head_sram_bound=config.effective_head_sram_cells,
+        request_register_bound=0,
+        extra_latency_slots=0,
+    )
+
+
+def run_cfds_worst_case(num_queues: int = 32,
+                        dram_access_slots: int = 8,
+                        granularity: int = 2,
+                        num_banks: int = 64,
+                        slots: int = 20_000) -> WorstCaseSummary:
+    """Drive a CFDS head buffer with the round-robin adversary."""
+    config = CFDSConfig(num_queues=num_queues,
+                        dram_access_slots=dram_access_slots,
+                        granularity=granularity, num_banks=num_banks)
+    buffer = CFDSHeadBuffer(config)
+    adversary = RoundRobinAdversary(config.num_queues)
+    unbounded = [10 ** 9] * config.num_queues
+    result = buffer.run(adversary.next_request(s, unbounded)
+                        for s in range(slots))
+    return WorstCaseSummary(
+        scheme="CFDS",
+        num_queues=config.num_queues,
+        granularity=config.granularity,
+        slots=slots,
+        cells_out=result.cells_out,
+        miss_count=result.miss_count,
+        bank_conflicts=result.bank_conflicts,
+        max_head_sram_occupancy=result.max_head_sram_occupancy,
+        max_request_register_occupancy=result.max_request_register_occupancy,
+        head_sram_bound=config.effective_head_sram_cells,
+        request_register_bound=config.effective_rr_capacity,
+        extra_latency_slots=config.effective_latency,
+    )

@@ -1,0 +1,116 @@
+"""Tests for the on-disk result cache."""
+
+import json
+
+import pytest
+
+from repro.runner.cache import MISS, ResultCache
+from repro.runner.jobs import Job
+
+JOB = Job(func="repro.analysis.figure8:figure8_point",
+          kwargs={"oc_name": "OC-768", "lookahead": 9})
+
+
+class TestHitAndMiss:
+    def test_empty_cache_misses(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        assert cache.get(JOB) is MISS
+        assert cache.misses == 1
+
+    def test_put_then_get(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        cache.put(JOB, {"value": 1.5})
+        assert cache.get(JOB) == {"value": 1.5}
+        assert cache.hits == 1
+
+    def test_persists_across_instances(self, tmp_path):
+        ResultCache(root=tmp_path).put(JOB, [1, 2, 3])
+        assert ResultCache(root=tmp_path).get(JOB) == [1, 2, 3]
+
+    def test_cached_none_is_not_a_miss(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        cache.put(JOB, None)
+        assert cache.get(JOB) is None
+
+
+class TestInvalidation:
+    def test_different_kwargs_different_entry(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        other = Job(func=JOB.func, kwargs={"oc_name": "OC-768", "lookahead": 10})
+        cache.put(JOB, "a")
+        assert cache.get(other) is MISS
+        assert cache.key(JOB) != cache.key(other)
+
+    def test_different_function_different_entry(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        other = Job(func="repro.analysis.table2:table2_row", kwargs=JOB.kwargs)
+        cache.put(JOB, "a")
+        assert cache.get(other) is MISS
+
+    def test_version_change_invalidates(self, tmp_path):
+        ResultCache(root=tmp_path, version="1.0.0").put(JOB, "old")
+        assert ResultCache(root=tmp_path, version="1.1.0").get(JOB) is MISS
+
+    def test_version_directories_are_separate(self, tmp_path):
+        cache = ResultCache(root=tmp_path, version="9.9.9")
+        cache.put(JOB, "x")
+        assert (tmp_path / "9.9.9").is_dir()
+
+    def test_corrupted_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        cache.put(JOB, "good")
+        cache.path(JOB).write_text("{not json", encoding="utf-8")
+        assert cache.get(JOB) is MISS
+
+    def test_key_mismatch_is_a_miss(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        cache.put(JOB, "good")
+        entry = json.loads(cache.path(JOB).read_text(encoding="utf-8"))
+        entry["key"] = "0" * 64
+        cache.path(JOB).write_text(json.dumps(entry), encoding="utf-8")
+        assert cache.get(JOB) is MISS
+
+    def test_undeserialisable_entry_is_a_miss(self, tmp_path):
+        # An entry referencing a class that no longer exists (e.g. a result
+        # dataclass was renamed without a version bump) must self-heal by
+        # recomputing, not poison every subsequent run.
+        cache = ResultCache(root=tmp_path)
+        cache.put(JOB, "good")
+        entry = json.loads(cache.path(JOB).read_text(encoding="utf-8"))
+        entry["result"] = {"__dataclass__": "repro.analysis.figure8:Gone",
+                           "fields": {}}
+        cache.path(JOB).write_text(json.dumps(entry), encoding="utf-8")
+        assert cache.get(JOB) is MISS
+
+    def test_entry_missing_result_key_is_a_miss(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        cache.put(JOB, "good")
+        entry = json.loads(cache.path(JOB).read_text(encoding="utf-8"))
+        del entry["result"]
+        cache.path(JOB).write_text(json.dumps(entry), encoding="utf-8")
+        assert cache.get(JOB) is MISS
+
+
+class TestMaintenance:
+    def test_len_counts_entries(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        assert len(cache) == 0
+        cache.put(JOB, 1)
+        assert len(cache) == 1
+
+    def test_clear_removes_current_version_only(self, tmp_path):
+        current = ResultCache(root=tmp_path, version="2.0.0")
+        old = ResultCache(root=tmp_path, version="1.0.0")
+        current.put(JOB, "new")
+        old.put(JOB, "old")
+        assert current.clear() == 1
+        assert len(current) == 0
+        assert old.get(JOB) == "old"
+
+    def test_key_is_stable_across_processes(self, tmp_path):
+        # The key must not depend on dict ordering or hash randomisation.
+        a = Job(func="m:f", kwargs={"x": 1, "y": 2})
+        b = Job(func="m:f", kwargs={"y": 2, "x": 1})
+        cache = ResultCache(root=tmp_path, version="1.0.0")
+        assert cache.key(a) == cache.key(b)
+        assert len(cache.key(a)) == 64

@@ -1,0 +1,118 @@
+"""Smoke tests for the ``python -m repro`` command line."""
+
+import pytest
+
+from repro.runner.cli import ALL, build_parser, main
+from repro.runner.experiments import EXPERIMENTS
+
+SUBCOMMANDS = sorted(EXPERIMENTS) + [ALL]
+
+
+class TestHelp:
+    def test_top_level_help_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+        assert "EXPERIMENT" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("name", SUBCOMMANDS)
+    def test_subcommand_help_exits_zero(self, name, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([name, "--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "--jobs" in out
+        assert "--no-cache" in out
+
+    def test_no_subcommand_prints_help(self, capsys):
+        assert main([]) == 2
+        assert "EXPERIMENT" in capsys.readouterr().out
+
+    def test_version_flag(self, capsys):
+        import repro
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+    def test_unknown_subcommand_errors(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["figure99"])
+        assert excinfo.value.code == 2
+
+
+class TestDryRun:
+    @pytest.mark.parametrize("name", sorted(EXPERIMENTS))
+    def test_dry_run_lists_jobs_without_computing(self, name, capsys):
+        assert main([name, "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert f"{name}:" in out
+        assert "jobs" in out
+
+    def test_dry_run_all_covers_every_experiment(self, capsys):
+        assert main([ALL, "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert f"{name}:" in out
+
+
+class TestExecution:
+    def test_intro_dram_report(self, tmp_path, capsys):
+        code = main(["intro-dram", "--cache-dir", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "guaranteed" in out
+        assert "[runner]" in out
+
+    def test_table2_output_file(self, tmp_path):
+        out_file = tmp_path / "table2.txt"
+        code = main(["table2", "--no-cache", "--output", str(out_file)])
+        assert code == 0
+        text = out_file.read_text(encoding="utf-8")
+        assert "Table 2" in text
+        assert "OC-3072" in text
+
+    def test_second_invocation_served_from_cache(self, tmp_path, capsys):
+        args = ["figure8", "--jobs", "2", "--cache-dir", str(tmp_path)]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "0 cache hits" in first
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "0 jobs executed" in second
+        # The report itself must be identical, only the footer may differ.
+        strip = lambda text: [line for line in text.splitlines()
+                              if not line.startswith("[runner]")]
+        assert strip(first) == strip(second)
+
+    def test_no_cache_recomputes(self, tmp_path, capsys):
+        args = ["scaling", "--no-cache", "--cache-dir", str(tmp_path)]
+        assert main(args) == 0
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "0 cache hits" in out
+        assert not any(tmp_path.iterdir())  # --no-cache writes nothing
+
+    def test_parallel_report_matches_serial(self, tmp_path, capsys):
+        serial_args = ["figure11", "--no-cache"]
+        assert main(serial_args) == 0
+        serial = capsys.readouterr().out
+        assert main(serial_args + ["--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        strip = lambda text: [line for line in text.splitlines()
+                              if not line.startswith("[runner]")]
+        assert strip(serial) == strip(parallel)
+
+
+class TestParser:
+    def test_every_experiment_has_a_subparser(self):
+        parser = build_parser()
+        for name in EXPERIMENTS:
+            args = parser.parse_args([name])
+            assert args.experiment == name
+            assert args.jobs == 1
+            assert not args.no_cache
+
+    def test_jobs_flag_parses(self):
+        args = build_parser().parse_args(["figure8", "-j", "4"])
+        assert args.jobs == 4

@@ -1,0 +1,59 @@
+"""Tests for job declaration and resolution."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runner.jobs import Job, resolve_function, run_job
+
+
+class TestJobValidation:
+    def test_requires_module_colon_attribute(self):
+        with pytest.raises(ConfigurationError):
+            Job(func="repro.analysis.figure8.figure8_point")
+
+    def test_rejects_non_json_kwargs(self):
+        with pytest.raises(ConfigurationError):
+            Job(func="m:f", kwargs={"x": object()})
+
+    def test_describe_mentions_func_and_kwargs(self):
+        job = Job(func="repro.analysis.figure8:figure8_point",
+                  kwargs={"oc_name": "OC-768", "lookahead": 9})
+        text = job.describe()
+        assert "figure8_point" in text
+        assert "lookahead=9" in text
+
+    def test_signature_excludes_tag(self):
+        a = Job(func="m:f", kwargs={"x": 1}, tag="left")
+        b = Job(func="m:f", kwargs={"x": 1}, tag="right")
+        assert a.signature() == b.signature()
+
+
+class TestResolution:
+    def test_resolves_module_level_function(self):
+        func = resolve_function("repro.analysis.figure8:figure8_point")
+        assert callable(func)
+
+    def test_resolves_nested_attribute(self):
+        func = resolve_function("repro.rads.config:RADSConfig.for_line_rate")
+        assert callable(func)
+
+    def test_unknown_module(self):
+        with pytest.raises(ConfigurationError):
+            resolve_function("repro.no_such_module:f")
+
+    def test_unknown_attribute(self):
+        with pytest.raises(ConfigurationError):
+            resolve_function("repro.analysis.figure8:no_such_function")
+
+    def test_non_callable_attribute(self):
+        with pytest.raises(ConfigurationError):
+            resolve_function("repro.constants:CELL_SIZE_BYTES")
+
+
+class TestRunJob:
+    def test_executes_with_kwargs(self):
+        job = Job(func="repro.analysis.intro_dram:intro_dram_row",
+                  kwargs={"chip_name": "sdram-16mb", "num_chips": 8})
+        row = run_job(job)
+        assert row.num_chips == 8
+        assert row.guaranteed_gbps == pytest.approx(5.12, rel=0.05)

@@ -1,0 +1,56 @@
+"""Tests for the JSON round-tripping of experiment results."""
+
+import json
+
+import pytest
+
+from repro.analysis.figure8 import figure8_point
+from repro.analysis.table2 import table2_row
+from repro.errors import ConfigurationError
+from repro.runner.serialize import from_jsonable, to_jsonable
+from repro.sim.worstcase import run_rads_worst_case
+
+
+class TestRoundTrip:
+    def test_primitives_pass_through(self):
+        for value in (None, True, 3, 2.5, "text"):
+            assert from_jsonable(to_jsonable(value)) == value
+
+    def test_lists_and_dicts(self):
+        value = {"a": [1, 2.5, None], "b": {"c": "x"}}
+        assert from_jsonable(to_jsonable(value)) == value
+
+    def test_tuple_round_trips_as_tuple(self):
+        assert from_jsonable(to_jsonable((1, "a"))) == (1, "a")
+
+    def test_dataclass_reconstructs_equal(self):
+        point = figure8_point("OC-768", lookahead=9)
+        encoded = json.loads(json.dumps(to_jsonable(point)))
+        assert from_jsonable(encoded) == point
+
+    def test_dataclass_with_none_fields(self):
+        row = table2_row("OC-3072", granularity=32)
+        assert from_jsonable(to_jsonable(row)) == row
+
+    def test_list_of_dataclasses(self):
+        points = [figure8_point("OC-768", lookahead=l) for l in (9, 17)]
+        assert from_jsonable(to_jsonable(points)) == points
+
+    def test_simulation_summary(self):
+        summary = run_rads_worst_case(num_queues=4, granularity=2, slots=64)
+        assert from_jsonable(to_jsonable(summary)) == summary
+
+
+class TestRejection:
+    def test_non_string_dict_keys(self):
+        with pytest.raises(ConfigurationError):
+            to_jsonable({1: "a"})
+
+    def test_arbitrary_objects(self):
+        with pytest.raises(ConfigurationError):
+            to_jsonable(object())
+
+    def test_unknown_class_on_load(self):
+        with pytest.raises(ConfigurationError):
+            from_jsonable({"__dataclass__": "repro.analysis.figure8:Nope",
+                           "fields": {}})

@@ -1,0 +1,40 @@
+"""Tests for the job-friendly worst-case adversary runs."""
+
+from repro.runner.jobs import Job
+from repro.runner.sweep import SweepRunner
+from repro.sim.worstcase import run_cfds_worst_case, run_rads_worst_case
+
+
+class TestRADS:
+    def test_zero_miss_within_bound(self):
+        summary = run_rads_worst_case(num_queues=8, granularity=4, slots=2000)
+        assert summary.zero_miss
+        assert summary.cells_out == 2000
+        assert summary.max_head_sram_occupancy <= summary.head_sram_bound
+
+
+class TestCFDS:
+    def test_zero_miss_zero_conflicts(self):
+        summary = run_cfds_worst_case(num_queues=8, dram_access_slots=8,
+                                      granularity=2, num_banks=32, slots=2000)
+        assert summary.zero_miss
+        assert summary.bank_conflicts == 0
+        assert summary.cells_out == 2000
+        assert (summary.max_request_register_occupancy
+                <= summary.request_register_bound)
+
+
+class TestAsJobs:
+    def test_runs_through_the_sweep_runner(self):
+        jobs = [
+            Job(func="repro.sim.worstcase:run_rads_worst_case",
+                kwargs={"num_queues": 8, "granularity": 4, "slots": 1000}),
+            Job(func="repro.sim.worstcase:run_cfds_worst_case",
+                kwargs={"num_queues": 8, "dram_access_slots": 8,
+                        "granularity": 2, "num_banks": 32, "slots": 1000}),
+        ]
+        serial = SweepRunner(jobs=1).run(jobs)
+        parallel = SweepRunner(jobs=2).run(jobs)
+        assert serial == parallel
+        assert [s.scheme for s in serial] == ["RADS", "CFDS"]
+        assert all(s.zero_miss for s in serial)
