@@ -9,7 +9,6 @@ wake-up/select DSA lets younger requests (to other banks) overtake and never
 stalls.
 """
 
-import pytest
 
 from repro.analysis.report import format_table
 from repro.core.config import CFDSConfig

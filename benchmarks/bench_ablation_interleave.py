@@ -7,7 +7,6 @@ queue lives on one bank": a single backlogged queue then saturates its bank
 and the scheduler backlog grows roughly linearly with time.
 """
 
-import pytest
 
 from repro.analysis.report import format_table
 from repro.core.config import CFDSConfig

@@ -8,7 +8,6 @@ guarantee, but ECQF's occupancy stays at (or below) the Q(B-1) analytical
 bound while MDQF overstocks queues it did not need to touch yet.
 """
 
-import pytest
 
 from repro.analysis.report import format_table
 from repro.mma.ecqf import ECQF

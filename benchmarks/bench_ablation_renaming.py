@@ -7,7 +7,6 @@ other groups, so the same offered load sees far fewer losses and much higher
 DRAM utilisation.
 """
 
-import pytest
 
 from repro.analysis.report import format_table
 from repro.core.buffer import CFDSPacketBuffer

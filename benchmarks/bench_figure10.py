@@ -7,7 +7,6 @@ delay; and there is an optimum granularity (neither the largest nor the
 smallest b gives the smallest SRAM).
 """
 
-import pytest
 
 from repro.analysis.figure10 import figure10, figure10_summary
 from repro.analysis.report import format_table

@@ -6,7 +6,6 @@ to ~850, about six times RADS; our calibrated technology model lands in the
 3x-8x band), and the curve over granularities rises and then falls.
 """
 
-import pytest
 
 from repro.analysis.figure11 import figure11, figure11_summary
 from repro.analysis.report import format_table

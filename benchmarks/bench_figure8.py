@@ -6,7 +6,6 @@ time-multiplexed linked list reaches the 3.2 ns slot, and the SRAM runs from
 ~6.2 MB down to ~1.0 MB over the lookahead sweep.
 """
 
-import pytest
 
 from repro.analysis.figure8 import figure8, figure8_summary
 from repro.analysis.report import format_table

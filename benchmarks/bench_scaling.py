@@ -11,7 +11,6 @@ Since the runner refactor the roadmap sweep is a job list executed by
 path (4 workers) and checks it is result-identical to the serial one.
 """
 
-import pytest
 
 from repro.analysis.report import format_table
 from repro.analysis.scaling import (

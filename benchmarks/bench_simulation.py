@@ -13,7 +13,6 @@ checks it is result-identical to running them serially.  The benchmark
 timings also document the simulator's own throughput.
 """
 
-import pytest
 
 from repro.analysis.report import format_table
 from repro.runner.jobs import Job

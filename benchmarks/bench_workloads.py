@@ -1,0 +1,73 @@
+"""Benchmark: batched fast-path simulation loop vs the legacy per-slot loop.
+
+The fast path pre-generates the arrival array and maintains the arbiter's
+backlog view incrementally instead of rebuilding it from the buffer every
+slot, so its advantage grows with the queue count (the rebuild is O(Q) per
+slot).  The benchmark times both paths on a registered scenario and on a
+wide 128-queue configuration, and asserts the two paths stay bit-identical —
+the fast path is an optimisation, never a different simulator.
+"""
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.workloads import Scenario, get_scenario
+
+SCENARIO = "uniform-bernoulli"
+WIDE_QUEUES = 128
+WIDE_SLOTS = 6000
+
+
+def _wide_scenario() -> Scenario:
+    return Scenario(
+        name="wide-bernoulli",
+        description="128-queue Bernoulli stressor for the loop overhead",
+        scheme="rads",
+        buffer={"num_queues": WIDE_QUEUES, "granularity": 4},
+        arrivals={"type": "bernoulli",
+                  "params": {"num_queues": WIDE_QUEUES, "load": 0.85}},
+        arbiter={"type": "random",
+                 "params": {"num_queues": WIDE_QUEUES, "load": 0.9}},
+        num_slots=WIDE_SLOTS, seed=1)
+
+
+@pytest.mark.parametrize("fast_path", [False, True],
+                         ids=["legacy-loop", "fast-path"])
+def test_registered_scenario_loop(benchmark, fast_path):
+    scenario = get_scenario(SCENARIO)
+    report = benchmark(scenario.run, fast_path=fast_path)
+    assert report.zero_miss
+
+
+@pytest.mark.parametrize("fast_path", [False, True],
+                         ids=["legacy-loop", "fast-path"])
+def test_wide_queue_loop(benchmark, fast_path):
+    scenario = _wide_scenario()
+    report = benchmark(scenario.run, fast_path=fast_path)
+    assert report.zero_miss
+
+
+def test_fast_path_is_identical_and_faster(echo):
+    """Identity check plus a human-readable speedup table (not timed by
+    pytest-benchmark: the equality assertion is the point)."""
+    import time
+
+    rows = []
+    for scenario in (get_scenario(SCENARIO), _wide_scenario()):
+        timings = {}
+        reports = {}
+        for label, fast in (("legacy", False), ("fast", True)):
+            started = time.perf_counter()
+            reports[label] = scenario.run(fast_path=fast)
+            timings[label] = time.perf_counter() - started
+        fast_report, legacy_report = reports["fast"], reports["legacy"]
+        assert fast_report.throughput == legacy_report.throughput
+        assert fast_report.latency == legacy_report.latency
+        assert fast_report.buffer_result == legacy_report.buffer_result
+        rows.append([scenario.name, scenario.num_slots,
+                     scenario.num_slots / timings["legacy"] / 1e3,
+                     scenario.num_slots / timings["fast"] / 1e3,
+                     timings["legacy"] / timings["fast"]])
+    echo(format_table(
+        ["scenario", "slots", "legacy kslots/s", "fast kslots/s", "speedup"],
+        rows, title="Workload loop — batched fast path vs legacy per-slot loop"))

@@ -79,12 +79,26 @@ from repro.traffic import (
     BurstyArrivals,
     HotspotArrivals,
     LongestQueueArbiter,
+    MarkovOnOffArrivals,
     Packet,
+    ParetoBurstArrivals,
     RandomArbiter,
     Reassembler,
     RoundRobinAdversary,
     Segmenter,
+    StridedAdversary,
     TrafficTrace,
+    ZipfArrivals,
+)
+from repro.workloads import (
+    Scenario,
+    ScenarioResult,
+    get_scenario,
+    load_trace,
+    register_scenario,
+    run_scenario_spec,
+    save_trace,
+    scenario_names,
 )
 
 __version__ = "1.0.0"
@@ -160,9 +174,22 @@ __all__ = [
     "BernoulliArrivals",
     "BurstyArrivals",
     "HotspotArrivals",
+    "MarkovOnOffArrivals",
+    "ParetoBurstArrivals",
+    "ZipfArrivals",
     "Arbiter",
     "RoundRobinAdversary",
+    "StridedAdversary",
     "RandomArbiter",
     "LongestQueueArbiter",
     "TrafficTrace",
+    # workloads
+    "Scenario",
+    "ScenarioResult",
+    "get_scenario",
+    "register_scenario",
+    "run_scenario_spec",
+    "scenario_names",
+    "load_trace",
+    "save_trace",
 ]

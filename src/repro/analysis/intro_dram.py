@@ -9,11 +9,11 @@ approach: a single 16 Mb SDRAM chip (16-bit interface, 100 MHz) peaks at
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence
+from typing import List, Sequence
 
 from repro.runner.jobs import Job
 from repro.runner.sweep import get_runner
-from repro.tech.dram_chips import COMMODITY_DRAM_CHIPS, DRAMChip
+from repro.tech.dram_chips import COMMODITY_DRAM_CHIPS
 from repro.tech.line_rates import LineRate
 
 

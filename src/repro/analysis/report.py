@@ -130,6 +130,35 @@ def render_scaling(points, years_to_suffice: Optional[float]) -> str:
                f"(RADS sufficient after: {suffix} years)"))
 
 
+def render_scenarios(results) -> str:
+    """Report for the workload-scenario sweep: one row per scenario, with the
+    latency tail percentiles next to the mean."""
+    return format_table(
+        ["scenario", "scheme", "slots", "offered", "carried", "drops",
+         "lat mean", "p50", "p95", "p99", "max", "zero miss"],
+        [[r.name, r.scheme, r.slots, r.offered_load, r.carried_load, r.drops,
+          r.latency_mean, r.latency_p50, r.latency_p95, r.latency_p99,
+          r.latency_max, r.zero_miss] for r in results],
+        title="Workload scenarios — closed-loop statistics per scenario")
+
+
+def render_scenario_run(name: str, scheme: str, report) -> str:
+    """Report for one ``python -m repro scenario <name>`` run.
+
+    The headline rows come straight from ``SimulationReport.summary()`` so
+    the CLI, the sweep results and the report object stay in sync; only the
+    buffer-side extras are added here.
+    """
+    result = report.buffer_result
+    rows = [[key.replace("_", " "), value]
+            for key, value in report.summary().items()]
+    rows += [["bank conflicts", result.bank_conflicts],
+             ["peak head SRAM (cells)", result.max_head_sram_occupancy],
+             ["peak tail SRAM (cells)", result.max_tail_sram_occupancy]]
+    return format_table(["metric", "value"], rows,
+                        title=f"Scenario {name} ({scheme})")
+
+
 def _ordered_unique(values: Iterable[str]) -> List[str]:
     seen: List[str] = []
     for value in values:

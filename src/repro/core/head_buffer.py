@@ -20,7 +20,6 @@ the zero-miss guarantee and is either raised or recorded depending on
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.config import CFDSConfig

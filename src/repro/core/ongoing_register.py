@@ -16,7 +16,7 @@ state of the banked DRAM timing model.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Deque, Iterable, List, Optional, Set, Tuple
 
 
 class OngoingRequestsRegister:

@@ -18,7 +18,7 @@ physical queues is oversubscribed to ``P = K x Q`` (the paper's
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional, Set
 
 from repro.errors import RenamingError

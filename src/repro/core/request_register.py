@@ -17,8 +17,8 @@ occupancy statistics, so the analytical bounds of :mod:`repro.core.sizing`
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Set
+from dataclasses import dataclass
+from typing import List, Optional, Set
 
 from repro.errors import BufferOverflowError
 from repro.types import ReplenishRequest

@@ -17,8 +17,6 @@ Requests-Register occupancy and reordering delay stay within these bounds.
 
 from __future__ import annotations
 
-import math
-from typing import Optional
 
 from repro.constants import CELL_SIZE_BYTES, next_power_of_two, slot_time_ns
 from repro.errors import ConfigurationError

@@ -76,6 +76,7 @@ class RADSPacketBuffer:
                                    sram_capacity=head_capacity)
         self._arrival_seqno: Dict[int, int] = {q: 0 for q in range(config.num_queues)}
         self._outstanding_requests: Dict[int, int] = {q: 0 for q in range(config.num_queues)}
+        self._dropped_cells = 0
         self._slot = 0
 
     # ------------------------------------------------------------------ #
@@ -89,6 +90,12 @@ class RADSPacketBuffer:
     def can_request(self, queue: int) -> bool:
         """True if the arbiter may legally request a cell of ``queue`` now."""
         return self.backlog(queue) > 0
+
+    @property
+    def dropped_cells(self) -> int:
+        """Cells lost because an eviction found no DRAM room (only possible
+        with a finite ``dram_cells`` capacity and ``strict=False``)."""
+        return self._dropped_cells
 
     # ------------------------------------------------------------------ #
     # Per-slot operation
@@ -167,6 +174,12 @@ class RADSPacketBuffer:
 
     # ------------------------------------------------------------------ #
     def _evict_to_dram(self, queue: int, cells: List[Cell]) -> None:
+        capacity = self.dram.capacity_cells
+        if capacity is not None and not self.config.strict:
+            room = capacity - self.dram.occupancy()
+            if room < len(cells):
+                self._dropped_cells += len(cells) - max(room, 0)
+                cells = cells[:max(room, 0)]
         self.dram.push_many(cells)
 
     def _tail_bypass(self, queue: int, expected_seqno: int) -> Optional[Cell]:

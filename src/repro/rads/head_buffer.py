@@ -27,7 +27,7 @@ the round-robin adversary, and it only works out if a decision made at slot
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.dram.store import DRAMQueueStore

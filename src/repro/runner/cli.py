@@ -8,6 +8,14 @@ Reproduce any exhibit of the paper from a terminal::
     python -m repro table2 -o table2.txt # write the report to a file
     python -m repro scaling --dry-run    # show the jobs, compute nothing
 
+and drive the workload subsystem::
+
+    python -m repro scenario --list                   # registered scenarios
+    python -m repro scenario bursty-trains            # run one scenario
+    python -m repro scenario zipf-hotspot --slots 50000
+    python -m repro scenario bursty-trains --record t.rtrc   # capture trace
+    python -m repro scenario zipf-hotspot --replay t.rtrc    # replay it
+
 Results are cached as JSON under ``.repro_cache/<version>/`` keyed by the
 job's configuration and the package version, so a second invocation of the
 same exhibit is served from disk without re-simulating.
@@ -21,13 +29,15 @@ import time
 from typing import List, Optional, Sequence
 
 import repro
-from repro.errors import ReproError
+from repro.errors import ConfigurationError, ReproError
 from repro.runner.cache import ResultCache
 from repro.runner.experiments import EXPERIMENTS, get_experiment
 from repro.runner.sweep import SweepRunner
 
 #: Subcommand that runs every registered experiment.
 ALL = "all"
+#: Subcommand that runs a single named workload scenario.
+SCENARIO = "scenario"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -62,7 +72,95 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser(
         ALL, parents=[common], help="run every experiment",
         description="Reproduce every registered exhibit in one run.")
+
+    scenario = subparsers.add_parser(
+        SCENARIO, help="run one named workload scenario",
+        description=("Run a single scenario from the workload registry "
+                     "(see --list), optionally recording or replaying its "
+                     "traffic trace."))
+    scenario.add_argument("name", nargs="?", metavar="NAME",
+                          help="scenario name (see --list)")
+    scenario.add_argument("--list", action="store_true", dest="list_scenarios",
+                          help="list the registered scenarios and exit")
+    scenario.add_argument("--slots", type=int, default=None, metavar="N",
+                          help="override the scenario's slot count")
+    scenario.add_argument("--legacy-loop", action="store_true",
+                          help="use the reference per-slot loop instead of "
+                               "the batched fast path")
+    scenario.add_argument("--record", default=None, metavar="FILE",
+                          help="save the run's (arrival, request) trace to FILE")
+    scenario.add_argument("--trace-format", choices=["binary", "ndjson"],
+                          default="binary",
+                          help="on-disk format for --record (default: binary)")
+    scenario.add_argument("--replay", default=None, metavar="FILE",
+                          help="drive the scenario's buffer with a trace "
+                               "previously saved with --record, instead of "
+                               "its own generators")
+    scenario.add_argument("-o", "--output", default=None, metavar="FILE",
+                          help="write the report to FILE instead of stdout")
     return parser
+
+
+def _run_scenario_command(parser: argparse.ArgumentParser,
+                          args: argparse.Namespace) -> int:
+    """Handle ``python -m repro scenario ...``."""
+    from repro.analysis.report import format_table, render_scenario_run
+    from repro.sim.engine import ClosedLoopSimulation
+    from repro.traffic.arbiters import TraceArbiter
+    from repro.traffic.arrivals import TraceArrivals
+    from repro.workloads.registry import all_scenarios, get_scenario
+    from repro.workloads.traceio import load_trace, save_trace
+
+    if args.list_scenarios:
+        table = format_table(
+            ["name", "scheme", "slots", "tags", "description"],
+            [[s.name, s.scheme, s.num_slots, ",".join(s.tags), s.description]
+             for s in all_scenarios()],
+            title="Registered workload scenarios")
+        return _emit(table, args.output)
+    if args.name is None:
+        parser.error("scenario: a NAME is required (or use --list)")
+
+    try:
+        scenario = get_scenario(args.name)
+        fast_path = not args.legacy_loop
+        record = args.record is not None
+        if args.replay is not None:
+            trace, _metadata = load_trace(args.replay)
+            buffer = scenario.build_buffer()
+            num_queues = buffer.config.num_queues
+            top = max((q for event in trace.events for q in event
+                       if q is not None), default=-1)
+            if top >= num_queues:
+                raise ConfigurationError(
+                    f"trace {args.replay} uses queue {top} but scenario "
+                    f"{scenario.name!r} has only {num_queues} queues")
+            sim = ClosedLoopSimulation(buffer,
+                                       TraceArrivals(trace.arrivals()),
+                                       TraceArbiter(trace.requests()),
+                                       record_trace=record)
+            num_slots = len(trace) if args.slots is None else args.slots
+            report = sim.run(num_slots, fast_path=fast_path)
+        else:
+            report = scenario.run(num_slots=args.slots, fast_path=fast_path,
+                                  record_trace=record)
+        if record:
+            save_trace(report.trace, args.record, format=args.trace_format,
+                       metadata={"scenario": scenario.name,
+                                 "scheme": scenario.scheme,
+                                 "num_queues": scenario.buffer["num_queues"],
+                                 "seed": scenario.seed,
+                                 "replayed_from": args.replay})
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"error: cannot access trace file: {exc}", file=sys.stderr)
+        return 1
+    text = render_scenario_run(scenario.name, scenario.scheme, report)
+    if record:
+        text += f"\ntrace saved to {args.record} ({args.trace_format})"
+    return _emit(text, args.output)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -72,6 +170,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.experiment is None:
         parser.print_help()
         return 2
+    if args.experiment == SCENARIO:
+        return _run_scenario_command(parser, args)
 
     names = list(EXPERIMENTS) if args.experiment == ALL else [args.experiment]
     specs = [get_experiment(name) for name in names]
@@ -110,7 +210,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
 def _emit(text: str, output: Optional[str]) -> int:
     if output is None:
-        print(text)
+        try:
+            print(text)
+        except BrokenPipeError:
+            # Downstream pipe (e.g. `| head`) closed early; not an error.
+            sys.stderr.close()
         return 0
     try:
         with open(output, "w", encoding="utf-8") as handle:

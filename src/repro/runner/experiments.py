@@ -24,6 +24,7 @@ from repro.analysis.report import (
     render_figure11,
     render_intro_dram,
     render_scaling,
+    render_scenarios,
     render_table2,
 )
 from repro.analysis.scaling import (
@@ -33,6 +34,7 @@ from repro.analysis.scaling import (
 from repro.analysis.table2 import table2_jobs
 from repro.errors import ConfigurationError
 from repro.runner.jobs import Job
+from repro.workloads.registry import all_scenarios
 
 #: The OC-3072 scaling study's queue count (the paper's Q for that rate).
 SCALING_NUM_QUEUES = 512
@@ -66,6 +68,13 @@ def _table2_jobs() -> List[Job]:
 
 def _scaling_jobs() -> List[Job]:
     return granularity_roadmap_jobs("OC-3072", SCALING_NUM_QUEUES)
+
+
+def _scenario_jobs() -> List[Job]:
+    return [Job(func="repro.workloads.scenario:run_scenario_spec",
+                kwargs={"spec": scenario.to_spec()},
+                tag=scenario.name)
+            for scenario in all_scenarios()]
 
 
 def _worstcase_jobs() -> List[Job]:
@@ -191,6 +200,12 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
             description="Slot-accurate zero-miss runs of RADS and CFDS.",
             build_jobs=_worstcase_jobs,
             render=_render_worstcase),
+        ExperimentSpec(
+            name="scenarios",
+            title="Workload suite: every registered scenario",
+            description="Closed-loop statistics across the scenario registry.",
+            build_jobs=_scenario_jobs,
+            render=lambda results, jobs: render_scenarios(results)),
     ]
 }
 

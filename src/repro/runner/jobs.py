@@ -57,9 +57,18 @@ class Job:
         return resolve_function(self.func)
 
     def describe(self) -> str:
-        """One-line human-readable form, used by ``--dry-run``."""
-        args = ", ".join(f"{k}={v!r}" for k, v in sorted(self.kwargs.items()))
-        return f"{self.func}({args})"
+        """One-line human-readable form, used by ``--dry-run``.
+
+        Oversized values (e.g. an inline trace pattern) are elided so the
+        line stays readable; the cache key always uses the full kwargs.
+        """
+        parts = []
+        for key, value in sorted(self.kwargs.items()):
+            rendered = repr(value)
+            if len(rendered) > 120:
+                rendered = f"{rendered[:117]}..."
+            parts.append(f"{key}={rendered}")
+        return f"{self.func}({', '.join(parts)})"
 
     def signature(self) -> Dict[str, Any]:
         """The canonical, hashable identity of this job (used by the cache).

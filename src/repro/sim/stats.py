@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, Optional
 
 
 class LatencyStats:
@@ -56,6 +56,36 @@ class LatencyStats:
             if seen >= target:
                 return delay
         return max(self._histogram)
+
+    @property
+    def p50(self) -> int:
+        """Median delay in slots."""
+        return self.percentile(0.50)
+
+    @property
+    def p95(self) -> int:
+        """95th-percentile delay in slots."""
+        return self.percentile(0.95)
+
+    @property
+    def p99(self) -> int:
+        """99th-percentile delay in slots — the tail the SLO stories care about."""
+        return self.percentile(0.99)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Full observable state, for equality checks and serialisation."""
+        return {
+            "count": self._count,
+            "total": self._total,
+            "minimum": self._minimum,
+            "maximum": self._maximum,
+            "histogram": dict(self._histogram),
+        }
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LatencyStats):
+            return NotImplemented
+        return self.snapshot() == other.snapshot()
 
 
 @dataclass

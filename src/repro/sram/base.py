@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import abc
-from typing import Iterable, List, Optional
+from typing import Iterable, Optional
 
 from repro.types import Cell
 

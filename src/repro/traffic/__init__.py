@@ -25,14 +25,21 @@ from repro.traffic.arrivals import (
     BurstyArrivals,
     HotspotArrivals,
     DeterministicArrivals,
+    MarkovOnOffArrivals,
+    ParetoBurstArrivals,
     RoundRobinArrivals,
+    TraceArrivals,
+    ZipfArrivals,
 )
 from repro.traffic.arbiters import (
     Arbiter,
+    IntermittentArbiter,
     RoundRobinAdversary,
     RandomArbiter,
     LongestQueueArbiter,
     OldestCellArbiter,
+    StridedAdversary,
+    TraceArbiter,
 )
 from repro.traffic.trace import TrafficTrace, TraceRecorder
 
@@ -45,12 +52,19 @@ __all__ = [
     "BurstyArrivals",
     "HotspotArrivals",
     "DeterministicArrivals",
+    "MarkovOnOffArrivals",
+    "ParetoBurstArrivals",
     "RoundRobinArrivals",
+    "TraceArrivals",
+    "ZipfArrivals",
     "Arbiter",
+    "IntermittentArbiter",
     "RoundRobinAdversary",
     "RandomArbiter",
     "LongestQueueArbiter",
     "OldestCellArbiter",
+    "StridedAdversary",
+    "TraceArbiter",
     "TrafficTrace",
     "TraceRecorder",
 ]

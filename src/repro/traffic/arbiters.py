@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import abc
 import random
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 
 class Arbiter(abc.ABC):
@@ -117,3 +117,101 @@ class OldestCellArbiter(Arbiter):
                 self._rotation = (self._rotation + 1) % self.num_queues
                 return queue
         return None
+
+
+class StridedAdversary(Arbiter):
+    """Parameterised generalisation of the Section 5 round-robin adversary.
+
+    Visits queues in arithmetic-progression order with a configurable
+    ``stride``, issuing ``burst`` consecutive requests to each queue before
+    moving on.  ``stride=1, burst=1`` is exactly
+    :class:`RoundRobinAdversary`; a stride that is coprime with the queue
+    count still touches every queue but in a permuted order (stressing any
+    structure that assumes adjacent queues drain together), and ``burst > 1``
+    interpolates between the round-robin worst case and single-queue
+    hammering.  Queues with no backlog are skipped so the pattern stays
+    admissible in closed-loop use.
+    """
+
+    def __init__(self,
+                 num_queues: int,
+                 stride: int = 1,
+                 burst: int = 1,
+                 start_queue: int = 0) -> None:
+        if num_queues <= 0:
+            raise ValueError("num_queues must be positive")
+        if stride < 1:
+            raise ValueError("stride must be at least 1")
+        if burst < 1:
+            raise ValueError("burst must be at least 1")
+        self.num_queues = num_queues
+        self.stride = stride
+        self.burst = burst
+        self._current = start_queue % num_queues
+        self._issued_in_burst = 0
+
+    def next_request(self, slot: int, backlog: Sequence[int]) -> Optional[int]:
+        if self._issued_in_burst < self.burst and backlog[self._current] > 0:
+            self._issued_in_burst += 1
+            return self._current
+        # Burst finished (or current queue empty): walk the stride sequence
+        # to the next backlogged queue.  When ``stride`` is coprime with the
+        # queue count this visits every queue; otherwise only the stride's
+        # cycle is served — deliberately allowed, it is an adversary.
+        for _ in range(self.num_queues):
+            self._current = (self._current + self.stride) % self.num_queues
+            if backlog[self._current] > 0:
+                self._issued_in_burst = 1
+                return self._current
+        self._issued_in_burst = 0
+        return None
+
+
+class IntermittentArbiter(Arbiter):
+    """Wraps another arbiter with deterministic on/off service phases.
+
+    Models fabric backpressure: the inner arbiter runs normally for
+    ``on_slots``, then the output is stalled for ``off_slots`` (no requests at
+    all), letting the buffer's backlog build before service resumes in a rush.
+    The resulting request train is a simple adversary for the head SRAM's
+    drain behaviour that no memoryless arbiter can produce.
+    """
+
+    def __init__(self, inner: Arbiter, on_slots: int, off_slots: int) -> None:
+        if on_slots < 1:
+            raise ValueError("on_slots must be at least 1")
+        if off_slots < 0:
+            raise ValueError("off_slots must be non-negative")
+        self.inner = inner
+        self.on_slots = on_slots
+        self.off_slots = off_slots
+
+    def next_request(self, slot: int, backlog: Sequence[int]) -> Optional[int]:
+        phase = slot % (self.on_slots + self.off_slots)
+        if phase >= self.on_slots:
+            return None
+        return self.inner.next_request(slot, backlog)
+
+
+class TraceArbiter(Arbiter):
+    """Replays a recorded per-slot request sequence exactly once.
+
+    Recorded requests that are no longer admissible against the buffer being
+    replayed into (possible when replaying a trace captured on a different
+    buffer variant) are skipped rather than raised, matching the admissibility
+    filtering the simulation engine applies.
+    """
+
+    def __init__(self, pattern: Sequence[Optional[int]]) -> None:
+        self.pattern: List[Optional[int]] = list(pattern)
+
+    def __len__(self) -> int:
+        return len(self.pattern)
+
+    def next_request(self, slot: int, backlog: Sequence[int]) -> Optional[int]:
+        if not 0 <= slot < len(self.pattern):
+            return None
+        request = self.pattern[slot]
+        if request is not None and backlog[request] <= 0:
+            return None
+        return request

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import abc
 import random
-from typing import Iterable, Iterator, List, Optional, Sequence
+from typing import Iterator, List, Optional, Sequence
 
 
 class ArrivalProcess(abc.ABC):
@@ -167,3 +167,160 @@ class BurstyArrivals(ArrivalProcess):
             self._remaining_burst = length
         self._remaining_burst -= 1
         return self._current_queue
+
+
+class MarkovOnOffArrivals(ArrivalProcess):
+    """Markov-modulated on/off sources, one two-state chain per queue.
+
+    Every queue independently alternates between an *on* and an *off* state
+    with geometrically distributed sojourn times (``mean_on_slots`` and
+    ``mean_off_slots``).  Each slot, every *on* queue offers a cell with
+    probability ``peak_rate``; since the buffer accepts at most one cell per
+    slot, one of the offering queues is chosen uniformly.  Superposing many
+    on/off sources is the classic model for bursty aggregate traffic, and the
+    on/off duty cycle sets the burstiness independently of the mean load.
+    """
+
+    def __init__(self,
+                 num_queues: int,
+                 mean_on_slots: float = 20.0,
+                 mean_off_slots: float = 60.0,
+                 peak_rate: float = 1.0,
+                 seed: int = 0) -> None:
+        if num_queues <= 0:
+            raise ValueError("num_queues must be positive")
+        if mean_on_slots < 1.0 or mean_off_slots < 1.0:
+            raise ValueError("mean sojourn times must be >= 1 slot")
+        if not 0.0 < peak_rate <= 1.0:
+            raise ValueError("peak_rate must be in (0, 1]")
+        self.num_queues = num_queues
+        self.mean_on_slots = mean_on_slots
+        self.mean_off_slots = mean_off_slots
+        self.peak_rate = peak_rate
+        self._p_off = 1.0 / mean_on_slots   # on -> off transition probability
+        self._p_on = 1.0 / mean_off_slots   # off -> on transition probability
+        self._rng = random.Random(seed)
+        # Start each chain in its stationary distribution so short runs are
+        # not biased by a cold start.
+        p_stationary_on = mean_on_slots / (mean_on_slots + mean_off_slots)
+        self._on = [self._rng.random() < p_stationary_on
+                    for _ in range(num_queues)]
+
+    def next_arrival(self, slot: int) -> Optional[int]:
+        rng = self._rng
+        offering: List[int] = []
+        for queue in range(self.num_queues):
+            if self._on[queue]:
+                if rng.random() < self.peak_rate:
+                    offering.append(queue)
+                if rng.random() < self._p_off:
+                    self._on[queue] = False
+            elif rng.random() < self._p_on:
+                self._on[queue] = True
+        if not offering:
+            return None
+        if len(offering) == 1:
+            return offering[0]
+        return offering[rng.randrange(len(offering))]
+
+
+class ParetoBurstArrivals(ArrivalProcess):
+    """Heavy-tailed (Pareto) burst and gap lengths — self-similar traffic.
+
+    Alternates between a burst (back-to-back cells for one queue) and an idle
+    gap, both with Pareto-distributed lengths.  With shape ``alpha`` in
+    (1, 2) the burst lengths have finite mean but infinite variance, which is
+    what makes superposed traffic long-range dependent (the Ethernet
+    self-similarity result); the gap scale is derived from ``load`` so the
+    long-run cell rate matches the requested utilisation.
+    """
+
+    def __init__(self,
+                 num_queues: int,
+                 alpha: float = 1.5,
+                 min_burst_cells: int = 1,
+                 load: float = 0.8,
+                 seed: int = 0) -> None:
+        if num_queues <= 0:
+            raise ValueError("num_queues must be positive")
+        if alpha <= 1.0:
+            raise ValueError("alpha must exceed 1 (finite mean)")
+        if min_burst_cells < 1:
+            raise ValueError("min_burst_cells must be >= 1")
+        if not 0.0 < load < 1.0:
+            raise ValueError("load must be in (0, 1)")
+        self.num_queues = num_queues
+        self.alpha = alpha
+        self.min_burst_cells = min_burst_cells
+        self.load = load
+        # Pareto(alpha, xm) has mean alpha*xm/(alpha-1); pick the gap scale so
+        # mean_burst / (mean_burst + mean_gap) == load.
+        mean_burst = alpha * min_burst_cells / (alpha - 1.0)
+        mean_gap = mean_burst * (1.0 - load) / load
+        self._min_gap = max(mean_gap * (alpha - 1.0) / alpha, 1e-9)
+        self._rng = random.Random(seed)
+        self._current_queue = 0
+        self._remaining_burst = 0
+        self._remaining_gap = 0
+
+    def _pareto(self, scale: float) -> float:
+        # Inverse-CDF sampling: xm / U^(1/alpha).
+        u = 1.0 - self._rng.random()  # in (0, 1]
+        return scale / (u ** (1.0 / self.alpha))
+
+    def next_arrival(self, slot: int) -> Optional[int]:
+        if self._remaining_gap > 0:
+            self._remaining_gap -= 1
+            return None
+        if self._remaining_burst <= 0:
+            self._current_queue = self._rng.randrange(self.num_queues)
+            self._remaining_burst = max(
+                int(self._pareto(self.min_burst_cells)), 1)
+        self._remaining_burst -= 1
+        if self._remaining_burst == 0:
+            # Schedule the idle gap that separates this burst from the next
+            # (at least one slot, so bursts never merge).
+            self._remaining_gap = max(
+                int(round(self._pareto(self._min_gap))), 1)
+        return self._current_queue
+
+
+class ZipfArrivals(BernoulliArrivals):
+    """Bernoulli arrivals with Zipf-distributed queue popularity.
+
+    Queue ``q`` receives traffic proportional to ``1 / (q+1)**exponent`` —
+    the canonical model for flow popularity skew (a few elephants, a long
+    tail of mice).  ``exponent=0`` degenerates to uniform Bernoulli traffic;
+    larger exponents concentrate the load on the lowest-indexed queues.
+    """
+
+    def __init__(self,
+                 num_queues: int,
+                 exponent: float = 1.0,
+                 load: float = 1.0,
+                 seed: int = 0) -> None:
+        if exponent < 0.0:
+            raise ValueError("exponent must be non-negative")
+        weights = [1.0 / float(rank + 1) ** exponent for rank in range(num_queues)]
+        super().__init__(num_queues, load=load, weights=weights, seed=seed)
+        self.exponent = exponent
+
+
+class TraceArrivals(ArrivalProcess):
+    """Replays a recorded per-slot arrival sequence exactly once.
+
+    Unlike :class:`DeterministicArrivals` this does *not* cycle: slots beyond
+    the end of the recording are idle, which is the right semantics for
+    replaying a captured trace against a different buffer variant.
+    """
+
+    def __init__(self, pattern: Sequence[Optional[int]]) -> None:
+        self.pattern = list(pattern)
+
+    def __len__(self) -> int:
+        return len(self.pattern)
+
+    def next_arrival(self, slot: int) -> Optional[int]:
+        if 0 <= slot < len(self.pattern):
+            return self.pattern[slot]
+        return None

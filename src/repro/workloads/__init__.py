@@ -1,0 +1,44 @@
+"""Declarative workloads: scenarios, generators, trace I/O.
+
+This package is the layer between the traffic primitives
+(:mod:`repro.traffic`) and the experiment runner (:mod:`repro.runner`):
+
+* :mod:`repro.workloads.scenario` — the :class:`Scenario` dataclass (buffer
+  scheme + arrival process + arbiter + duration + seed) with a
+  JSON-spec round-trip, and the cacheable :class:`ScenarioResult`;
+* :mod:`repro.workloads.registry` — the named scenario registry behind
+  ``python -m repro scenario`` and the ``scenarios`` experiment sweep;
+* :mod:`repro.workloads.traceio` — compact NDJSON and binary trace formats
+  so any run can be recorded once and replayed deterministically.
+"""
+
+from repro.workloads.scenario import (
+    ARBITER_TYPES,
+    ARRIVAL_TYPES,
+    SCHEMES,
+    Scenario,
+    ScenarioResult,
+    run_scenario_spec,
+)
+from repro.workloads.registry import (
+    all_scenarios,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+)
+from repro.workloads.traceio import load_trace, save_trace
+
+__all__ = [
+    "ARBITER_TYPES",
+    "ARRIVAL_TYPES",
+    "SCHEMES",
+    "Scenario",
+    "ScenarioResult",
+    "run_scenario_spec",
+    "all_scenarios",
+    "get_scenario",
+    "register_scenario",
+    "scenario_names",
+    "load_trace",
+    "save_trace",
+]

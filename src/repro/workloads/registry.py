@@ -1,0 +1,175 @@
+"""The named scenario registry.
+
+Scenarios registered here are what ``python -m repro scenario --list`` shows,
+what the ``scenarios`` experiment sweeps, and what the fast-path equivalence
+test checks.  The default suite deliberately spans the four workload families
+the north-star asks for:
+
+* **baseline** — uniform stochastic traffic;
+* **bursty** — on/off trains, Markov-modulated sources, heavy-tailed
+  (self-similar) bursts;
+* **hotspot** — skewed queue popularity (static hot set and Zipf);
+* **adversarial** — the Section 5 round-robin worst case and its
+  parameterised generalisations;
+* **replay** — a canned trace replayed deterministically.
+
+Registering is open: downstream code can add its own scenarios with
+:func:`register_scenario` and they immediately appear in the CLI and sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.traffic.arrivals import BurstyArrivals
+from repro.workloads.scenario import Scenario
+
+_REGISTRY: Dict[str, Scenario] = {}
+
+#: Buffer configurations shared by the default suite (small enough that the
+#: whole suite simulates in seconds, large enough to exercise every stage).
+_RADS_BUFFER = {"num_queues": 8, "granularity": 4}
+_CFDS_BUFFER = {"num_queues": 8, "dram_access_slots": 8, "granularity": 2,
+                "num_banks": 32}
+
+
+def register_scenario(scenario: Scenario, replace: bool = False) -> Scenario:
+    """Add ``scenario`` to the registry (``replace=True`` to overwrite)."""
+    if not replace and scenario.name in _REGISTRY:
+        raise ConfigurationError(
+            f"scenario {scenario.name!r} is already registered")
+    _REGISTRY[scenario.name] = scenario
+    return scenario
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up one scenario by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ConfigurationError(f"unknown scenario {name!r} (known: {known})")
+
+
+def scenario_names(tag: Optional[str] = None) -> List[str]:
+    """Sorted names of all registered scenarios (optionally filtered by tag)."""
+    return sorted(name for name, scn in _REGISTRY.items()
+                  if tag is None or tag in scn.tags)
+
+
+def all_scenarios() -> List[Scenario]:
+    """All registered scenarios, in name order."""
+    return [_REGISTRY[name] for name in scenario_names()]
+
+
+# --------------------------------------------------------------------- #
+# The default suite
+# --------------------------------------------------------------------- #
+
+def _canonical_trace_pattern(num_slots: int = 2000, num_queues: int = 8,
+                             seed: int = 1234) -> List[Optional[int]]:
+    """A deterministic recorded arrival sequence for the replay scenario.
+
+    Generated once at import from a seeded bursty source, so the pattern is a
+    plain (JSON-serialisable) list and identical in every process — the same
+    property an externally captured trace file would have.
+    """
+    source = BurstyArrivals(num_queues, mean_burst_cells=12, load=0.85, seed=seed)
+    return [source.next_arrival(slot) for slot in range(num_slots)]
+
+
+def _default_scenarios() -> List[Scenario]:
+    trace_pattern = _canonical_trace_pattern()
+    return [
+        Scenario(
+            name="uniform-bernoulli",
+            description="Uniform Bernoulli arrivals at 85% load, random service",
+            scheme="rads", buffer=_RADS_BUFFER,
+            arrivals={"type": "bernoulli", "params": {"num_queues": 8, "load": 0.85}},
+            arbiter={"type": "random", "params": {"num_queues": 8, "load": 0.9}},
+            num_slots=2500, seed=7, tags=("baseline",)),
+        Scenario(
+            name="bursty-trains",
+            description="Geometric on/off packet trains (mean 24 cells)",
+            scheme="rads", buffer=_RADS_BUFFER,
+            arrivals={"type": "bursty",
+                      "params": {"num_queues": 8, "mean_burst_cells": 24.0,
+                                 "load": 0.9}},
+            arbiter={"type": "oldest_cell", "params": {"num_queues": 8}},
+            num_slots=2500, seed=11, tags=("bursty",)),
+        Scenario(
+            name="markov-onoff",
+            description="Superposed Markov-modulated on/off sources",
+            scheme="cfds", buffer=_CFDS_BUFFER,
+            arrivals={"type": "markov_on_off",
+                      "params": {"num_queues": 8, "mean_on_slots": 30.0,
+                                 "mean_off_slots": 90.0, "peak_rate": 0.9}},
+            arbiter={"type": "longest_queue", "params": {"num_queues": 8}},
+            num_slots=2500, seed=13, tags=("bursty",)),
+        Scenario(
+            name="pareto-selfsimilar",
+            description="Heavy-tailed (Pareto 1.4) bursts, self-similar load",
+            scheme="rads", buffer=_RADS_BUFFER,
+            arrivals={"type": "pareto",
+                      "params": {"num_queues": 8, "alpha": 1.4,
+                                 "min_burst_cells": 4, "load": 0.8}},
+            arbiter={"type": "oldest_cell", "params": {"num_queues": 8}},
+            num_slots=2500, seed=17, tags=("bursty", "heavy-tail")),
+        Scenario(
+            name="zipf-hotspot",
+            description="Zipf(1.2) queue popularity — elephants and mice",
+            scheme="cfds", buffer=_CFDS_BUFFER,
+            arrivals={"type": "zipf",
+                      "params": {"num_queues": 8, "exponent": 1.2, "load": 0.85}},
+            arbiter={"type": "random", "params": {"num_queues": 8, "load": 0.95}},
+            num_slots=2500, seed=19, tags=("hotspot",)),
+        Scenario(
+            name="hotspot-static",
+            description="80% of traffic on two hot queues",
+            scheme="rads", buffer=_RADS_BUFFER,
+            arrivals={"type": "hotspot",
+                      "params": {"num_queues": 8, "hot_queues": [0, 1],
+                                 "hot_fraction": 0.8, "load": 0.9}},
+            arbiter={"type": "oldest_cell", "params": {"num_queues": 8}},
+            num_slots=2500, seed=23, tags=("hotspot",)),
+        Scenario(
+            name="adversary-roundrobin",
+            description="Section 5 worst case: full load, round-robin drain",
+            scheme="rads", buffer=_RADS_BUFFER,
+            arrivals={"type": "round_robin", "params": {"num_queues": 8, "load": 1.0}},
+            arbiter={"type": "round_robin_adversary", "params": {"num_queues": 8}},
+            num_slots=3000, seed=0, tags=("adversarial",)),
+        Scenario(
+            name="adversary-strided",
+            description="Strided adversary (stride 3, bursts of 2) on CFDS",
+            scheme="cfds", buffer=_CFDS_BUFFER,
+            arrivals={"type": "round_robin", "params": {"num_queues": 8, "load": 1.0}},
+            arbiter={"type": "strided_adversary",
+                     "params": {"num_queues": 8, "stride": 3, "burst": 2}},
+            num_slots=3000, seed=0, tags=("adversarial",)),
+        Scenario(
+            name="adversary-intermittent",
+            description="Bursty fill with phased service stalls (backpressure)",
+            scheme="cfds", buffer=_CFDS_BUFFER,
+            arrivals={"type": "bursty",
+                      "params": {"num_queues": 8, "mean_burst_cells": 16.0,
+                                 "load": 0.7}},
+            arbiter={"type": "intermittent",
+                     "params": {"inner": {"type": "oldest_cell",
+                                          "params": {"num_queues": 8}},
+                                "on_slots": 40, "off_slots": 24}},
+            num_slots=2500, seed=29, tags=("adversarial", "bursty")),
+        Scenario(
+            name="trace-replay",
+            description="Deterministic replay of a canned bursty trace",
+            scheme="rads", buffer=_RADS_BUFFER,
+            arrivals={"type": "trace", "params": {"pattern": trace_pattern}},
+            arbiter={"type": "oldest_cell", "params": {"num_queues": 8}},
+            num_slots=len(trace_pattern) + 200, seed=0, tags=("replay",)),
+    ]
+
+
+for _scenario in _default_scenarios():
+    register_scenario(_scenario)
+del _scenario

@@ -1,6 +1,5 @@
 """Tests for the Figure 8 reproduction (RADS SRAM vs lookahead)."""
 
-import pytest
 
 from repro.analysis.figure8 import figure8, figure8_summary
 

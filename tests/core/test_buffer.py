@@ -6,7 +6,7 @@ from repro.core.buffer import CFDSPacketBuffer
 from repro.core.config import CFDSConfig
 from repro.sim.engine import ClosedLoopSimulation
 from repro.traffic.arbiters import OldestCellArbiter, RandomArbiter, RoundRobinAdversary
-from repro.traffic.arrivals import BernoulliArrivals, BurstyArrivals, HotspotArrivals
+from repro.traffic.arrivals import BernoulliArrivals, BurstyArrivals
 
 
 def _config(**overrides):

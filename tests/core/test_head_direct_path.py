@@ -1,6 +1,5 @@
 """Tests for the head buffers' direct-acceptance (cut-through) paths."""
 
-import pytest
 
 from repro.core.config import CFDSConfig
 from repro.core.head_buffer import CFDSHeadBuffer

@@ -78,7 +78,7 @@ class TestRenamingTable:
     def test_physical_queue_reused_after_release(self):
         table = RenamingTable(num_logical=1, num_physical=2, num_groups=1,
                               group_capacity_cells=100)
-        first = table.translate_write(0, 2)
+        table.translate_write(0, 2)
         table.translate_read(0, 2)
         assert table.physical_in_use() == 0
         second = table.translate_write(0, 2)

@@ -1,6 +1,5 @@
 """Tests for the CFDS tail-side simulator."""
 
-import pytest
 
 from repro.core.config import CFDSConfig
 from repro.core.scheduler import DRAMSchedulerSubsystem
@@ -28,7 +27,6 @@ class TestEvictionsThroughScheduler:
         for seqno in range(4):
             tail.step(_cell(0, seqno))
         assert stored, "a block must have been evicted"
-        pending = scheduler.request_register.entries() or scheduler._in_flight
         assert tail.result.dram_writes >= 1
 
     def test_write_requests_carry_block_ordinals(self):

@@ -91,7 +91,6 @@ class TestInterleavingAblation:
         from repro.errors import BankConflictError
         from repro.types import ReplenishRequest
 
-        config = CFDSConfig(num_queues=16, dram_access_slots=8, granularity=2, num_banks=32)
         mapping = CFDSBankMapping(num_queues=16, num_banks=32,
                                   dram_access_slots=8, granularity=2)
         dram = BankedDRAM(DRAMTiming(random_access_slots=4, num_banks=32))

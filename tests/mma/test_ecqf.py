@@ -1,6 +1,5 @@
 """Tests for the Earliest Critical Queue First MMA."""
 
-import pytest
 
 from repro.mma.ecqf import ECQF
 

@@ -31,7 +31,7 @@ class TestRadsSramSize:
         assert sizing.rads_sram_size(lookahead, 128, 8) == 896
 
     def test_monotone_decreasing_in_lookahead(self):
-        sizes = [sizing.rads_sram_size(l, 128, 8) for l in (8, 64, 256, 512, 897)]
+        sizes = [sizing.rads_sram_size(la, 128, 8) for la in (8, 64, 256, 512, 897)]
         assert sizes == sorted(sizes, reverse=True)
 
     def test_paper_endpoints_oc768(self):

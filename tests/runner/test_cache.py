@@ -2,7 +2,6 @@
 
 import json
 
-import pytest
 
 from repro.runner.cache import MISS, ResultCache
 from repro.runner.jobs import Job

@@ -81,8 +81,9 @@ class TestExecution:
         second = capsys.readouterr().out
         assert "0 jobs executed" in second
         # The report itself must be identical, only the footer may differ.
-        strip = lambda text: [line for line in text.splitlines()
-                              if not line.startswith("[runner]")]
+        def strip(text):
+            return [line for line in text.splitlines()
+                    if not line.startswith("[runner]")]
         assert strip(first) == strip(second)
 
     def test_no_cache_recomputes(self, tmp_path, capsys):
@@ -99,8 +100,9 @@ class TestExecution:
         serial = capsys.readouterr().out
         assert main(serial_args + ["--jobs", "2"]) == 0
         parallel = capsys.readouterr().out
-        strip = lambda text: [line for line in text.splitlines()
-                              if not line.startswith("[runner]")]
+        def strip(text):
+            return [line for line in text.splitlines()
+                    if not line.startswith("[runner]")]
         assert strip(serial) == strip(parallel)
 
 
@@ -116,3 +118,76 @@ class TestParser:
     def test_jobs_flag_parses(self):
         args = build_parser().parse_args(["figure8", "-j", "4"])
         assert args.jobs == 4
+
+
+class TestScenarioCommand:
+    def test_list_enumerates_registered_scenarios(self, capsys):
+        from repro.workloads import scenario_names
+        assert main(["scenario", "--list"]) == 0
+        out = capsys.readouterr().out
+        names = scenario_names()
+        assert len(names) >= 8
+        for name in names:
+            assert name in out
+
+    def test_run_one_scenario(self, capsys):
+        assert main(["scenario", "uniform-bernoulli"]) == 0
+        out = capsys.readouterr().out
+        assert "uniform-bernoulli" in out
+        assert "latency p99" in out
+        assert "zero miss" in out
+
+    def test_slots_override_and_legacy_loop_agree(self, capsys):
+        assert main(["scenario", "uniform-bernoulli", "--slots", "600"]) == 0
+        fast = capsys.readouterr().out
+        assert main(["scenario", "uniform-bernoulli", "--slots", "600",
+                     "--legacy-loop"]) == 0
+        legacy = capsys.readouterr().out
+        assert fast == legacy
+
+    def test_record_then_replay_round_trip(self, tmp_path, capsys):
+        trace_file = str(tmp_path / "capture.rtrc")
+        assert main(["scenario", "bursty-trains", "--record", trace_file]) == 0
+        recorded = capsys.readouterr().out
+        assert "trace saved" in recorded
+        assert main(["scenario", "bursty-trains", "--replay", trace_file]) == 0
+        replayed = capsys.readouterr().out
+        # Identical statistics table (modulo the trace-saved footer).
+        assert replayed.strip() in recorded
+
+    def test_unknown_scenario_errors(self, capsys):
+        assert main(["scenario", "no-such-scenario"]) == 1
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_missing_name_errors(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["scenario"])
+        assert excinfo.value.code == 2
+
+    def test_scenarios_experiment_is_registered(self, tmp_path, capsys):
+        assert main(["scenarios", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Workload scenarios" in out
+        assert "p99" in out
+
+    def test_replay_into_smaller_buffer_errors_cleanly(self, tmp_path, capsys):
+        from repro.workloads import Scenario, register_scenario
+        from repro.workloads.registry import _REGISTRY
+        trace_file = str(tmp_path / "wide.rtrc")
+        assert main(["scenario", "bursty-trains", "--record", trace_file]) == 0
+        capsys.readouterr()
+        register_scenario(Scenario(
+            name="test-cli-tiny", description="4-queue probe", scheme="rads",
+            buffer={"num_queues": 4, "granularity": 3},
+            arrivals={"type": "bernoulli", "params": {"num_queues": 4}},
+            arbiter=None, num_slots=100))
+        try:
+            assert main(["scenario", "test-cli-tiny", "--replay", trace_file]) == 1
+            assert "has only 4 queues" in capsys.readouterr().err
+        finally:
+            del _REGISTRY["test-cli-tiny"]
+
+    def test_replay_missing_file_errors_cleanly(self, capsys):
+        assert main(["scenario", "bursty-trains", "--replay",
+                     "/nonexistent/trace.rtrc"]) == 1
+        assert "cannot access trace file" in capsys.readouterr().err

@@ -33,7 +33,7 @@ class TestRoundTrip:
         assert from_jsonable(to_jsonable(row)) == row
 
     def test_list_of_dataclasses(self):
-        points = [figure8_point("OC-768", lookahead=l) for l in (9, 17)]
+        points = [figure8_point("OC-768", lookahead=la) for la in (9, 17)]
         assert from_jsonable(to_jsonable(points)) == points
 
     def test_simulation_summary(self):

@@ -8,7 +8,6 @@ from repro.analysis.scaling import granularity_roadmap
 from repro.analysis.table2 import table2
 from repro.errors import ConfigurationError
 from repro.runner.cache import ResultCache
-from repro.runner.jobs import Job
 from repro.runner.sweep import (
     SweepRunner,
     default_jobs,

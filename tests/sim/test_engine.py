@@ -5,8 +5,12 @@ import pytest
 from repro.rads.buffer import RADSPacketBuffer
 from repro.rads.config import RADSConfig
 from repro.sim.engine import ClosedLoopSimulation
-from repro.traffic.arbiters import OldestCellArbiter, RandomArbiter
-from repro.traffic.arrivals import BernoulliArrivals, DeterministicArrivals
+from repro.traffic.arbiters import OldestCellArbiter, RandomArbiter, TraceArbiter
+from repro.traffic.arrivals import (
+    BernoulliArrivals,
+    DeterministicArrivals,
+    TraceArrivals,
+)
 
 
 @pytest.fixture
@@ -68,3 +72,78 @@ class TestClosedLoopSimulation:
         sim = ClosedLoopSimulation(buffer)
         with pytest.raises(ValueError):
             sim.run(-1)
+
+
+@pytest.mark.parametrize("fast_path", [True, False],
+                         ids=["fast-path", "legacy-loop"])
+class TestEdgeModes:
+    def test_fill_only_no_arbiter(self, buffer, fast_path):
+        """No arbiter: cells accumulate, nothing is ever served."""
+        sim = ClosedLoopSimulation(buffer, BernoulliArrivals(4, load=0.8, seed=1))
+        report = sim.run(500, fast_path=fast_path)
+        assert report.throughput.departures == 0
+        assert report.throughput.idle_request_slots >= 500
+        assert report.latency.count == 0
+        assert sum(buffer.backlog(q) for q in range(4)) == report.throughput.arrivals
+
+    def test_drain_only_no_arrivals(self, fast_path):
+        """No arrivals: a pre-filled buffer drains to empty and the served
+        count matches what was pre-loaded."""
+        buffer = RADSPacketBuffer(RADSConfig(num_queues=4, granularity=3))
+        preloaded = 40
+        for i in range(preloaded):
+            buffer.step(i % 4, None)
+        sim = ClosedLoopSimulation(buffer, arrivals=None,
+                                   arbiter=OldestCellArbiter(4))
+        report = sim.run(preloaded + 100, fast_path=fast_path)
+        assert report.throughput.arrivals == 0
+        assert report.throughput.departures == preloaded
+        assert all(buffer.backlog(q) == 0 for q in range(4))
+
+    def test_empty_run_zero_slots(self, buffer, fast_path):
+        report = ClosedLoopSimulation(buffer).run(0, drain=False,
+                                                  fast_path=fast_path)
+        assert report.throughput.slots == 0
+        assert report.throughput.departures == 0
+
+    def test_recorded_trace_replays_identically(self, buffer, fast_path):
+        """record_trace=True: replaying the captured (arrival, request)
+        sequence through a fresh identical buffer reproduces the run."""
+        sim = ClosedLoopSimulation(buffer,
+                                   BernoulliArrivals(4, load=0.7, seed=21),
+                                   RandomArbiter(4, load=0.8, seed=22),
+                                   record_trace=True)
+        original = sim.run(800, fast_path=fast_path)
+
+        fresh = RADSPacketBuffer(RADSConfig(num_queues=4, granularity=3))
+        replay = ClosedLoopSimulation(fresh,
+                                      TraceArrivals(original.trace.arrivals()),
+                                      TraceArbiter(original.trace.requests()),
+                                      record_trace=True)
+        replayed = replay.run(len(original.trace), fast_path=fast_path)
+        assert replayed.throughput == original.throughput
+        assert replayed.latency == original.latency
+        assert replayed.buffer_result == original.buffer_result
+        assert replayed.trace.events == original.trace.events
+
+
+class TestDrops:
+    def test_dropped_cells_is_a_real_attribute(self, buffer):
+        """Both buffer classes expose dropped_cells; the engine reads it
+        directly (no getattr fallback)."""
+        assert buffer.dropped_cells == 0
+        report = ClosedLoopSimulation(buffer,
+                                      BernoulliArrivals(4, load=0.5, seed=1),
+                                      OldestCellArbiter(4)).run(200)
+        assert report.throughput.drops == 0
+
+    def test_non_strict_finite_dram_counts_drops(self):
+        """With a tiny DRAM and strict=False, overflow evictions are counted
+        instead of raising."""
+        config = RADSConfig(num_queues=2, granularity=4, dram_cells=4,
+                            strict=False)
+        buffer = RADSPacketBuffer(config)
+        sim = ClosedLoopSimulation(buffer, DeterministicArrivals([0, 1]))
+        report = sim.run(400)
+        assert buffer.dropped_cells > 0
+        assert report.throughput.drops == buffer.dropped_cells

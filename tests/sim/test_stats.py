@@ -48,3 +48,36 @@ class TestThroughputStats:
         assert stats.offered_load == 0.0
         assert stats.carried_load == 0.0
         assert stats.loss_fraction == 0.0
+
+
+class TestLatencyPercentiles:
+    def test_p50_p95_p99_properties(self):
+        stats = LatencyStats()
+        for delay in range(1, 101):  # delays 1..100, one each
+            stats.record(0, delay)
+        assert stats.p50 == 50
+        assert stats.p95 == 95
+        assert stats.p99 == 99
+
+    def test_percentiles_are_monotone(self):
+        stats = LatencyStats()
+        for delay in [3, 3, 3, 7, 7, 40, 41, 42, 500]:
+            stats.record(0, delay)
+        assert stats.p50 <= stats.p95 <= stats.p99 <= stats.maximum
+
+    def test_empty_percentiles_are_zero(self):
+        stats = LatencyStats()
+        assert stats.p50 == stats.p95 == stats.p99 == 0
+
+    def test_snapshot_equality(self):
+        a, b = LatencyStats(), LatencyStats()
+        for delay in [1, 5, 5, 9]:
+            a.record(0, delay)
+            b.record(0, delay)
+        assert a == b
+        assert a.snapshot() == b.snapshot()
+        b.record(0, 2)
+        assert a != b
+
+    def test_equality_against_other_types(self):
+        assert LatencyStats() != object()

@@ -1,6 +1,5 @@
 """Tests for repro.constants: slot times, granularities, helpers."""
 
-import math
 
 import pytest
 

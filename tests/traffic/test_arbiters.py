@@ -3,10 +3,13 @@
 import pytest
 
 from repro.traffic.arbiters import (
+    IntermittentArbiter,
     LongestQueueArbiter,
     OldestCellArbiter,
     RandomArbiter,
     RoundRobinAdversary,
+    StridedAdversary,
+    TraceArbiter,
 )
 
 
@@ -77,3 +80,79 @@ class TestOldestCellArbiter:
         arbiter = OldestCellArbiter(num_queues=3)
         requests = [arbiter.next_request(s, [5, 5, 5]) for s in range(9)]
         assert set(requests) == {0, 1, 2}
+
+
+class TestStridedAdversary:
+    def test_defaults_match_round_robin_adversary(self):
+        strided = StridedAdversary(num_queues=5)
+        round_robin = RoundRobinAdversary(num_queues=5)
+        backlog = [3] * 5
+        for slot in range(20):
+            assert strided.next_request(slot, backlog) == \
+                   round_robin.next_request(slot, backlog)
+
+    def test_burst_repeats_queue(self):
+        arbiter = StridedAdversary(num_queues=4, burst=3)
+        requests = [arbiter.next_request(s, [10] * 4) for s in range(7)]
+        assert requests == [0, 0, 0, 1, 1, 1, 2]
+
+    def test_coprime_stride_visits_every_queue(self):
+        arbiter = StridedAdversary(num_queues=8, stride=3)
+        requests = {arbiter.next_request(s, [10] * 8) for s in range(8)}
+        assert requests == set(range(8))
+
+    def test_skips_empty_queues(self):
+        arbiter = StridedAdversary(num_queues=4, burst=2)
+        backlog = [2, 0, 2, 0]
+        requests = [arbiter.next_request(s, backlog) for s in range(4)]
+        assert requests == [0, 0, 2, 2]
+
+    def test_idles_when_everything_empty(self):
+        arbiter = StridedAdversary(num_queues=3)
+        assert arbiter.next_request(0, [0, 0, 0]) is None
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            StridedAdversary(num_queues=0)
+        with pytest.raises(ValueError):
+            StridedAdversary(num_queues=2, stride=0)
+        with pytest.raises(ValueError):
+            StridedAdversary(num_queues=2, burst=0)
+
+
+class TestIntermittentArbiter:
+    def test_off_phase_issues_nothing(self):
+        arbiter = IntermittentArbiter(RoundRobinAdversary(4), on_slots=3, off_slots=2)
+        backlog = [10] * 4
+        requests = [arbiter.next_request(s, backlog) for s in range(10)]
+        assert requests == [0, 1, 2, None, None, 3, 0, 1, None, None]
+
+    def test_zero_off_slots_is_transparent(self):
+        inner = RoundRobinAdversary(3)
+        arbiter = IntermittentArbiter(RoundRobinAdversary(3), on_slots=4, off_slots=0)
+        backlog = [5] * 3
+        for slot in range(9):
+            assert arbiter.next_request(slot, backlog) == \
+                   inner.next_request(slot, backlog)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            IntermittentArbiter(RoundRobinAdversary(2), on_slots=0, off_slots=1)
+        with pytest.raises(ValueError):
+            IntermittentArbiter(RoundRobinAdversary(2), on_slots=1, off_slots=-1)
+
+
+class TestTraceArbiter:
+    def test_replays_then_idles(self):
+        arbiter = TraceArbiter([0, None, 1])
+        backlog = [5, 5]
+        assert [arbiter.next_request(s, backlog) for s in range(5)] == \
+               [0, None, 1, None, None]
+
+    def test_inadmissible_recorded_requests_are_skipped(self):
+        arbiter = TraceArbiter([0, 1, 0])
+        backlog = [5, 0]
+        assert [arbiter.next_request(s, backlog) for s in range(3)] == [0, None, 0]
+
+    def test_length(self):
+        assert len(TraceArbiter([None, 2])) == 2

@@ -1,0 +1,120 @@
+"""Tests for the NDJSON and binary trace formats."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.traffic.trace import TrafficTrace
+from repro.workloads.traceio import BINARY_MAGIC, load_trace, save_trace
+
+
+@pytest.fixture
+def trace() -> TrafficTrace:
+    events = [(0, None), (None, None), (3, 1), (2, 0), (None, 3)]
+    built = TrafficTrace()
+    for arrival, request in events:
+        built.append(arrival, request)
+    return built
+
+
+@pytest.mark.parametrize("format", ["binary", "ndjson"])
+class TestRoundTrip:
+    def test_events_survive(self, trace, tmp_path, format):
+        path = tmp_path / f"trace.{format}"
+        save_trace(trace, path, format=format)
+        loaded, metadata = load_trace(path)
+        assert loaded.events == trace.events
+        assert metadata == {}
+
+    def test_metadata_survives(self, trace, tmp_path, format):
+        path = tmp_path / f"trace.{format}"
+        meta = {"scenario": "bursty-trains", "seed": 11, "num_queues": 8}
+        save_trace(trace, path, format=format, metadata=meta)
+        _loaded, metadata = load_trace(path)
+        assert metadata == meta
+
+    def test_empty_trace(self, tmp_path, format):
+        path = tmp_path / f"empty.{format}"
+        save_trace(TrafficTrace(), path, format=format)
+        loaded, _metadata = load_trace(path)
+        assert loaded.events == []
+
+
+class TestFormats:
+    def test_binary_is_smaller_than_ndjson(self, tmp_path):
+        trace = TrafficTrace()
+        for slot in range(500):
+            trace.append(slot % 7, (slot + 3) % 7 if slot % 2 else None)
+        binary, ndjson = tmp_path / "t.bin", tmp_path / "t.ndjson"
+        save_trace(trace, binary, format="binary")
+        save_trace(trace, ndjson, format="ndjson")
+        assert binary.stat().st_size < ndjson.stat().st_size
+
+    def test_binary_has_magic(self, trace, tmp_path):
+        path = tmp_path / "t.bin"
+        save_trace(trace, path, format="binary")
+        assert path.read_bytes().startswith(BINARY_MAGIC)
+
+    def test_ndjson_header_is_first_line(self, trace, tmp_path):
+        path = tmp_path / "t.ndjson"
+        save_trace(trace, path, format="ndjson", metadata={"k": 1})
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["format"] == "repro-trace"
+        assert header["slots"] == len(trace)
+
+    def test_unknown_format_rejected(self, trace, tmp_path):
+        with pytest.raises(ConfigurationError):
+            save_trace(trace, tmp_path / "t", format="csv")
+
+    def test_unserialisable_metadata_rejected(self, trace, tmp_path):
+        with pytest.raises(ConfigurationError):
+            save_trace(trace, tmp_path / "t", metadata={"bad": object()})
+
+    def test_huge_queue_id_rejected_by_binary_only(self, tmp_path):
+        trace = TrafficTrace()
+        trace.append(70_000, None)
+        with pytest.raises(ConfigurationError):
+            save_trace(trace, tmp_path / "t.bin", format="binary")
+        save_trace(trace, tmp_path / "t.ndjson", format="ndjson")
+        loaded, _metadata = load_trace(tmp_path / "t.ndjson")
+        assert loaded.events == [(70_000, None)]
+
+
+class TestErrors:
+    def test_corrupt_binary(self, tmp_path):
+        path = tmp_path / "t.bin"
+        path.write_bytes(BINARY_MAGIC + b"\x01\x02")
+        with pytest.raises(ConfigurationError):
+            load_trace(path)
+
+    def test_truncated_binary_payload(self, trace, tmp_path):
+        path = tmp_path / "t.bin"
+        save_trace(trace, path, format="binary")
+        path.write_bytes(path.read_bytes()[:-3])
+        with pytest.raises(ConfigurationError):
+            load_trace(path)
+
+    def test_text_without_header_rejected(self, tmp_path):
+        path = tmp_path / "t.ndjson"
+        path.write_text('{"something": "else"}\n[0,1]\n')
+        with pytest.raises(ConfigurationError):
+            load_trace(path)
+
+    def test_slot_count_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "t.ndjson"
+        path.write_text('{"format":"repro-trace","version":1,"slots":5}\n[0,null]\n')
+        with pytest.raises(ConfigurationError):
+            load_trace(path)
+
+    def test_negative_queue_id_rejected(self, tmp_path):
+        path = tmp_path / "t.ndjson"
+        path.write_text('{"format":"repro-trace","version":1,"slots":1}\n[-1,null]\n')
+        with pytest.raises(ConfigurationError):
+            load_trace(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty"
+        path.write_bytes(b"")
+        with pytest.raises(ConfigurationError):
+            load_trace(path)
