@@ -1,0 +1,29 @@
+"""Perf-trajectory benchmark harness.
+
+``python -m repro bench`` runs a fixed suite of closed-loop and subsystem
+benchmarks and writes per-benchmark median timings to a JSON snapshot
+(``BENCH_<n>.json``), giving every future PR a comparable baseline.  See
+:mod:`repro.bench.suite`.
+"""
+
+from repro.bench.suite import (
+    DEFAULT_OUTPUT,
+    SUITE,
+    BenchCase,
+    BenchResult,
+    render_results,
+    run_suite,
+    wide_scenario,
+    write_results,
+)
+
+__all__ = [
+    "DEFAULT_OUTPUT",
+    "SUITE",
+    "BenchCase",
+    "BenchResult",
+    "render_results",
+    "run_suite",
+    "wide_scenario",
+    "write_results",
+]

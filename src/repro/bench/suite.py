@@ -1,0 +1,277 @@
+"""The perf-trajectory benchmark suite (``python -m repro bench``).
+
+Every PR that touches a hot path needs a comparable baseline; this module
+provides it.  The suite is a *fixed* set of benchmarks — the closed-loop
+scenario on each engine, the wide-queue stressor that magnifies per-slot
+overhead, a CFDS scenario exercising the DRAM scheduler subsystem, and the
+head-MMA ablation — each timed for a handful of repetitions, with the
+**median** wall-clock time recorded per benchmark.  Results are written as
+JSON (``BENCH_3.json`` by default; the number tracks the PR that produced
+the file), so successive snapshots can be diffed mechanically::
+
+    python -m repro bench                 # full suite -> BENCH_3.json
+    python -m repro bench --quick         # reduced slot counts (CI perf-smoke)
+    python -m repro bench --filter wide   # only the wide-queue benchmarks
+
+The suite intentionally times whole runs (build + simulate + drain) — that
+is what users pay for — and records the slot throughput alongside the raw
+seconds so machines of different speeds can still be compared by ratio.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import statistics
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+#: Default output file.  The suffix tracks the PR that produced the
+#: snapshot so the repository can accumulate a BENCH_<n>.json trajectory.
+DEFAULT_OUTPUT = "BENCH_3.json"
+
+#: JSON schema version of the output document.
+SCHEMA = 1
+
+#: Slot counts used when ``--quick`` trims the suite for CI smoke runs.
+QUICK_SCENARIO_SLOTS = 800
+QUICK_WIDE_SLOTS = 1500
+QUICK_MMA_SLOTS = 3000
+
+WIDE_QUEUES = 128
+WIDE_SLOTS = 6000
+MMA_QUEUES = 16
+MMA_GRANULARITY = 4
+MMA_SLOTS = 12_000
+
+#: A benchmark thunk plus the metadata recorded next to its timings.
+BenchSetup = Tuple[Callable[[], object], Dict[str, Any]]
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One named benchmark of the fixed suite."""
+
+    name: str
+    description: str
+    factory: Callable[[bool], BenchSetup]
+
+
+@dataclass
+class BenchResult:
+    """Timings of one benchmark: the median is the headline number."""
+
+    name: str
+    description: str
+    median_s: float
+    samples_s: List[float]
+    metrics: Dict[str, Any] = field(default_factory=dict)
+
+    def as_json(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "median_s": self.median_s,
+            "samples_s": self.samples_s,
+            "metrics": self.metrics,
+        }
+
+
+def wide_scenario(num_queues: int = WIDE_QUEUES,
+                  num_slots: int = WIDE_SLOTS):
+    """The 128-queue Bernoulli stressor shared with
+    ``benchmarks/bench_workloads.py`` — wide enough that per-slot loop
+    overhead, not the workload, dominates."""
+    from repro.workloads import Scenario
+
+    return Scenario(
+        name="wide-bernoulli",
+        description="128-queue Bernoulli stressor for the loop overhead",
+        scheme="rads",
+        buffer={"num_queues": num_queues, "granularity": 4},
+        arrivals={"type": "bernoulli",
+                  "params": {"num_queues": num_queues, "load": 0.85}},
+        arbiter={"type": "random",
+                 "params": {"num_queues": num_queues, "load": 0.9}},
+        num_slots=num_slots, seed=1)
+
+
+def _registered_scenario_setup(scenario_name: str, engine: str,
+                               quick: bool) -> BenchSetup:
+    from repro.workloads.registry import get_scenario
+
+    scenario = get_scenario(scenario_name)
+    slots = QUICK_SCENARIO_SLOTS if quick else scenario.num_slots
+
+    def thunk():
+        return scenario.run(num_slots=slots, engine=engine)
+
+    return thunk, {"slots": slots, "scheme": scenario.scheme,
+                   "scenario": scenario_name, "engine": engine}
+
+
+def _wide_setup(engine: str, quick: bool) -> BenchSetup:
+    slots = QUICK_WIDE_SLOTS if quick else WIDE_SLOTS
+    scenario = wide_scenario(num_slots=slots)
+
+    def thunk():
+        return scenario.run(engine=engine)
+
+    return thunk, {"slots": slots, "scheme": scenario.scheme,
+                   "queues": WIDE_QUEUES, "engine": engine}
+
+
+def _mma_setup(policy: str, quick: bool) -> BenchSetup:
+    from repro.mma.ecqf import ECQF
+    from repro.mma.mdqf import MDQF
+    from repro.rads.config import RADSConfig
+    from repro.rads.head_buffer import RADSHeadBuffer
+    from repro.traffic.arbiters import RoundRobinAdversary
+
+    slots = QUICK_MMA_SLOTS if quick else MMA_SLOTS
+    mma_cls = {"ecqf": ECQF, "mdqf": MDQF}[policy]
+
+    def thunk():
+        config = RADSConfig(num_queues=MMA_QUEUES,
+                            granularity=MMA_GRANULARITY, strict=False)
+        buffer = RADSHeadBuffer(config, mma=mma_cls())
+        adversary = RoundRobinAdversary(MMA_QUEUES)
+        unbounded = [10 ** 9] * MMA_QUEUES
+        return buffer.run(adversary.next_request(slot, unbounded)
+                          for slot in range(slots))
+
+    return thunk, {"slots": slots, "policy": policy,
+                   "queues": MMA_QUEUES, "granularity": MMA_GRANULARITY}
+
+
+def _case(name: str, description: str, factory) -> BenchCase:
+    return BenchCase(name=name, description=description, factory=factory)
+
+
+#: The fixed suite, in reporting order.
+SUITE: Tuple[BenchCase, ...] = (
+    _case("scenario/uniform-bernoulli/reference",
+          "registered RADS scenario, reference per-slot loop",
+          lambda quick: _registered_scenario_setup(
+              "uniform-bernoulli", "reference", quick)),
+    _case("scenario/uniform-bernoulli/batched",
+          "registered RADS scenario, batched fast path",
+          lambda quick: _registered_scenario_setup(
+              "uniform-bernoulli", "batched", quick)),
+    _case("scenario/uniform-bernoulli/array",
+          "registered RADS scenario, struct-of-arrays engine",
+          lambda quick: _registered_scenario_setup(
+              "uniform-bernoulli", "array", quick)),
+    _case("scenario/markov-onoff/batched",
+          "registered CFDS scenario (DSS + latency register), batched",
+          lambda quick: _registered_scenario_setup(
+              "markov-onoff", "batched", quick)),
+    _case("scenario/markov-onoff/array",
+          "registered CFDS scenario (DSS + latency register), array engine",
+          lambda quick: _registered_scenario_setup(
+              "markov-onoff", "array", quick)),
+    _case("wide-128/batched",
+          "128-queue Bernoulli stressor, batched fast path",
+          lambda quick: _wide_setup("batched", quick)),
+    _case("wide-128/array",
+          "128-queue Bernoulli stressor, struct-of-arrays engine",
+          lambda quick: _wide_setup("array", quick)),
+    _case("mma-ablation/ecqf",
+          "head-only worst case under ECQF (paper policy)",
+          lambda quick: _mma_setup("ecqf", quick)),
+    _case("mma-ablation/mdqf",
+          "head-only worst case under MDQF (ablation policy)",
+          lambda quick: _mma_setup("mdqf", quick)),
+)
+
+#: Ratios derived from pairs of benchmark medians (numerator / denominator —
+#: the speedup trajectory the acceptance criteria track).
+DERIVED_RATIOS: Tuple[Tuple[str, str, str], ...] = (
+    ("wide-128-speedup-array-over-batched", "wide-128/batched",
+     "wide-128/array"),
+    ("uniform-speedup-array-over-batched",
+     "scenario/uniform-bernoulli/batched",
+     "scenario/uniform-bernoulli/array"),
+    ("uniform-speedup-batched-over-reference",
+     "scenario/uniform-bernoulli/reference",
+     "scenario/uniform-bernoulli/batched"),
+)
+
+
+def run_suite(quick: bool = False,
+              repeats: Optional[int] = None,
+              name_filter: Optional[str] = None) -> Dict[str, Any]:
+    """Run the suite and return the JSON-serialisable result document."""
+    if repeats is None:
+        repeats = 3 if quick else 5
+    if repeats < 1:
+        raise ValueError("repeats must be at least 1")
+    results: List[BenchResult] = []
+    for case in SUITE:
+        if name_filter is not None and name_filter not in case.name:
+            continue
+        thunk, metrics = case.factory(quick)
+        samples: List[float] = []
+        for _ in range(repeats):
+            started = time.perf_counter()
+            thunk()
+            samples.append(time.perf_counter() - started)
+        median = statistics.median(samples)
+        slots = metrics.get("slots")
+        if slots:
+            metrics["kslots_per_s"] = round(slots / median / 1e3, 2)
+        results.append(BenchResult(name=case.name,
+                                   description=case.description,
+                                   median_s=median,
+                                   samples_s=samples,
+                                   metrics=metrics))
+    medians = {result.name: result.median_s for result in results}
+    derived: Dict[str, float] = {}
+    for label, numerator, denominator in DERIVED_RATIOS:
+        if numerator in medians and denominator in medians and medians[denominator]:
+            derived[label] = round(medians[numerator] / medians[denominator], 3)
+    return {
+        "schema": SCHEMA,
+        "suite": "repro-bench",
+        "quick": quick,
+        "repeats": repeats,
+        "created_unix": time.time(),
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "benchmarks": [result.as_json() for result in results],
+        "derived": derived,
+    }
+
+
+def write_results(document: Mapping[str, Any], path: str) -> None:
+    """Write the result document as pretty-printed JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+
+
+def render_results(document: Mapping[str, Any]) -> str:
+    """Human-readable table of the suite results."""
+    from repro.analysis.report import format_table
+
+    rows = []
+    for bench in document["benchmarks"]:
+        metrics = bench["metrics"]
+        rows.append([
+            bench["name"],
+            f"{bench['median_s'] * 1e3:.1f}",
+            metrics.get("kslots_per_s", "-"),
+            metrics.get("slots", "-"),
+        ])
+    mode = "quick" if document["quick"] else "full"
+    table = format_table(
+        ["benchmark", "median (ms)", "kslots/s", "slots"], rows,
+        title=f"repro bench — {mode} suite, {document['repeats']} repeats")
+    if document["derived"]:
+        lines = [table, ""]
+        for label, value in document["derived"].items():
+            lines.append(f"{label}: {value:.3f}x")
+        return "\n".join(lines)
+    return table

@@ -13,8 +13,15 @@ and drive the workload subsystem::
     python -m repro scenario --list                   # registered scenarios
     python -m repro scenario bursty-trains            # run one scenario
     python -m repro scenario zipf-hotspot --slots 50000
+    python -m repro scenario zipf-hotspot --engine array     # SoA fast core
     python -m repro scenario bursty-trains --record t.rtrc   # capture trace
     python -m repro scenario zipf-hotspot --replay t.rtrc    # replay it
+
+and track the performance trajectory::
+
+    python -m repro bench                 # fixed suite -> BENCH_3.json
+    python -m repro bench --quick         # reduced slots (CI perf-smoke)
+    python -m repro bench --filter wide   # a subset of the suite
 
 Results are cached as JSON under ``.repro_cache/<version>/`` keyed by the
 job's configuration and the package version, so a second invocation of the
@@ -38,6 +45,8 @@ from repro.runner.sweep import SweepRunner
 ALL = "all"
 #: Subcommand that runs a single named workload scenario.
 SCENARIO = "scenario"
+#: Subcommand that runs the fixed perf-trajectory benchmark suite.
+BENCH = "bench"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -87,6 +96,10 @@ def build_parser() -> argparse.ArgumentParser:
     scenario.add_argument("--legacy-loop", action="store_true",
                           help="use the reference per-slot loop instead of "
                                "the batched fast path")
+    scenario.add_argument("--engine", choices=["reference", "batched", "array"],
+                          default=None,
+                          help="simulation core to use (default: batched; "
+                               "all engines produce bit-identical reports)")
     scenario.add_argument("--record", default=None, metavar="FILE",
                           help="save the run's (arrival, request) trace to FILE")
     scenario.add_argument("--trace-format", choices=["binary", "ndjson"],
@@ -98,6 +111,26 @@ def build_parser() -> argparse.ArgumentParser:
                                "its own generators")
     scenario.add_argument("-o", "--output", default=None, metavar="FILE",
                           help="write the report to FILE instead of stdout")
+
+    bench = subparsers.add_parser(
+        BENCH, help="run the perf-trajectory benchmark suite",
+        description=("Time the fixed benchmark suite (scenario loops on "
+                     "every engine, the wide-queue stressor, the MMA "
+                     "ablation) and write per-benchmark medians to a JSON "
+                     "snapshot for cross-PR comparison."))
+    bench.add_argument("--quick", action="store_true",
+                       help="reduced slot counts (the CI perf-smoke mode)")
+    bench.add_argument("--repeats", type=int, default=None, metavar="N",
+                       help="timing repetitions per benchmark "
+                            "(default: 5, or 3 with --quick)")
+    bench.add_argument("--filter", default=None, metavar="SUBSTR",
+                       dest="name_filter",
+                       help="only run benchmarks whose name contains SUBSTR")
+    bench.add_argument("--list", action="store_true", dest="list_benchmarks",
+                       help="list the suite's benchmarks and exit")
+    bench.add_argument("-o", "--output", default=None, metavar="FILE",
+                       help="JSON snapshot path (default: BENCH_3.json; "
+                            "'-' to skip writing the file)")
     return parser
 
 
@@ -121,9 +154,15 @@ def _run_scenario_command(parser: argparse.ArgumentParser,
     if args.name is None:
         parser.error("scenario: a NAME is required (or use --list)")
 
+    if (args.legacy_loop and args.engine is not None
+            and args.engine != "reference"):
+        parser.error("--legacy-loop selects the reference loop and "
+                     f"conflicts with --engine {args.engine}")
     try:
         scenario = get_scenario(args.name)
-        fast_path = not args.legacy_loop
+        engine = args.engine
+        if engine is None:
+            engine = "reference" if args.legacy_loop else "batched"
         record = args.record is not None
         if args.replay is not None:
             trace, _metadata = load_trace(args.replay)
@@ -140,9 +179,9 @@ def _run_scenario_command(parser: argparse.ArgumentParser,
                                        TraceArbiter(trace.requests()),
                                        record_trace=record)
             num_slots = len(trace) if args.slots is None else args.slots
-            report = sim.run(num_slots, fast_path=fast_path)
+            report = sim.run(num_slots, engine=engine)
         else:
-            report = scenario.run(num_slots=args.slots, fast_path=fast_path,
+            report = scenario.run(num_slots=args.slots, engine=engine,
                                   record_trace=record)
         if record:
             save_trace(report.trace, args.record, format=args.trace_format,
@@ -163,6 +202,46 @@ def _run_scenario_command(parser: argparse.ArgumentParser,
     return _emit(text, args.output)
 
 
+def _run_bench_command(parser: argparse.ArgumentParser,
+                       args: argparse.Namespace) -> int:
+    """Handle ``python -m repro bench ...``."""
+    from repro.analysis.report import format_table
+    from repro.bench import (
+        DEFAULT_OUTPUT,
+        SUITE,
+        render_results,
+        run_suite,
+        write_results,
+    )
+
+    if args.list_benchmarks:
+        table = format_table(
+            ["name", "description"],
+            [[case.name, case.description] for case in SUITE],
+            title="Perf-trajectory benchmark suite")
+        print(table)
+        return 0
+    if args.repeats is not None and args.repeats < 1:
+        parser.error("--repeats must be at least 1")
+    document = run_suite(quick=args.quick, repeats=args.repeats,
+                         name_filter=args.name_filter)
+    if not document["benchmarks"]:
+        print(f"error: no benchmark matches --filter {args.name_filter!r}",
+              file=sys.stderr)
+        return 1
+    output = args.output if args.output is not None else DEFAULT_OUTPUT
+    text = render_results(document)
+    if output != "-":
+        try:
+            write_results(document, output)
+        except OSError as exc:
+            print(f"error: cannot write {output}: {exc}", file=sys.stderr)
+            return 1
+        text += f"\nresults written to {output}"
+    print(text)
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     parser = build_parser()
@@ -172,6 +251,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 2
     if args.experiment == SCENARIO:
         return _run_scenario_command(parser, args)
+    if args.experiment == BENCH:
+        return _run_bench_command(parser, args)
 
     names = list(EXPERIMENTS) if args.experiment == ALL else [args.experiment]
     specs = [get_experiment(name) for name in names]

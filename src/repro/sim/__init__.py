@@ -9,6 +9,8 @@ verdicts).
 
 from repro.sim.stats import LatencyStats, ThroughputStats
 from repro.sim.engine import ClosedLoopSimulation, SimulationReport
+from repro.sim.array_engine import ENGINES, run_array
+from repro.sim.ring import IntRing
 from repro.sim.worstcase import (
     WorstCaseSummary,
     run_cfds_worst_case,
@@ -20,6 +22,9 @@ __all__ = [
     "ThroughputStats",
     "ClosedLoopSimulation",
     "SimulationReport",
+    "ENGINES",
+    "run_array",
+    "IntRing",
     "WorstCaseSummary",
     "run_rads_worst_case",
     "run_cfds_worst_case",

@@ -1,0 +1,909 @@
+"""Struct-of-arrays simulation core — the ``engine="array"`` fast path.
+
+The object model (``RADSPacketBuffer``/``CFDSPacketBuffer`` driven by
+:class:`~repro.sim.engine.ClosedLoopSimulation`) allocates a ``Cell``
+dataclass per arrival, keeps every FIFO as a deque of cell objects and every
+SRAM as a heap of ``(seqno, id, cell)`` tuples, and walks half a dozen
+attribute chains per slot.  That per-slot object traffic is what dominates
+long closed-loop runs.  This module re-implements the *same machine* on flat
+integer state:
+
+* a cell is identified by its ``(queue, seqno)`` pair; per-queue seqnos are
+  dense, so the cell's ``arrival_slot`` lives in a compacting cursor list
+  indexed by seqno — no cell objects exist at all;
+* the tail-SRAM and DRAM per-queue FIFOs are :class:`~repro.sim.ring.IntRing`
+  ring buffers of seqnos; occupancies are flat ``int`` lists updated in the
+  loop;
+* the head SRAM is a per-queue min-heap of bare seqnos (out-of-order block
+  delivery in CFDS still yields in-order service);
+* the lookahead and latency shift registers are preallocated lists with a
+  rotating cursor;
+* the latency histogram is accumulated as a plain dict of ints and folded
+  into :class:`~repro.sim.stats.LatencyStats` once, after the loop.
+
+Policy decisions are never approximated.  Custom MMA or arbiter objects are
+invoked with exactly the views the object model hands them; for the stock
+policies the engine substitutes *algebraically identical* incremental forms:
+
+* **ECQF** — the O(lookahead) walk ("first queue whose bookkeeping occupancy
+  would go negative") always selects the queue whose ``(counter+1)``-th
+  outstanding request entered the pipeline earliest.  The engine keeps each
+  queue's request entry-slots in a cursor list and tracks that *critical
+  entry slot* per queue in a lazily invalidated min-heap.  The tracked value
+  only changes when a request enters the pipeline or the queue's counter is
+  credited — a request leaving the pipeline moves the counter and the cursor
+  together, cancelling out — so maintenance is O(log Q) per event and a
+  selection is an O(1) amortised heap peek instead of a 400-entry walk.
+* **ThresholdTailMMA** — inlined occupancy max-scan, skipped entirely while
+  the tail SRAM holds less than one block.
+* **RandomArbiter** — the per-slot "list the backlogged queues" rebuild is
+  replaced by an incrementally maintained sorted list (the engine already
+  knows every backlog transition); the RNG draw sequence is unchanged, so the
+  request stream is bit-identical.
+
+For CFDS, the issue-period machinery — the DRAM scheduler subsystem (request
+register, banked-DRAM timing), the renaming table and the bank mapping — is
+borrowed from the buffer object itself, so scheduling decisions cannot
+diverge either.  The resulting :class:`~repro.sim.engine.SimulationReport`
+(throughput, latency histogram, buffer statistics) is asserted bit-identical
+to the reference loop for every registered scenario by
+``tests/sim/test_array_engine.py``.
+
+The engine consumes a *freshly built* buffer: it reads the configuration and
+the issue-period machinery off the buffer object but keeps all per-cell state
+in its own arrays, so the buffer instance itself is not stepped.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+from collections import deque
+from heapq import heappop, heappush
+from typing import List, Optional
+
+from repro.errors import BufferOverflowError, CacheMissError, RenamingError
+from repro.mma.ecqf import ECQF
+from repro.mma.tail_mma import ThresholdTailMMA
+from repro.sim.ring import IntRing
+from repro.traffic.arbiters import RandomArbiter
+from repro.types import MissRecord, ReplenishRequest, SimulationResult, TransferDirection
+
+#: Engine names accepted by ``ClosedLoopSimulation.run(engine=...)``.
+ENGINE_REFERENCE = "reference"
+ENGINE_BATCHED = "batched"
+ENGINE_ARRAY = "array"
+ENGINES = (ENGINE_REFERENCE, ENGINE_BATCHED, ENGINE_ARRAY)
+
+#: "No critical entry" marker in the per-queue critical-slot cache.
+_INF = float("inf")
+
+#: Compaction threshold of the cursor lists (amortised O(1): at least half
+#: of the storage is reclaimed whenever a deletion is triggered).
+_COMPACT = 8192
+
+
+def run_array(sim, num_slots: int, drain: bool = True):
+    """Run ``sim`` for ``num_slots`` slots on the struct-of-arrays core.
+
+    Args:
+        sim: a :class:`~repro.sim.engine.ClosedLoopSimulation` whose buffer
+            has not been stepped yet (``buffer.slot == 0``).
+        num_slots: slots to simulate before the optional drain.
+        drain: run the buffer's drain window after the main loop, exactly as
+            :meth:`ClosedLoopSimulation.run` does.
+
+    Returns:
+        The same :class:`~repro.sim.engine.SimulationReport` the object-model
+        loops produce, bit for bit.
+    """
+    from repro.core.buffer import CFDSPacketBuffer
+    from repro.rads.buffer import RADSPacketBuffer
+
+    if num_slots < 0:
+        raise ValueError("num_slots must be non-negative")
+    buffer = sim.buffer
+    # The engine keeps per-cell state in its own arrays and never steps the
+    # buffer object, so ``buffer.slot`` alone cannot detect a previous array
+    # run — ``throughput.slots`` (set by every run that simulated anything)
+    # catches that case.
+    if buffer.slot != 0 or sim.throughput.slots != 0:
+        raise ValueError(
+            "the array engine replays a run from slot 0 and requires a "
+            "freshly built simulation (build a new buffer for every run)")
+    if isinstance(buffer, RADSPacketBuffer):
+        return _run_rads(sim, buffer, num_slots, drain)
+    if isinstance(buffer, CFDSPacketBuffer):
+        return _run_cfds(sim, buffer, num_slots, drain)
+    raise TypeError(
+        "the array engine supports RADSPacketBuffer and CFDSPacketBuffer, "
+        f"got {type(buffer).__name__}")
+
+
+def _arrival_plan(sim, num_slots: int) -> Optional[List[Optional[int]]]:
+    """Pre-generate the arrival array (arrival processes never observe the
+    buffer, so batching them is exact); ``None`` for a drain-only run."""
+    if sim.arrivals is None:
+        return None
+    plan = sim.arrivals.arrivals(num_slots)
+    return plan if isinstance(plan, list) else list(plan)
+
+
+def _finish(sim, final_slot: int, counts, hist, drained,
+            result: SimulationResult):
+    """Fold the loop's flat counters into the simulation's stats objects and
+    assemble the report (mirrors ``ClosedLoopSimulation.run``'s epilogue)."""
+    from repro.sim.engine import SimulationReport
+
+    arrivals_count, departures, idle_requests, dropped = counts
+    throughput = sim.throughput
+    throughput.arrivals += arrivals_count
+    throughput.departures += departures + len(drained)
+    throughput.idle_request_slots += idle_requests
+    latency = sim.latency
+    for delay, count in hist.items():
+        latency.record_delay(delay, count)
+    # Cells served during the drain window are stamped with the final slot,
+    # exactly as the object model's ``drain()`` epilogue does.
+    for arrival_slot in drained:
+        latency.record_delay(final_slot - arrival_slot)
+    throughput.slots = final_slot
+    throughput.drops = dropped
+    return SimulationReport(throughput=throughput, latency=latency,
+                            buffer_result=result, trace=sim.trace)
+
+
+# --------------------------------------------------------------------- #
+# Incremental ECQF
+# --------------------------------------------------------------------- #
+
+def _ecqf_select(counters: List[int], negatives: int, req_count: List[int],
+                 crit_heap: List, crit_cache: List, fallback: bool
+                 ) -> Optional[int]:
+    """ECQF's selection from the incrementally maintained critical view.
+
+    Identical, case by case, to :meth:`repro.mma.ecqf.ECQF.select`:
+
+    * any queue with a negative bookkeeping counter wins (lowest counter,
+      then lowest index) — the walk's early-negative branch;
+    * otherwise the walk marks a queue critical at its ``(counter+1)``-th
+      pending request, so the winner is the queue whose critical request
+      entered the pipeline earliest — the top of the lazy min-heap (entry
+      slots are unique, so there are no ties to break);
+    * otherwise the most-deficit fallback: largest ``pending - counter``
+      among queues with pending requests (ties to the lowest index), only if
+      that deficit is positive.
+    """
+    if negatives:
+        best_queue = -1
+        best_counter = 0
+        for queue, counter in enumerate(counters):
+            if counter < 0 and (best_queue < 0 or counter < best_counter):
+                best_counter = counter
+                best_queue = queue
+        return best_queue
+    while crit_heap:
+        entered, queue = crit_heap[0]
+        if crit_cache[queue] == entered:
+            return queue
+        heappop(crit_heap)
+    if not fallback:
+        return None
+    best_queue = -1
+    best_deficit = 0
+    queue = 0
+    for counter, pending in zip(counters, req_count):
+        if pending:
+            deficit = pending - counter
+            if best_queue < 0 or deficit > best_deficit:
+                best_deficit = deficit
+                best_queue = queue
+        queue += 1
+    if best_queue < 0 or best_deficit <= 0:
+        return None
+    return best_queue
+
+
+# --------------------------------------------------------------------- #
+# RADS
+# --------------------------------------------------------------------- #
+
+def _run_rads(sim, buffer, num_slots: int, drain: bool):
+    config = buffer.config
+    num_queues = config.num_queues
+    granularity = config.granularity
+    strict = config.strict
+    tail_cap = config.effective_tail_sram_cells
+    dram_cap = buffer.dram.capacity_cells
+    sram_cap = buffer.head.sram.capacity_cells
+    la_len = config.effective_lookahead
+    tail_mma = buffer.tail.mma
+    head_mma = buffer.head.mma
+    tail_select = tail_mma.select
+    head_select = head_mma.select
+    # Exact-type checks: a subclass may override the policy, in which case
+    # the generic (object-invoking) path below is used instead.
+    fast_tail = (type(tail_mma) is ThresholdTailMMA
+                 and tail_mma.granularity == granularity)
+    fast_ecqf = type(head_mma) is ECQF
+    ecqf_fallback = fast_ecqf and head_mma.fallback_to_most_deficit
+
+    arbiter = sim.arbiter
+    fast_random = type(arbiter) is RandomArbiter
+    if fast_random:
+        arb_random = arbiter._rng.random
+        arb_randbelow = arbiter._rng._randbelow
+        arb_load = arbiter.load
+        eligible: List[int] = []  # ascending queues with backlog > 0
+        next_request = None
+    else:
+        next_request = arbiter.next_request if arbiter is not None else None
+    trace_events = sim.trace.events if sim.trace is not None else None
+    plan = _arrival_plan(sim, num_slots)
+
+    # Flat per-queue state (see module docstring for the layout).
+    backlog = [0] * num_queues
+    next_seqno = [0] * num_queues
+    delivered = [0] * num_queues
+    arr_slots: List[List[int]] = [[] for _ in range(num_queues)]
+    arr_base = [0] * num_queues
+    tail_fifo = [IntRing() for _ in range(num_queues)]
+    tail_occ = [0] * num_queues
+    tail_total = 0
+    dram_fifo = [IntRing() for _ in range(num_queues)]
+    dram_occ = [0] * num_queues
+    dram_total = 0
+    sram_heap: List[List[int]] = [[] for _ in range(num_queues)]
+    sram_total = 0
+    counters = [0] * num_queues
+    lookahead: List[Optional[int]] = [None] * la_len
+    la_pos = 0
+    pending = deque()  # (finish_slot, queue, [seqnos]) DRAM->SRAM transfers
+    # Incremental ECQF view (maintained only when the stock policy runs):
+    # per-queue entry slots of the requests currently in the lookahead
+    # (cursor lists), the per-queue pending count, the number of queues with
+    # a negative counter, and the lazy heap of critical entry slots.
+    req_slots: List[List[int]] = [[] for _ in range(num_queues)]
+    req_head = [0] * num_queues
+    req_count = [0] * num_queues
+    negatives = 0
+    crit_cache: List = [_INF] * num_queues
+    crit_heap: List = []
+
+    arrivals_count = departures = idle_requests = 0
+    cells_in = cells_out = dram_reads = dram_writes = dropped = 0
+    max_tail = max_head = 0
+    head_misses: List[MissRecord] = []
+    tail_misses: List[None] = []
+    hist = {}
+    drained: List[int] = []
+
+    total_slots = num_slots + (la_len + granularity if drain else 0)
+    for slot in range(total_slots):
+        main = slot < num_slots
+        if main:
+            arrival = plan[slot] if plan is not None else None
+            if fast_random:
+                # RandomArbiter, verbatim: one uniform draw for the load
+                # gate, one choice() over the ascending backlogged-queue
+                # list (maintained incrementally below).
+                if arb_random() >= arb_load or not eligible:
+                    request = None
+                else:
+                    request = eligible[arb_randbelow(len(eligible))]
+            elif next_request is not None:
+                request = next_request(slot, backlog)
+                if request is not None and backlog[request] <= 0:
+                    request = None
+            else:
+                request = None
+            if trace_events is not None:
+                trace_events.append((arrival, request))
+        else:
+            arrival = None
+            request = None
+
+        # -- arrival: assign the seqno; cut through to the head SRAM when the
+        #    queue's whole backlog lives on-chip, else enqueue for the tail.
+        tail_seqno = -1
+        if arrival is not None:
+            seqno = next_seqno[arrival]
+            next_seqno[arrival] = seqno + 1
+            arr_slots[arrival].append(slot)
+            if (dram_occ[arrival] == 0 and tail_occ[arrival] == 0
+                    and len(sram_heap[arrival]) < granularity):
+                sram_total += 1
+                if sram_cap is not None and sram_total > sram_cap:
+                    raise BufferOverflowError("SRAM", sram_cap, sram_total)
+                heappush(sram_heap[arrival], seqno)
+                count = counters[arrival] + 1
+                counters[arrival] = count
+                if fast_ecqf:
+                    if count == 0:
+                        negatives -= 1
+                    if 0 <= count < req_count[arrival]:
+                        entered = req_slots[arrival][req_head[arrival] + count]
+                        crit_cache[arrival] = entered
+                        heappush(crit_heap, (entered, arrival))
+                    else:
+                        crit_cache[arrival] = _INF
+            else:
+                tail_seqno = seqno
+
+        # -- tail subsystem (t-SRAM accept + threshold MMA eviction).
+        if tail_seqno >= 0:
+            if tail_total + 1 > tail_cap:
+                tail_misses.append(None)
+                if strict:
+                    raise BufferOverflowError("tail SRAM", tail_cap,
+                                              tail_total + 1)
+            else:
+                tail_fifo[arrival].push(tail_seqno)
+                tail_occ[arrival] += 1
+                tail_total += 1
+                cells_in += 1
+        if slot % granularity == 0:
+            if fast_tail:
+                selection = None
+                if tail_total >= granularity:
+                    best_occ = granularity - 1
+                    for queue, occ in enumerate(tail_occ):
+                        if occ > best_occ:
+                            best_occ = occ
+                            selection = queue
+            else:
+                selection = tail_select(tail_occ)
+            if selection is not None:
+                block: List[int] = []
+                tail_fifo[selection].pop_block(granularity, block)
+                evicted = len(block)
+                tail_occ[selection] -= evicted
+                tail_total -= evicted
+                if block:
+                    stored = evicted
+                    if dram_cap is not None and not strict:
+                        room = dram_cap - dram_total
+                        if room < stored:
+                            keep = room if room > 0 else 0
+                            dropped += stored - keep
+                            del block[keep:]
+                            stored = keep
+                    if stored:
+                        fifo = dram_fifo[selection]
+                        for seq in block:
+                            if dram_cap is not None and dram_total >= dram_cap:
+                                raise BufferOverflowError("DRAM", dram_cap,
+                                                          dram_total + 1)
+                            fifo.push(seq)
+                            dram_total += 1
+                        dram_occ[selection] += stored
+                    dram_writes += 1
+        if tail_total > max_tail:
+            max_tail = tail_total
+
+        # -- head subsystem: lookahead shift, transfer landings, ECQF, serve.
+        if la_len:
+            leaving = lookahead[la_pos]
+            lookahead[la_pos] = request
+            la_pos += 1
+            if la_pos == la_len:
+                la_pos = 0
+        else:
+            leaving = request
+        if fast_ecqf:
+            if request is not None:
+                req_slots[request].append(slot)
+                count = req_count[request]
+                req_count[request] = count + 1
+                if counters[request] == count:
+                    # The request just appended is the critical one.
+                    crit_cache[request] = slot
+                    heappush(crit_heap, (slot, request))
+            if leaving is not None:
+                # Counter and pipeline head advance together, so the critical
+                # entry slot is unchanged — unless the counter goes negative.
+                count = counters[leaving] - 1
+                counters[leaving] = count
+                if count == -1:
+                    negatives += 1
+                    crit_cache[leaving] = _INF
+                head = req_head[leaving] + 1
+                pipeline = req_slots[leaving]
+                if head == len(pipeline):
+                    pipeline.clear()
+                    head = 0
+                elif head >= _COMPACT and head * 2 >= len(pipeline):
+                    del pipeline[:head]
+                    head = 0
+                req_head[leaving] = head
+                req_count[leaving] -= 1
+        elif leaving is not None:
+            counters[leaving] -= 1
+        while pending and pending[0][0] <= slot:
+            _, landing_queue, seqs = pending.popleft()
+            heap = sram_heap[landing_queue]
+            for seq in seqs:
+                sram_total += 1
+                if sram_cap is not None and sram_total > sram_cap:
+                    raise BufferOverflowError("SRAM", sram_cap, sram_total)
+                heappush(heap, seq)
+        if slot % granularity == 0:
+            if fast_ecqf:
+                selection = _ecqf_select(counters, negatives, req_count,
+                                         crit_heap, crit_cache, ecqf_fallback)
+            else:
+                contents = (lookahead[la_pos:] + lookahead[:la_pos]
+                            if la_len else [])
+                selection = head_select(list(counters), contents)
+            if selection is not None:
+                seqs = []
+                if dram_occ[selection]:
+                    dram_fifo[selection].pop_block(granularity, seqs)
+                    got = len(seqs)
+                    dram_occ[selection] -= got
+                    dram_total -= got
+                else:
+                    got = 0
+                if got < granularity:
+                    # Cut-through: the rest of the block never reached DRAM.
+                    tail_fifo[selection].pop_block(granularity - got, seqs)
+                    extra = len(seqs) - got
+                    tail_occ[selection] -= extra
+                    tail_total -= extra
+                if seqs:
+                    count = counters[selection] + len(seqs)
+                    counters[selection] = count
+                    if fast_ecqf:
+                        if count >= 0 and count - len(seqs) < 0:
+                            negatives -= 1
+                        if 0 <= count < req_count[selection]:
+                            entered = req_slots[selection][
+                                req_head[selection] + count]
+                            crit_cache[selection] = entered
+                            heappush(crit_heap, (entered, selection))
+                        else:
+                            crit_cache[selection] = _INF
+                    pending.append((slot + granularity, selection, seqs))
+                    dram_reads += 1
+        if leaving is not None:
+            expected = delivered[leaving]
+            heap = sram_heap[leaving]
+            if heap and heap[0] == expected:
+                heappop(heap)
+                sram_total -= 1
+            elif tail_occ[leaving] and tail_fifo[leaving].peekleft() == expected:
+                # Tail bypass: the in-order cell never left the tail SRAM.
+                tail_fifo[leaving].popleft()
+                tail_occ[leaving] -= 1
+                tail_total -= 1
+            else:
+                head_misses.append(MissRecord(queue=leaving, slot=slot))
+                if strict:
+                    raise CacheMissError(leaving, slot)
+                expected = None
+            if expected is not None:
+                delivered[leaving] = expected + 1
+                cells_out += 1
+                store = arr_slots[leaving]
+                head = expected - arr_base[leaving]
+                arrival_slot = store[head]
+                if head >= _COMPACT - 1 and (head + 1) * 2 >= len(store):
+                    del store[:head + 1]
+                    arr_base[leaving] = expected + 1
+                if main:
+                    departures += 1
+                    delay = slot + 1 - arrival_slot
+                    hist[delay] = hist.get(delay, 0) + 1
+                else:
+                    drained.append(arrival_slot)
+        if sram_total > max_head:
+            max_head = sram_total
+
+        if main:
+            if arrival is not None:
+                arrivals_count += 1
+                count = backlog[arrival] + 1
+                backlog[arrival] = count
+                if fast_random and count == 1:
+                    insort(eligible, arrival)
+            if request is None:
+                idle_requests += 1
+            else:
+                count = backlog[request] - 1
+                backlog[request] = count
+                if fast_random and count == 0:
+                    del eligible[bisect_left(eligible, request)]
+
+    result = SimulationResult(
+        slots_simulated=total_slots,
+        cells_in=cells_in,
+        cells_out=cells_out,
+        dram_reads=dram_reads,
+        dram_writes=dram_writes,
+        misses=head_misses + tail_misses,
+        max_head_sram_occupancy=max_head,
+        max_tail_sram_occupancy=max_tail,
+    )
+    return _finish(sim, total_slots,
+                   (arrivals_count, departures, idle_requests, dropped),
+                   hist, drained, result)
+
+
+# --------------------------------------------------------------------- #
+# CFDS
+# --------------------------------------------------------------------- #
+
+def _run_cfds(sim, buffer, num_slots: int, drain: bool):
+    config = buffer.config
+    num_queues = config.num_queues
+    granularity = config.granularity  # the reduced granularity b
+    strict = config.strict
+    tail_cap = config.effective_tail_sram_cells
+    dram_cap = config.dram_cells
+    sram_cap = buffer.head.sram.capacity_cells
+    la_len = config.effective_lookahead
+    lat_len = config.effective_latency
+    tail_mma = buffer.tail.mma
+    head_mma = buffer.head.mma
+    tail_select = tail_mma.select
+    head_select = head_mma.select
+    fast_tail = (type(tail_mma) is ThresholdTailMMA
+                 and tail_mma.granularity == granularity)
+    fast_ecqf = type(head_mma) is ECQF
+    ecqf_fallback = fast_ecqf and head_mma.fallback_to_most_deficit
+    # The issue-period machinery is borrowed from the buffer itself: the DSS
+    # (request register + banked-DRAM timing), the renaming table and the
+    # bank mapping make the exact decisions the object model makes.
+    scheduler = buffer.scheduler
+    renaming = buffer.renaming
+    mapping = buffer.mapping
+    group_cap = buffer.group_capacity_cells
+    group_occ = buffer._group_occupancy
+    block_locations = buffer._block_locations
+    write_count = buffer._physical_write_count
+    read_dir = TransferDirection.READ
+    write_dir = TransferDirection.WRITE
+
+    arbiter = sim.arbiter
+    fast_random = type(arbiter) is RandomArbiter
+    if fast_random:
+        arb_random = arbiter._rng.random
+        arb_randbelow = arbiter._rng._randbelow
+        arb_load = arbiter.load
+        eligible: List[int] = []
+        next_request = None
+    else:
+        next_request = arbiter.next_request if arbiter is not None else None
+    trace_events = sim.trace.events if sim.trace is not None else None
+    plan = _arrival_plan(sim, num_slots)
+
+    backlog = [0] * num_queues
+    next_seqno = [0] * num_queues
+    delivered = [0] * num_queues
+    arr_slots: List[List[int]] = [[] for _ in range(num_queues)]
+    arr_base = [0] * num_queues
+    tail_fifo = [IntRing() for _ in range(num_queues)]
+    tail_occ = [0] * num_queues
+    tail_total = 0
+    dram_fifo = [IntRing() for _ in range(num_queues)]
+    dram_occ = [0] * num_queues
+    dram_total = 0
+    sram_heap: List[List[int]] = [[] for _ in range(num_queues)]
+    sram_total = 0
+    counters = [0] * num_queues
+    lookahead: List[Optional[int]] = [None] * la_len
+    la_pos = 0
+    latency_reg: List[Optional[int]] = [None] * lat_len
+    lat_pos = 0
+    # Incremental ECQF view over the *combined* pipeline (latency register
+    # followed by the lookahead — the MMA's extended lookahead of Section
+    # 5.4): a request enters when issued and leaves when due for service.
+    req_slots: List[List[int]] = [[] for _ in range(num_queues)]
+    req_head = [0] * num_queues
+    req_count = [0] * num_queues
+    negatives = 0
+    crit_cache: List = [_INF] * num_queues
+    crit_heap: List = []
+
+    arrivals_count = departures = idle_requests = 0
+    cells_in = cells_out = dram_reads = dram_writes = dropped = 0
+    max_tail = max_head = 0
+    head_misses: List[MissRecord] = []
+    tail_misses: List[None] = []
+    hist = {}
+    drained: List[int] = []
+
+    drain_slots = (la_len + lat_len + config.dram_access_slots + granularity
+                   if drain else 0)
+    total_slots = num_slots + drain_slots
+    for slot in range(total_slots):
+        main = slot < num_slots
+        if main:
+            arrival = plan[slot] if plan is not None else None
+            if fast_random:
+                if arb_random() >= arb_load or not eligible:
+                    request = None
+                else:
+                    request = eligible[arb_randbelow(len(eligible))]
+            elif next_request is not None:
+                request = next_request(slot, backlog)
+                if request is not None and backlog[request] <= 0:
+                    request = None
+            else:
+                request = None
+            if trace_events is not None:
+                trace_events.append((arrival, request))
+        else:
+            arrival = None
+            request = None
+
+        # -- arrival with cut-through routing.
+        tail_seqno = -1
+        if arrival is not None:
+            seqno = next_seqno[arrival]
+            next_seqno[arrival] = seqno + 1
+            arr_slots[arrival].append(slot)
+            if (dram_occ[arrival] == 0 and tail_occ[arrival] == 0
+                    and len(sram_heap[arrival]) < granularity):
+                sram_total += 1
+                if sram_cap is not None and sram_total > sram_cap:
+                    raise BufferOverflowError("SRAM", sram_cap, sram_total)
+                heappush(sram_heap[arrival], seqno)
+                count = counters[arrival] + 1
+                counters[arrival] = count
+                if fast_ecqf:
+                    if count == 0:
+                        negatives -= 1
+                    if 0 <= count < req_count[arrival]:
+                        entered = req_slots[arrival][req_head[arrival] + count]
+                        crit_cache[arrival] = entered
+                        heappush(crit_heap, (entered, arrival))
+                    else:
+                        crit_cache[arrival] = _INF
+            else:
+                tail_seqno = seqno
+
+        # -- tail subsystem: accept + threshold MMA eviction through the DSS.
+        if tail_seqno >= 0:
+            if tail_total + 1 > tail_cap:
+                tail_misses.append(None)
+                if strict:
+                    raise BufferOverflowError("tail SRAM", tail_cap,
+                                              tail_total + 1)
+            else:
+                tail_fifo[arrival].push(tail_seqno)
+                tail_occ[arrival] += 1
+                tail_total += 1
+                cells_in += 1
+        if slot % granularity == 0:
+            if fast_tail:
+                selection = None
+                if tail_total >= granularity:
+                    best_occ = granularity - 1
+                    for queue, occ in enumerate(tail_occ):
+                        if occ > best_occ:
+                            best_occ = occ
+                            selection = queue
+            else:
+                selection = tail_select(tail_occ)
+            if selection is not None:
+                block: List[int] = []
+                tail_fifo[selection].pop_block(granularity, block)
+                evicted = len(block)
+                tail_occ[selection] -= evicted
+                tail_total -= evicted
+                if block:
+                    # Place the block: renaming translation, or the static
+                    # per-group accounting when renaming is disabled.
+                    if renaming is not None:
+                        try:
+                            physical = renaming.translate_write(selection,
+                                                                evicted)
+                        except RenamingError:
+                            physical = None
+                    else:
+                        physical = selection
+                        group = mapping.group_of(physical)
+                        if (group_cap is not None
+                                and group_occ[group] + evicted > group_cap):
+                            physical = None
+                        else:
+                            group_occ[group] += evicted
+                    if physical is None:
+                        dropped += evicted
+                    else:
+                        index = write_count.get(physical, 0)
+                        write_count[physical] = index + 1
+                        fifo = dram_fifo[selection]
+                        for seq in block:
+                            if dram_cap is not None and dram_total >= dram_cap:
+                                raise BufferOverflowError("DRAM", dram_cap,
+                                                          dram_total + 1)
+                            fifo.push(seq)
+                            dram_total += 1
+                        dram_occ[selection] += evicted
+                        block_locations[selection].append((physical, index))
+                        scheduler.submit(ReplenishRequest(
+                            queue=physical, direction=write_dir, cells=evicted,
+                            issue_slot=slot, block_index=index))
+                        dram_writes += 1
+        if tail_total > max_tail:
+            max_tail = tail_total
+
+        # -- head subsystem: lookahead -> latency register -> MMA -> DSS tick
+        #    -> serve (same phasing as CFDSHeadBuffer.step).
+        if la_len:
+            leaving = lookahead[la_pos]
+            lookahead[la_pos] = request
+            la_pos += 1
+            if la_pos == la_len:
+                la_pos = 0
+        else:
+            leaving = request
+        if lat_len:
+            due = latency_reg[lat_pos]
+            latency_reg[lat_pos] = leaving
+            lat_pos += 1
+            if lat_pos == lat_len:
+                lat_pos = 0
+        else:
+            due = leaving
+        if fast_ecqf:
+            if request is not None:
+                req_slots[request].append(slot)
+                count = req_count[request]
+                req_count[request] = count + 1
+                if counters[request] == count:
+                    crit_cache[request] = slot
+                    heappush(crit_heap, (slot, request))
+            if due is not None:
+                count = counters[due] - 1
+                counters[due] = count
+                if count == -1:
+                    negatives += 1
+                    crit_cache[due] = _INF
+                head = req_head[due] + 1
+                pipeline = req_slots[due]
+                if head == len(pipeline):
+                    pipeline.clear()
+                    head = 0
+                elif head >= _COMPACT and head * 2 >= len(pipeline):
+                    del pipeline[:head]
+                    head = 0
+                req_head[due] = head
+                req_count[due] -= 1
+        elif due is not None:
+            counters[due] -= 1
+        if slot % granularity == 0:
+            if fast_ecqf:
+                selection = _ecqf_select(counters, negatives, req_count,
+                                         crit_heap, crit_cache, ecqf_fallback)
+            else:
+                # The MMA reasons over every promised-but-unserved request in
+                # service order: latency register first, then the lookahead.
+                pending_view = (latency_reg[lat_pos:] + latency_reg[:lat_pos]
+                                if lat_len else [])
+                if la_len:
+                    pending_view = (pending_view + lookahead[la_pos:]
+                                    + lookahead[:la_pos])
+                selection = head_select(list(counters), pending_view)
+            if selection is not None:
+                seqs: List[int] = []
+                if dram_occ[selection] > 0:
+                    dram_fifo[selection].pop_block(granularity, seqs)
+                    got = len(seqs)
+                    dram_occ[selection] -= got
+                    dram_total -= got
+                    physical, block_index = block_locations[selection].popleft()
+                    if renaming is not None:
+                        renaming.translate_read(selection, got)
+                    else:
+                        group_occ[mapping.group_of(physical)] -= got
+                    fetch_request = ReplenishRequest(
+                        queue=physical, direction=read_dir, cells=got,
+                        issue_slot=slot, block_index=block_index)
+                else:
+                    tail_fifo[selection].pop_block(granularity, seqs)
+                    got = len(seqs)
+                    tail_occ[selection] -= got
+                    tail_total -= got
+                    fetch_request = None
+                if seqs:
+                    count = counters[selection] + got
+                    counters[selection] = count
+                    if fast_ecqf:
+                        if count >= 0 and count - got < 0:
+                            negatives -= 1
+                        if 0 <= count < req_count[selection]:
+                            entered = req_slots[selection][
+                                req_head[selection] + count]
+                            crit_cache[selection] = entered
+                            heappush(crit_heap, (entered, selection))
+                        else:
+                            crit_cache[selection] = _INF
+                    if fetch_request is None:
+                        # Cut-through: available to the head SRAM immediately.
+                        heap = sram_heap[selection]
+                        for seq in seqs:
+                            sram_total += 1
+                            if sram_cap is not None and sram_total > sram_cap:
+                                raise BufferOverflowError("SRAM", sram_cap,
+                                                          sram_total)
+                            heappush(heap, seq)
+                    else:
+                        scheduler.submit(fetch_request,
+                                         payload=(selection, seqs))
+                        dram_reads += 1
+        for transfer in scheduler.tick(slot):
+            payload = transfer.payload
+            if transfer.request.direction is read_dir and payload:
+                landing_queue, seqs = payload
+                heap = sram_heap[landing_queue]
+                for seq in seqs:
+                    sram_total += 1
+                    if sram_cap is not None and sram_total > sram_cap:
+                        raise BufferOverflowError("SRAM", sram_cap, sram_total)
+                    heappush(heap, seq)
+        if due is not None:
+            expected = delivered[due]
+            heap = sram_heap[due]
+            if heap and heap[0] == expected:
+                heappop(heap)
+                sram_total -= 1
+            elif tail_occ[due] and tail_fifo[due].peekleft() == expected:
+                tail_fifo[due].popleft()
+                tail_occ[due] -= 1
+                tail_total -= 1
+            else:
+                head_misses.append(MissRecord(queue=due, slot=slot))
+                if strict:
+                    raise CacheMissError(due, slot)
+                expected = None
+            if expected is not None:
+                delivered[due] = expected + 1
+                cells_out += 1
+                store = arr_slots[due]
+                head = expected - arr_base[due]
+                arrival_slot = store[head]
+                if head >= _COMPACT - 1 and (head + 1) * 2 >= len(store):
+                    del store[:head + 1]
+                    arr_base[due] = expected + 1
+                if main:
+                    departures += 1
+                    delay = slot + 1 - arrival_slot
+                    hist[delay] = hist.get(delay, 0) + 1
+                else:
+                    drained.append(arrival_slot)
+        if sram_total > max_head:
+            max_head = sram_total
+
+        if main:
+            if arrival is not None:
+                arrivals_count += 1
+                count = backlog[arrival] + 1
+                backlog[arrival] = count
+                if fast_random and count == 1:
+                    insort(eligible, arrival)
+            if request is None:
+                idle_requests += 1
+            else:
+                count = backlog[request] - 1
+                backlog[request] = count
+                if fast_random and count == 0:
+                    del eligible[bisect_left(eligible, request)]
+
+    result = SimulationResult(
+        slots_simulated=total_slots,
+        cells_in=cells_in,
+        cells_out=cells_out,
+        dram_reads=dram_reads,
+        dram_writes=dram_writes,
+        misses=head_misses + tail_misses,
+        max_head_sram_occupancy=max_head,
+        max_tail_sram_occupancy=max_tail,
+        max_request_register_occupancy=scheduler.peak_rr_occupancy,
+        max_reorder_delay_slots=scheduler.max_total_delay_slots,
+        bank_conflicts=scheduler.bank_conflicts,
+    )
+    return _finish(sim, total_slots,
+                   (arrivals_count, departures, idle_requests, dropped),
+                   hist, drained, result)

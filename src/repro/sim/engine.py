@@ -1,21 +1,30 @@
 """The closed-loop simulation driver.
 
-Two execution paths produce bit-identical reports:
+Three execution paths produce bit-identical reports:
 
-* the **legacy per-slot loop** (:meth:`ClosedLoopSimulation.run` with
-  ``fast_path=False``) — the reference implementation, one attribute lookup
-  and one backlog rebuild per slot;
-* the **batched fast path** (the default) — arrivals are pre-generated into
-  an array before the loop (arrival processes depend only on their own state,
-  never on the buffer), the per-queue backlog the arbiter sees is maintained
-  incrementally instead of being rebuilt from the buffer every slot, and all
-  per-slot attribute lookups are hoisted into locals.  The arbiter still runs
-  in-loop because its decisions depend on the evolving backlog.
+* the **reference per-slot loop** (``engine="reference"``, a.k.a.
+  ``fast_path=False``) — one attribute lookup and one backlog rebuild per
+  slot; the behavioural ground truth;
+* the **batched fast path** (``engine="batched"``, the default) — arrivals
+  are pre-generated into an array before the loop (arrival processes depend
+  only on their own state, never on the buffer), the per-queue backlog the
+  arbiter sees is maintained incrementally instead of being rebuilt from the
+  buffer every slot, and all per-slot attribute lookups are hoisted into
+  locals.  The arbiter still runs in-loop because its decisions depend on the
+  evolving backlog.
+* the **array engine** (``engine="array"``) — a struct-of-arrays
+  re-implementation of the whole buffer hot path
+  (:mod:`repro.sim.array_engine`): cells become bare integers in
+  ring-buffered per-queue arrays, with zero per-slot allocation.  The MMA
+  policy objects (and, for CFDS, the DRAM scheduler subsystem) still make
+  every decision, so reports cannot diverge from the object model.
 
 Equivalence holds because arrival processes and arbiters draw from separate
 seeded RNGs (pre-generating arrivals does not perturb the arbiter's stream)
 and because the incremental backlog replays exactly the
 ``arrivals - issued requests`` accounting both buffer classes implement.
+The equivalence of all three paths is asserted for every registered scenario
+by the workloads and array-engine test suites.
 """
 
 from __future__ import annotations
@@ -45,6 +54,7 @@ class SimulationReport:
 
     def summary(self) -> Dict[str, object]:
         """Flat headline numbers — the rows ``render_scenario_run`` prints."""
+        p50, p95, p99 = self.latency.percentiles((0.50, 0.95, 0.99))
         return {
             "slots": self.throughput.slots,
             "arrivals": self.throughput.arrivals,
@@ -53,9 +63,9 @@ class SimulationReport:
             "offered_load": self.throughput.offered_load,
             "carried_load": self.throughput.carried_load,
             "latency_mean": self.latency.mean,
-            "latency_p50": self.latency.p50,
-            "latency_p95": self.latency.p95,
-            "latency_p99": self.latency.p99,
+            "latency_p50": p50,
+            "latency_p95": p95,
+            "latency_p99": p99,
             "latency_max": self.latency.maximum,
             "zero_miss": self.zero_miss,
         }
@@ -91,19 +101,36 @@ class ClosedLoopSimulation:
 
     # ------------------------------------------------------------------ #
     def run(self, num_slots: int, drain: bool = True,
-            fast_path: bool = True) -> SimulationReport:
+            fast_path: bool = True,
+            engine: Optional[str] = None) -> SimulationReport:
         """Simulate ``num_slots`` slots (plus an optional final drain).
 
-        ``fast_path=False`` selects the reference per-slot loop; the batched
-        path is the default and produces bit-identical statistics (asserted
-        for every registered scenario by the workloads test suite).
+        Args:
+            num_slots: slots to simulate.
+            drain: run idle slots afterwards until the pipeline is empty.
+            fast_path: legacy selector — ``False`` picks the reference
+                per-slot loop.  Ignored when ``engine`` is given.
+            engine: ``"reference"``, ``"batched"`` (default) or ``"array"``
+                (the struct-of-arrays core, which requires a freshly built
+                buffer).  All three produce bit-identical reports.
         """
         if num_slots < 0:
             raise ValueError("num_slots must be non-negative")
-        if fast_path:
+        if engine is None:
+            engine = "batched" if fast_path else "reference"
+        if engine == "array":
+            from repro.sim.array_engine import run_array
+
+            return run_array(self, num_slots, drain=drain)
+        if engine == "batched":
             self._run_fast(num_slots)
-        else:
+        elif engine == "reference":
             self._run_slots(num_slots)
+        else:
+            from repro.sim.array_engine import ENGINES
+
+            raise ValueError(
+                f"unknown engine {engine!r} (known: {', '.join(ENGINES)})")
         if drain:
             for cell in self.buffer.drain():
                 self.throughput.departures += 1
@@ -135,8 +162,11 @@ class ClosedLoopSimulation:
         buffer = self.buffer
         num_queues = buffer.config.num_queues
         if self.arrivals is not None:
-            arrival_plan: List[Optional[int]] = list(
-                self.arrivals.arrivals(num_slots))
+            # The stochastic processes return a prefilled list (their batch
+            # fast path); only materialise generic iterables.
+            plan = self.arrivals.arrivals(num_slots)
+            arrival_plan: List[Optional[int]] = (
+                plan if isinstance(plan, list) else list(plan))
         else:
             arrival_plan = [None] * num_slots
         next_request = self.arbiter.next_request if self.arbiter else None

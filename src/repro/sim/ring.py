@@ -1,0 +1,115 @@
+"""Growable integer ring buffer — the queue primitive of the array engine.
+
+The struct-of-arrays simulation core (:mod:`repro.sim.array_engine`) keeps
+every per-queue FIFO (tail SRAM content, DRAM content, arrival-slot store) as
+plain integers in a ring buffer: a preallocated Python list indexed by head
+and tail cursors.  Pushing and popping move the cursors; no node objects, no
+per-element allocation beyond the stored ``int`` itself.  When a ring fills
+up, its storage doubles (amortised O(1) push), so a single ring serves both
+the shallow tail-SRAM FIFOs and an unbounded DRAM backlog.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+#: Initial storage slots of a fresh ring (power of two so the capacity stays
+#: a power of two under doubling and the index mask stays cheap).
+_INITIAL_CAPACITY = 8
+
+
+class IntRing:
+    """A FIFO of integers backed by a preallocated, doubling ring buffer.
+
+    Operations::
+
+        ring = IntRing()
+        ring.push(seqno)        # append at the tail
+        ring.peekleft()         # oldest element (head), without removing
+        ring.popleft()          # remove and return the head
+        len(ring)               # current element count
+
+    ``popleft``/``peekleft`` on an empty ring raise :class:`IndexError`, the
+    same contract as :class:`collections.deque`.
+    """
+
+    __slots__ = ("_buf", "_mask", "_head", "_size")
+
+    def __init__(self, capacity: int = _INITIAL_CAPACITY) -> None:
+        size = _INITIAL_CAPACITY
+        while size < capacity:
+            size <<= 1
+        self._buf: List[int] = [0] * size
+        self._mask = size - 1
+        self._head = 0
+        self._size = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def capacity(self) -> int:
+        """Current storage slots (grows by doubling, never shrinks)."""
+        return self._mask + 1
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def push(self, value: int) -> None:
+        """Append ``value`` at the tail of the FIFO."""
+        if self._size > self._mask:
+            self._grow()
+        self._buf[(self._head + self._size) & self._mask] = value
+        self._size += 1
+
+    def popleft(self) -> int:
+        """Remove and return the oldest element."""
+        if self._size == 0:
+            raise IndexError("pop from an empty IntRing")
+        value = self._buf[self._head]
+        self._head = (self._head + 1) & self._mask
+        self._size -= 1
+        return value
+
+    def peekleft(self) -> int:
+        """Return the oldest element without removing it."""
+        if self._size == 0:
+            raise IndexError("peek into an empty IntRing")
+        return self._buf[self._head]
+
+    def pop_block(self, count: int, out: List[int]) -> None:
+        """Remove up to ``count`` elements from the head, appending them to
+        ``out`` (the block-transfer path: one call per DRAM access, not one
+        per cell).  A non-positive ``count`` is a no-op."""
+        take = count if count < self._size else self._size
+        if take <= 0:
+            return
+        buf, mask, head = self._buf, self._mask, self._head
+        for i in range(take):
+            out.append(buf[(head + i) & mask])
+        self._head = (head + take) & mask
+        self._size -= take
+
+    def clear(self) -> None:
+        self._head = 0
+        self._size = 0
+
+    def __iter__(self) -> Iterator[int]:
+        """Head-to-tail iteration (oldest first), without consuming."""
+        buf, mask, head = self._buf, self._mask, self._head
+        for i in range(self._size):
+            yield buf[(head + i) & mask]
+
+    def __repr__(self) -> str:
+        return f"IntRing({list(self)!r})"
+
+    # ------------------------------------------------------------------ #
+    def _grow(self) -> None:
+        old, mask, head, size = self._buf, self._mask, self._head, self._size
+        new = [0] * (len(old) * 2)
+        for i in range(size):
+            new[i] = old[(head + i) & mask]
+        self._buf = new
+        self._mask = len(new) - 1
+        self._head = 0

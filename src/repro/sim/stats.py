@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence, Tuple
 
 
 class LatencyStats:
@@ -20,12 +20,26 @@ class LatencyStats:
         delay = departure_slot - arrival_slot
         if delay < 0:
             raise ValueError("departure cannot precede arrival")
-        self._count += 1
-        self._total += delay
-        self._minimum = delay if self._minimum is None else min(self._minimum, delay)
-        self._maximum = delay if self._maximum is None else max(self._maximum, delay)
-        bucket = delay
-        self._histogram[bucket] = self._histogram.get(bucket, 0) + 1
+        self.record_delay(delay)
+
+    def record_delay(self, delay: int, count: int = 1) -> None:
+        """Record ``count`` cells that experienced ``delay`` slots.
+
+        The batch form is how the array engine folds its flat histogram into
+        the collector at the end of a run; the observable state is identical
+        to ``count`` individual :meth:`record` calls.
+        """
+        if delay < 0:
+            raise ValueError("delay cannot be negative")
+        if count <= 0:
+            raise ValueError("count must be positive")
+        self._count += count
+        self._total += delay * count
+        if self._minimum is None or delay < self._minimum:
+            self._minimum = delay
+        if self._maximum is None or delay > self._maximum:
+            self._maximum = delay
+        self._histogram[delay] = self._histogram.get(delay, 0) + count
 
     @property
     def count(self) -> int:
@@ -45,17 +59,41 @@ class LatencyStats:
 
     def percentile(self, fraction: float) -> int:
         """Delay value at the given percentile (0 < fraction <= 1)."""
-        if not 0.0 < fraction <= 1.0:
-            raise ValueError("fraction must be in (0, 1]")
+        return self.percentiles((fraction,))[0]
+
+    def percentiles(self, fractions: Sequence[float]) -> Tuple[int, ...]:
+        """Delay values at several percentiles, computed in one sorted pass.
+
+        ``summary()`` asks for p50/p95/p99 together; sorting the histogram
+        once and sweeping it cumulatively answers any number of fractions for
+        the cost of one, instead of one sort per percentile.  Results are
+        returned in the order the fractions were given.
+        """
+        for fraction in fractions:
+            if not 0.0 < fraction <= 1.0:
+                raise ValueError("fraction must be in (0, 1]")
         if not self._histogram:
-            return 0
-        target = fraction * self._count
+            return tuple(0 for _ in fractions)
+        # Sweep the sorted histogram once, answering the fractions in
+        # ascending-target order; anything the sweep cannot satisfy (float
+        # rounding at fraction ~= 1.0) falls back to the largest delay.
+        order = sorted(range(len(fractions)), key=lambda i: fractions[i])
+        results = [0] * len(fractions)
+        delays = sorted(self._histogram)
         seen = 0
-        for delay in sorted(self._histogram):
+        next_unanswered = 0
+        for delay in delays:
             seen += self._histogram[delay]
-            if seen >= target:
-                return delay
-        return max(self._histogram)
+            while (next_unanswered < len(order)
+                   and seen >= fractions[order[next_unanswered]] * self._count):
+                results[order[next_unanswered]] = delay
+                next_unanswered += 1
+            if next_unanswered == len(order):
+                break
+        while next_unanswered < len(order):
+            results[order[next_unanswered]] = delays[-1]
+            next_unanswered += 1
+        return tuple(results)
 
     @property
     def p50(self) -> int:

@@ -6,13 +6,23 @@ because the write port of the buffer runs at the line rate.
 
 All stochastic processes take an explicit seed so experiments and
 property-based tests are reproducible.
+
+The stochastic processes additionally override the generic :meth:`arrivals`
+generator with a *batch* implementation: RNG method lookups are hoisted into
+locals and a preallocated list is filled in one tight loop.  The batch form
+draws from the RNG in exactly the same order as repeated
+:meth:`next_arrival` calls, so the two are stream-identical (asserted by the
+traffic test suite) — which is what lets the batched and array simulation
+engines pre-generate arrival plans without perturbing any random stream.
 """
 
 from __future__ import annotations
 
 import abc
 import random
-from typing import Iterator, List, Optional, Sequence
+from bisect import bisect
+from itertools import accumulate
+from typing import Iterable, List, Optional, Sequence
 
 
 class ArrivalProcess(abc.ABC):
@@ -22,10 +32,13 @@ class ArrivalProcess(abc.ABC):
     def next_arrival(self, slot: int) -> Optional[int]:
         """Queue of the cell arriving at ``slot``, or ``None`` for an idle slot."""
 
-    def arrivals(self, num_slots: int) -> Iterator[Optional[int]]:
-        """Generate ``num_slots`` arrivals."""
-        for slot in range(num_slots):
-            yield self.next_arrival(slot)
+    def arrivals(self, num_slots: int) -> Iterable[Optional[int]]:
+        """Generate ``num_slots`` arrivals.
+
+        Subclasses may return a list instead of a generator (the batch fast
+        path); callers must treat the result as an opaque iterable.
+        """
+        return (self.next_arrival(slot) for slot in range(num_slots))
 
 
 class DeterministicArrivals(ArrivalProcess):
@@ -38,6 +51,10 @@ class DeterministicArrivals(ArrivalProcess):
 
     def next_arrival(self, slot: int) -> Optional[int]:
         return self.pattern[slot % len(self.pattern)]
+
+    def arrivals(self, num_slots: int) -> List[Optional[int]]:
+        repeats = -(-num_slots // len(self.pattern))
+        return (self.pattern * repeats)[:num_slots]
 
 
 class RoundRobinArrivals(ArrivalProcess):
@@ -60,6 +77,25 @@ class RoundRobinArrivals(ArrivalProcess):
         queue = self._next_queue
         self._next_queue = (self._next_queue + 1) % self.num_queues
         return queue
+
+    def arrivals(self, num_slots: int) -> List[Optional[int]]:
+        out: List[Optional[int]] = [None] * num_slots
+        num_queues = self.num_queues
+        queue = self._next_queue
+        if self.load < 1.0:
+            rand = self._rng.random
+            load = self.load
+            for slot in range(num_slots):
+                if rand() >= load:
+                    continue
+                out[slot] = queue
+                queue = (queue + 1) % num_queues
+        else:
+            for slot in range(num_slots):
+                out[slot] = queue
+                queue = (queue + 1) % num_queues
+        self._next_queue = queue
+        return out
 
 
 class BernoulliArrivals(ArrivalProcess):
@@ -95,6 +131,31 @@ class BernoulliArrivals(ArrivalProcess):
         if self._rng.random() >= self.load:
             return None
         return self._rng.choices(self._queues, weights=self.weights, k=1)[0]
+
+    def arrivals(self, num_slots: int) -> List[Optional[int]]:
+        out: List[Optional[int]] = [None] * num_slots
+        rand = self._rng.random
+        load = self.load
+        queues = self._queues
+        cum_weights = list(accumulate(self.weights))
+        total = cum_weights[-1] + 0.0
+        if total <= 0.0:
+            # Degenerate all-zero weights: defer to choices() so the error
+            # surfaces on the first draw, exactly as in the per-slot path.
+            choices = self._rng.choices
+            weights = self.weights
+            for slot in range(num_slots):
+                if rand() < load:
+                    out[slot] = choices(queues, weights=weights, k=1)[0]
+            return out
+        # Inline of random.choices(queues, cum_weights=..., k=1): one uniform
+        # draw plus a bisect — the same RNG consumption as the per-slot path.
+        pick = bisect
+        hi = len(queues) - 1
+        for slot in range(num_slots):
+            if rand() < load:
+                out[slot] = queues[pick(cum_weights, rand() * total, 0, hi)]
+        return out
 
 
 class HotspotArrivals(BernoulliArrivals):
@@ -168,6 +229,29 @@ class BurstyArrivals(ArrivalProcess):
         self._remaining_burst -= 1
         return self._current_queue
 
+    def arrivals(self, num_slots: int) -> List[Optional[int]]:
+        out: List[Optional[int]] = [None] * num_slots
+        rand = self._rng.random
+        randrange = self._rng.randrange
+        load = self.load
+        num_queues = self.num_queues
+        p = 1.0 / self.mean_burst_cells
+        queue = self._current_queue
+        burst = self._remaining_burst
+        for slot in range(num_slots):
+            if rand() >= load:
+                continue
+            if burst <= 0:
+                queue = randrange(num_queues)
+                burst = 1
+                while rand() >= p:
+                    burst += 1
+            burst -= 1
+            out[slot] = queue
+        self._current_queue = queue
+        self._remaining_burst = burst
+        return out
+
 
 class MarkovOnOffArrivals(ArrivalProcess):
     """Markov-modulated on/off sources, one two-state chain per queue.
@@ -222,6 +306,32 @@ class MarkovOnOffArrivals(ArrivalProcess):
         if len(offering) == 1:
             return offering[0]
         return offering[rng.randrange(len(offering))]
+
+    def arrivals(self, num_slots: int) -> List[Optional[int]]:
+        out: List[Optional[int]] = [None] * num_slots
+        rand = self._rng.random
+        randrange = self._rng.randrange
+        on = self._on
+        peak_rate = self.peak_rate
+        p_off = self._p_off
+        p_on = self._p_on
+        queue_range = range(self.num_queues)
+        for slot in range(num_slots):
+            offering: List[int] = []
+            for queue in queue_range:
+                if on[queue]:
+                    if rand() < peak_rate:
+                        offering.append(queue)
+                    if rand() < p_off:
+                        on[queue] = False
+                elif rand() < p_on:
+                    on[queue] = True
+            if offering:
+                if len(offering) == 1:
+                    out[slot] = offering[0]
+                else:
+                    out[slot] = offering[randrange(len(offering))]
+        return out
 
 
 class ParetoBurstArrivals(ArrivalProcess):
@@ -284,6 +394,33 @@ class ParetoBurstArrivals(ArrivalProcess):
                 int(round(self._pareto(self._min_gap))), 1)
         return self._current_queue
 
+    def arrivals(self, num_slots: int) -> List[Optional[int]]:
+        out: List[Optional[int]] = [None] * num_slots
+        rand = self._rng.random
+        randrange = self._rng.randrange
+        inv_alpha = 1.0 / self.alpha
+        min_burst = self.min_burst_cells
+        min_gap = self._min_gap
+        num_queues = self.num_queues
+        queue = self._current_queue
+        burst = self._remaining_burst
+        gap = self._remaining_gap
+        for slot in range(num_slots):
+            if gap > 0:
+                gap -= 1
+                continue
+            if burst <= 0:
+                queue = randrange(num_queues)
+                burst = max(int(min_burst / ((1.0 - rand()) ** inv_alpha)), 1)
+            burst -= 1
+            if burst == 0:
+                gap = max(int(round(min_gap / ((1.0 - rand()) ** inv_alpha))), 1)
+            out[slot] = queue
+        self._current_queue = queue
+        self._remaining_burst = burst
+        self._remaining_gap = gap
+        return out
+
 
 class ZipfArrivals(BernoulliArrivals):
     """Bernoulli arrivals with Zipf-distributed queue popularity.
@@ -324,3 +461,8 @@ class TraceArrivals(ArrivalProcess):
         if 0 <= slot < len(self.pattern):
             return self.pattern[slot]
         return None
+
+    def arrivals(self, num_slots: int) -> List[Optional[int]]:
+        if num_slots <= len(self.pattern):
+            return self.pattern[:num_slots]
+        return self.pattern + [None] * (num_slots - len(self.pattern))

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.constants import CELL_SIZE_BYTES
+
 #: Smallest IP packet the generators produce (a TCP ACK-sized packet).
 MIN_PACKET_BYTES: int = 40
 
@@ -37,6 +39,4 @@ class Packet:
     @property
     def num_cells(self) -> int:
         """Number of 64-byte cells the packet occupies (ceiling division)."""
-        from repro.constants import CELL_SIZE_BYTES
-
         return -(-self.size_bytes // CELL_SIZE_BYTES)

@@ -172,11 +172,18 @@ class Scenario:
             *,
             num_slots: Optional[int] = None,
             fast_path: bool = True,
-            record_trace: bool = False) -> SimulationReport:
-        """Build everything fresh and simulate the scenario once."""
+            record_trace: bool = False,
+            engine: Optional[str] = None) -> SimulationReport:
+        """Build everything fresh and simulate the scenario once.
+
+        ``engine`` selects the simulation core (``"reference"``,
+        ``"batched"`` or ``"array"``); when omitted, ``fast_path`` picks
+        between the reference and batched loops as before.  All engines
+        produce bit-identical reports.
+        """
         sim = self.build_simulation(record_trace=record_trace)
         return sim.run(self.num_slots if num_slots is None else num_slots,
-                       fast_path=fast_path)
+                       fast_path=fast_path, engine=engine)
 
     # ------------------------------------------------------------------ #
     # Spec round-trip
@@ -255,6 +262,7 @@ class ScenarioResult:
                     report: SimulationReport) -> "ScenarioResult":
         throughput, latency = report.throughput, report.latency
         result = report.buffer_result
+        p50, p95, p99 = latency.percentiles((0.50, 0.95, 0.99))
         return cls(
             name=name,
             scheme=scheme,
@@ -266,9 +274,9 @@ class ScenarioResult:
             offered_load=throughput.offered_load,
             carried_load=throughput.carried_load,
             latency_mean=latency.mean,
-            latency_p50=latency.p50,
-            latency_p95=latency.p95,
-            latency_p99=latency.p99,
+            latency_p50=p50,
+            latency_p95=p95,
+            latency_p99=p99,
             latency_max=latency.maximum,
             zero_miss=report.zero_miss,
             bank_conflicts=result.bank_conflicts,
@@ -278,8 +286,9 @@ class ScenarioResult:
 
 
 def run_scenario_spec(spec: Mapping[str, Any],
-                      fast_path: bool = True) -> ScenarioResult:
+                      fast_path: bool = True,
+                      engine: Optional[str] = None) -> ScenarioResult:
     """Job entry point: rebuild the scenario from its spec and run it."""
     scenario = Scenario.from_spec(spec)
-    report = scenario.run(fast_path=fast_path)
+    report = scenario.run(fast_path=fast_path, engine=engine)
     return ScenarioResult.from_report(scenario.name, scenario.scheme, report)

@@ -1,0 +1,137 @@
+"""Unit tests of the IntRing queue primitive behind the array engine."""
+
+import random
+
+import pytest
+
+from repro.sim.ring import IntRing
+
+
+class TestIntRing:
+    def test_fifo_order(self):
+        ring = IntRing()
+        for value in range(5):
+            ring.push(value * 10)
+        assert [ring.popleft() for _ in range(5)] == [0, 10, 20, 30, 40]
+
+    def test_len_and_bool(self):
+        ring = IntRing()
+        assert len(ring) == 0
+        assert not ring
+        ring.push(7)
+        assert len(ring) == 1
+        assert ring
+        ring.popleft()
+        assert len(ring) == 0
+        assert not ring
+
+    def test_peekleft_does_not_remove(self):
+        ring = IntRing()
+        ring.push(1)
+        ring.push(2)
+        assert ring.peekleft() == 1
+        assert ring.peekleft() == 1
+        assert len(ring) == 2
+
+    def test_empty_pop_and_peek_raise(self):
+        ring = IntRing()
+        with pytest.raises(IndexError):
+            ring.popleft()
+        with pytest.raises(IndexError):
+            ring.peekleft()
+
+    def test_growth_preserves_order(self):
+        ring = IntRing()
+        initial = ring.capacity
+        for value in range(initial * 4):
+            ring.push(value)
+        assert ring.capacity >= initial * 4
+        assert [ring.popleft() for _ in range(initial * 4)] == list(
+            range(initial * 4))
+
+    def test_wraparound(self):
+        """Interleaved pushes and pops force the cursors around the buffer
+        without growing it."""
+        ring = IntRing()
+        expected = []
+        counter = 0
+        for _ in range(100):
+            for _ in range(3):
+                ring.push(counter)
+                expected.append(counter)
+                counter += 1
+            for _ in range(3):
+                assert ring.popleft() == expected.pop(0)
+        assert ring.capacity == IntRing().capacity  # never needed to grow
+
+    def test_pop_block_partial_and_full(self):
+        ring = IntRing()
+        for value in range(10):
+            ring.push(value)
+        out = []
+        ring.pop_block(4, out)
+        assert out == [0, 1, 2, 3]
+        ring.pop_block(100, out)  # more than available: drains the rest
+        assert out == list(range(10))
+        assert len(ring) == 0
+        ring.pop_block(5, out)  # empty ring: no-op
+        assert out == list(range(10))
+
+    def test_pop_block_nonpositive_count_is_noop(self):
+        ring = IntRing()
+        for value in range(3):
+            ring.push(value)
+        out = []
+        ring.pop_block(0, out)
+        ring.pop_block(-2, out)
+        assert out == []
+        assert len(ring) == 3
+        assert [ring.popleft() for _ in range(3)] == [0, 1, 2]
+
+    def test_iter_is_nondestructive(self):
+        ring = IntRing()
+        for value in (5, 6, 7):
+            ring.push(value)
+        assert list(ring) == [5, 6, 7]
+        assert list(ring) == [5, 6, 7]
+        assert "IntRing" in repr(ring)
+
+    def test_clear(self):
+        ring = IntRing()
+        for value in range(5):
+            ring.push(value)
+        ring.clear()
+        assert len(ring) == 0
+        ring.push(42)
+        assert ring.popleft() == 42
+
+    def test_explicit_capacity_rounds_to_power_of_two(self):
+        ring = IntRing(capacity=100)
+        assert ring.capacity == 128
+        for value in range(100):
+            ring.push(value)
+        assert ring.capacity == 128
+
+    def test_randomised_against_list(self):
+        """Differential test: a few thousand random operations against a
+        plain list model."""
+        rng = random.Random(1234)
+        ring = IntRing()
+        model = []
+        for step in range(5000):
+            op = rng.random()
+            if op < 0.5:
+                ring.push(step)
+                model.append(step)
+            elif op < 0.75 and model:
+                assert ring.popleft() == model.pop(0)
+            elif op < 0.85 and model:
+                assert ring.peekleft() == model[0]
+            else:
+                count = rng.randrange(0, 6)
+                got = []
+                ring.pop_block(count, got)
+                expect, model = model[:count], model[count:]
+                assert got == expect
+            assert len(ring) == len(model)
+        assert list(ring) == model

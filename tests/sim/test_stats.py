@@ -81,3 +81,58 @@ class TestLatencyPercentiles:
 
     def test_equality_against_other_types(self):
         assert LatencyStats() != object()
+
+
+class TestBatchPercentiles:
+    def _loaded(self):
+        stats = LatencyStats()
+        for delay in [1, 2, 3, 4, 5, 6, 7, 8, 9, 10]:
+            stats.record(0, delay)
+        return stats
+
+    def test_batch_matches_single_calls(self):
+        stats = self._loaded()
+        fractions = (0.1, 0.5, 0.95, 0.99, 1.0)
+        assert stats.percentiles(fractions) == tuple(
+            stats.percentile(fraction) for fraction in fractions)
+
+    def test_batch_preserves_input_order(self):
+        stats = self._loaded()
+        assert stats.percentiles((0.99, 0.1, 0.5)) == (10, 1, 5)
+
+    def test_batch_with_duplicates(self):
+        stats = self._loaded()
+        assert stats.percentiles((0.5, 0.5)) == (5, 5)
+
+    def test_batch_empty_histogram(self):
+        assert LatencyStats().percentiles((0.5, 0.95)) == (0, 0)
+
+    def test_batch_validates_fractions(self):
+        stats = self._loaded()
+        with pytest.raises(ValueError):
+            stats.percentiles((0.5, 0.0))
+        with pytest.raises(ValueError):
+            stats.percentiles((1.5,))
+
+    def test_batch_empty_tuple(self):
+        assert self._loaded().percentiles(()) == ()
+
+
+class TestRecordDelay:
+    def test_bulk_equivalent_to_individual_records(self):
+        bulk, single = LatencyStats(), LatencyStats()
+        bulk.record_delay(4, 3)
+        bulk.record_delay(9)
+        for _ in range(3):
+            single.record(0, 4)
+        single.record(0, 9)
+        assert bulk == single
+        assert bulk.count == 4
+        assert bulk.mean == pytest.approx((4 * 3 + 9) / 4)
+
+    def test_record_delay_validates(self):
+        stats = LatencyStats()
+        with pytest.raises(ValueError):
+            stats.record_delay(-1)
+        with pytest.raises(ValueError):
+            stats.record_delay(3, 0)

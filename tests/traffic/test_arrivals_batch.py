@@ -1,0 +1,104 @@
+"""The batch ``arrivals()`` fast paths are stream-identical to per-slot
+``next_arrival`` calls — the property both simulation engines rely on when
+they pre-generate arrival plans."""
+
+import pytest
+
+from repro.traffic.arrivals import (
+    BernoulliArrivals,
+    BurstyArrivals,
+    DeterministicArrivals,
+    HotspotArrivals,
+    MarkovOnOffArrivals,
+    ParetoBurstArrivals,
+    RoundRobinArrivals,
+    TraceArrivals,
+    ZipfArrivals,
+)
+
+#: (class, kwargs) for every stateful stochastic process: the batch must
+#: continue the RNG stream exactly where the previous batch left off.
+STATEFUL_CASES = [
+    (BernoulliArrivals, dict(num_queues=8, load=0.85, seed=3)),
+    (BernoulliArrivals, dict(num_queues=8, load=0.85,
+                             weights=[1, 2, 0, 4, 5, 6, 7, 8], seed=3)),
+    (BernoulliArrivals, dict(num_queues=3, load=1.0, seed=3)),
+    (HotspotArrivals, dict(num_queues=8, hot_queues=[0, 1],
+                           hot_fraction=0.8, load=0.9, seed=4)),
+    (ZipfArrivals, dict(num_queues=8, exponent=1.2, load=0.85, seed=5)),
+    (BurstyArrivals, dict(num_queues=8, mean_burst_cells=24.0, load=0.9,
+                          seed=6)),
+    (MarkovOnOffArrivals, dict(num_queues=8, mean_on_slots=30.0,
+                               mean_off_slots=90.0, peak_rate=0.9, seed=7)),
+    (ParetoBurstArrivals, dict(num_queues=8, alpha=1.4, min_burst_cells=4,
+                               load=0.8, seed=8)),
+    (RoundRobinArrivals, dict(num_queues=8, load=0.7, seed=9)),
+    (RoundRobinArrivals, dict(num_queues=8, load=1.0, seed=9)),
+]
+
+_IDS = [f"{cls.__name__}-{i}" for i, (cls, _) in enumerate(STATEFUL_CASES)]
+
+
+@pytest.mark.parametrize("cls,kwargs", STATEFUL_CASES, ids=_IDS)
+def test_batch_is_stream_identical(cls, kwargs):
+    per_slot_source = cls(**kwargs)
+    batch_source = cls(**kwargs)
+    per_slot = [per_slot_source.next_arrival(slot) for slot in range(4000)]
+    batch = list(batch_source.arrivals(4000))
+    assert batch == per_slot
+
+
+@pytest.mark.parametrize("cls,kwargs", STATEFUL_CASES, ids=_IDS)
+def test_split_batches_continue_the_stream(cls, kwargs):
+    """Two consecutive batch calls must consume the RNG exactly like one —
+    the state (burst remainders, on/off chains) carries across calls."""
+    per_slot_source = cls(**kwargs)
+    batch_source = cls(**kwargs)
+    per_slot = [per_slot_source.next_arrival(slot) for slot in range(3000)]
+    batch = list(batch_source.arrivals(1100)) + list(batch_source.arrivals(1900))
+    assert batch == per_slot
+
+
+@pytest.mark.parametrize("cls,kwargs", STATEFUL_CASES, ids=_IDS)
+def test_batch_returns_prefilled_list(cls, kwargs):
+    """The batch form fills a preallocated list (no generator re-wrapping in
+    the engines)."""
+    source = cls(**kwargs)
+    result = source.arrivals(128)
+    assert isinstance(result, list)
+    assert len(result) == 128
+
+
+@pytest.mark.parametrize("cls", [DeterministicArrivals, TraceArrivals])
+def test_slot_indexed_batches_match_per_slot(cls):
+    pattern = [0, None, 3, 2, None, 1]
+    per_slot_source = cls(pattern)
+    batch_source = cls(pattern)
+    per_slot = [per_slot_source.next_arrival(slot) for slot in range(50)]
+    assert list(batch_source.arrivals(50)) == per_slot
+
+
+@pytest.mark.parametrize("cls", [DeterministicArrivals, TraceArrivals])
+def test_slot_indexed_batches_restart_at_slot_zero(cls):
+    """Slot-indexed processes are stateless: every ``arrivals`` call starts
+    at slot 0, exactly like the generic generator they override."""
+    pattern = [0, None, 3]
+    source = cls(pattern)
+    first = list(source.arrivals(5))
+    second = list(source.arrivals(5))
+    assert first == second
+    assert first[:3] == pattern
+
+
+def test_trace_batch_pads_with_idle_slots():
+    source = TraceArrivals([1, 2])
+    assert source.arrivals(5) == [1, 2, None, None, None]
+    assert source.arrivals(1) == [1]
+
+
+def test_bernoulli_all_zero_weights_raise_on_first_draw():
+    """The degenerate configuration keeps choices()'s error semantics: the
+    failure surfaces when a cell must actually be drawn."""
+    source = BernoulliArrivals(4, load=1.0, weights=[0, 0, 0, 0], seed=1)
+    with pytest.raises(ValueError):
+        source.arrivals(10)
