@@ -101,7 +101,10 @@ from repro.workloads import (
     scenario_names,
 )
 
-__version__ = "1.0.0"
+# Minor bump for PR 4: ScenarioResult grew latency_histogram (a cache
+# schema change — the version-keyed result cache must not serve pre-PR-4
+# entries whose histogram would deserialise empty).
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",

@@ -159,6 +159,53 @@ def render_scenario_run(name: str, scheme: str, report) -> str:
                         title=f"Scenario {name} ({scheme})")
 
 
+def render_switch_run(report) -> str:
+    """Report for one ``python -m repro switch <name>`` run: the aggregate
+    headline rows, then one row per egress port.
+
+    The headline rows come straight from ``SwitchReport.summary()`` (merged
+    per-port latency histograms, so the aggregate percentiles are exact);
+    the per-port table reuses the ``ScenarioResult`` fields, which is the
+    degenerate-case promise made concrete — a port row is a scenario row.
+    """
+    aggregate = format_table(
+        ["metric", "value"],
+        [[key.replace("_", " "), value]
+         for key, value in report.summary().items()],
+        title=f"Switch {report.name} ({report.num_ports} ports, "
+              f"{report.engine} engine)")
+    fabric = report.fabric
+    per_port = format_table(
+        ["port", "scheme", "fabric cells", "arrivals", "departures", "drops",
+         "lat mean", "p50", "p99", "max", "zero miss"],
+        [[index, p.scheme, fabric.per_egress_cells[index], p.arrivals,
+          p.departures, p.drops, p.latency_mean, p.latency_p50,
+          p.latency_p99, p.latency_max, p.zero_miss]
+         for index, p in enumerate(report.ports)],
+        title="Per-port closed-loop statistics")
+    return aggregate + "\n\n" + per_port
+
+
+def render_switch_suite(reports) -> str:
+    """Report for the ``switch-suite`` experiment: one row per switch
+    scenario, latency percentiles over the merged per-port histograms."""
+    rows = []
+    for report in reports:
+        summary = report.summary()
+        rows.append([
+            report.name, report.num_ports, summary["slots"],
+            summary["flush_slots"], summary["offered_cells"],
+            summary["departures"], summary["drops"],
+            summary["fabric_wait_mean"], summary["latency_mean"],
+            summary["latency_p99"], summary["zero_miss"],
+        ])
+    return format_table(
+        ["scenario", "ports", "slots", "flush", "offered", "departures",
+         "drops", "fabric wait", "lat mean", "p99", "zero miss"],
+        rows,
+        title="Switch suite — merged per-port statistics per scenario")
+
+
 def _ordered_unique(values: Iterable[str]) -> List[str]:
     seen: List[str] = []
     for value in values:

@@ -13,6 +13,7 @@ from repro.bench.suite import (
     BenchResult,
     render_results,
     run_suite,
+    switch_bench_scenario,
     wide_scenario,
     write_results,
 )
@@ -24,6 +25,7 @@ __all__ = [
     "BenchResult",
     "render_results",
     "run_suite",
+    "switch_bench_scenario",
     "wide_scenario",
     "write_results",
 ]

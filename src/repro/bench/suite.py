@@ -3,13 +3,15 @@
 Every PR that touches a hot path needs a comparable baseline; this module
 provides it.  The suite is a *fixed* set of benchmarks — the closed-loop
 scenario on each engine, the wide-queue stressor that magnifies per-slot
-overhead, a CFDS scenario exercising the DRAM scheduler subsystem, and the
-head-MMA ablation — each timed for a handful of repetitions, with the
-**median** wall-clock time recorded per benchmark.  Results are written as
-JSON (``BENCH_3.json`` by default; the number tracks the PR that produced
-the file), so successive snapshots can be diffed mechanically::
+overhead, a CFDS scenario exercising the DRAM scheduler subsystem, the
+head-MMA ablation, and the multi-port switch pipeline (the serial fabric
+stage alone, then the full run with ports serial vs sharded over 4
+workers) — each timed for a handful of repetitions, with the **median**
+wall-clock time recorded per benchmark.  Results are written as JSON
+(``BENCH_4.json`` by default; the number tracks the PR that produced the
+file), so successive snapshots can be diffed mechanically::
 
-    python -m repro bench                 # full suite -> BENCH_3.json
+    python -m repro bench                 # full suite -> BENCH_4.json
     python -m repro bench --quick         # reduced slot counts (CI perf-smoke)
     python -m repro bench --filter wide   # only the wide-queue benchmarks
 
@@ -28,9 +30,11 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
+from repro.runner.sweep import available_cpus
+
 #: Default output file.  The suffix tracks the PR that produced the
 #: snapshot so the repository can accumulate a BENCH_<n>.json trajectory.
-DEFAULT_OUTPUT = "BENCH_3.json"
+DEFAULT_OUTPUT = "BENCH_4.json"
 
 #: JSON schema version of the output document.
 SCHEMA = 1
@@ -39,12 +43,19 @@ SCHEMA = 1
 QUICK_SCENARIO_SLOTS = 800
 QUICK_WIDE_SLOTS = 1500
 QUICK_MMA_SLOTS = 3000
+QUICK_SWITCH_SLOTS = 1500
 
 WIDE_QUEUES = 128
 WIDE_SLOTS = 6000
 MMA_QUEUES = 16
 MMA_GRANULARITY = 4
 MMA_SLOTS = 12_000
+SWITCH_PORTS = 8
+SWITCH_SLOTS = 6000
+#: Slot count of the fabric-stage-only benchmark (the serial stage is the
+#: switch pipeline's Amdahl ceiling, so its trajectory is tracked alone).
+FABRIC_SLOTS = 20_000
+QUICK_FABRIC_SLOTS = 5000
 
 #: A benchmark thunk plus the metadata recorded next to its timings.
 BenchSetup = Tuple[Callable[[], object], Dict[str, Any]]
@@ -146,6 +157,57 @@ def _mma_setup(policy: str, quick: bool) -> BenchSetup:
                    "queues": MMA_QUEUES, "granularity": MMA_GRANULARITY}
 
 
+def switch_bench_scenario(num_slots: int = SWITCH_SLOTS):
+    """The switch-stage stressor: uniform traffic into CFDS linecards.
+
+    CFDS ports are the heaviest per-port workload (DSS + latency register in
+    the loop), so this is where sharding ports across workers pays — the
+    configuration the ``switch-scaling`` derived ratio tracks.  Not a
+    registered scenario: benchmarks must not drift when the registry grows.
+    """
+    from repro.switch import SwitchScenario
+
+    return SwitchScenario(
+        name="bench-cfds-uniform",
+        description="8-port uniform-traffic switch with CFDS linecards",
+        num_ports=SWITCH_PORTS,
+        traffic={"type": "bernoulli", "params": {"load": 0.85}},
+        fabric={"type": "islip", "params": {}},
+        ports=({"scheme": "cfds",
+                "buffer": {"dram_access_slots": 8, "granularity": 2,
+                           "num_banks": 32},
+                "arbiter": {"type": "longest_queue", "params": {}}},),
+        num_slots=num_slots, seed=3)
+
+
+def _switch_setup(jobs: int, quick: bool) -> BenchSetup:
+    from repro.switch import SwitchModel
+
+    slots = QUICK_SWITCH_SLOTS if quick else SWITCH_SLOTS
+    scenario = switch_bench_scenario(num_slots=slots)
+
+    def thunk():
+        return SwitchModel(scenario).run(jobs=jobs)
+
+    # ``slots`` counts simulated port-slots so kslots/s stays comparable
+    # with the single-port benchmarks.
+    return thunk, {"slots": slots * SWITCH_PORTS, "arrival_slots": slots,
+                   "ports": SWITCH_PORTS, "scheme": "cfds", "jobs": jobs,
+                   "engine": "array"}
+
+
+def _fabric_setup(quick: bool) -> BenchSetup:
+    from repro.switch import run_fabric
+
+    slots = QUICK_FABRIC_SLOTS if quick else FABRIC_SLOTS
+    scenario = switch_bench_scenario(num_slots=slots)
+
+    def thunk():
+        return run_fabric(scenario)
+
+    return thunk, {"slots": slots, "ports": SWITCH_PORTS, "fabric": "islip"}
+
+
 def _case(name: str, description: str, factory) -> BenchCase:
     return BenchCase(name=name, description=description, factory=factory)
 
@@ -184,6 +246,15 @@ SUITE: Tuple[BenchCase, ...] = (
     _case("mma-ablation/mdqf",
           "head-only worst case under MDQF (ablation policy)",
           lambda quick: _mma_setup("mdqf", quick)),
+    _case("switch/fabric-stage",
+          "crossbar fabric stage alone (serial, iSLIP, 8 ports)",
+          lambda quick: _fabric_setup(quick)),
+    _case("switch/cfds-8port/jobs1",
+          "8-port CFDS switch, ports run serially",
+          lambda quick: _switch_setup(1, quick)),
+    _case("switch/cfds-8port/jobs4",
+          "8-port CFDS switch, ports sharded over 4 workers",
+          lambda quick: _switch_setup(4, quick)),
 )
 
 #: Ratios derived from pairs of benchmark medians (numerator / denominator —
@@ -197,6 +268,8 @@ DERIVED_RATIOS: Tuple[Tuple[str, str, str], ...] = (
     ("uniform-speedup-batched-over-reference",
      "scenario/uniform-bernoulli/reference",
      "scenario/uniform-bernoulli/batched"),
+    ("switch-scaling-jobs4-over-jobs1", "switch/cfds-8port/jobs1",
+     "switch/cfds-8port/jobs4"),
 )
 
 
@@ -208,16 +281,22 @@ def run_suite(quick: bool = False,
         repeats = 3 if quick else 5
     if repeats < 1:
         raise ValueError("repeats must be at least 1")
-    results: List[BenchResult] = []
-    for case in SUITE:
-        if name_filter is not None and name_filter not in case.name:
-            continue
-        thunk, metrics = case.factory(quick)
-        samples: List[float] = []
-        for _ in range(repeats):
+    selected = [case for case in SUITE
+                if name_filter is None or name_filter in case.name]
+    setups = [case.factory(quick) for case in selected]
+    # Interleave the repetitions (round 0 of every case, then round 1, ...)
+    # instead of timing each case's repeats back to back: slow drift in
+    # machine load then lands on every case roughly equally, which is what
+    # keeps the *derived ratios* honest — a ratio of two medians measured in
+    # disjoint time windows would be biased by whatever happened in between.
+    all_samples: List[List[float]] = [[] for _ in selected]
+    for _ in range(repeats):
+        for index, (thunk, _metrics) in enumerate(setups):
             started = time.perf_counter()
             thunk()
-            samples.append(time.perf_counter() - started)
+            all_samples[index].append(time.perf_counter() - started)
+    results: List[BenchResult] = []
+    for case, (thunk, metrics), samples in zip(selected, setups, all_samples):
         median = statistics.median(samples)
         slots = metrics.get("slots")
         if slots:
@@ -240,6 +319,11 @@ def run_suite(quick: bool = False,
         "created_unix": time.time(),
         "python": sys.version.split()[0],
         "platform": platform.platform(),
+        # Interprets the sharding ratios: on a single-CPU machine the
+        # jobs4/jobs1 pair is expected to be ~1x (sharding is overhead-
+        # neutral); real scaling shows wherever cpus > 1.  Affinity-aware —
+        # the same count that caps the SweepRunner pool doing the sharding.
+        "cpus": available_cpus(),
         "benchmarks": [result.as_json() for result in results],
         "derived": derived,
     }

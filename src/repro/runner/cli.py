@@ -17,9 +17,15 @@ and drive the workload subsystem::
     python -m repro scenario bursty-trains --record t.rtrc   # capture trace
     python -m repro scenario zipf-hotspot --replay t.rtrc    # replay it
 
+and compose per-port buffers into a multi-port switch::
+
+    python -m repro switch --list                     # registered switches
+    python -m repro switch hotspot-egress --ports 8 --jobs 4
+    python -m repro switch uniform --fabric priority  # swap the crossbar
+
 and track the performance trajectory::
 
-    python -m repro bench                 # fixed suite -> BENCH_3.json
+    python -m repro bench                 # fixed suite -> BENCH_4.json
     python -m repro bench --quick         # reduced slots (CI perf-smoke)
     python -m repro bench --filter wide   # a subset of the suite
 
@@ -45,6 +51,8 @@ from repro.runner.sweep import SweepRunner
 ALL = "all"
 #: Subcommand that runs a single named workload scenario.
 SCENARIO = "scenario"
+#: Subcommand that runs a single named multi-port switch scenario.
+SWITCH = "switch"
 #: Subcommand that runs the fixed perf-trajectory benchmark suite.
 BENCH = "bench"
 
@@ -112,6 +120,35 @@ def build_parser() -> argparse.ArgumentParser:
     scenario.add_argument("-o", "--output", default=None, metavar="FILE",
                           help="write the report to FILE instead of stdout")
 
+    switch = subparsers.add_parser(
+        SWITCH, help="run one named multi-port switch scenario",
+        description=("Run a switch scenario from the switch registry (see "
+                     "--list): N per-port buffers behind a crossbar fabric, "
+                     "ports sharded across worker processes.  The merged "
+                     "report is identical for every --jobs value."))
+    switch.add_argument("name", nargs="?", metavar="NAME",
+                        help="switch scenario name (see --list)")
+    switch.add_argument("--list", action="store_true", dest="list_switches",
+                        help="list the registered switch scenarios and exit")
+    switch.add_argument("--ports", type=int, default=None, metavar="N",
+                        help="override the scenario's port count")
+    switch.add_argument("--slots", type=int, default=None, metavar="N",
+                        help="override the scenario's arrival-slot count")
+    switch.add_argument("--engine",
+                        choices=["reference", "batched", "array"],
+                        default=None,
+                        help="simulation core for the port stage (default: "
+                             "array; all engines are bit-identical)")
+    switch.add_argument("--fabric", choices=["islip", "random", "priority"],
+                        default=None,
+                        help="override the scenario's fabric arbiter "
+                             "(default parameters)")
+    switch.add_argument("-j", "--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for the port stage (0 = one "
+                             "per CPU; default: 1, serial)")
+    switch.add_argument("-o", "--output", default=None, metavar="FILE",
+                        help="write the report to FILE instead of stdout")
+
     bench = subparsers.add_parser(
         BENCH, help="run the perf-trajectory benchmark suite",
         description=("Time the fixed benchmark suite (scenario loops on "
@@ -129,7 +166,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--list", action="store_true", dest="list_benchmarks",
                        help="list the suite's benchmarks and exit")
     bench.add_argument("-o", "--output", default=None, metavar="FILE",
-                       help="JSON snapshot path (default: BENCH_3.json; "
+                       help="JSON snapshot path (default: BENCH_4.json; "
                             "'-' to skip writing the file)")
     return parser
 
@@ -202,6 +239,42 @@ def _run_scenario_command(parser: argparse.ArgumentParser,
     return _emit(text, args.output)
 
 
+def _run_switch_command(parser: argparse.ArgumentParser,
+                        args: argparse.Namespace) -> int:
+    """Handle ``python -m repro switch ...``."""
+    from repro.analysis.report import format_table, render_switch_run
+    from repro.switch.model import DEFAULT_ENGINE, SwitchModel
+    from repro.switch.registry import all_switch_scenarios, get_switch_scenario
+
+    if args.list_switches:
+        table = format_table(
+            ["name", "ports", "slots", "fabric", "tags", "description"],
+            [[s.name, s.num_ports, s.num_slots, s.fabric["type"],
+              ",".join(s.tags), s.description]
+             for s in all_switch_scenarios()],
+            title="Registered switch scenarios")
+        return _emit(table, args.output)
+    if args.name is None:
+        parser.error("switch: a NAME is required (or use --list)")
+    if args.ports is not None and args.ports <= 0:
+        parser.error("--ports must be positive")
+
+    try:
+        scenario = get_switch_scenario(args.name).with_overrides(
+            num_ports=args.ports, num_slots=args.slots)
+        if args.fabric is not None:
+            import dataclasses
+
+            scenario = dataclasses.replace(
+                scenario, fabric={"type": args.fabric, "params": {}})
+        engine = args.engine if args.engine is not None else DEFAULT_ENGINE
+        report = SwitchModel(scenario).run(engine=engine, jobs=args.jobs)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return _emit(render_switch_run(report), args.output)
+
+
 def _run_bench_command(parser: argparse.ArgumentParser,
                        args: argparse.Namespace) -> int:
     """Handle ``python -m repro bench ...``."""
@@ -251,6 +324,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 2
     if args.experiment == SCENARIO:
         return _run_scenario_command(parser, args)
+    if args.experiment == SWITCH:
+        return _run_switch_command(parser, args)
     if args.experiment == BENCH:
         return _run_bench_command(parser, args)
 

@@ -25,6 +25,7 @@ from repro.analysis.report import (
     render_intro_dram,
     render_scaling,
     render_scenarios,
+    render_switch_suite,
     render_table2,
 )
 from repro.analysis.scaling import (
@@ -34,6 +35,7 @@ from repro.analysis.scaling import (
 from repro.analysis.table2 import table2_jobs
 from repro.errors import ConfigurationError
 from repro.runner.jobs import Job
+from repro.switch.registry import all_switch_scenarios
 from repro.workloads.registry import all_scenarios
 
 #: The OC-3072 scaling study's queue count (the paper's Q for that rate).
@@ -75,6 +77,17 @@ def _scenario_jobs() -> List[Job]:
                 kwargs={"spec": scenario.to_spec()},
                 tag=scenario.name)
             for scenario in all_scenarios()]
+
+
+def _switch_suite_jobs() -> List[Job]:
+    # One job per registered switch scenario; the port stage runs serially
+    # inside the worker because this sweep already parallelises across
+    # scenarios (nested pools are both illegal and pointless here).
+    return [Job(func="repro.switch.model:run_switch_spec",
+                kwargs={"spec": scenario.to_spec(), "engine": "array",
+                        "jobs": 1},
+                tag=scenario.name)
+            for scenario in all_switch_scenarios()]
 
 
 def _worstcase_jobs() -> List[Job]:
@@ -206,6 +219,12 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
             description="Closed-loop statistics across the scenario registry.",
             build_jobs=_scenario_jobs,
             render=lambda results, jobs: render_scenarios(results)),
+        ExperimentSpec(
+            name="switch-suite",
+            title="Switch suite: every registered switch scenario",
+            description="Multi-port switch statistics (fabric + merged ports).",
+            build_jobs=_switch_suite_jobs,
+            render=lambda results, jobs: render_switch_suite(results)),
     ]
 }
 

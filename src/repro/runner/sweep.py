@@ -26,9 +26,17 @@ from repro.runner.cache import MISS, ResultCache
 from repro.runner.jobs import Job, run_job
 
 
+def available_cpus() -> int:
+    """CPUs this process may actually run on (container/affinity aware)."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return max(1, os.cpu_count() or 1)
+
+
 def default_jobs() -> int:
     """A sensible worker count for ``--jobs 0`` / auto mode."""
-    return max(1, os.cpu_count() or 1)
+    return available_cpus()
 
 
 class SweepRunner:
@@ -36,7 +44,10 @@ class SweepRunner:
 
     Args:
         jobs: number of worker processes; ``1`` runs in-process (no pool),
-            ``0`` selects :func:`default_jobs`.
+            ``0`` selects :func:`default_jobs`.  The effective pool size is
+            additionally capped at the job count and at
+            :func:`available_cpus` — simulation jobs are CPU-bound, so
+            extra workers could only add overhead.
         cache: result cache, or ``None`` to recompute everything.
         chunksize: jobs handed to a worker at a time; larger values amortise
             IPC for very cheap jobs.
@@ -87,9 +98,15 @@ class SweepRunner:
 
     # ------------------------------------------------------------------ #
     def _execute(self, jobs: List[Job]) -> List[Any]:
-        if self.jobs == 1 or len(jobs) == 1:
+        # Never spawn more workers than there are jobs *or* CPUs this
+        # process may run on: the jobs are pure CPU-bound simulation, so an
+        # oversubscribed pool can only add fork/IPC overhead, never speed.
+        # On a single-CPU machine every --jobs value therefore runs
+        # in-process (and byte-identically, since results are returned in
+        # job order either way).
+        workers = min(self.jobs, len(jobs), available_cpus())
+        if workers == 1:
             return [run_job(job) for job in jobs]
-        workers = min(self.jobs, len(jobs))
         with multiprocessing.Pool(processes=workers) as pool:
             # Pool.map preserves input order, which is what makes the
             # parallel path deterministic.

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 
 class LatencyStats:
@@ -15,6 +15,37 @@ class LatencyStats:
         self._minimum: Optional[int] = None
         self._maximum: Optional[int] = None
         self._histogram: Dict[int, int] = {}
+
+    @classmethod
+    def from_histogram(cls, items: Iterable[Tuple[int, int]]) -> "LatencyStats":
+        """Rebuild a collector from ``(delay, count)`` pairs.
+
+        Inverse of :meth:`histogram_items`: a collector rebuilt from another's
+        histogram compares equal to the original.  This is how the switch
+        layer reconstitutes per-port latency distributions from cacheable
+        results before merging them.
+        """
+        stats = cls()
+        for delay, count in items:
+            stats.record_delay(delay, count)
+        return stats
+
+    def histogram_items(self) -> Tuple[Tuple[int, int], ...]:
+        """The delay histogram as sorted ``(delay, count)`` pairs — the
+        JSON-serialisable carrier of the full distribution."""
+        return tuple(sorted(self._histogram.items()))
+
+    def merge(self, other: "LatencyStats") -> "LatencyStats":
+        """Fold ``other``'s observations into this collector (in place).
+
+        Merging port-level collectors yields exactly the collector a single
+        simulation of all ports would have produced, so switch-level
+        percentiles are computed over the true combined distribution rather
+        than averaged per-port percentiles.
+        """
+        for delay, count in other.histogram_items():
+            self.record_delay(delay, count)
+        return self
 
     def record(self, arrival_slot: int, departure_slot: int) -> None:
         delay = departure_slot - arrival_slot
@@ -58,7 +89,11 @@ class LatencyStats:
         return self._maximum if self._maximum is not None else 0
 
     def percentile(self, fraction: float) -> int:
-        """Delay value at the given percentile (0 < fraction <= 1)."""
+        """Delay value at the given percentile (0 < fraction <= 1).
+
+        On an empty collector the result is defined to be ``0`` — see
+        :meth:`percentiles`.
+        """
         return self.percentiles((fraction,))[0]
 
     def percentiles(self, fractions: Sequence[float]) -> Tuple[int, ...]:
@@ -68,6 +103,12 @@ class LatencyStats:
         once and sweeping it cumulatively answers any number of fractions for
         the cost of one, instead of one sort per percentile.  Results are
         returned in the order the fractions were given.
+
+        **Empty collector:** with no recorded delays every requested
+        percentile is defined to be ``0`` (an ``int``, consistent with
+        :attr:`minimum`/:attr:`maximum` and with ``mean == 0.0``), never an
+        arbitrary artefact of the sweep.  Callers that must distinguish "no
+        samples" from "all delays were zero" should check :attr:`count`.
         """
         for fraction in fractions:
             if not 0.0 < fraction <= 1.0:

@@ -1,0 +1,376 @@
+"""The multi-port switch model: fabric stage, sharded ports, merged report.
+
+Execution is two-stage, which is what makes switch runs shardable:
+
+1. **Fabric stage** (serial, cheap): every ingress port's traffic source is
+   instantiated with a deterministic per-ingress seed; cells queue in
+   per-ingress VOQs (one :class:`~repro.sim.ring.IntRing` of arrival slots
+   per (ingress, egress) pair); the fabric arbiter computes one conflict-free
+   matching per slot.  Because each egress accepts at most one cell per slot,
+   the fabric's output is exactly ``N`` single-linecard arrival traces —
+   the same admissibility model the paper's buffer assumes.  After the
+   arrival phase the fabric *flushes*: matching continues without new
+   arrivals until every VOQ is empty.
+
+2. **Port stage** (parallel, dominant): each egress trace plus the port's
+   buffer/arbiter template becomes an ordinary
+   :class:`~repro.workloads.scenario.Scenario` (arrivals = a ``trace`` spec,
+   queue index = source ingress modulo the port's queue count), executed as
+   a :class:`~repro.runner.jobs.Job` through the existing
+   :class:`~repro.runner.sweep.SweepRunner` — so ports shard across worker
+   processes, results come back in port order, and the runner cache applies
+   unchanged.  Ports run on the ``array`` engine by default.
+
+Per-port :class:`~repro.workloads.scenario.ScenarioResult` objects merge
+into a :class:`SwitchReport`; latency percentiles are computed over the
+*merged* per-port histograms, so the aggregate tail is exact, not an average
+of port tails.  The whole pipeline is deterministic: the same spec produces
+the same ``SwitchReport`` for any ``--jobs`` value.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.runner.jobs import Job
+from repro.runner.sweep import SweepRunner, default_jobs
+from repro.sim.ring import IntRing
+from repro.sim.stats import LatencyStats
+from repro.switch.scenario import SwitchScenario
+from repro.switch.traffic import build_ingress_traffic
+from repro.workloads.scenario import Scenario, ScenarioResult
+
+#: Job function executed per port — the single-port scenario runner, which is
+#: the whole point: a switch port *is* the degenerate one-port case.
+PORT_JOB_FUNC = "repro.workloads.scenario:run_scenario_spec"
+
+#: Default engine for the port stage.
+DEFAULT_ENGINE = "array"
+
+
+@dataclass(frozen=True)
+class FabricStats:
+    """What the crossbar stage did, before any egress buffer saw a cell."""
+
+    slots: int
+    flush_slots: int
+    offered_cells: int
+    transferred_cells: int
+    per_egress_cells: Tuple[int, ...]
+    peak_voq_backlog: int
+    wait_mean: float
+    wait_max: int
+
+    @property
+    def total_slots(self) -> int:
+        return self.slots + self.flush_slots
+
+
+def run_fabric(scenario: SwitchScenario,
+               num_slots: Optional[int] = None,
+               ) -> Tuple[List[List[Optional[int]]], FabricStats]:
+    """Run the crossbar stage and return per-egress source traces.
+
+    Returns:
+        ``(traces, stats)`` where ``traces[e][slot]`` is the *ingress index*
+        whose cell entered egress ``e`` at ``slot`` (or ``None``), all traces
+        sharing one length ``stats.total_slots``.
+    """
+    n = scenario.num_ports
+    slots = scenario.num_slots if num_slots is None else num_slots
+    sources = [build_ingress_traffic(scenario.traffic, n, i,
+                                     seed=scenario.port_seed(i))
+               for i in range(n)]
+    fabric = scenario.build_fabric()
+    # Pre-generate every ingress's arrival plan (the batched-engine trick:
+    # traffic sources never observe the fabric, so their streams can be drawn
+    # up front through the batch fast paths).
+    plans = []
+    for source in sources:
+        plan = source.arrivals(slots)
+        plans.append(plan if isinstance(plan, list) else list(plan))
+    # voq[i][e]: arrival slots of cells waiting at ingress i for egress e.
+    voq = [[IntRing() for _ in range(n)] for _ in range(n)]
+    # requests[i]: ascending egress ports with a non-empty VOQ at ingress i —
+    # maintained incrementally (a VOQ changes emptiness at most twice per
+    # slot) instead of being rescanned O(N^2) every slot.
+    requests: List[List[int]] = [[] for _ in range(n)]
+    ingress_backlog = [0] * n
+    traces: List[List[Optional[int]]] = [[] for _ in range(n)]
+    per_egress = [0] * n
+    waits = LatencyStats()
+    offered = transferred = 0
+    peak_backlog = 0
+    backlog_total = 0
+
+    def transfer_slot(slot: int) -> int:
+        nonlocal transferred, backlog_total
+        matches = fabric.match(slot, requests)
+        matched_egress = [False] * n
+        matched_ingress = [False] * n
+        for ingress, egress in matches:
+            ring = voq[ingress][egress]
+            try:
+                arrival_slot = ring.popleft()
+            except IndexError:
+                raise ConfigurationError(
+                    f"fabric arbiter matched empty VOQ ({ingress}, {egress})")
+            if matched_egress[egress]:
+                raise ConfigurationError(
+                    f"fabric arbiter matched egress {egress} twice in slot "
+                    f"{slot}")
+            if matched_ingress[ingress]:
+                raise ConfigurationError(
+                    f"fabric arbiter matched ingress {ingress} twice in slot "
+                    f"{slot}")
+            matched_egress[egress] = True
+            matched_ingress[ingress] = True
+            if not ring:
+                requests[ingress].remove(egress)
+            ingress_backlog[ingress] -= 1
+            backlog_total -= 1
+            waits.record_delay(slot - arrival_slot)
+            traces[egress].append(ingress)
+            per_egress[egress] += 1
+            transferred += 1
+        for egress in range(n):
+            if not matched_egress[egress]:
+                traces[egress].append(None)
+        return len(matches)
+
+    for slot in range(slots):
+        for ingress in range(n):
+            destination = plans[ingress][slot]
+            if destination is None:
+                continue
+            if not 0 <= destination < n:
+                raise ConfigurationError(
+                    f"ingress {ingress} generated destination {destination}, "
+                    f"but the switch has only {n} ports")
+            ring = voq[ingress][destination]
+            if not ring:
+                insort(requests[ingress], destination)
+            ring.push(slot)
+            ingress_backlog[ingress] += 1
+            backlog_total += 1
+            offered += 1
+            if ingress_backlog[ingress] > peak_backlog:
+                peak_backlog = ingress_backlog[ingress]
+        transfer_slot(slot)
+
+    flush_slots = 0
+    while backlog_total > 0:
+        if transfer_slot(slots + flush_slots) == 0:
+            # Unreachable with the stock policies (all are work-conserving),
+            # but a custom arbiter must not be able to hang the stage.
+            raise ConfigurationError(
+                "fabric arbiter made no progress while VOQs were non-empty")
+        flush_slots += 1
+
+    stats = FabricStats(
+        slots=slots,
+        flush_slots=flush_slots,
+        offered_cells=offered,
+        transferred_cells=transferred,
+        per_egress_cells=tuple(per_egress),
+        peak_voq_backlog=peak_backlog,
+        wait_mean=waits.mean,
+        wait_max=waits.maximum,
+    )
+    return traces, stats
+
+
+def port_scenarios(scenario: SwitchScenario,
+                   traces: List[List[Optional[int]]]) -> List[Scenario]:
+    """One single-port :class:`Scenario` per egress, fed its fabric trace.
+
+    The trace's ingress indices become buffer queue indices (``ingress mod
+    num_queues`` — one VOQ per source with the default sizing).
+    """
+    ports = []
+    for egress, trace in enumerate(traces):
+        spec = scenario.port_spec(egress)
+        num_queues = spec["buffer"]["num_queues"]
+        pattern = [None if src is None else src % num_queues for src in trace]
+        ports.append(Scenario(
+            name=f"{scenario.name}#port{egress}",
+            description=f"egress port {egress} of switch scenario "
+                        f"{scenario.name!r}",
+            scheme=spec["scheme"],
+            buffer=spec["buffer"],
+            arrivals={"type": "trace", "params": {"pattern": pattern}},
+            arbiter=spec["arbiter"],
+            num_slots=len(pattern),
+            seed=scenario.port_seed(egress) + 1,
+            tags=("switch-port",) + scenario.tags,
+        ))
+    return ports
+
+
+# --------------------------------------------------------------------- #
+# The merged report
+# --------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class SwitchReport:
+    """Everything a switch run produces: fabric stats plus per-port results.
+
+    Aggregates are derived, never stored, so a report deserialised from the
+    runner cache answers them identically to a fresh one.
+    """
+
+    name: str
+    num_ports: int
+    engine: str
+    fabric: FabricStats
+    ports: Tuple[ScenarioResult, ...]
+
+    # -- aggregate counters ------------------------------------------- #
+    @property
+    def arrivals(self) -> int:
+        return sum(p.arrivals for p in self.ports)
+
+    @property
+    def departures(self) -> int:
+        return sum(p.departures for p in self.ports)
+
+    @property
+    def drops(self) -> int:
+        return sum(p.drops for p in self.ports)
+
+    @property
+    def zero_miss(self) -> bool:
+        return all(p.zero_miss for p in self.ports)
+
+    def merged_latency(self) -> LatencyStats:
+        """The exact switch-wide buffer-delay distribution (ports merged in
+        port order; merging histograms is order-independent anyway)."""
+        merged = LatencyStats()
+        for port in self.ports:
+            merged.merge(LatencyStats.from_histogram(port.latency_histogram))
+        return merged
+
+    def summary(self) -> Dict[str, object]:
+        """Flat headline numbers — the rows the CLI renderer prints."""
+        latency = self.merged_latency()
+        p50, p95, p99 = latency.percentiles((0.50, 0.95, 0.99))
+        slots = self.fabric.total_slots
+        return {
+            "ports": self.num_ports,
+            "slots": self.fabric.slots,
+            "flush_slots": self.fabric.flush_slots,
+            "offered_cells": self.fabric.offered_cells,
+            "transferred_cells": self.fabric.transferred_cells,
+            "arrivals": self.arrivals,
+            "departures": self.departures,
+            "drops": self.drops,
+            "offered_load": self.fabric.offered_cells / slots if slots else 0.0,
+            "carried_load": self.departures / slots if slots else 0.0,
+            "fabric_wait_mean": self.fabric.wait_mean,
+            "fabric_wait_max": self.fabric.wait_max,
+            "peak_voq_backlog": self.fabric.peak_voq_backlog,
+            "latency_mean": latency.mean,
+            "latency_p50": p50,
+            "latency_p95": p95,
+            "latency_p99": p99,
+            "latency_max": latency.maximum,
+            "zero_miss": self.zero_miss,
+        }
+
+
+# --------------------------------------------------------------------- #
+# The model
+# --------------------------------------------------------------------- #
+
+class SwitchModel:
+    """Composes ``N`` per-port packet buffers behind a crossbar fabric.
+
+    Args:
+        scenario: the switch scenario to run (use
+            :meth:`SwitchScenario.with_overrides` for ad-hoc port/slot
+            overrides).
+    """
+
+    def __init__(self, scenario: SwitchScenario) -> None:
+        self.scenario = scenario
+
+    def build_port_jobs(self, engine: str = DEFAULT_ENGINE,
+                        num_slots: Optional[int] = None,
+                        ) -> Tuple[List[Job], FabricStats]:
+        """Run the fabric stage and return one runner job per egress port,
+        together with the fabric stage's statistics.
+
+        Exposed separately so callers (the CLI's ``--dry-run``, tests) can
+        inspect the sharding without executing the port stage.
+        """
+        traces, stats = run_fabric(self.scenario, num_slots)
+        jobs = [Job(func=PORT_JOB_FUNC,
+                    kwargs={"spec": port.to_spec(), "engine": engine},
+                    tag=f"port{index}")
+                for index, port in enumerate(
+                    port_scenarios(self.scenario, traces))]
+        return jobs, stats
+
+    def run(self,
+            *,
+            engine: str = DEFAULT_ENGINE,
+            jobs: int = 1,
+            runner: Optional[SweepRunner] = None,
+            num_slots: Optional[int] = None) -> SwitchReport:
+        """Simulate the switch and merge the per-port reports.
+
+        Args:
+            engine: simulation core for every port (``array`` by default;
+                all engines are bit-identical, so this is purely a speed
+                knob).
+            jobs: worker processes for the port stage (``0`` = one per CPU);
+                ignored when an explicit ``runner`` is given.
+            runner: an existing :class:`SweepRunner` (to share a cache);
+                defaults to an uncached runner with ``jobs`` workers.
+            num_slots: override the scenario's arrival-slot count.
+        """
+        port_jobs, stats = self.build_port_jobs(engine, num_slots)
+        if runner is None:
+            # Port jobs are uniform and known up front, so hand each worker
+            # its whole share in one message (ceil(ports / workers)) instead
+            # of one IPC round-trip per port.
+            workers = jobs if jobs > 0 else default_jobs()
+            chunk = max(1, -(-len(port_jobs) // workers))
+            runner = SweepRunner(jobs=jobs, chunksize=chunk)
+        results = runner.run(port_jobs)
+        return SwitchReport(name=self.scenario.name,
+                            num_ports=self.scenario.num_ports,
+                            engine=engine,
+                            fabric=stats,
+                            ports=tuple(results))
+
+
+def run_switch_spec(spec: Mapping[str, Any],
+                    engine: str = DEFAULT_ENGINE,
+                    jobs: int = 1,
+                    num_ports: Optional[int] = None,
+                    num_slots: Optional[int] = None) -> SwitchReport:
+    """Job entry point: rebuild the switch scenario from its spec and run it.
+
+    This is what the ``switch-suite`` experiment executes per scenario; the
+    port stage runs serially inside the worker (``jobs=1``) because the
+    outer sweep already parallelises across scenarios.
+    """
+    scenario = SwitchScenario.from_spec(spec).with_overrides(
+        num_ports=num_ports, num_slots=num_slots)
+    return SwitchModel(scenario).run(engine=engine, jobs=jobs)
+
+
+__all__ = [
+    "DEFAULT_ENGINE",
+    "FabricStats",
+    "PORT_JOB_FUNC",
+    "SwitchModel",
+    "SwitchReport",
+    "port_scenarios",
+    "run_fabric",
+    "run_switch_spec",
+]

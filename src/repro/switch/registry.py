@@ -1,0 +1,186 @@
+"""The named switch-scenario registry.
+
+What ``python -m repro switch --list`` shows and what the ``switch-suite``
+experiment sweeps.  The default suite covers the system-level traffic
+families a multi-port buffer deployment meets:
+
+* **uniform** — independent uniform destinations, the textbook baseline;
+* **hotspot egress** — one egress attracts most of the traffic;
+* **incast** — synchronised periodic fan-in at a victim egress;
+* **permutation** — a contention-free fixed permutation at near-full load;
+* **strided adversary per port** — every egress buffer is driven by a
+  Section-5-style strided adversary, with the stride varying per port;
+* **mixed scheme** — RADS and CFDS egress linecards alternating in one
+  switch;
+* **trace driven** — a canned destination trace replayed identically at
+  every ingress.
+
+Defaults are sized so the whole suite simulates in seconds at 8 ports;
+``--ports``/``--slots`` rescale any scenario (templates cycle, queue counts
+default to the port count).  Registration is open via
+:func:`register_switch_scenario`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.switch.scenario import SwitchScenario
+
+_REGISTRY: Dict[str, SwitchScenario] = {}
+
+#: Port templates shared by the default suite.  ``num_queues`` is omitted on
+#: purpose: it defaults to the port count (one VOQ per ingress).
+_RADS_PORT = {"scheme": "rads",
+              "buffer": {"granularity": 4},
+              "arbiter": {"type": "oldest_cell", "params": {}}}
+_CFDS_PORT = {"scheme": "cfds",
+              "buffer": {"dram_access_slots": 8, "granularity": 2,
+                         "num_banks": 32},
+              "arbiter": {"type": "longest_queue", "params": {}}}
+
+#: Default port count of the registered suite.
+DEFAULT_PORTS = 8
+
+
+def register_switch_scenario(scenario: SwitchScenario,
+                             replace: bool = False) -> SwitchScenario:
+    """Add ``scenario`` to the registry (``replace=True`` to overwrite)."""
+    if not replace and scenario.name in _REGISTRY:
+        raise ConfigurationError(
+            f"switch scenario {scenario.name!r} is already registered")
+    _REGISTRY[scenario.name] = scenario
+    return scenario
+
+
+def get_switch_scenario(name: str) -> SwitchScenario:
+    """Look up one switch scenario by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ConfigurationError(
+            f"unknown switch scenario {name!r} (known: {known})")
+
+
+def switch_scenario_names(tag: Optional[str] = None) -> List[str]:
+    """Sorted names of all registered switch scenarios (optionally by tag)."""
+    return sorted(name for name, scn in _REGISTRY.items()
+                  if tag is None or tag in scn.tags)
+
+
+def all_switch_scenarios() -> List[SwitchScenario]:
+    """All registered switch scenarios, in name order."""
+    return [_REGISTRY[name] for name in switch_scenario_names()]
+
+
+# --------------------------------------------------------------------- #
+# The default suite
+# --------------------------------------------------------------------- #
+
+def _canonical_destination_trace(num_slots: int = 1500,
+                                 num_ports: int = DEFAULT_PORTS,
+                                 seed: int = 4321) -> List[Optional[int]]:
+    """A deterministic destination sequence for the trace-driven scenario.
+
+    Generated once at import from a seeded RNG so the pattern is a plain
+    JSON-serialisable list, identical in every process — the property an
+    externally captured fabric trace would have.  Mildly bursty: runs of the
+    same destination, gaps in between.
+    """
+    rng = random.Random(seed)
+    pattern: List[Optional[int]] = []
+    while len(pattern) < num_slots:
+        if rng.random() < 0.25:
+            pattern.append(None)
+            continue
+        destination = rng.randrange(num_ports)
+        for _ in range(min(rng.randint(1, 6), num_slots - len(pattern))):
+            pattern.append(destination)
+    return pattern
+
+
+def _default_switch_scenarios() -> List[SwitchScenario]:
+    destination_trace = _canonical_destination_trace()
+    return [
+        SwitchScenario(
+            name="uniform",
+            description="Uniform Bernoulli destinations at 85% load, iSLIP",
+            num_ports=DEFAULT_PORTS,
+            traffic={"type": "bernoulli", "params": {"load": 0.85}},
+            fabric={"type": "islip", "params": {}},
+            ports=(_RADS_PORT,),
+            num_slots=2000, seed=31, tags=("baseline",)),
+        SwitchScenario(
+            name="hotspot-egress",
+            description="70% of every ingress's traffic aimed at egress 0",
+            num_ports=DEFAULT_PORTS,
+            traffic={"type": "hotspot",
+                     "params": {"hot_queues": [0], "hot_fraction": 0.7,
+                                "load": 0.8}},
+            fabric={"type": "islip", "params": {}},
+            ports=(_RADS_PORT,),
+            num_slots=2000, seed=37, tags=("hotspot",)),
+        SwitchScenario(
+            name="incast",
+            description="Synchronised 10-slot fan-in bursts at egress 0 "
+                        "every 64 slots, CFDS linecards",
+            num_ports=DEFAULT_PORTS,
+            traffic={"type": "incast",
+                     "params": {"victim": 0, "period": 64, "burst": 10,
+                                "load": 0.45}},
+            fabric={"type": "random", "params": {}},
+            ports=(_CFDS_PORT,),
+            num_slots=2000, seed=41, tags=("incast", "bursty")),
+        SwitchScenario(
+            name="permutation",
+            description="Contention-free fixed permutation (shift 3) at 95% "
+                        "load — the fabric calibration pattern",
+            num_ports=DEFAULT_PORTS,
+            traffic={"type": "permutation",
+                     "params": {"shift": 3, "load": 0.95}},
+            fabric={"type": "priority", "params": {}},
+            ports=(_RADS_PORT,),
+            num_slots=2000, seed=43, tags=("baseline", "calibration")),
+        SwitchScenario(
+            name="strided-ports",
+            description="Full-load round-robin ingress, strided adversary "
+                        "on every egress buffer (stride varies per port)",
+            num_ports=DEFAULT_PORTS,
+            traffic={"type": "round_robin", "params": {"load": 1.0}},
+            fabric={"type": "islip", "params": {}},
+            ports=tuple(
+                {"scheme": "rads",
+                 "buffer": {"granularity": 4},
+                 "arbiter": {"type": "strided_adversary",
+                             "params": {"stride": stride, "burst": burst}}}
+                for stride, burst in ((1, 1), (3, 1), (5, 2), (7, 3))),
+            num_slots=2000, seed=0, tags=("adversarial",)),
+        SwitchScenario(
+            name="mixed-scheme",
+            description="Alternating RADS and CFDS egress linecards under "
+                        "Zipf destination popularity",
+            num_ports=DEFAULT_PORTS,
+            traffic={"type": "zipf",
+                     "params": {"exponent": 1.1, "load": 0.8}},
+            fabric={"type": "islip", "params": {}},
+            ports=(_RADS_PORT, _CFDS_PORT),
+            num_slots=2000, seed=47, tags=("mixed", "hotspot")),
+        SwitchScenario(
+            name="trace-driven",
+            description="Canned bursty destination trace replayed at every "
+                        "ingress (maximum synchronised contention)",
+            num_ports=DEFAULT_PORTS,
+            traffic={"type": "trace",
+                     "params": {"pattern": destination_trace}},
+            fabric={"type": "islip", "params": {}},
+            ports=(_RADS_PORT,),
+            num_slots=len(destination_trace), seed=0, tags=("replay",)),
+    ]
+
+
+for _scenario in _default_switch_scenarios():
+    register_switch_scenario(_scenario)
+del _scenario

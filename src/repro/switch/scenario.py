@@ -1,0 +1,204 @@
+"""Declarative switch-level scenarios.
+
+A :class:`SwitchScenario` is to a switch what
+:class:`~repro.workloads.scenario.Scenario` is to one linecard buffer: plain
+data that fully specifies a run and round-trips through a JSON spec dict, so
+switch runs can travel through the experiment runner and its cache.
+
+A switch scenario names:
+
+* ``num_ports`` — the port count ``N`` (ingress and egress are symmetric);
+* ``traffic`` — one ingress-traffic spec, instantiated per ingress port with
+  injected per-ingress seeds (see :mod:`repro.switch.traffic`);
+* ``fabric`` — the crossbar matching policy spec
+  (see :mod:`repro.switch.fabric`);
+* ``ports`` — a tuple of per-port *templates* ``{"scheme", "buffer",
+  "arbiter"}`` cycled over the egress ports (one template = a homogeneous
+  switch; two alternating templates = the mixed-scheme scenario; ``N``
+  templates = fully heterogeneous).  A template's buffer and arbiter default
+  their ``num_queues`` to the port count, because an egress buffer keeps one
+  VOQ per ingress port — so the same scenario re-scales with ``--ports``.
+
+The degenerate one-port case reduces to a single :class:`Scenario`: the
+switch layer *builds* a ``Scenario`` per egress port (its arrivals being the
+fabric's egress trace) and merges the resulting
+:class:`~repro.workloads.scenario.ScenarioResult` objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.switch.fabric import FABRIC_TYPES, FabricArbiter
+from repro.switch.traffic import INGRESS_TRAFFIC_TYPES
+from repro.workloads.scenario import (
+    ARBITER_TYPES,
+    SCHEMES,
+    _copy_spec,
+    accepts_param,
+)
+
+#: Deterministic spread between per-port / per-ingress seeds, chosen large
+#: and odd so neighbouring ports never share generator streams.
+PORT_SEED_STRIDE = 0x1F123
+
+
+def _check_component(spec: Mapping[str, Any], table: Mapping[str, type],
+                     kind: str) -> None:
+    if not isinstance(spec, Mapping) or "type" not in spec:
+        raise ConfigurationError(
+            f"{kind} spec must be a dict with a 'type' key")
+    if spec["type"] not in table:
+        known = ", ".join(sorted(table))
+        raise ConfigurationError(
+            f"unknown {kind} type {spec['type']!r} (known: {known})")
+
+
+def _inject_arbiter_queues(spec: Mapping[str, Any],
+                           num_queues: int) -> Dict[str, Any]:
+    """Deep-copy an arbiter spec, defaulting ``num_queues`` at every level
+    that accepts it (wrapper arbiters like ``intermittent`` carry an inner
+    spec instead)."""
+    out = _copy_spec(spec)
+    params = out["params"]
+    if "inner" in params and isinstance(params["inner"], Mapping):
+        params["inner"] = _inject_arbiter_queues(params["inner"], num_queues)
+    cls = ARBITER_TYPES.get(out["type"])
+    if (cls is not None and accepts_param(cls, "num_queues")
+            and "num_queues" not in params):
+        params["num_queues"] = num_queues
+    return out
+
+
+@dataclass(frozen=True)
+class SwitchScenario:
+    """One fully specified multi-port switch workload.
+
+    Attributes:
+        name: registry key, also the CLI name.
+        description: one line for ``python -m repro switch --list``.
+        num_ports: ingress/egress port count ``N``.
+        traffic: ingress-traffic spec dict, broadcast to every ingress port
+            with injected per-ingress seeds.
+        fabric: fabric-arbiter spec dict.
+        ports: per-port buffer templates, cycled over the egress ports; each
+            is ``{"scheme": ..., "buffer": {...}, "arbiter": {...}}``.
+        num_slots: arrival slots to simulate (the fabric then flushes its
+            VOQs and every port drains).
+        seed: master seed; every ingress source, the fabric and every port
+            scenario derive their own seed from it deterministically.
+        tags: free-form labels.
+    """
+
+    name: str
+    description: str
+    num_ports: int
+    traffic: Mapping[str, Any]
+    fabric: Mapping[str, Any]
+    ports: Tuple[Mapping[str, Any], ...]
+    num_slots: int
+    seed: int = 0
+    tags: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.num_ports <= 0:
+            raise ConfigurationError("num_ports must be positive")
+        if self.num_slots < 0:
+            raise ConfigurationError("num_slots must be non-negative")
+        if not self.ports:
+            raise ConfigurationError(
+                "ports must name at least one port template")
+        _check_component(self.traffic, INGRESS_TRAFFIC_TYPES, "ingress traffic")
+        _check_component(self.fabric, FABRIC_TYPES, "fabric")
+        for template in self.ports:
+            scheme = template.get("scheme")
+            if scheme not in SCHEMES:
+                known = ", ".join(sorted(SCHEMES))
+                raise ConfigurationError(
+                    f"unknown port scheme {scheme!r} (known: {known})")
+
+    # ------------------------------------------------------------------ #
+    # Derived views
+    # ------------------------------------------------------------------ #
+    def port_spec(self, port: int) -> Dict[str, Any]:
+        """The fully defaulted buffer/arbiter spec of egress ``port``.
+
+        Templates are cycled (``ports[port % len(ports)]``) and their
+        ``num_queues`` defaulted to the port count — one VOQ per ingress —
+        unless the template pins its own.
+        """
+        template = self.ports[port % len(self.ports)]
+        buffer = dict(template.get("buffer", {}))
+        buffer.setdefault("num_queues", self.num_ports)
+        arbiter = template.get("arbiter")
+        if arbiter is not None:
+            arbiter = _inject_arbiter_queues(arbiter, buffer["num_queues"])
+        return {"scheme": template["scheme"], "buffer": buffer,
+                "arbiter": arbiter}
+
+    def port_seed(self, port: int) -> int:
+        """Deterministic per-port seed (also the per-ingress traffic seed)."""
+        return self.seed + PORT_SEED_STRIDE * (port + 1)
+
+    def build_fabric(self) -> FabricArbiter:
+        cls = FABRIC_TYPES[self.fabric["type"]]
+        params = dict(self.fabric.get("params", {}))
+        if accepts_param(cls, "num_ports") and "num_ports" not in params:
+            params["num_ports"] = self.num_ports
+        if accepts_param(cls, "seed") and "seed" not in params:
+            params["seed"] = self.seed + 0xFAB
+        return cls(**params)
+
+    def with_overrides(self,
+                       num_ports: Optional[int] = None,
+                       num_slots: Optional[int] = None) -> "SwitchScenario":
+        """A copy with the CLI-style overrides applied (``None`` = keep)."""
+        changes: Dict[str, Any] = {}
+        if num_ports is not None:
+            changes["num_ports"] = num_ports
+        if num_slots is not None:
+            changes["num_slots"] = num_slots
+        return replace(self, **changes) if changes else self
+
+    # ------------------------------------------------------------------ #
+    # Spec round-trip
+    # ------------------------------------------------------------------ #
+    def to_spec(self) -> Dict[str, Any]:
+        """JSON-serialisable dict from which :meth:`from_spec` rebuilds this
+        scenario (the form that travels through the runner cache)."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "num_ports": self.num_ports,
+            "traffic": _copy_spec(self.traffic),
+            "fabric": _copy_spec(self.fabric),
+            "ports": [
+                {"scheme": t["scheme"],
+                 "buffer": dict(t.get("buffer", {})),
+                 "arbiter": (None if t.get("arbiter") is None
+                             else _copy_spec(t["arbiter"]))}
+                for t in self.ports
+            ],
+            "num_slots": self.num_slots,
+            "seed": self.seed,
+            "tags": list(self.tags),
+        }
+
+    @classmethod
+    def from_spec(cls, spec: Mapping[str, Any]) -> "SwitchScenario":
+        try:
+            return cls(
+                name=spec["name"],
+                description=spec.get("description", ""),
+                num_ports=spec["num_ports"],
+                traffic=spec["traffic"],
+                fabric=spec["fabric"],
+                ports=tuple(spec["ports"]),
+                num_slots=spec["num_slots"],
+                seed=spec.get("seed", 0),
+                tags=tuple(spec.get("tags", ())),
+            )
+        except KeyError as exc:
+            raise ConfigurationError(f"switch scenario spec is missing key {exc}")

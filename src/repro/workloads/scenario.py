@@ -79,8 +79,18 @@ SCHEMES: Dict[str, Tuple[type, type]] = {
 }
 
 
+def accepts_param(cls: type, name: str) -> bool:
+    """True when ``cls.__init__`` takes a parameter called ``name``.
+
+    The spec builders use this to inject context a spec dict should not have
+    to spell out (the scenario seed here; the port count and ingress index in
+    :mod:`repro.switch`) without breaking generators that do not take it.
+    """
+    return name in inspect.signature(cls.__init__).parameters
+
+
 def _accepts_seed(cls: type) -> bool:
-    return "seed" in inspect.signature(cls.__init__).parameters
+    return accepts_param(cls, "seed")
 
 
 def _build_component(spec: Mapping[str, Any], table: Dict[str, type],
@@ -236,7 +246,16 @@ def _copy_spec(spec: Mapping[str, Any]) -> Dict[str, Any]:
 
 @dataclass(frozen=True)
 class ScenarioResult:
-    """Flat, cache-serialisable summary of one scenario run."""
+    """Flat, cache-serialisable summary of one scenario run.
+
+    This is also the per-port result type of the switch layer
+    (:mod:`repro.switch`): a registered single-port scenario is simply the
+    degenerate one-port case, and a switch port is a ``Scenario`` whose
+    arrivals are the fabric's egress trace.  ``latency_histogram`` carries the
+    full delay distribution as sorted ``(delay, count)`` pairs so port
+    results can be merged into exact switch-level percentiles (merged
+    per-port histograms, never averaged per-port percentiles).
+    """
 
     name: str
     scheme: str
@@ -256,6 +275,7 @@ class ScenarioResult:
     bank_conflicts: int
     max_head_sram_occupancy: int
     max_tail_sram_occupancy: int
+    latency_histogram: Tuple[Tuple[int, int], ...] = ()
 
     @classmethod
     def from_report(cls, name: str, scheme: str,
@@ -282,6 +302,7 @@ class ScenarioResult:
             bank_conflicts=result.bank_conflicts,
             max_head_sram_occupancy=result.max_head_sram_occupancy,
             max_tail_sram_occupancy=result.max_tail_sram_occupancy,
+            latency_histogram=latency.histogram_items(),
         )
 
 

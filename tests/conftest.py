@@ -9,6 +9,13 @@ from repro.rads.config import RADSConfig
 from repro.types import Cell
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="rewrite the golden-report fixtures under tests/fixtures/golden/ "
+             "from the current engine output instead of comparing to them")
+
+
 @pytest.fixture
 def small_rads_config() -> RADSConfig:
     """A small but non-trivial RADS configuration used across tests."""

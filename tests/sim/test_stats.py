@@ -136,3 +136,75 @@ class TestRecordDelay:
             stats.record_delay(-1)
         with pytest.raises(ValueError):
             stats.record_delay(3, 0)
+
+
+class TestEmptyStats:
+    """The documented edge case: an empty collector answers every query with
+    a well-defined zero, never an artefact of the percentile sweep."""
+
+    def test_percentiles_on_empty_stats_are_zero(self):
+        stats = LatencyStats()
+        assert stats.percentiles((0.50, 0.95, 0.99)) == (0, 0, 0)
+        assert stats.percentile(0.01) == 0
+        assert stats.percentile(1.0) == 0
+
+    def test_percentile_properties_on_empty_stats(self):
+        stats = LatencyStats()
+        assert stats.p50 == 0
+        assert stats.p95 == 0
+        assert stats.p99 == 0
+        assert isinstance(stats.p99, int)
+
+    def test_empty_stats_still_validate_fractions(self):
+        with pytest.raises(ValueError):
+            LatencyStats().percentile(0.0)
+        with pytest.raises(ValueError):
+            LatencyStats().percentiles((1.01,))
+
+    def test_count_distinguishes_empty_from_all_zero_delays(self):
+        empty, zeros = LatencyStats(), LatencyStats()
+        zeros.record_delay(0, 5)
+        assert empty.percentile(0.5) == zeros.percentile(0.5) == 0
+        assert empty.count == 0
+        assert zeros.count == 5
+
+
+class TestHistogramRoundTrip:
+    def _loaded(self) -> LatencyStats:
+        stats = LatencyStats()
+        stats.record_delay(3, 4)
+        stats.record_delay(1, 2)
+        stats.record_delay(10)
+        return stats
+
+    def test_histogram_items_sorted(self):
+        assert self._loaded().histogram_items() == ((1, 2), (3, 4), (10, 1))
+
+    def test_from_histogram_reconstructs_equal_collector(self):
+        stats = self._loaded()
+        rebuilt = LatencyStats.from_histogram(stats.histogram_items())
+        assert rebuilt == stats
+        assert rebuilt.mean == stats.mean
+        assert rebuilt.percentiles((0.5, 0.99)) == stats.percentiles((0.5, 0.99))
+
+    def test_from_empty_histogram(self):
+        assert LatencyStats.from_histogram(()) == LatencyStats()
+
+    def test_merge_equals_single_collector(self):
+        """Merging port-level collectors reproduces the collector a single
+        run over all observations would have built."""
+        left, right, combined = LatencyStats(), LatencyStats(), LatencyStats()
+        for delay, count in ((0, 3), (4, 1), (7, 2)):
+            left.record_delay(delay, count)
+            combined.record_delay(delay, count)
+        for delay, count in ((4, 5), (12, 1)):
+            right.record_delay(delay, count)
+            combined.record_delay(delay, count)
+        assert left.merge(right) is left
+        assert left == combined
+
+    def test_merge_with_empty_is_identity(self):
+        stats = self._loaded()
+        before = stats.snapshot()
+        stats.merge(LatencyStats())
+        assert stats.snapshot() == before

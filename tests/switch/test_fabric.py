@@ -1,0 +1,138 @@
+"""Unit tests of the crossbar fabric arbiters."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.switch.fabric import (
+    FABRIC_TYPES,
+    ISLIPFabricArbiter,
+    PriorityFabricArbiter,
+    RandomFabricArbiter,
+)
+
+ALL_POLICIES = sorted(FABRIC_TYPES)
+
+
+def _make(policy: str, num_ports: int = 4):
+    cls = FABRIC_TYPES[policy]
+    if policy == "random":
+        return cls(num_ports, seed=7)
+    return cls(num_ports)
+
+
+def _assert_valid_matching(matches, requests, num_ports):
+    ingresses = [i for i, _ in matches]
+    egresses = [e for _, e in matches]
+    assert len(set(ingresses)) == len(ingresses), "ingress matched twice"
+    assert len(set(egresses)) == len(egresses), "egress matched twice"
+    for ingress, egress in matches:
+        assert 0 <= ingress < num_ports
+        assert egress in requests[ingress], "match not backed by a request"
+
+
+class TestMatchingInvariants:
+    @pytest.mark.parametrize("policy", ALL_POLICIES)
+    def test_empty_requests_match_nothing(self, policy):
+        arbiter = _make(policy)
+        assert arbiter.match(0, [[], [], [], []]) == []
+
+    @pytest.mark.parametrize("policy", ALL_POLICIES)
+    def test_matching_is_conflict_free_and_backed(self, policy):
+        arbiter = _make(policy)
+        requests = [[0, 2], [0, 1, 3], [2], [0, 3]]
+        for slot in range(50):
+            matches = arbiter.match(slot, requests)
+            _assert_valid_matching(matches, requests, 4)
+            assert matches, "work-conserving policies must match something"
+
+    @pytest.mark.parametrize("policy", ALL_POLICIES)
+    def test_single_requester_always_served(self, policy):
+        arbiter = _make(policy)
+        for slot in range(10):
+            assert arbiter.match(slot, [[], [3], [], []]) == [(1, 3)]
+
+    @pytest.mark.parametrize("policy", ALL_POLICIES)
+    def test_full_contention_serves_exactly_one(self, policy):
+        """All ingresses request only egress 0: exactly one wins per slot."""
+        arbiter = _make(policy)
+        requests = [[0]] * 4
+        for slot in range(20):
+            matches = arbiter.match(slot, requests)
+            assert len(matches) == 1
+            assert matches[0][1] == 0
+
+    @pytest.mark.parametrize("policy", ALL_POLICIES)
+    def test_out_of_range_request_rejected(self, policy):
+        arbiter = _make(policy)
+        with pytest.raises(ConfigurationError):
+            arbiter.match(0, [[4], [], [], []])
+
+    @pytest.mark.parametrize("policy", ALL_POLICIES)
+    def test_rejects_non_positive_port_count(self, policy):
+        with pytest.raises(ConfigurationError):
+            FABRIC_TYPES[policy](0)
+
+
+class TestISLIP:
+    def test_pointers_rotate_under_contention(self):
+        """Persistent single-egress contention is served round-robin: after
+        ingress i wins, the grant pointer moves past it, so the others take
+        their turns before i wins again."""
+        arbiter = ISLIPFabricArbiter(4)
+        requests = [[0]] * 4
+        winners = [arbiter.match(slot, requests)[0][0] for slot in range(8)]
+        assert sorted(winners[:4]) == [0, 1, 2, 3]
+        assert winners[:4] == winners[4:]
+
+    def test_permutation_requests_fully_matched(self):
+        """A contention-free permutation must saturate the crossbar."""
+        arbiter = ISLIPFabricArbiter(4)
+        requests = [[1], [2], [3], [0]]
+        matches = arbiter.match(0, requests)
+        assert sorted(matches) == [(0, 1), (1, 2), (2, 3), (3, 0)]
+
+    def test_pointer_not_advanced_on_unaccepted_grant(self):
+        """Ingress 0 requests both egresses; both grant to it, it accepts
+        egress 0 (its accept pointer starts there).  Egress 1's grant was
+        not accepted, so only the accept pointer moved — next slot the same
+        requests yield egress 1."""
+        arbiter = ISLIPFabricArbiter(2)
+        assert arbiter.match(0, [[0, 1], []]) == [(0, 0)]
+        assert arbiter.match(1, [[0, 1], []]) == [(0, 1)]
+
+    def test_desynchronised_pointers_reach_full_throughput(self):
+        """Under all-to-all requests, iSLIP converges to N matches/slot."""
+        arbiter = ISLIPFabricArbiter(4)
+        requests = [[0, 1, 2, 3]] * 4
+        sizes = [len(arbiter.match(slot, requests)) for slot in range(12)]
+        assert max(sizes) == 4
+        assert sizes[-1] == 4  # converged and stays converged
+
+
+class TestPriority:
+    def test_lowest_ingress_always_wins(self):
+        arbiter = PriorityFabricArbiter(4)
+        requests = [[0], [0], [0], [0]]
+        for slot in range(5):
+            assert arbiter.match(slot, requests) == [(0, 0)]
+
+    def test_lowest_egress_accepted_on_multiple_grants(self):
+        arbiter = PriorityFabricArbiter(4)
+        assert arbiter.match(0, [[1, 2], [], [], []]) == [(0, 1)]
+
+
+class TestRandom:
+    def test_same_seed_same_stream(self):
+        a = RandomFabricArbiter(4, seed=3)
+        b = RandomFabricArbiter(4, seed=3)
+        requests = [[0, 1], [0, 1], [2], [0, 3]]
+        for slot in range(30):
+            assert a.match(slot, requests) == b.match(slot, requests)
+
+    def test_different_seeds_diverge(self):
+        a = RandomFabricArbiter(8, seed=1)
+        b = RandomFabricArbiter(8, seed=2)
+        requests = [[0, 1, 2, 3]] * 8
+        streams = [[a.match(s, requests) for s in range(20)],
+                   [b.match(s, requests) for s in range(20)]]
+        assert streams[0] != streams[1]

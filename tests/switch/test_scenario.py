@@ -1,0 +1,237 @@
+"""Tests of the SwitchScenario spec, its registry and the ingress traffic."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.switch import (
+    IncastTraffic,
+    PermutationTraffic,
+    SwitchScenario,
+    all_switch_scenarios,
+    build_ingress_traffic,
+    get_switch_scenario,
+    register_switch_scenario,
+    switch_scenario_names,
+)
+
+
+def _minimal(**overrides) -> SwitchScenario:
+    fields = dict(
+        name="test-switch",
+        description="a test switch",
+        num_ports=4,
+        traffic={"type": "bernoulli", "params": {"load": 0.5}},
+        fabric={"type": "islip", "params": {}},
+        ports=({"scheme": "rads", "buffer": {"granularity": 4},
+                "arbiter": {"type": "oldest_cell", "params": {}}},),
+        num_slots=100,
+        seed=5,
+        tags=("test",),
+    )
+    fields.update(overrides)
+    return SwitchScenario(**fields)
+
+
+class TestValidation:
+    def test_rejects_non_positive_ports(self):
+        with pytest.raises(ConfigurationError):
+            _minimal(num_ports=0)
+
+    def test_rejects_negative_slots(self):
+        with pytest.raises(ConfigurationError):
+            _minimal(num_slots=-1)
+
+    def test_rejects_empty_port_templates(self):
+        with pytest.raises(ConfigurationError):
+            _minimal(ports=())
+
+    def test_rejects_unknown_scheme(self):
+        with pytest.raises(ConfigurationError):
+            _minimal(ports=({"scheme": "sram-only"},))
+
+    def test_rejects_unknown_traffic_type(self):
+        with pytest.raises(ConfigurationError):
+            _minimal(traffic={"type": "fractal", "params": {}})
+
+    def test_rejects_unknown_fabric_type(self):
+        with pytest.raises(ConfigurationError):
+            _minimal(fabric={"type": "wavefront", "params": {}})
+
+
+class TestPortSpecDefaults:
+    def test_num_queues_defaults_to_port_count(self):
+        spec = _minimal().port_spec(0)
+        assert spec["buffer"]["num_queues"] == 4
+        assert spec["arbiter"]["params"]["num_queues"] == 4
+
+    def test_pinned_num_queues_respected(self):
+        scenario = _minimal(ports=({"scheme": "rads",
+                                    "buffer": {"granularity": 4,
+                                               "num_queues": 16},
+                                    "arbiter": {"type": "oldest_cell",
+                                                "params": {}}},))
+        spec = scenario.port_spec(0)
+        assert spec["buffer"]["num_queues"] == 16
+        assert spec["arbiter"]["params"]["num_queues"] == 16
+
+    def test_wrapper_arbiter_inner_gets_queue_count(self):
+        scenario = _minimal(ports=({"scheme": "rads",
+                                    "buffer": {"granularity": 4},
+                                    "arbiter": {"type": "intermittent",
+                                                "params": {
+                                                    "inner": {
+                                                        "type": "oldest_cell",
+                                                        "params": {}},
+                                                    "on_slots": 5,
+                                                    "off_slots": 2}}},))
+        arbiter = scenario.port_spec(0)["arbiter"]
+        assert "num_queues" not in arbiter["params"]
+        assert arbiter["params"]["inner"]["params"]["num_queues"] == 4
+
+    def test_templates_cycle_over_ports(self):
+        rads = {"scheme": "rads", "buffer": {"granularity": 4},
+                "arbiter": {"type": "oldest_cell", "params": {}}}
+        cfds = {"scheme": "cfds",
+                "buffer": {"dram_access_slots": 8, "granularity": 2,
+                           "num_banks": 32},
+                "arbiter": {"type": "longest_queue", "params": {}}}
+        scenario = _minimal(ports=(rads, cfds))
+        assert [scenario.port_spec(i)["scheme"] for i in range(4)] == \
+            ["rads", "cfds", "rads", "cfds"]
+
+    def test_with_overrides_rescales_queue_defaults(self):
+        wide = _minimal().with_overrides(num_ports=16)
+        assert wide.num_ports == 16
+        assert wide.port_spec(0)["buffer"]["num_queues"] == 16
+
+    def test_with_overrides_noop_returns_equivalent(self):
+        scenario = _minimal()
+        assert scenario.with_overrides() is scenario
+
+
+class TestSpecRoundTrip:
+    def test_to_spec_is_json_serialisable(self):
+        spec = _minimal().to_spec()
+        assert json.loads(json.dumps(spec)) == spec
+
+    def test_round_trip_preserves_everything(self):
+        scenario = _minimal()
+        rebuilt = SwitchScenario.from_spec(
+            json.loads(json.dumps(scenario.to_spec())))
+        assert rebuilt.to_spec() == scenario.to_spec()
+        assert rebuilt.num_ports == scenario.num_ports
+        assert rebuilt.tags == scenario.tags
+
+    @pytest.mark.parametrize("name", switch_scenario_names())
+    def test_every_registered_scenario_round_trips(self, name):
+        scenario = get_switch_scenario(name)
+        rebuilt = SwitchScenario.from_spec(
+            json.loads(json.dumps(scenario.to_spec())))
+        assert rebuilt.to_spec() == scenario.to_spec()
+
+    def test_from_spec_missing_key_raises(self):
+        spec = _minimal().to_spec()
+        del spec["num_ports"]
+        with pytest.raises(ConfigurationError):
+            SwitchScenario.from_spec(spec)
+
+
+class TestRegistry:
+    def test_suite_covers_the_required_families(self):
+        names = switch_scenario_names()
+        assert len(names) >= 6
+        for required in ("uniform", "hotspot-egress", "incast",
+                         "strided-ports", "mixed-scheme", "trace-driven"):
+            assert required in names
+
+    def test_all_scenarios_sorted_by_name(self):
+        names = [s.name for s in all_switch_scenarios()]
+        assert names == sorted(names)
+
+    def test_duplicate_registration_rejected(self):
+        scenario = get_switch_scenario("uniform")
+        with pytest.raises(ConfigurationError):
+            register_switch_scenario(scenario)
+
+    def test_unknown_name_raises_with_known_names(self):
+        with pytest.raises(ConfigurationError, match="uniform"):
+            get_switch_scenario("no-such-switch")
+
+    def test_tag_filtering(self):
+        assert "strided-ports" in switch_scenario_names(tag="adversarial")
+        assert "uniform" not in switch_scenario_names(tag="adversarial")
+
+
+class TestIngressTraffic:
+    def test_incast_bursts_are_synchronised_across_ingresses(self):
+        sources = [build_ingress_traffic(
+            {"type": "incast", "params": {"period": 10, "burst": 3}},
+            num_ports=4, ingress=i, seed=100 + i) for i in range(4)]
+        for slot in (0, 1, 2, 10, 11, 12):
+            assert all(s.next_arrival(slot) == 0 for s in sources)
+
+    def test_incast_background_streams_differ_per_ingress(self):
+        a = build_ingress_traffic(
+            {"type": "incast", "params": {"period": 8, "burst": 1,
+                                          "load": 0.9}},
+            num_ports=8, ingress=0, seed=1)
+        b = build_ingress_traffic(
+            {"type": "incast", "params": {"period": 8, "burst": 1,
+                                          "load": 0.9}},
+            num_ports=8, ingress=1, seed=2)
+        streams = [[s.next_arrival(slot) for slot in range(200)]
+                   for s in (a, b)]
+        assert streams[0] != streams[1]
+
+    def test_incast_validates_parameters(self):
+        with pytest.raises(ValueError):
+            IncastTraffic(num_queues=4, victim=4)
+        with pytest.raises(ValueError):
+            IncastTraffic(num_queues=4, period=4, burst=5)
+        with pytest.raises(ValueError):
+            IncastTraffic(num_queues=4, load=1.5)
+
+    def test_permutation_targets_shifted_ingress(self):
+        source = PermutationTraffic(num_queues=8, ingress=3, shift=2,
+                                    load=1.0)
+        assert all(source.next_arrival(slot) == 5 for slot in range(10))
+
+    def test_permutation_injected_ingress_index(self):
+        spec = {"type": "permutation", "params": {"shift": 1, "load": 1.0}}
+        destinations = {build_ingress_traffic(spec, 4, i, seed=0)
+                        .next_arrival(0) for i in range(4)}
+        assert destinations == {0, 1, 2, 3}
+
+    def test_single_port_arrival_types_usable_as_ingress_traffic(self):
+        source = build_ingress_traffic(
+            {"type": "zipf", "params": {"exponent": 1.2, "load": 1.0}},
+            num_ports=8, ingress=0, seed=3)
+        draws = [source.next_arrival(slot) for slot in range(500)]
+        assert all(d is None or 0 <= d < 8 for d in draws)
+
+    def test_trace_patterns_fold_to_the_port_count(self):
+        """A destination trace captured on a larger switch rescales by
+        folding, so trace-driven scenarios honour --ports like the rest."""
+        source = build_ingress_traffic(
+            {"type": "trace", "params": {"pattern": [6, None, 3, 7]}},
+            num_ports=4, ingress=0, seed=0)
+        assert [source.next_arrival(s) for s in range(4)] == [2, None, 3, 3]
+
+    def test_trace_driven_scenario_rescales_below_its_trace(self):
+        from repro.switch import SwitchModel
+
+        scenario = get_switch_scenario("trace-driven").with_overrides(
+            num_ports=4, num_slots=200)
+        report = SwitchModel(scenario).run(jobs=1)
+        assert report.num_ports == 4
+        assert report.zero_miss
+
+    def test_unknown_traffic_type_raises(self):
+        with pytest.raises(ConfigurationError, match="incast"):
+            build_ingress_traffic({"type": "bogus"}, 4, 0, 0)
+
+    def test_spec_without_type_raises(self):
+        with pytest.raises(ConfigurationError):
+            build_ingress_traffic({}, 4, 0, 0)

@@ -1,0 +1,70 @@
+"""Golden-report regression fixtures.
+
+Every registered single-port scenario has a committed JSON snapshot of its
+``SimulationReport.summary()`` under ``tests/fixtures/golden/``.  The
+cross-engine tests prove the three engines agree *with each other*; these
+fixtures prove they agree *with the past* — an engine refactor that shifts
+behaviour consistently across all engines (and so passes every equivalence
+test) still cannot drift silently.
+
+After an intentional behaviour change, regenerate with::
+
+    python -m pytest tests/workloads/test_golden.py --update-golden
+
+and review the fixture diff like any other code change.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.workloads.registry import get_scenario, scenario_names
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "fixtures" / "golden"
+
+
+def _canonical(summary):
+    """The summary as it round-trips through JSON (tuples become lists,
+    float repr normalises) — what a committed fixture can actually store."""
+    return json.loads(json.dumps(summary, sort_keys=True))
+
+
+@pytest.mark.parametrize("name", scenario_names())
+def test_summary_matches_golden_fixture(name, request):
+    scenario = get_scenario(name)
+    summary = _canonical(scenario.run().summary())
+    path = GOLDEN_DIR / f"{name}.json"
+    if request.config.getoption("--update-golden"):
+        GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n",
+                        encoding="utf-8")
+        pytest.skip(f"golden fixture rewritten: {path}")
+    assert path.exists(), (
+        f"no golden fixture for scenario {name!r}; run "
+        f"pytest tests/workloads/test_golden.py --update-golden and commit "
+        f"{path}")
+    stored = json.loads(path.read_text(encoding="utf-8"))
+    assert summary == stored, (
+        f"scenario {name!r} drifted from its golden fixture {path}; if the "
+        f"change is intentional, regenerate with --update-golden and review "
+        f"the diff")
+
+
+def test_no_orphaned_golden_fixtures():
+    """Every fixture corresponds to a registered scenario — fixtures for
+    deleted scenarios would otherwise linger and rot."""
+    fixtures = {p.stem for p in GOLDEN_DIR.glob("*.json")}
+    assert fixtures <= set(scenario_names()), (
+        f"orphaned golden fixtures: {sorted(fixtures - set(scenario_names()))}")
+
+
+def test_golden_fixtures_are_engine_independent():
+    """The fixture pins *behaviour*, not an engine: any engine's summary
+    must match it (spot-checked on one scenario per scheme)."""
+    for name in ("uniform-bernoulli", "markov-onoff"):
+        scenario = get_scenario(name)
+        stored = json.loads(
+            (GOLDEN_DIR / f"{name}.json").read_text(encoding="utf-8"))
+        for engine in ("reference", "array"):
+            assert _canonical(scenario.run(engine=engine).summary()) == stored
