@@ -104,7 +104,7 @@ from repro.workloads import (
 # Minor bump for PR 4: ScenarioResult grew latency_histogram (a cache
 # schema change — the version-keyed result cache must not serve pre-PR-4
 # entries whose histogram would deserialise empty).
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",

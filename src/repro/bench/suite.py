@@ -4,14 +4,15 @@ Every PR that touches a hot path needs a comparable baseline; this module
 provides it.  The suite is a *fixed* set of benchmarks — the closed-loop
 scenario on each engine, the wide-queue stressor that magnifies per-slot
 overhead, a CFDS scenario exercising the DRAM scheduler subsystem, the
-head-MMA ablation, and the multi-port switch pipeline (the serial fabric
+head-MMA ablation, the multi-port switch pipeline (the serial fabric
 stage alone, then the full run with ports serial vs sharded over 4
-workers) — each timed for a handful of repetitions, with the **median**
+workers), and the long-horizon streaming path (chunked runs, with and
+without checkpointing) — each timed for a handful of repetitions, with the **median**
 wall-clock time recorded per benchmark.  Results are written as JSON
-(``BENCH_4.json`` by default; the number tracks the PR that produced the
+(``BENCH_5.json`` by default; the number tracks the PR that produced the
 file), so successive snapshots can be diffed mechanically::
 
-    python -m repro bench                 # full suite -> BENCH_4.json
+    python -m repro bench                 # full suite -> BENCH_5.json
     python -m repro bench --quick         # reduced slot counts (CI perf-smoke)
     python -m repro bench --filter wide   # only the wide-queue benchmarks
 
@@ -34,7 +35,7 @@ from repro.runner.sweep import available_cpus
 
 #: Default output file.  The suffix tracks the PR that produced the
 #: snapshot so the repository can accumulate a BENCH_<n>.json trajectory.
-DEFAULT_OUTPUT = "BENCH_4.json"
+DEFAULT_OUTPUT = "BENCH_5.json"
 
 #: JSON schema version of the output document.
 SCHEMA = 1
@@ -56,6 +57,12 @@ SWITCH_SLOTS = 6000
 #: switch pipeline's Amdahl ceiling, so its trajectory is tracked alone).
 FABRIC_SLOTS = 20_000
 QUICK_FABRIC_SLOTS = 5000
+#: The long-horizon streaming benchmark: a slot count well past what the
+#: quick scenarios cover, run in bounded chunks (kslots/s is the headline).
+STREAM_SLOTS = 250_000
+QUICK_STREAM_SLOTS = 20_000
+STREAM_CHUNK_SLOTS = 32_768
+STREAM_QUEUES = 8
 
 #: A benchmark thunk plus the metadata recorded next to its timings.
 BenchSetup = Tuple[Callable[[], object], Dict[str, Any]]
@@ -196,6 +203,52 @@ def _switch_setup(jobs: int, quick: bool) -> BenchSetup:
                    "engine": "array"}
 
 
+def stream_scenario(num_slots: int = STREAM_SLOTS):
+    """The long-horizon streaming stressor: a plain Bernoulli/random-arbiter
+    RADS workload whose only point is slot count.  Not a registered scenario:
+    benchmarks must not drift when the registry grows."""
+    from repro.workloads import Scenario
+
+    return Scenario(
+        name="stream-bernoulli",
+        description="long-horizon streaming stressor",
+        scheme="rads",
+        buffer={"num_queues": STREAM_QUEUES, "granularity": 4},
+        arrivals={"type": "bernoulli",
+                  "params": {"num_queues": STREAM_QUEUES, "load": 0.85}},
+        arbiter={"type": "random",
+                 "params": {"num_queues": STREAM_QUEUES, "load": 0.9}},
+        num_slots=num_slots, seed=7)
+
+
+def _stream_setup(engine: str, quick: bool,
+                  checkpoint: bool = False) -> BenchSetup:
+    import os
+    import tempfile
+
+    slots = QUICK_STREAM_SLOTS if quick else STREAM_SLOTS
+    scenario = stream_scenario(num_slots=slots)
+    every = max(slots // 4, 1)
+
+    if checkpoint:
+        def thunk():
+            with tempfile.TemporaryDirectory() as tmpdir:
+                return scenario.run_stream(
+                    engine=engine, chunk_slots=STREAM_CHUNK_SLOTS,
+                    checkpoint_every=every,
+                    checkpoint_path=os.path.join(tmpdir, "bench.ckpt.json"))
+    else:
+        def thunk():
+            return scenario.run_stream(engine=engine,
+                                       chunk_slots=STREAM_CHUNK_SLOTS)
+
+    metrics = {"slots": slots, "scheme": "rads", "engine": engine,
+               "chunk_slots": STREAM_CHUNK_SLOTS, "stream": True}
+    if checkpoint:
+        metrics["checkpoint_every"] = every
+    return thunk, metrics
+
+
 def _fabric_setup(quick: bool) -> BenchSetup:
     from repro.switch import run_fabric
 
@@ -255,6 +308,15 @@ SUITE: Tuple[BenchCase, ...] = (
     _case("switch/cfds-8port/jobs4",
           "8-port CFDS switch, ports sharded over 4 workers",
           lambda quick: _switch_setup(4, quick)),
+    _case("stream/long-horizon/batched",
+          "long-horizon streamed run, batched engine, chunked plans",
+          lambda quick: _stream_setup("batched", quick)),
+    _case("stream/long-horizon/array",
+          "long-horizon streamed run, struct-of-arrays engine",
+          lambda quick: _stream_setup("array", quick)),
+    _case("stream/long-horizon/array-checkpointed",
+          "streamed run writing 3 resumable checkpoints along the way",
+          lambda quick: _stream_setup("array", quick, checkpoint=True)),
 )
 
 #: Ratios derived from pairs of benchmark medians (numerator / denominator —
@@ -270,6 +332,10 @@ DERIVED_RATIOS: Tuple[Tuple[str, str, str], ...] = (
      "scenario/uniform-bernoulli/batched"),
     ("switch-scaling-jobs4-over-jobs1", "switch/cfds-8port/jobs1",
      "switch/cfds-8port/jobs4"),
+    ("stream-speedup-array-over-batched", "stream/long-horizon/batched",
+     "stream/long-horizon/array"),
+    ("stream-checkpoint-overhead", "stream/long-horizon/array-checkpointed",
+     "stream/long-horizon/array"),
 )
 
 

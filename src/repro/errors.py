@@ -71,6 +71,39 @@ class QueueEmptyError(ReproError):
         self.queue = queue
 
 
+class ArbiterContractError(ReproError):
+    """An arbiter returned something other than ``None`` or a valid queue index.
+
+    The engine contract is that ``next_request`` returns ``None`` (stay idle)
+    or a plain ``int`` in ``[0, num_queues)``.  Every simulation engine
+    enforces this identically, so a misbehaving custom arbiter fails loudly
+    and in the same way on the reference, batched and array paths instead of
+    crashing with an ``IndexError`` on one and silently diverging on another.
+    """
+
+    def __init__(self, request: object, num_queues: int, slot: int) -> None:
+        super().__init__(
+            f"arbiter returned {request!r} at slot {slot}, but a request must "
+            f"be None or an int in [0, {num_queues})"
+        )
+        self.request = request
+        self.num_queues = num_queues
+        self.slot = slot
+
+
+class StaleSimulationError(ReproError):
+    """A simulation that has already run (or been stepped) was run again.
+
+    The array engine replays a run from slot 0 on its own state arrays, so it
+    requires a freshly built simulation; re-running one would silently
+    produce a wrong report.
+    """
+
+
+class CheckpointError(ReproError):
+    """A streaming checkpoint file is missing, corrupt, or incompatible."""
+
+
 class RenamingError(ReproError):
     """The renaming subsystem ran out of physical queues or violated FIFO order."""
 

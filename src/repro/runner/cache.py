@@ -56,6 +56,17 @@ class ResultCache:
         """The version-stamped directory entries live in."""
         return self.root / self.version
 
+    def artifact_dir(self, kind: str) -> Path:
+        """A version-stamped directory for auxiliary run artifacts.
+
+        Streaming checkpoints (``kind="checkpoints"``) live here so they are
+        invalidated together with the results they would resume into; the
+        startup temp-file sweep covers these directories too.
+        """
+        path = self.directory / kind
+        path.mkdir(parents=True, exist_ok=True)
+        return path
+
     def key(self, job: Job) -> str:
         """Stable hex digest identifying ``job`` under the current version."""
         payload = {"version": self.version, "job": job.signature()}
@@ -96,13 +107,27 @@ class ResultCache:
         }
         path = self.path(job)
         tmp = path.with_name(path.name + f".tmp.{os.getpid()}")
-        with open(tmp, "w", encoding="utf-8") as handle:
-            json.dump(entry, handle, sort_keys=True)
-        os.replace(tmp, path)
+        try:
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(entry, handle, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            # Never leave the temp file behind on a failed write (a full
+            # disk, an unserialisable result, a KeyboardInterrupt...).
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
 
     # ------------------------------------------------------------------ #
     def clear(self) -> int:
-        """Delete every entry of the current version; returns the count."""
+        """Delete every entry of the current version; returns the count.
+
+        Stale ``*.json.tmp.<pid>`` files (left by a worker that died between
+        writing the temp file and the atomic :func:`os.replace`) are removed
+        too, but not counted as entries.
+        """
         removed = 0
         if self.directory.is_dir():
             for path in self.directory.glob("*.json"):
@@ -111,9 +136,64 @@ class ResultCache:
                     removed += 1
                 except OSError:
                     pass
+            for path in self.directory.rglob("*.tmp.*"):
+                self._unlink_if_stale(path)
         return removed
+
+    def sweep_stale_tmp(self) -> int:
+        """Remove orphaned ``*.json.tmp.<pid>`` files under every version.
+
+        A worker killed between writing its temp file and the atomic rename
+        leaks the temp file forever; this sweep (run at
+        :class:`~repro.runner.sweep.SweepRunner` startup) deletes any temp
+        file whose writer process no longer exists.  Temp files of live
+        writers — a concurrent sweep mid-``put`` — are left alone.
+        """
+        removed = 0
+        if not self.root.is_dir():
+            return 0
+        for path in self.root.rglob("*.tmp.*"):
+            if self._unlink_if_stale(path):
+                removed += 1
+        return removed
+
+    @staticmethod
+    def _unlink_if_stale(path: Path) -> bool:
+        """Remove a ``*.tmp.<pid>`` file unless its writer is still alive.
+
+        A live foreign pid means a concurrent ``put`` is mid-write between
+        creating the temp file and the atomic rename — deleting it would
+        crash that worker's ``os.replace``.  (A file with *our* pid cannot
+        be in flight: ``put`` is synchronous, so it was leaked by a previous
+        process that had the same pid.)
+        """
+        pid_text = path.name.rsplit(".", 1)[-1]
+        try:
+            pid = int(pid_text)
+        except ValueError:
+            pid = None
+        if pid is not None and pid != os.getpid() and _pid_alive(pid):
+            return False
+        try:
+            path.unlink()
+        except OSError:
+            return False
+        return True
 
     def __len__(self) -> int:
         if not self.directory.is_dir():
             return 0
         return sum(1 for _ in self.directory.glob("*.json"))
+
+
+def _pid_alive(pid: int) -> bool:
+    """True if a process with ``pid`` currently exists."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - exists but not ours
+        return True
+    except OSError:  # pragma: no cover - conservative default
+        return True
+    return True

@@ -17,6 +17,14 @@ and drive the workload subsystem::
     python -m repro scenario bursty-trains --record t.rtrc   # capture trace
     python -m repro scenario zipf-hotspot --replay t.rtrc    # replay it
 
+and sustain long-horizon streaming runs (bounded memory, steady-state
+measurement, crash-resumable)::
+
+    python -m repro scenario uniform-bernoulli --slots 10000000 --stream \
+        --warmup 100000 --checkpoint-every 1000000
+    python -m repro scenario uniform-bernoulli --slots 10000000 \
+        --resume .repro_cache/<version>/checkpoints/uniform-bernoulli.ckpt.json
+
 and compose per-port buffers into a multi-port switch::
 
     python -m repro switch --list                     # registered switches
@@ -25,7 +33,7 @@ and compose per-port buffers into a multi-port switch::
 
 and track the performance trajectory::
 
-    python -m repro bench                 # fixed suite -> BENCH_4.json
+    python -m repro bench                 # fixed suite -> BENCH_5.json
     python -m repro bench --quick         # reduced slots (CI perf-smoke)
     python -m repro bench --filter wide   # a subset of the suite
 
@@ -108,6 +116,30 @@ def build_parser() -> argparse.ArgumentParser:
                           default=None,
                           help="simulation core to use (default: batched; "
                                "all engines produce bit-identical reports)")
+    scenario.add_argument("--stream", action="store_true",
+                          help="run through the bounded-memory streaming "
+                               "path (chunked arrival plans; implied by the "
+                               "other streaming flags)")
+    scenario.add_argument("--chunk-slots", type=int, default=None,
+                          metavar="N",
+                          help="streaming chunk size in slots "
+                               "(default: 65536)")
+    scenario.add_argument("--warmup", type=int, default=0, metavar="N",
+                          help="discard the first N slots from the report's "
+                               "statistics (steady-state measurement; "
+                               "implies --stream)")
+    scenario.add_argument("--checkpoint-every", type=int, default=None,
+                          metavar="K",
+                          help="write a resumable snapshot every K slots "
+                               "(implies --stream)")
+    scenario.add_argument("--checkpoint", default=None, metavar="FILE",
+                          help="snapshot file for --checkpoint-every "
+                               "(default: .repro_cache/<version>/checkpoints/"
+                               "<name>.ckpt.json)")
+    scenario.add_argument("--resume", default=None, metavar="FILE",
+                          help="resume a checkpointed streaming run from "
+                               "FILE and continue it to completion "
+                               "(bit-identical to the uninterrupted run)")
     scenario.add_argument("--record", default=None, metavar="FILE",
                           help="save the run's (arrival, request) trace to FILE")
     scenario.add_argument("--trace-format", choices=["binary", "ndjson"],
@@ -143,6 +175,14 @@ def build_parser() -> argparse.ArgumentParser:
                         default=None,
                         help="override the scenario's fabric arbiter "
                              "(default parameters)")
+    switch.add_argument("--stream", action="store_true",
+                        help="stream the fabric's per-egress traces "
+                             "straight into in-process port sessions "
+                             "(bounded memory; bit-identical to the "
+                             "sharded path; --jobs is ignored)")
+    switch.add_argument("--chunk-slots", type=int, default=None, metavar="N",
+                        help="streaming chunk size in slots for --stream "
+                             "(default: 65536)")
     switch.add_argument("-j", "--jobs", type=int, default=1, metavar="N",
                         help="worker processes for the port stage (0 = one "
                              "per CPU; default: 1, serial)")
@@ -166,7 +206,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--list", action="store_true", dest="list_benchmarks",
                        help="list the suite's benchmarks and exit")
     bench.add_argument("-o", "--output", default=None, metavar="FILE",
-                       help="JSON snapshot path (default: BENCH_4.json; "
+                       help="JSON snapshot path (default: BENCH_5.json; "
                             "'-' to skip writing the file)")
     return parser
 
@@ -195,11 +235,73 @@ def _run_scenario_command(parser: argparse.ArgumentParser,
             and args.engine != "reference"):
         parser.error("--legacy-loop selects the reference loop and "
                      f"conflicts with --engine {args.engine}")
+    streaming = (args.stream or args.warmup > 0
+                 or args.checkpoint_every is not None
+                 or args.checkpoint is not None
+                 or args.chunk_slots is not None
+                 or args.resume is not None)
+    if args.warmup < 0:
+        parser.error("--warmup must be non-negative")
+    if (args.checkpoint is not None and args.checkpoint_every is None
+            and args.resume is None):
+        # Without a cadence no snapshot would ever be written; failing loudly
+        # beats a user believing their long run is crash-resumable.
+        parser.error("--checkpoint needs --checkpoint-every K to set the "
+                     "snapshot cadence (or --resume to override where a "
+                     "resumed run keeps checkpointing)")
+    if streaming and args.replay is not None:
+        parser.error("streaming flags do not combine with --replay")
+    if streaming and args.record is not None:
+        parser.error("streaming flags do not combine with --record (trace "
+                     "recording is O(slots) memory)")
     try:
         scenario = get_scenario(args.name)
         engine = args.engine
         if engine is None:
             engine = "reference" if args.legacy_loop else "batched"
+        if args.resume is not None:
+            from repro.sim.streaming import read_checkpoint, resume_stream
+
+            # The snapshot carries the complete run configuration, so flags
+            # that would conflict with it are rejected rather than silently
+            # ignored (--checkpoint-every/--checkpoint remain overridable).
+            if (args.slots is not None or args.engine is not None
+                    or args.warmup or args.chunk_slots is not None
+                    or args.stream or args.legacy_loop):
+                parser.error("--resume restores the run's own configuration; "
+                             "it conflicts with --slots/--engine/"
+                             "--legacy-loop/--warmup/--chunk-slots/--stream")
+            meta = read_checkpoint(args.resume)
+            if meta.get("label") is not None and meta["label"] != args.name:
+                print(f"error: {args.resume} is a checkpoint of scenario "
+                      f"{meta['label']!r}, not {args.name!r}",
+                      file=sys.stderr)
+                return 1
+            report = resume_stream(args.resume,
+                                   checkpoint_every=args.checkpoint_every,
+                                   checkpoint_path=args.checkpoint)
+            text = render_scenario_run(scenario.name, scenario.scheme, report)
+            text += (f"\nresumed from {args.resume} at slot {meta['slot']} "
+                     f"of {meta['num_slots']} ({meta['engine']} engine)")
+            return _emit(text, args.output)
+        if streaming:
+            checkpoint_path = args.checkpoint
+            if args.checkpoint_every is not None and checkpoint_path is None:
+                cache = ResultCache()
+                checkpoint_path = str(cache.artifact_dir("checkpoints")
+                                      / f"{scenario.name}.ckpt.json")
+            report = scenario.run_stream(
+                num_slots=args.slots, engine=engine,
+                chunk_slots=args.chunk_slots, warmup_slots=args.warmup,
+                checkpoint_every=args.checkpoint_every,
+                checkpoint_path=checkpoint_path)
+            text = render_scenario_run(scenario.name, scenario.scheme, report)
+            if args.warmup:
+                text += f"\nwarmup: first {args.warmup} slots discarded"
+            if args.checkpoint_every is not None:
+                text += (f"\ncheckpoints every {args.checkpoint_every} slots "
+                         f"-> {checkpoint_path}")
+            return _emit(text, args.output)
         record = args.record is not None
         if args.replay is not None:
             trace, _metadata = load_trace(args.replay)
@@ -268,7 +370,11 @@ def _run_switch_command(parser: argparse.ArgumentParser,
             scenario = dataclasses.replace(
                 scenario, fabric={"type": args.fabric, "params": {}})
         engine = args.engine if args.engine is not None else DEFAULT_ENGINE
-        report = SwitchModel(scenario).run(engine=engine, jobs=args.jobs)
+        if args.stream or args.chunk_slots is not None:
+            report = SwitchModel(scenario).run_stream(
+                engine=engine, chunk_slots=args.chunk_slots)
+        else:
+            report = SwitchModel(scenario).run(engine=engine, jobs=args.jobs)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -61,6 +61,10 @@ class SweepRunner:
             raise ConfigurationError(f"chunksize must be >= 1, got {chunksize}")
         self.jobs = jobs if jobs != 0 else default_jobs()
         self.cache = cache
+        if cache is not None:
+            # Startup sweep: reclaim temp files leaked by workers that died
+            # between writing and the atomic rename (see ResultCache.put).
+            cache.sweep_stale_tmp()
         self.chunksize = chunksize
         #: Number of jobs actually executed (cache misses) over this runner's
         #: lifetime; cache hits are visible via ``cache.hits``.

@@ -9,8 +9,14 @@ verdicts).
 
 from repro.sim.stats import LatencyStats, ThroughputStats
 from repro.sim.engine import ClosedLoopSimulation, SimulationReport
-from repro.sim.array_engine import ENGINES, run_array
+from repro.sim.array_engine import ENGINES, build_array_core, run_array
 from repro.sim.ring import IntRing
+from repro.sim.streaming import (
+    StreamingSimulation,
+    read_checkpoint,
+    resume_stream,
+    run_stream,
+)
 from repro.sim.worstcase import (
     WorstCaseSummary,
     run_cfds_worst_case,
@@ -23,8 +29,13 @@ __all__ = [
     "ClosedLoopSimulation",
     "SimulationReport",
     "ENGINES",
+    "build_array_core",
     "run_array",
     "IntRing",
+    "StreamingSimulation",
+    "read_checkpoint",
+    "resume_stream",
+    "run_stream",
     "WorstCaseSummary",
     "run_rads_worst_case",
     "run_cfds_worst_case",

@@ -51,7 +51,19 @@ to the reference loop for every registered scenario by
 
 The engine consumes a *freshly built* buffer: it reads the configuration and
 the issue-period machinery off the buffer object but keeps all per-cell state
-in its own arrays, so the buffer instance itself is not stepped.
+in its own arrays, so the buffer instance itself is not stepped.  Running an
+already-run (or hand-stepped) simulation on the array engine raises
+:class:`~repro.errors.StaleSimulationError`.
+
+**Chunked execution.**  The engine state lives in a core object
+(:func:`build_array_core`) whose :meth:`run_span` method simulates any
+number of slots and can be called repeatedly — that is what the streaming
+path (:mod:`repro.sim.streaming`) uses to run arbitrarily long horizons on
+bounded memory and to checkpoint mid-run: a core holds only plain data
+(lists, rings, dicts, ints) plus references to the simulation and buffer
+objects, so pickling the core captures the complete machine state.
+:func:`run_array` is the monolithic convenience wrapper: one main span, one
+drain span, one report.
 """
 
 from __future__ import annotations
@@ -61,7 +73,13 @@ from collections import deque
 from heapq import heappop, heappush
 from typing import List, Optional
 
-from repro.errors import BufferOverflowError, CacheMissError, RenamingError
+from repro.errors import (
+    ArbiterContractError,
+    BufferOverflowError,
+    CacheMissError,
+    RenamingError,
+    StaleSimulationError,
+)
 from repro.mma.ecqf import ECQF
 from repro.mma.tail_mma import ThresholdTailMMA
 from repro.sim.ring import IntRing
@@ -96,24 +114,37 @@ def run_array(sim, num_slots: int, drain: bool = True):
         The same :class:`~repro.sim.engine.SimulationReport` the object-model
         loops produce, bit for bit.
     """
+    if num_slots < 0:
+        raise ValueError("num_slots must be non-negative")
+    core = build_array_core(sim)
+    core.run_span(_arrival_plan(sim, num_slots), num_slots)
+    return core.finish(drain=drain)
+
+
+def build_array_core(sim):
+    """Build the struct-of-arrays core for ``sim``'s buffer scheme.
+
+    Raises :class:`~repro.errors.StaleSimulationError` unless the simulation
+    is freshly built (the array engine replays a run from slot 0 on its own
+    state arrays, so a pre-stepped buffer or an already-run simulation would
+    silently produce a wrong report).
+    """
     from repro.core.buffer import CFDSPacketBuffer
     from repro.rads.buffer import RADSPacketBuffer
 
-    if num_slots < 0:
-        raise ValueError("num_slots must be non-negative")
     buffer = sim.buffer
     # The engine keeps per-cell state in its own arrays and never steps the
     # buffer object, so ``buffer.slot`` alone cannot detect a previous array
     # run — ``throughput.slots`` (set by every run that simulated anything)
     # catches that case.
     if buffer.slot != 0 or sim.throughput.slots != 0:
-        raise ValueError(
+        raise StaleSimulationError(
             "the array engine replays a run from slot 0 and requires a "
             "freshly built simulation (build a new buffer for every run)")
     if isinstance(buffer, RADSPacketBuffer):
-        return _run_rads(sim, buffer, num_slots, drain)
+        return _RADSCore(sim, buffer)
     if isinstance(buffer, CFDSPacketBuffer):
-        return _run_cfds(sim, buffer, num_slots, drain)
+        return _CFDSCore(sim, buffer)
     raise TypeError(
         "the array engine supports RADSPacketBuffer and CFDSPacketBuffer, "
         f"got {type(buffer).__name__}")
@@ -126,30 +157,6 @@ def _arrival_plan(sim, num_slots: int) -> Optional[List[Optional[int]]]:
         return None
     plan = sim.arrivals.arrivals(num_slots)
     return plan if isinstance(plan, list) else list(plan)
-
-
-def _finish(sim, final_slot: int, counts, hist, drained,
-            result: SimulationResult):
-    """Fold the loop's flat counters into the simulation's stats objects and
-    assemble the report (mirrors ``ClosedLoopSimulation.run``'s epilogue)."""
-    from repro.sim.engine import SimulationReport
-
-    arrivals_count, departures, idle_requests, dropped = counts
-    throughput = sim.throughput
-    throughput.arrivals += arrivals_count
-    throughput.departures += departures + len(drained)
-    throughput.idle_request_slots += idle_requests
-    latency = sim.latency
-    for delay, count in hist.items():
-        latency.record_delay(delay, count)
-    # Cells served during the drain window are stamped with the final slot,
-    # exactly as the object model's ``drain()`` epilogue does.
-    for arrival_slot in drained:
-        latency.record_delay(final_slot - arrival_slot)
-    throughput.slots = final_slot
-    throughput.drops = dropped
-    return SimulationReport(throughput=throughput, latency=latency,
-                            buffer_result=result, trace=sim.trace)
 
 
 # --------------------------------------------------------------------- #
@@ -204,706 +211,953 @@ def _ecqf_select(counters: List[int], negatives: int, req_count: List[int],
 
 
 # --------------------------------------------------------------------- #
+# Shared core scaffolding
+# --------------------------------------------------------------------- #
+
+class _ArrayCoreBase:
+    """State shared by the RADS and CFDS struct-of-arrays cores.
+
+    A core holds *only plain data* (lists, rings, deques, dicts, ints) plus
+    references to the simulation and buffer objects — policy callables and
+    RNG method handles are re-derived at the top of every :meth:`run_span`,
+    never stored — so pickling a core (together with its simulation, in one
+    payload) captures the complete machine state for checkpoint/resume.
+    """
+
+    def __init__(self, sim, buffer) -> None:
+        self.sim = sim
+        self.buffer = buffer
+        config = buffer.config
+        self.num_queues = config.num_queues
+        self.granularity = config.granularity
+        self.strict = config.strict
+        self.tail_cap = config.effective_tail_sram_cells
+        self.la_len = config.effective_lookahead
+        tail_mma = buffer.tail.mma
+        head_mma = buffer.head.mma
+        # Exact-type checks: a subclass may override the policy, in which
+        # case the generic (object-invoking) path is used instead.
+        self.fast_tail = (type(tail_mma) is ThresholdTailMMA
+                          and tail_mma.granularity == self.granularity)
+        self.fast_ecqf = type(head_mma) is ECQF
+        self.ecqf_fallback = (self.fast_ecqf
+                              and head_mma.fallback_to_most_deficit)
+        self.fast_random = type(sim.arbiter) is RandomArbiter
+        self.eligible: List[int] = []  # ascending queues with backlog > 0
+
+        num_queues = self.num_queues
+        self.slot = 0                  # next slot to simulate
+        self.main_slots = 0            # arrival/request slots executed so far
+        self.finished = False
+        self.backlog = [0] * num_queues
+        self.next_seqno = [0] * num_queues
+        self.delivered = [0] * num_queues
+        self.arr_slots: List[List[int]] = [[] for _ in range(num_queues)]
+        self.arr_base = [0] * num_queues
+        self.tail_fifo = [IntRing() for _ in range(num_queues)]
+        self.tail_occ = [0] * num_queues
+        self.tail_total = 0
+        self.dram_fifo = [IntRing() for _ in range(num_queues)]
+        self.dram_occ = [0] * num_queues
+        self.dram_total = 0
+        self.sram_heap: List[List[int]] = [[] for _ in range(num_queues)]
+        self.sram_total = 0
+        self.counters = [0] * num_queues
+        self.lookahead: List[Optional[int]] = [None] * self.la_len
+        self.la_pos = 0
+        # Incremental ECQF view (maintained only when the stock policy
+        # runs): per-queue entry slots of the requests currently in the
+        # pipeline (cursor lists), the per-queue pending count, the number
+        # of queues with a negative counter, and the lazy heap of critical
+        # entry slots.
+        self.req_slots: List[List[int]] = [[] for _ in range(num_queues)]
+        self.req_head = [0] * num_queues
+        self.req_count = [0] * num_queues
+        self.negatives = 0
+        self.crit_cache: List = [_INF] * num_queues
+        self.crit_heap: List = []
+
+        self.arrivals_count = 0
+        self.departures = 0
+        self.idle_requests = 0
+        self.cells_in = 0
+        self.cells_out = 0
+        self.dram_reads = 0
+        self.dram_writes = 0
+        self.dropped = 0
+        self.max_tail = 0
+        self.max_head = 0
+        self.head_misses: List[MissRecord] = []
+        self.tail_misses: List[None] = []
+        self.hist = {}
+        self.drained: List[int] = []
+
+    # ------------------------------------------------------------------ #
+    def reset_measurement(self) -> None:
+        """Zero the *measurement* counters at a warmup boundary.
+
+        The machine state (queues, pipelines, RNG-facing structures) is
+        untouched — only what feeds ``ThroughputStats`` and the latency
+        histogram restarts, matching the reference/batched warmup semantics
+        (engineering counters in the buffer result keep covering the whole
+        run).
+        """
+        self.arrivals_count = 0
+        self.departures = 0
+        self.idle_requests = 0
+        self.dropped = 0
+        self.hist = {}
+
+    def _check_not_finished(self) -> None:
+        if self.finished:
+            raise StaleSimulationError(
+                "this array core already produced its report; build a new "
+                "simulation for another run")
+
+    def finish(self, drain: bool = True):
+        """Run the drain window (if requested) and assemble the report.
+
+        Mirrors ``ClosedLoopSimulation.run``'s epilogue: fold the flat
+        counters into the simulation's stats objects, stamp drain-window
+        departures with the final slot, and attach the buffer-side result.
+        """
+        from repro.sim.engine import SimulationReport
+
+        self._check_not_finished()
+        if drain:
+            self.run_span(None, self._drain_slots(), main=False)
+        self.finished = True
+        sim = self.sim
+        final_slot = self.slot
+        throughput = sim.throughput
+        throughput.arrivals += self.arrivals_count
+        throughput.departures += self.departures + len(self.drained)
+        throughput.idle_request_slots += self.idle_requests
+        latency = sim.latency
+        for delay, count in self.hist.items():
+            latency.record_delay(delay, count)
+        # Cells served during the drain window are stamped with the final
+        # slot, exactly as the object model's ``drain()`` epilogue does.
+        for arrival_slot in self.drained:
+            latency.record_delay(final_slot - arrival_slot)
+        throughput.slots = final_slot
+        throughput.drops = self.dropped
+        return SimulationReport(throughput=throughput, latency=latency,
+                                buffer_result=self._result(final_slot),
+                                trace=sim.trace)
+
+
+# --------------------------------------------------------------------- #
 # RADS
 # --------------------------------------------------------------------- #
 
-def _run_rads(sim, buffer, num_slots: int, drain: bool):
-    config = buffer.config
-    num_queues = config.num_queues
-    granularity = config.granularity
-    strict = config.strict
-    tail_cap = config.effective_tail_sram_cells
-    dram_cap = buffer.dram.capacity_cells
-    sram_cap = buffer.head.sram.capacity_cells
-    la_len = config.effective_lookahead
-    tail_mma = buffer.tail.mma
-    head_mma = buffer.head.mma
-    tail_select = tail_mma.select
-    head_select = head_mma.select
-    # Exact-type checks: a subclass may override the policy, in which case
-    # the generic (object-invoking) path below is used instead.
-    fast_tail = (type(tail_mma) is ThresholdTailMMA
-                 and tail_mma.granularity == granularity)
-    fast_ecqf = type(head_mma) is ECQF
-    ecqf_fallback = fast_ecqf and head_mma.fallback_to_most_deficit
+class _RADSCore(_ArrayCoreBase):
+    """Struct-of-arrays machine for :class:`~repro.rads.buffer.RADSPacketBuffer`."""
 
-    arbiter = sim.arbiter
-    fast_random = type(arbiter) is RandomArbiter
-    if fast_random:
-        arb_random = arbiter._rng.random
-        arb_randbelow = arbiter._rng._randbelow
-        arb_load = arbiter.load
-        eligible: List[int] = []  # ascending queues with backlog > 0
-        next_request = None
-    else:
-        next_request = arbiter.next_request if arbiter is not None else None
-    trace_events = sim.trace.events if sim.trace is not None else None
-    plan = _arrival_plan(sim, num_slots)
+    def __init__(self, sim, buffer) -> None:
+        super().__init__(sim, buffer)
+        self.dram_cap = buffer.dram.capacity_cells
+        self.sram_cap = buffer.head.sram.capacity_cells
+        self.pending = deque()  # (finish_slot, queue, [seqnos]) DRAM->SRAM
 
-    # Flat per-queue state (see module docstring for the layout).
-    backlog = [0] * num_queues
-    next_seqno = [0] * num_queues
-    delivered = [0] * num_queues
-    arr_slots: List[List[int]] = [[] for _ in range(num_queues)]
-    arr_base = [0] * num_queues
-    tail_fifo = [IntRing() for _ in range(num_queues)]
-    tail_occ = [0] * num_queues
-    tail_total = 0
-    dram_fifo = [IntRing() for _ in range(num_queues)]
-    dram_occ = [0] * num_queues
-    dram_total = 0
-    sram_heap: List[List[int]] = [[] for _ in range(num_queues)]
-    sram_total = 0
-    counters = [0] * num_queues
-    lookahead: List[Optional[int]] = [None] * la_len
-    la_pos = 0
-    pending = deque()  # (finish_slot, queue, [seqnos]) DRAM->SRAM transfers
-    # Incremental ECQF view (maintained only when the stock policy runs):
-    # per-queue entry slots of the requests currently in the lookahead
-    # (cursor lists), the per-queue pending count, the number of queues with
-    # a negative counter, and the lazy heap of critical entry slots.
-    req_slots: List[List[int]] = [[] for _ in range(num_queues)]
-    req_head = [0] * num_queues
-    req_count = [0] * num_queues
-    negatives = 0
-    crit_cache: List = [_INF] * num_queues
-    crit_heap: List = []
+    def _drain_slots(self) -> int:
+        return self.la_len + self.granularity
 
-    arrivals_count = departures = idle_requests = 0
-    cells_in = cells_out = dram_reads = dram_writes = dropped = 0
-    max_tail = max_head = 0
-    head_misses: List[MissRecord] = []
-    tail_misses: List[None] = []
-    hist = {}
-    drained: List[int] = []
+    # ------------------------------------------------------------------ #
+    def run_span(self, plan: Optional[List[Optional[int]]], num_slots: int,
+                 main: bool = True) -> None:
+        """Simulate ``num_slots`` slots starting at ``self.slot``.
 
-    total_slots = num_slots + (la_len + granularity if drain else 0)
-    for slot in range(total_slots):
-        main = slot < num_slots
-        if main:
-            arrival = plan[slot] if plan is not None else None
-            if fast_random:
-                # RandomArbiter, verbatim: one uniform draw for the load
-                # gate, one choice() over the ascending backlogged-queue
-                # list (maintained incrementally below).
-                if arb_random() >= arb_load or not eligible:
-                    request = None
-                else:
-                    request = eligible[arb_randbelow(len(eligible))]
-            elif next_request is not None:
-                request = next_request(slot, backlog)
-                if request is not None and backlog[request] <= 0:
-                    request = None
-            else:
-                request = None
-            if trace_events is not None:
-                trace_events.append((arrival, request))
+        ``plan`` is the arrival plan for exactly this window (``None`` for a
+        drain-only span); ``main=False`` runs drain slots (no arrivals, no
+        requests, departures recorded for final-slot stamping).
+        """
+        self._check_not_finished()
+        buffer = self.buffer
+        sim = self.sim
+        num_queues = self.num_queues
+        granularity = self.granularity
+        strict = self.strict
+        tail_cap = self.tail_cap
+        dram_cap = self.dram_cap
+        sram_cap = self.sram_cap
+        la_len = self.la_len
+        tail_select = buffer.tail.mma.select
+        head_select = buffer.head.mma.select
+        fast_tail = self.fast_tail
+        fast_ecqf = self.fast_ecqf
+        ecqf_fallback = self.ecqf_fallback
+
+        arbiter = sim.arbiter
+        fast_random = self.fast_random
+        if main and fast_random:
+            # RandomArbiter, verbatim: one uniform draw for the load gate,
+            # one choice() over the ascending backlogged-queue list
+            # (maintained incrementally below).
+            arb_random = arbiter._rng.random
+            arb_randbelow = arbiter._rng._randbelow
+            arb_load = arbiter.load
+            eligible = self.eligible
+            next_request = None
         else:
-            arrival = None
-            request = None
+            next_request = (arbiter.next_request
+                            if main and arbiter is not None else None)
+            eligible = self.eligible
+        trace_events = (sim.trace.events
+                        if main and sim.trace is not None else None)
 
-        # -- arrival: assign the seqno; cut through to the head SRAM when the
-        #    queue's whole backlog lives on-chip, else enqueue for the tail.
-        tail_seqno = -1
-        if arrival is not None:
-            seqno = next_seqno[arrival]
-            next_seqno[arrival] = seqno + 1
-            arr_slots[arrival].append(slot)
-            if (dram_occ[arrival] == 0 and tail_occ[arrival] == 0
-                    and len(sram_heap[arrival]) < granularity):
-                sram_total += 1
-                if sram_cap is not None and sram_total > sram_cap:
-                    raise BufferOverflowError("SRAM", sram_cap, sram_total)
-                heappush(sram_heap[arrival], seqno)
-                count = counters[arrival] + 1
-                counters[arrival] = count
-                if fast_ecqf:
-                    if count == 0:
-                        negatives -= 1
-                    if 0 <= count < req_count[arrival]:
-                        entered = req_slots[arrival][req_head[arrival] + count]
-                        crit_cache[arrival] = entered
-                        heappush(crit_heap, (entered, arrival))
+        # Flat per-queue state (see the class docstrings for the layout).
+        backlog = self.backlog
+        next_seqno = self.next_seqno
+        delivered = self.delivered
+        arr_slots = self.arr_slots
+        arr_base = self.arr_base
+        tail_fifo = self.tail_fifo
+        tail_occ = self.tail_occ
+        tail_total = self.tail_total
+        dram_fifo = self.dram_fifo
+        dram_occ = self.dram_occ
+        dram_total = self.dram_total
+        sram_heap = self.sram_heap
+        sram_total = self.sram_total
+        counters = self.counters
+        lookahead = self.lookahead
+        la_pos = self.la_pos
+        pending = self.pending
+        req_slots = self.req_slots
+        req_head = self.req_head
+        req_count = self.req_count
+        negatives = self.negatives
+        crit_cache = self.crit_cache
+        crit_heap = self.crit_heap
+
+        arrivals_count = self.arrivals_count
+        departures = self.departures
+        idle_requests = self.idle_requests
+        cells_in = self.cells_in
+        cells_out = self.cells_out
+        dram_reads = self.dram_reads
+        dram_writes = self.dram_writes
+        dropped = self.dropped
+        max_tail = self.max_tail
+        max_head = self.max_head
+        head_misses = self.head_misses
+        tail_misses = self.tail_misses
+        hist = self.hist
+        drained = self.drained
+
+        start = self.slot
+        for slot in range(start, start + num_slots):
+            if main:
+                arrival = plan[slot - start] if plan is not None else None
+                if fast_random:
+                    if arb_random() >= arb_load or not eligible:
+                        request = None
                     else:
-                        crit_cache[arrival] = _INF
-            else:
-                tail_seqno = seqno
-
-        # -- tail subsystem (t-SRAM accept + threshold MMA eviction).
-        if tail_seqno >= 0:
-            if tail_total + 1 > tail_cap:
-                tail_misses.append(None)
-                if strict:
-                    raise BufferOverflowError("tail SRAM", tail_cap,
-                                              tail_total + 1)
-            else:
-                tail_fifo[arrival].push(tail_seqno)
-                tail_occ[arrival] += 1
-                tail_total += 1
-                cells_in += 1
-        if slot % granularity == 0:
-            if fast_tail:
-                selection = None
-                if tail_total >= granularity:
-                    best_occ = granularity - 1
-                    for queue, occ in enumerate(tail_occ):
-                        if occ > best_occ:
-                            best_occ = occ
-                            selection = queue
-            else:
-                selection = tail_select(tail_occ)
-            if selection is not None:
-                block: List[int] = []
-                tail_fifo[selection].pop_block(granularity, block)
-                evicted = len(block)
-                tail_occ[selection] -= evicted
-                tail_total -= evicted
-                if block:
-                    stored = evicted
-                    if dram_cap is not None and not strict:
-                        room = dram_cap - dram_total
-                        if room < stored:
-                            keep = room if room > 0 else 0
-                            dropped += stored - keep
-                            del block[keep:]
-                            stored = keep
-                    if stored:
-                        fifo = dram_fifo[selection]
-                        for seq in block:
-                            if dram_cap is not None and dram_total >= dram_cap:
-                                raise BufferOverflowError("DRAM", dram_cap,
-                                                          dram_total + 1)
-                            fifo.push(seq)
-                            dram_total += 1
-                        dram_occ[selection] += stored
-                    dram_writes += 1
-        if tail_total > max_tail:
-            max_tail = tail_total
-
-        # -- head subsystem: lookahead shift, transfer landings, ECQF, serve.
-        if la_len:
-            leaving = lookahead[la_pos]
-            lookahead[la_pos] = request
-            la_pos += 1
-            if la_pos == la_len:
-                la_pos = 0
-        else:
-            leaving = request
-        if fast_ecqf:
-            if request is not None:
-                req_slots[request].append(slot)
-                count = req_count[request]
-                req_count[request] = count + 1
-                if counters[request] == count:
-                    # The request just appended is the critical one.
-                    crit_cache[request] = slot
-                    heappush(crit_heap, (slot, request))
-            if leaving is not None:
-                # Counter and pipeline head advance together, so the critical
-                # entry slot is unchanged — unless the counter goes negative.
-                count = counters[leaving] - 1
-                counters[leaving] = count
-                if count == -1:
-                    negatives += 1
-                    crit_cache[leaving] = _INF
-                head = req_head[leaving] + 1
-                pipeline = req_slots[leaving]
-                if head == len(pipeline):
-                    pipeline.clear()
-                    head = 0
-                elif head >= _COMPACT and head * 2 >= len(pipeline):
-                    del pipeline[:head]
-                    head = 0
-                req_head[leaving] = head
-                req_count[leaving] -= 1
-        elif leaving is not None:
-            counters[leaving] -= 1
-        while pending and pending[0][0] <= slot:
-            _, landing_queue, seqs = pending.popleft()
-            heap = sram_heap[landing_queue]
-            for seq in seqs:
-                sram_total += 1
-                if sram_cap is not None and sram_total > sram_cap:
-                    raise BufferOverflowError("SRAM", sram_cap, sram_total)
-                heappush(heap, seq)
-        if slot % granularity == 0:
-            if fast_ecqf:
-                selection = _ecqf_select(counters, negatives, req_count,
-                                         crit_heap, crit_cache, ecqf_fallback)
-            else:
-                contents = (lookahead[la_pos:] + lookahead[:la_pos]
-                            if la_len else [])
-                selection = head_select(list(counters), contents)
-            if selection is not None:
-                seqs = []
-                if dram_occ[selection]:
-                    dram_fifo[selection].pop_block(granularity, seqs)
-                    got = len(seqs)
-                    dram_occ[selection] -= got
-                    dram_total -= got
-                else:
-                    got = 0
-                if got < granularity:
-                    # Cut-through: the rest of the block never reached DRAM.
-                    tail_fifo[selection].pop_block(granularity - got, seqs)
-                    extra = len(seqs) - got
-                    tail_occ[selection] -= extra
-                    tail_total -= extra
-                if seqs:
-                    count = counters[selection] + len(seqs)
-                    counters[selection] = count
-                    if fast_ecqf:
-                        if count >= 0 and count - len(seqs) < 0:
-                            negatives -= 1
-                        if 0 <= count < req_count[selection]:
-                            entered = req_slots[selection][
-                                req_head[selection] + count]
-                            crit_cache[selection] = entered
-                            heappush(crit_heap, (entered, selection))
+                        request = eligible[arb_randbelow(len(eligible))]
+                elif next_request is not None:
+                    request = next_request(slot, backlog)
+                    if request is not None:
+                        if type(request) is int and 0 <= request < num_queues:
+                            if backlog[request] <= 0:
+                                request = None
                         else:
-                            crit_cache[selection] = _INF
-                    pending.append((slot + granularity, selection, seqs))
-                    dram_reads += 1
-        if leaving is not None:
-            expected = delivered[leaving]
-            heap = sram_heap[leaving]
-            if heap and heap[0] == expected:
-                heappop(heap)
-                sram_total -= 1
-            elif tail_occ[leaving] and tail_fifo[leaving].peekleft() == expected:
-                # Tail bypass: the in-order cell never left the tail SRAM.
-                tail_fifo[leaving].popleft()
-                tail_occ[leaving] -= 1
-                tail_total -= 1
-            else:
-                head_misses.append(MissRecord(queue=leaving, slot=slot))
-                if strict:
-                    raise CacheMissError(leaving, slot)
-                expected = None
-            if expected is not None:
-                delivered[leaving] = expected + 1
-                cells_out += 1
-                store = arr_slots[leaving]
-                head = expected - arr_base[leaving]
-                arrival_slot = store[head]
-                if head >= _COMPACT - 1 and (head + 1) * 2 >= len(store):
-                    del store[:head + 1]
-                    arr_base[leaving] = expected + 1
-                if main:
-                    departures += 1
-                    delay = slot + 1 - arrival_slot
-                    hist[delay] = hist.get(delay, 0) + 1
+                            raise ArbiterContractError(request, num_queues,
+                                                       slot)
                 else:
-                    drained.append(arrival_slot)
-        if sram_total > max_head:
-            max_head = sram_total
+                    request = None
+                if trace_events is not None:
+                    trace_events.append((arrival, request))
+            else:
+                arrival = None
+                request = None
 
-        if main:
+            # -- arrival: assign the seqno; cut through to the head SRAM
+            #    when the queue's whole backlog lives on-chip, else enqueue
+            #    for the tail.
+            tail_seqno = -1
             if arrival is not None:
-                arrivals_count += 1
-                count = backlog[arrival] + 1
-                backlog[arrival] = count
-                if fast_random and count == 1:
-                    insort(eligible, arrival)
-            if request is None:
-                idle_requests += 1
-            else:
-                count = backlog[request] - 1
-                backlog[request] = count
-                if fast_random and count == 0:
-                    del eligible[bisect_left(eligible, request)]
-
-    result = SimulationResult(
-        slots_simulated=total_slots,
-        cells_in=cells_in,
-        cells_out=cells_out,
-        dram_reads=dram_reads,
-        dram_writes=dram_writes,
-        misses=head_misses + tail_misses,
-        max_head_sram_occupancy=max_head,
-        max_tail_sram_occupancy=max_tail,
-    )
-    return _finish(sim, total_slots,
-                   (arrivals_count, departures, idle_requests, dropped),
-                   hist, drained, result)
-
-
-# --------------------------------------------------------------------- #
-# CFDS
-# --------------------------------------------------------------------- #
-
-def _run_cfds(sim, buffer, num_slots: int, drain: bool):
-    config = buffer.config
-    num_queues = config.num_queues
-    granularity = config.granularity  # the reduced granularity b
-    strict = config.strict
-    tail_cap = config.effective_tail_sram_cells
-    dram_cap = config.dram_cells
-    sram_cap = buffer.head.sram.capacity_cells
-    la_len = config.effective_lookahead
-    lat_len = config.effective_latency
-    tail_mma = buffer.tail.mma
-    head_mma = buffer.head.mma
-    tail_select = tail_mma.select
-    head_select = head_mma.select
-    fast_tail = (type(tail_mma) is ThresholdTailMMA
-                 and tail_mma.granularity == granularity)
-    fast_ecqf = type(head_mma) is ECQF
-    ecqf_fallback = fast_ecqf and head_mma.fallback_to_most_deficit
-    # The issue-period machinery is borrowed from the buffer itself: the DSS
-    # (request register + banked-DRAM timing), the renaming table and the
-    # bank mapping make the exact decisions the object model makes.
-    scheduler = buffer.scheduler
-    renaming = buffer.renaming
-    mapping = buffer.mapping
-    group_cap = buffer.group_capacity_cells
-    group_occ = buffer._group_occupancy
-    block_locations = buffer._block_locations
-    write_count = buffer._physical_write_count
-    read_dir = TransferDirection.READ
-    write_dir = TransferDirection.WRITE
-
-    arbiter = sim.arbiter
-    fast_random = type(arbiter) is RandomArbiter
-    if fast_random:
-        arb_random = arbiter._rng.random
-        arb_randbelow = arbiter._rng._randbelow
-        arb_load = arbiter.load
-        eligible: List[int] = []
-        next_request = None
-    else:
-        next_request = arbiter.next_request if arbiter is not None else None
-    trace_events = sim.trace.events if sim.trace is not None else None
-    plan = _arrival_plan(sim, num_slots)
-
-    backlog = [0] * num_queues
-    next_seqno = [0] * num_queues
-    delivered = [0] * num_queues
-    arr_slots: List[List[int]] = [[] for _ in range(num_queues)]
-    arr_base = [0] * num_queues
-    tail_fifo = [IntRing() for _ in range(num_queues)]
-    tail_occ = [0] * num_queues
-    tail_total = 0
-    dram_fifo = [IntRing() for _ in range(num_queues)]
-    dram_occ = [0] * num_queues
-    dram_total = 0
-    sram_heap: List[List[int]] = [[] for _ in range(num_queues)]
-    sram_total = 0
-    counters = [0] * num_queues
-    lookahead: List[Optional[int]] = [None] * la_len
-    la_pos = 0
-    latency_reg: List[Optional[int]] = [None] * lat_len
-    lat_pos = 0
-    # Incremental ECQF view over the *combined* pipeline (latency register
-    # followed by the lookahead — the MMA's extended lookahead of Section
-    # 5.4): a request enters when issued and leaves when due for service.
-    req_slots: List[List[int]] = [[] for _ in range(num_queues)]
-    req_head = [0] * num_queues
-    req_count = [0] * num_queues
-    negatives = 0
-    crit_cache: List = [_INF] * num_queues
-    crit_heap: List = []
-
-    arrivals_count = departures = idle_requests = 0
-    cells_in = cells_out = dram_reads = dram_writes = dropped = 0
-    max_tail = max_head = 0
-    head_misses: List[MissRecord] = []
-    tail_misses: List[None] = []
-    hist = {}
-    drained: List[int] = []
-
-    drain_slots = (la_len + lat_len + config.dram_access_slots + granularity
-                   if drain else 0)
-    total_slots = num_slots + drain_slots
-    for slot in range(total_slots):
-        main = slot < num_slots
-        if main:
-            arrival = plan[slot] if plan is not None else None
-            if fast_random:
-                if arb_random() >= arb_load or not eligible:
-                    request = None
-                else:
-                    request = eligible[arb_randbelow(len(eligible))]
-            elif next_request is not None:
-                request = next_request(slot, backlog)
-                if request is not None and backlog[request] <= 0:
-                    request = None
-            else:
-                request = None
-            if trace_events is not None:
-                trace_events.append((arrival, request))
-        else:
-            arrival = None
-            request = None
-
-        # -- arrival with cut-through routing.
-        tail_seqno = -1
-        if arrival is not None:
-            seqno = next_seqno[arrival]
-            next_seqno[arrival] = seqno + 1
-            arr_slots[arrival].append(slot)
-            if (dram_occ[arrival] == 0 and tail_occ[arrival] == 0
-                    and len(sram_heap[arrival]) < granularity):
-                sram_total += 1
-                if sram_cap is not None and sram_total > sram_cap:
-                    raise BufferOverflowError("SRAM", sram_cap, sram_total)
-                heappush(sram_heap[arrival], seqno)
-                count = counters[arrival] + 1
-                counters[arrival] = count
-                if fast_ecqf:
-                    if count == 0:
-                        negatives -= 1
-                    if 0 <= count < req_count[arrival]:
-                        entered = req_slots[arrival][req_head[arrival] + count]
-                        crit_cache[arrival] = entered
-                        heappush(crit_heap, (entered, arrival))
-                    else:
-                        crit_cache[arrival] = _INF
-            else:
-                tail_seqno = seqno
-
-        # -- tail subsystem: accept + threshold MMA eviction through the DSS.
-        if tail_seqno >= 0:
-            if tail_total + 1 > tail_cap:
-                tail_misses.append(None)
-                if strict:
-                    raise BufferOverflowError("tail SRAM", tail_cap,
-                                              tail_total + 1)
-            else:
-                tail_fifo[arrival].push(tail_seqno)
-                tail_occ[arrival] += 1
-                tail_total += 1
-                cells_in += 1
-        if slot % granularity == 0:
-            if fast_tail:
-                selection = None
-                if tail_total >= granularity:
-                    best_occ = granularity - 1
-                    for queue, occ in enumerate(tail_occ):
-                        if occ > best_occ:
-                            best_occ = occ
-                            selection = queue
-            else:
-                selection = tail_select(tail_occ)
-            if selection is not None:
-                block: List[int] = []
-                tail_fifo[selection].pop_block(granularity, block)
-                evicted = len(block)
-                tail_occ[selection] -= evicted
-                tail_total -= evicted
-                if block:
-                    # Place the block: renaming translation, or the static
-                    # per-group accounting when renaming is disabled.
-                    if renaming is not None:
-                        try:
-                            physical = renaming.translate_write(selection,
-                                                                evicted)
-                        except RenamingError:
-                            physical = None
-                    else:
-                        physical = selection
-                        group = mapping.group_of(physical)
-                        if (group_cap is not None
-                                and group_occ[group] + evicted > group_cap):
-                            physical = None
-                        else:
-                            group_occ[group] += evicted
-                    if physical is None:
-                        dropped += evicted
-                    else:
-                        index = write_count.get(physical, 0)
-                        write_count[physical] = index + 1
-                        fifo = dram_fifo[selection]
-                        for seq in block:
-                            if dram_cap is not None and dram_total >= dram_cap:
-                                raise BufferOverflowError("DRAM", dram_cap,
-                                                          dram_total + 1)
-                            fifo.push(seq)
-                            dram_total += 1
-                        dram_occ[selection] += evicted
-                        block_locations[selection].append((physical, index))
-                        scheduler.submit(ReplenishRequest(
-                            queue=physical, direction=write_dir, cells=evicted,
-                            issue_slot=slot, block_index=index))
-                        dram_writes += 1
-        if tail_total > max_tail:
-            max_tail = tail_total
-
-        # -- head subsystem: lookahead -> latency register -> MMA -> DSS tick
-        #    -> serve (same phasing as CFDSHeadBuffer.step).
-        if la_len:
-            leaving = lookahead[la_pos]
-            lookahead[la_pos] = request
-            la_pos += 1
-            if la_pos == la_len:
-                la_pos = 0
-        else:
-            leaving = request
-        if lat_len:
-            due = latency_reg[lat_pos]
-            latency_reg[lat_pos] = leaving
-            lat_pos += 1
-            if lat_pos == lat_len:
-                lat_pos = 0
-        else:
-            due = leaving
-        if fast_ecqf:
-            if request is not None:
-                req_slots[request].append(slot)
-                count = req_count[request]
-                req_count[request] = count + 1
-                if counters[request] == count:
-                    crit_cache[request] = slot
-                    heappush(crit_heap, (slot, request))
-            if due is not None:
-                count = counters[due] - 1
-                counters[due] = count
-                if count == -1:
-                    negatives += 1
-                    crit_cache[due] = _INF
-                head = req_head[due] + 1
-                pipeline = req_slots[due]
-                if head == len(pipeline):
-                    pipeline.clear()
-                    head = 0
-                elif head >= _COMPACT and head * 2 >= len(pipeline):
-                    del pipeline[:head]
-                    head = 0
-                req_head[due] = head
-                req_count[due] -= 1
-        elif due is not None:
-            counters[due] -= 1
-        if slot % granularity == 0:
-            if fast_ecqf:
-                selection = _ecqf_select(counters, negatives, req_count,
-                                         crit_heap, crit_cache, ecqf_fallback)
-            else:
-                # The MMA reasons over every promised-but-unserved request in
-                # service order: latency register first, then the lookahead.
-                pending_view = (latency_reg[lat_pos:] + latency_reg[:lat_pos]
-                                if lat_len else [])
-                if la_len:
-                    pending_view = (pending_view + lookahead[la_pos:]
-                                    + lookahead[:la_pos])
-                selection = head_select(list(counters), pending_view)
-            if selection is not None:
-                seqs: List[int] = []
-                if dram_occ[selection] > 0:
-                    dram_fifo[selection].pop_block(granularity, seqs)
-                    got = len(seqs)
-                    dram_occ[selection] -= got
-                    dram_total -= got
-                    physical, block_index = block_locations[selection].popleft()
-                    if renaming is not None:
-                        renaming.translate_read(selection, got)
-                    else:
-                        group_occ[mapping.group_of(physical)] -= got
-                    fetch_request = ReplenishRequest(
-                        queue=physical, direction=read_dir, cells=got,
-                        issue_slot=slot, block_index=block_index)
-                else:
-                    tail_fifo[selection].pop_block(granularity, seqs)
-                    got = len(seqs)
-                    tail_occ[selection] -= got
-                    tail_total -= got
-                    fetch_request = None
-                if seqs:
-                    count = counters[selection] + got
-                    counters[selection] = count
+                seqno = next_seqno[arrival]
+                next_seqno[arrival] = seqno + 1
+                arr_slots[arrival].append(slot)
+                if (dram_occ[arrival] == 0 and tail_occ[arrival] == 0
+                        and len(sram_heap[arrival]) < granularity):
+                    sram_total += 1
+                    if sram_cap is not None and sram_total > sram_cap:
+                        raise BufferOverflowError("SRAM", sram_cap, sram_total)
+                    heappush(sram_heap[arrival], seqno)
+                    count = counters[arrival] + 1
+                    counters[arrival] = count
                     if fast_ecqf:
-                        if count >= 0 and count - got < 0:
+                        if count == 0:
                             negatives -= 1
-                        if 0 <= count < req_count[selection]:
-                            entered = req_slots[selection][
-                                req_head[selection] + count]
-                            crit_cache[selection] = entered
-                            heappush(crit_heap, (entered, selection))
+                        if 0 <= count < req_count[arrival]:
+                            entered = req_slots[arrival][req_head[arrival] + count]
+                            crit_cache[arrival] = entered
+                            heappush(crit_heap, (entered, arrival))
                         else:
-                            crit_cache[selection] = _INF
-                    if fetch_request is None:
-                        # Cut-through: available to the head SRAM immediately.
-                        heap = sram_heap[selection]
-                        for seq in seqs:
-                            sram_total += 1
-                            if sram_cap is not None and sram_total > sram_cap:
-                                raise BufferOverflowError("SRAM", sram_cap,
-                                                          sram_total)
-                            heappush(heap, seq)
-                    else:
-                        scheduler.submit(fetch_request,
-                                         payload=(selection, seqs))
-                        dram_reads += 1
-        for transfer in scheduler.tick(slot):
-            payload = transfer.payload
-            if transfer.request.direction is read_dir and payload:
-                landing_queue, seqs = payload
+                            crit_cache[arrival] = _INF
+                else:
+                    tail_seqno = seqno
+
+            # -- tail subsystem (t-SRAM accept + threshold MMA eviction).
+            if tail_seqno >= 0:
+                if tail_total + 1 > tail_cap:
+                    tail_misses.append(None)
+                    if strict:
+                        raise BufferOverflowError("tail SRAM", tail_cap,
+                                                  tail_total + 1)
+                else:
+                    tail_fifo[arrival].push(tail_seqno)
+                    tail_occ[arrival] += 1
+                    tail_total += 1
+                    cells_in += 1
+            if slot % granularity == 0:
+                if fast_tail:
+                    selection = None
+                    if tail_total >= granularity:
+                        best_occ = granularity - 1
+                        for queue, occ in enumerate(tail_occ):
+                            if occ > best_occ:
+                                best_occ = occ
+                                selection = queue
+                else:
+                    selection = tail_select(tail_occ)
+                if selection is not None:
+                    block: List[int] = []
+                    tail_fifo[selection].pop_block(granularity, block)
+                    evicted = len(block)
+                    tail_occ[selection] -= evicted
+                    tail_total -= evicted
+                    if block:
+                        stored = evicted
+                        if dram_cap is not None and not strict:
+                            room = dram_cap - dram_total
+                            if room < stored:
+                                keep = room if room > 0 else 0
+                                dropped += stored - keep
+                                del block[keep:]
+                                stored = keep
+                        if stored:
+                            fifo = dram_fifo[selection]
+                            for seq in block:
+                                if dram_cap is not None and dram_total >= dram_cap:
+                                    raise BufferOverflowError("DRAM", dram_cap,
+                                                              dram_total + 1)
+                                fifo.push(seq)
+                                dram_total += 1
+                            dram_occ[selection] += stored
+                        dram_writes += 1
+            if tail_total > max_tail:
+                max_tail = tail_total
+
+            # -- head subsystem: lookahead shift, transfer landings, ECQF,
+            #    serve.
+            if la_len:
+                leaving = lookahead[la_pos]
+                lookahead[la_pos] = request
+                la_pos += 1
+                if la_pos == la_len:
+                    la_pos = 0
+            else:
+                leaving = request
+            if fast_ecqf:
+                if request is not None:
+                    req_slots[request].append(slot)
+                    count = req_count[request]
+                    req_count[request] = count + 1
+                    if counters[request] == count:
+                        # The request just appended is the critical one.
+                        crit_cache[request] = slot
+                        heappush(crit_heap, (slot, request))
+                if leaving is not None:
+                    # Counter and pipeline head advance together, so the
+                    # critical entry slot is unchanged — unless the counter
+                    # goes negative.
+                    count = counters[leaving] - 1
+                    counters[leaving] = count
+                    if count == -1:
+                        negatives += 1
+                        crit_cache[leaving] = _INF
+                    head = req_head[leaving] + 1
+                    pipeline = req_slots[leaving]
+                    if head == len(pipeline):
+                        pipeline.clear()
+                        head = 0
+                    elif head >= _COMPACT and head * 2 >= len(pipeline):
+                        del pipeline[:head]
+                        head = 0
+                    req_head[leaving] = head
+                    req_count[leaving] -= 1
+            elif leaving is not None:
+                counters[leaving] -= 1
+            while pending and pending[0][0] <= slot:
+                _, landing_queue, seqs = pending.popleft()
                 heap = sram_heap[landing_queue]
                 for seq in seqs:
                     sram_total += 1
                     if sram_cap is not None and sram_total > sram_cap:
                         raise BufferOverflowError("SRAM", sram_cap, sram_total)
                     heappush(heap, seq)
-        if due is not None:
-            expected = delivered[due]
-            heap = sram_heap[due]
-            if heap and heap[0] == expected:
-                heappop(heap)
-                sram_total -= 1
-            elif tail_occ[due] and tail_fifo[due].peekleft() == expected:
-                tail_fifo[due].popleft()
-                tail_occ[due] -= 1
-                tail_total -= 1
-            else:
-                head_misses.append(MissRecord(queue=due, slot=slot))
-                if strict:
-                    raise CacheMissError(due, slot)
-                expected = None
-            if expected is not None:
-                delivered[due] = expected + 1
-                cells_out += 1
-                store = arr_slots[due]
-                head = expected - arr_base[due]
-                arrival_slot = store[head]
-                if head >= _COMPACT - 1 and (head + 1) * 2 >= len(store):
-                    del store[:head + 1]
-                    arr_base[due] = expected + 1
-                if main:
-                    departures += 1
-                    delay = slot + 1 - arrival_slot
-                    hist[delay] = hist.get(delay, 0) + 1
+            if slot % granularity == 0:
+                if fast_ecqf:
+                    selection = _ecqf_select(counters, negatives, req_count,
+                                             crit_heap, crit_cache,
+                                             ecqf_fallback)
                 else:
-                    drained.append(arrival_slot)
-        if sram_total > max_head:
-            max_head = sram_total
+                    contents = (lookahead[la_pos:] + lookahead[:la_pos]
+                                if la_len else [])
+                    selection = head_select(list(counters), contents)
+                if selection is not None:
+                    seqs = []
+                    if dram_occ[selection]:
+                        dram_fifo[selection].pop_block(granularity, seqs)
+                        got = len(seqs)
+                        dram_occ[selection] -= got
+                        dram_total -= got
+                    else:
+                        got = 0
+                    if got < granularity:
+                        # Cut-through: the rest of the block never reached
+                        # DRAM.
+                        tail_fifo[selection].pop_block(granularity - got, seqs)
+                        extra = len(seqs) - got
+                        tail_occ[selection] -= extra
+                        tail_total -= extra
+                    if seqs:
+                        count = counters[selection] + len(seqs)
+                        counters[selection] = count
+                        if fast_ecqf:
+                            if count >= 0 and count - len(seqs) < 0:
+                                negatives -= 1
+                            if 0 <= count < req_count[selection]:
+                                entered = req_slots[selection][
+                                    req_head[selection] + count]
+                                crit_cache[selection] = entered
+                                heappush(crit_heap, (entered, selection))
+                            else:
+                                crit_cache[selection] = _INF
+                        pending.append((slot + granularity, selection, seqs))
+                        dram_reads += 1
+            if leaving is not None:
+                expected = delivered[leaving]
+                heap = sram_heap[leaving]
+                if heap and heap[0] == expected:
+                    heappop(heap)
+                    sram_total -= 1
+                elif tail_occ[leaving] and tail_fifo[leaving].peekleft() == expected:
+                    # Tail bypass: the in-order cell never left the tail SRAM.
+                    tail_fifo[leaving].popleft()
+                    tail_occ[leaving] -= 1
+                    tail_total -= 1
+                else:
+                    head_misses.append(MissRecord(queue=leaving, slot=slot))
+                    if strict:
+                        raise CacheMissError(leaving, slot)
+                    expected = None
+                if expected is not None:
+                    delivered[leaving] = expected + 1
+                    cells_out += 1
+                    store = arr_slots[leaving]
+                    head = expected - arr_base[leaving]
+                    arrival_slot = store[head]
+                    if head >= _COMPACT - 1 and (head + 1) * 2 >= len(store):
+                        del store[:head + 1]
+                        arr_base[leaving] = expected + 1
+                    if main:
+                        departures += 1
+                        delay = slot + 1 - arrival_slot
+                        hist[delay] = hist.get(delay, 0) + 1
+                    else:
+                        drained.append(arrival_slot)
+            if sram_total > max_head:
+                max_head = sram_total
 
+            if main:
+                if arrival is not None:
+                    arrivals_count += 1
+                    count = backlog[arrival] + 1
+                    backlog[arrival] = count
+                    if fast_random and count == 1:
+                        insort(eligible, arrival)
+                if request is None:
+                    idle_requests += 1
+                else:
+                    count = backlog[request] - 1
+                    backlog[request] = count
+                    if fast_random and count == 0:
+                        del eligible[bisect_left(eligible, request)]
+
+        # Write the loop-local scalars back (the container state mutated in
+        # place and needs no copy-back).
+        self.slot = start + num_slots
         if main:
-            if arrival is not None:
-                arrivals_count += 1
-                count = backlog[arrival] + 1
-                backlog[arrival] = count
-                if fast_random and count == 1:
-                    insort(eligible, arrival)
-            if request is None:
-                idle_requests += 1
-            else:
-                count = backlog[request] - 1
-                backlog[request] = count
-                if fast_random and count == 0:
-                    del eligible[bisect_left(eligible, request)]
+            self.main_slots += num_slots
+        self.tail_total = tail_total
+        self.dram_total = dram_total
+        self.sram_total = sram_total
+        self.la_pos = la_pos
+        self.negatives = negatives
+        self.arrivals_count = arrivals_count
+        self.departures = departures
+        self.idle_requests = idle_requests
+        self.cells_in = cells_in
+        self.cells_out = cells_out
+        self.dram_reads = dram_reads
+        self.dram_writes = dram_writes
+        self.dropped = dropped
+        self.max_tail = max_tail
+        self.max_head = max_head
 
-    result = SimulationResult(
-        slots_simulated=total_slots,
-        cells_in=cells_in,
-        cells_out=cells_out,
-        dram_reads=dram_reads,
-        dram_writes=dram_writes,
-        misses=head_misses + tail_misses,
-        max_head_sram_occupancy=max_head,
-        max_tail_sram_occupancy=max_tail,
-        max_request_register_occupancy=scheduler.peak_rr_occupancy,
-        max_reorder_delay_slots=scheduler.max_total_delay_slots,
-        bank_conflicts=scheduler.bank_conflicts,
-    )
-    return _finish(sim, total_slots,
-                   (arrivals_count, departures, idle_requests, dropped),
-                   hist, drained, result)
+    # ------------------------------------------------------------------ #
+    def _result(self, final_slot: int) -> SimulationResult:
+        return SimulationResult(
+            slots_simulated=final_slot,
+            cells_in=self.cells_in,
+            cells_out=self.cells_out,
+            dram_reads=self.dram_reads,
+            dram_writes=self.dram_writes,
+            misses=self.head_misses + self.tail_misses,
+            max_head_sram_occupancy=self.max_head,
+            max_tail_sram_occupancy=self.max_tail,
+        )
+
+
+# --------------------------------------------------------------------- #
+# CFDS
+# --------------------------------------------------------------------- #
+
+class _CFDSCore(_ArrayCoreBase):
+    """Struct-of-arrays machine for :class:`~repro.core.buffer.CFDSPacketBuffer`.
+
+    The issue-period machinery is borrowed from the buffer itself: the DSS
+    (request register + banked-DRAM timing), the renaming table and the bank
+    mapping make the exact decisions the object model makes.  Those objects
+    travel with the buffer through a checkpoint pickle, so a resumed core
+    sees the same shared state.
+    """
+
+    def __init__(self, sim, buffer) -> None:
+        super().__init__(sim, buffer)
+        config = buffer.config
+        self.dram_cap = config.dram_cells
+        self.sram_cap = buffer.head.sram.capacity_cells
+        self.lat_len = config.effective_latency
+        self.dram_access_slots = config.dram_access_slots
+        self.latency_reg: List[Optional[int]] = [None] * self.lat_len
+        self.lat_pos = 0
+
+    def _drain_slots(self) -> int:
+        return (self.la_len + self.lat_len + self.dram_access_slots
+                + self.granularity)
+
+    # ------------------------------------------------------------------ #
+    def run_span(self, plan: Optional[List[Optional[int]]], num_slots: int,
+                 main: bool = True) -> None:
+        """Simulate ``num_slots`` slots starting at ``self.slot``; see
+        :meth:`_RADSCore.run_span`."""
+        self._check_not_finished()
+        buffer = self.buffer
+        sim = self.sim
+        num_queues = self.num_queues
+        granularity = self.granularity  # the reduced granularity b
+        strict = self.strict
+        tail_cap = self.tail_cap
+        dram_cap = self.dram_cap
+        sram_cap = self.sram_cap
+        la_len = self.la_len
+        lat_len = self.lat_len
+        tail_select = buffer.tail.mma.select
+        head_select = buffer.head.mma.select
+        fast_tail = self.fast_tail
+        fast_ecqf = self.fast_ecqf
+        ecqf_fallback = self.ecqf_fallback
+        scheduler = buffer.scheduler
+        renaming = buffer.renaming
+        mapping = buffer.mapping
+        group_cap = buffer.group_capacity_cells
+        group_occ = buffer._group_occupancy
+        block_locations = buffer._block_locations
+        write_count = buffer._physical_write_count
+        read_dir = TransferDirection.READ
+        write_dir = TransferDirection.WRITE
+
+        arbiter = sim.arbiter
+        fast_random = self.fast_random
+        if main and fast_random:
+            arb_random = arbiter._rng.random
+            arb_randbelow = arbiter._rng._randbelow
+            arb_load = arbiter.load
+            eligible = self.eligible
+            next_request = None
+        else:
+            next_request = (arbiter.next_request
+                            if main and arbiter is not None else None)
+            eligible = self.eligible
+        trace_events = (sim.trace.events
+                        if main and sim.trace is not None else None)
+
+        backlog = self.backlog
+        next_seqno = self.next_seqno
+        delivered = self.delivered
+        arr_slots = self.arr_slots
+        arr_base = self.arr_base
+        tail_fifo = self.tail_fifo
+        tail_occ = self.tail_occ
+        tail_total = self.tail_total
+        dram_fifo = self.dram_fifo
+        dram_occ = self.dram_occ
+        dram_total = self.dram_total
+        sram_heap = self.sram_heap
+        sram_total = self.sram_total
+        counters = self.counters
+        lookahead = self.lookahead
+        la_pos = self.la_pos
+        latency_reg = self.latency_reg
+        lat_pos = self.lat_pos
+        req_slots = self.req_slots
+        req_head = self.req_head
+        req_count = self.req_count
+        negatives = self.negatives
+        crit_cache = self.crit_cache
+        crit_heap = self.crit_heap
+
+        arrivals_count = self.arrivals_count
+        departures = self.departures
+        idle_requests = self.idle_requests
+        cells_in = self.cells_in
+        cells_out = self.cells_out
+        dram_reads = self.dram_reads
+        dram_writes = self.dram_writes
+        dropped = self.dropped
+        max_tail = self.max_tail
+        max_head = self.max_head
+        head_misses = self.head_misses
+        tail_misses = self.tail_misses
+        hist = self.hist
+        drained = self.drained
+
+        start = self.slot
+        for slot in range(start, start + num_slots):
+            if main:
+                arrival = plan[slot - start] if plan is not None else None
+                if fast_random:
+                    if arb_random() >= arb_load or not eligible:
+                        request = None
+                    else:
+                        request = eligible[arb_randbelow(len(eligible))]
+                elif next_request is not None:
+                    request = next_request(slot, backlog)
+                    if request is not None:
+                        if type(request) is int and 0 <= request < num_queues:
+                            if backlog[request] <= 0:
+                                request = None
+                        else:
+                            raise ArbiterContractError(request, num_queues,
+                                                       slot)
+                else:
+                    request = None
+                if trace_events is not None:
+                    trace_events.append((arrival, request))
+            else:
+                arrival = None
+                request = None
+
+            # -- arrival with cut-through routing.
+            tail_seqno = -1
+            if arrival is not None:
+                seqno = next_seqno[arrival]
+                next_seqno[arrival] = seqno + 1
+                arr_slots[arrival].append(slot)
+                if (dram_occ[arrival] == 0 and tail_occ[arrival] == 0
+                        and len(sram_heap[arrival]) < granularity):
+                    sram_total += 1
+                    if sram_cap is not None and sram_total > sram_cap:
+                        raise BufferOverflowError("SRAM", sram_cap, sram_total)
+                    heappush(sram_heap[arrival], seqno)
+                    count = counters[arrival] + 1
+                    counters[arrival] = count
+                    if fast_ecqf:
+                        if count == 0:
+                            negatives -= 1
+                        if 0 <= count < req_count[arrival]:
+                            entered = req_slots[arrival][req_head[arrival] + count]
+                            crit_cache[arrival] = entered
+                            heappush(crit_heap, (entered, arrival))
+                        else:
+                            crit_cache[arrival] = _INF
+                else:
+                    tail_seqno = seqno
+
+            # -- tail subsystem: accept + threshold MMA eviction through the
+            #    DSS.
+            if tail_seqno >= 0:
+                if tail_total + 1 > tail_cap:
+                    tail_misses.append(None)
+                    if strict:
+                        raise BufferOverflowError("tail SRAM", tail_cap,
+                                                  tail_total + 1)
+                else:
+                    tail_fifo[arrival].push(tail_seqno)
+                    tail_occ[arrival] += 1
+                    tail_total += 1
+                    cells_in += 1
+            if slot % granularity == 0:
+                if fast_tail:
+                    selection = None
+                    if tail_total >= granularity:
+                        best_occ = granularity - 1
+                        for queue, occ in enumerate(tail_occ):
+                            if occ > best_occ:
+                                best_occ = occ
+                                selection = queue
+                else:
+                    selection = tail_select(tail_occ)
+                if selection is not None:
+                    block: List[int] = []
+                    tail_fifo[selection].pop_block(granularity, block)
+                    evicted = len(block)
+                    tail_occ[selection] -= evicted
+                    tail_total -= evicted
+                    if block:
+                        # Place the block: renaming translation, or the
+                        # static per-group accounting when renaming is
+                        # disabled.
+                        if renaming is not None:
+                            try:
+                                physical = renaming.translate_write(selection,
+                                                                    evicted)
+                            except RenamingError:
+                                physical = None
+                        else:
+                            physical = selection
+                            group = mapping.group_of(physical)
+                            if (group_cap is not None
+                                    and group_occ[group] + evicted > group_cap):
+                                physical = None
+                            else:
+                                group_occ[group] += evicted
+                        if physical is None:
+                            dropped += evicted
+                        else:
+                            index = write_count.get(physical, 0)
+                            write_count[physical] = index + 1
+                            fifo = dram_fifo[selection]
+                            for seq in block:
+                                if dram_cap is not None and dram_total >= dram_cap:
+                                    raise BufferOverflowError("DRAM", dram_cap,
+                                                              dram_total + 1)
+                                fifo.push(seq)
+                                dram_total += 1
+                            dram_occ[selection] += evicted
+                            block_locations[selection].append((physical, index))
+                            scheduler.submit(ReplenishRequest(
+                                queue=physical, direction=write_dir,
+                                cells=evicted, issue_slot=slot,
+                                block_index=index))
+                            dram_writes += 1
+            if tail_total > max_tail:
+                max_tail = tail_total
+
+            # -- head subsystem: lookahead -> latency register -> MMA -> DSS
+            #    tick -> serve (same phasing as CFDSHeadBuffer.step).
+            if la_len:
+                leaving = lookahead[la_pos]
+                lookahead[la_pos] = request
+                la_pos += 1
+                if la_pos == la_len:
+                    la_pos = 0
+            else:
+                leaving = request
+            if lat_len:
+                due = latency_reg[lat_pos]
+                latency_reg[lat_pos] = leaving
+                lat_pos += 1
+                if lat_pos == lat_len:
+                    lat_pos = 0
+            else:
+                due = leaving
+            if fast_ecqf:
+                if request is not None:
+                    req_slots[request].append(slot)
+                    count = req_count[request]
+                    req_count[request] = count + 1
+                    if counters[request] == count:
+                        crit_cache[request] = slot
+                        heappush(crit_heap, (slot, request))
+                if due is not None:
+                    count = counters[due] - 1
+                    counters[due] = count
+                    if count == -1:
+                        negatives += 1
+                        crit_cache[due] = _INF
+                    head = req_head[due] + 1
+                    pipeline = req_slots[due]
+                    if head == len(pipeline):
+                        pipeline.clear()
+                        head = 0
+                    elif head >= _COMPACT and head * 2 >= len(pipeline):
+                        del pipeline[:head]
+                        head = 0
+                    req_head[due] = head
+                    req_count[due] -= 1
+            elif due is not None:
+                counters[due] -= 1
+            if slot % granularity == 0:
+                if fast_ecqf:
+                    selection = _ecqf_select(counters, negatives, req_count,
+                                             crit_heap, crit_cache,
+                                             ecqf_fallback)
+                else:
+                    # The MMA reasons over every promised-but-unserved
+                    # request in service order: latency register first, then
+                    # the lookahead.
+                    pending_view = (latency_reg[lat_pos:] + latency_reg[:lat_pos]
+                                    if lat_len else [])
+                    if la_len:
+                        pending_view = (pending_view + lookahead[la_pos:]
+                                        + lookahead[:la_pos])
+                    selection = head_select(list(counters), pending_view)
+                if selection is not None:
+                    seqs: List[int] = []
+                    if dram_occ[selection] > 0:
+                        dram_fifo[selection].pop_block(granularity, seqs)
+                        got = len(seqs)
+                        dram_occ[selection] -= got
+                        dram_total -= got
+                        physical, block_index = block_locations[selection].popleft()
+                        if renaming is not None:
+                            renaming.translate_read(selection, got)
+                        else:
+                            group_occ[mapping.group_of(physical)] -= got
+                        fetch_request = ReplenishRequest(
+                            queue=physical, direction=read_dir, cells=got,
+                            issue_slot=slot, block_index=block_index)
+                    else:
+                        tail_fifo[selection].pop_block(granularity, seqs)
+                        got = len(seqs)
+                        tail_occ[selection] -= got
+                        tail_total -= got
+                        fetch_request = None
+                    if seqs:
+                        count = counters[selection] + got
+                        counters[selection] = count
+                        if fast_ecqf:
+                            if count >= 0 and count - got < 0:
+                                negatives -= 1
+                            if 0 <= count < req_count[selection]:
+                                entered = req_slots[selection][
+                                    req_head[selection] + count]
+                                crit_cache[selection] = entered
+                                heappush(crit_heap, (entered, selection))
+                            else:
+                                crit_cache[selection] = _INF
+                        if fetch_request is None:
+                            # Cut-through: available to the head SRAM
+                            # immediately.
+                            heap = sram_heap[selection]
+                            for seq in seqs:
+                                sram_total += 1
+                                if sram_cap is not None and sram_total > sram_cap:
+                                    raise BufferOverflowError("SRAM", sram_cap,
+                                                              sram_total)
+                                heappush(heap, seq)
+                        else:
+                            scheduler.submit(fetch_request,
+                                             payload=(selection, seqs))
+                            dram_reads += 1
+            for transfer in scheduler.tick(slot):
+                payload = transfer.payload
+                if transfer.request.direction is read_dir and payload:
+                    landing_queue, seqs = payload
+                    heap = sram_heap[landing_queue]
+                    for seq in seqs:
+                        sram_total += 1
+                        if sram_cap is not None and sram_total > sram_cap:
+                            raise BufferOverflowError("SRAM", sram_cap,
+                                                      sram_total)
+                        heappush(heap, seq)
+            if due is not None:
+                expected = delivered[due]
+                heap = sram_heap[due]
+                if heap and heap[0] == expected:
+                    heappop(heap)
+                    sram_total -= 1
+                elif tail_occ[due] and tail_fifo[due].peekleft() == expected:
+                    tail_fifo[due].popleft()
+                    tail_occ[due] -= 1
+                    tail_total -= 1
+                else:
+                    head_misses.append(MissRecord(queue=due, slot=slot))
+                    if strict:
+                        raise CacheMissError(due, slot)
+                    expected = None
+                if expected is not None:
+                    delivered[due] = expected + 1
+                    cells_out += 1
+                    store = arr_slots[due]
+                    head = expected - arr_base[due]
+                    arrival_slot = store[head]
+                    if head >= _COMPACT - 1 and (head + 1) * 2 >= len(store):
+                        del store[:head + 1]
+                        arr_base[due] = expected + 1
+                    if main:
+                        departures += 1
+                        delay = slot + 1 - arrival_slot
+                        hist[delay] = hist.get(delay, 0) + 1
+                    else:
+                        drained.append(arrival_slot)
+            if sram_total > max_head:
+                max_head = sram_total
+
+            if main:
+                if arrival is not None:
+                    arrivals_count += 1
+                    count = backlog[arrival] + 1
+                    backlog[arrival] = count
+                    if fast_random and count == 1:
+                        insort(eligible, arrival)
+                if request is None:
+                    idle_requests += 1
+                else:
+                    count = backlog[request] - 1
+                    backlog[request] = count
+                    if fast_random and count == 0:
+                        del eligible[bisect_left(eligible, request)]
+
+        self.slot = start + num_slots
+        if main:
+            self.main_slots += num_slots
+        self.tail_total = tail_total
+        self.dram_total = dram_total
+        self.sram_total = sram_total
+        self.la_pos = la_pos
+        self.lat_pos = lat_pos
+        self.negatives = negatives
+        self.arrivals_count = arrivals_count
+        self.departures = departures
+        self.idle_requests = idle_requests
+        self.cells_in = cells_in
+        self.cells_out = cells_out
+        self.dram_reads = dram_reads
+        self.dram_writes = dram_writes
+        self.dropped = dropped
+        self.max_tail = max_tail
+        self.max_head = max_head
+
+    # ------------------------------------------------------------------ #
+    def _result(self, final_slot: int) -> SimulationResult:
+        scheduler = self.buffer.scheduler
+        return SimulationResult(
+            slots_simulated=final_slot,
+            cells_in=self.cells_in,
+            cells_out=self.cells_out,
+            dram_reads=self.dram_reads,
+            dram_writes=self.dram_writes,
+            misses=self.head_misses + self.tail_misses,
+            max_head_sram_occupancy=self.max_head,
+            max_tail_sram_occupancy=self.max_tail,
+            max_request_register_occupancy=scheduler.peak_rr_occupancy,
+            max_reorder_delay_slots=scheduler.max_total_delay_slots,
+            bank_conflicts=scheduler.bank_conflicts,
+        )

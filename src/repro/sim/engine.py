@@ -32,6 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro.errors import ArbiterContractError
 from repro.sim.stats import LatencyStats, ThroughputStats
 from repro.traffic.arbiters import Arbiter
 from repro.traffic.arrivals import ArrivalProcess
@@ -142,31 +143,80 @@ class ClosedLoopSimulation:
                                 buffer_result=self.buffer.combined_result(),
                                 trace=self.trace)
 
+    def run_stream(self, num_slots: int, *,
+                   drain: bool = True,
+                   engine: Optional[str] = None,
+                   chunk_slots: Optional[int] = None,
+                   warmup_slots: int = 0,
+                   checkpoint_every: Optional[int] = None,
+                   checkpoint_path=None,
+                   label: Optional[str] = None) -> SimulationReport:
+        """Simulate ``num_slots`` slots in bounded-memory chunks.
+
+        The streaming path (:mod:`repro.sim.streaming`) generates arrival
+        plans one chunk at a time (peak memory is independent of
+        ``num_slots``), optionally discards the first ``warmup_slots`` from
+        the report's statistics, and can write resumable checkpoints every
+        ``checkpoint_every`` slots.  With ``warmup_slots=0`` the report is
+        bit-identical to :meth:`run` on the same engine, for every chunk
+        size.
+        """
+        from repro.sim.streaming import StreamingSimulation
+
+        return StreamingSimulation(self, num_slots, engine=engine,
+                                   drain=drain, chunk_slots=chunk_slots,
+                                   warmup_slots=warmup_slots,
+                                   checkpoint_every=checkpoint_every,
+                                   checkpoint_path=checkpoint_path,
+                                   label=label).run()
+
     # ------------------------------------------------------------------ #
-    def _run_slots(self, num_slots: int) -> None:
-        """Reference loop: rebuild the backlog from the buffer every slot."""
+    def _run_slots(self, num_slots: int, start_slot: int = 0,
+                   plan: Optional[List[Optional[int]]] = None) -> None:
+        """Reference loop: rebuild the backlog from the buffer every slot.
+
+        ``start_slot`` and ``plan`` are the streaming hooks: a chunked run
+        passes its absolute slot window and, optionally, a pre-generated
+        arrival plan for exactly that window.  The defaults reproduce the
+        monolithic behaviour.
+        """
         num_queues = self.buffer.config.num_queues
-        for slot in range(num_slots):
-            arrival = self.arrivals.next_arrival(slot) if self.arrivals else None
+        for slot in range(start_slot, start_slot + num_slots):
+            if plan is not None:
+                arrival = plan[slot - start_slot]
+            else:
+                arrival = (self.arrivals.next_arrival(slot)
+                           if self.arrivals else None)
             backlog = [self.buffer.backlog(q) for q in range(num_queues)]
             request = self.arbiter.next_request(slot, backlog) if self.arbiter else None
-            if request is not None and not self.buffer.can_request(request):
-                request = None
+            if request is not None:
+                # The engine contract (shared verbatim by the batched and
+                # array paths): a request is None or an int in range.
+                if type(request) is int and 0 <= request < num_queues:
+                    if not self.buffer.can_request(request):
+                        request = None
+                else:
+                    raise ArbiterContractError(request, num_queues, slot)
             if self.trace is not None:
                 self.trace.append(arrival, request)
             served = self.buffer.step(arrival, request)
             self._account(arrival, request, served)
 
-    def _run_fast(self, num_slots: int) -> None:
-        """Batched loop: pre-generated arrivals, incremental backlog, locals."""
+    def _run_fast(self, num_slots: int, start_slot: int = 0,
+                  plan: Optional[List[Optional[int]]] = None) -> None:
+        """Batched loop: pre-generated arrivals, incremental backlog, locals.
+
+        ``start_slot``/``plan`` as in :meth:`_run_slots`.
+        """
         buffer = self.buffer
         num_queues = buffer.config.num_queues
-        if self.arrivals is not None:
+        if plan is not None:
+            arrival_plan: List[Optional[int]] = plan
+        elif self.arrivals is not None:
             # The stochastic processes return a prefilled list (their batch
             # fast path); only materialise generic iterables.
-            plan = self.arrivals.arrivals(num_slots)
-            arrival_plan: List[Optional[int]] = (
-                plan if isinstance(plan, list) else list(plan))
+            raw = self.arrivals.arrivals_slice(start_slot, num_slots)
+            arrival_plan = raw if isinstance(raw, list) else list(raw)
         else:
             arrival_plan = [None] * num_slots
         next_request = self.arbiter.next_request if self.arbiter else None
@@ -180,12 +230,15 @@ class ClosedLoopSimulation:
         arrivals_count = 0
         departures = 0
         idle_requests = 0
-        for slot in range(num_slots):
-            arrival = arrival_plan[slot]
+        for slot, arrival in enumerate(arrival_plan, start_slot):
             if next_request is not None:
                 request = next_request(slot, backlog)
-                if request is not None and backlog[request] <= 0:
-                    request = None
+                if request is not None:
+                    if type(request) is int and 0 <= request < num_queues:
+                        if backlog[request] <= 0:
+                            request = None
+                    else:
+                        raise ArbiterContractError(request, num_queues, slot)
             else:
                 request = None
             if trace_events is not None:

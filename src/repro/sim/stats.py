@@ -3,7 +3,23 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from fractions import Fraction
 from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+
+def _percentile_threshold(fraction: float, count: int) -> int:
+    """Smallest cumulative count that reaches the ``fraction`` percentile.
+
+    Computed in exact integer arithmetic: the naive ``fraction * count``
+    float product misrounds once ``count`` approaches 2**53 (the product
+    falls between representable doubles, so ``seen >= fraction * count``
+    fires one histogram bin early or late).  The float is first snapped to
+    the decimal the caller meant (``0.1`` is the double *nearest* 1/10, not
+    1/10 itself) and the threshold is then ``ceil(count * p / q)`` on plain
+    ints, which never rounds.
+    """
+    ratio = Fraction(fraction).limit_denominator(10 ** 12)
+    return -(-count * ratio.numerator // ratio.denominator)
 
 
 class LatencyStats:
@@ -116,9 +132,14 @@ class LatencyStats:
         if not self._histogram:
             return tuple(0 for _ in fractions)
         # Sweep the sorted histogram once, answering the fractions in
-        # ascending-target order; anything the sweep cannot satisfy (float
-        # rounding at fraction ~= 1.0) falls back to the largest delay.
-        order = sorted(range(len(fractions)), key=lambda i: fractions[i])
+        # ascending-threshold order.  Thresholds are integer-exact
+        # (:func:`_percentile_threshold` — the float product ``fraction *
+        # count`` misrounds near 2**53), and every threshold lands in
+        # ``[1, count]``, so the sweep answers every fraction; the trailing
+        # loop is pure belt-and-braces.
+        thresholds = [_percentile_threshold(fraction, self._count)
+                      for fraction in fractions]
+        order = sorted(range(len(fractions)), key=lambda i: thresholds[i])
         results = [0] * len(fractions)
         delays = sorted(self._histogram)
         seen = 0
@@ -126,7 +147,7 @@ class LatencyStats:
         for delay in delays:
             seen += self._histogram[delay]
             while (next_unanswered < len(order)
-                   and seen >= fractions[order[next_unanswered]] * self._count):
+                   and seen >= thresholds[order[next_unanswered]]):
                 results[order[next_unanswered]] = delay
                 next_unanswered += 1
             if next_unanswered == len(order):

@@ -1,0 +1,447 @@
+"""Long-horizon streaming execution: chunking, warmup, checkpoint/resume.
+
+The monolithic engines materialise the full arrival plan (and, when
+recording, the full trace) before the loop, so a run is capped by memory and
+a crash loses everything.  This module runs the *same machines* in bounded
+chunks:
+
+* **Chunked arrival plans** — each chunk asks the arrival process for just
+  its window (:meth:`~repro.traffic.arrivals.ArrivalProcess.arrivals_slice`),
+  so peak memory is ``O(chunk_slots)``, independent of the horizon.  The
+  chunk concatenation is stream-identical to one monolithic plan, so with
+  ``warmup_slots=0`` a streamed run's report is **bit-identical** to
+  :meth:`~repro.sim.engine.ClosedLoopSimulation.run` on the same engine, for
+  every chunk size (asserted by the differential suite).
+* **Warmup discard** — the first ``warmup_slots`` slots run normally (the
+  machine state evolves exactly as always) but the measurement collectors
+  (latency histogram, throughput counters, drop count) restart at the warmup
+  boundary, so the report describes steady state rather than the fill
+  transient.  The engineering counters in ``buffer_result`` (peak
+  occupancies, misses, DRAM accesses) keep covering the whole run on every
+  engine.  The boundary lands at exactly ``warmup_slots`` regardless of
+  chunking, so warmup reports are chunk-invariant too.
+* **Checkpoint/resume** — every ``checkpoint_every`` slots the complete
+  simulation state (buffer, arrival/arbiter RNG streams, partial latency
+  histogram, engine core) is serialised to a versioned snapshot file,
+  atomically.  :func:`resume_stream` continues a run from its snapshot and
+  produces a report bit-identical to the uninterrupted run — pickling
+  round-trips ``random.Random`` state, ints and floats exactly.
+
+Checkpoint files are JSON envelopes (format name, version, run geometry, a
+SHA-256 of the state blob) around a base64 pickle payload.  Like any pickle,
+a snapshot must only be loaded from a trusted source; the digest guards
+against truncation and corruption, not against tampering.
+
+Open-ended *feed* sessions (``num_slots=None``) accept externally generated
+arrival chunks via :meth:`StreamingSimulation.feed` — that is how the switch
+layer streams per-egress fabric traces straight into port simulations
+without ever materialising them.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import os
+import pickle
+from typing import List, Optional
+
+import repro
+from repro.errors import (
+    CheckpointError,
+    ConfigurationError,
+    StaleSimulationError,
+)
+from repro.sim.stats import LatencyStats, ThroughputStats
+
+#: Default chunk size: big enough that per-chunk overhead vanishes, small
+#: enough that a chunk's arrival plan is a few hundred kilobytes.
+DEFAULT_CHUNK_SLOTS = 65536
+
+#: Checkpoint envelope identification.
+CHECKPOINT_FORMAT = "repro-stream-checkpoint"
+CHECKPOINT_VERSION = 1
+
+
+class StreamingSimulation:
+    """Chunked, checkpointable execution of a ``ClosedLoopSimulation``.
+
+    Args:
+        sim: the simulation to drive (same object
+            :meth:`~repro.sim.engine.ClosedLoopSimulation.run` would run).
+        num_slots: total arrival/request slots, or ``None`` for an
+            open-ended session driven by :meth:`feed`.
+        engine: ``"reference"``, ``"batched"`` (default) or ``"array"``.
+        drain: run the drain window in :meth:`finish`.
+        chunk_slots: window size of chunked execution.
+        warmup_slots: slots to discard from the measurement statistics.
+        checkpoint_every: slots between checkpoint snapshots (requires
+            ``checkpoint_path``); ``None`` disables checkpointing.
+        checkpoint_path: snapshot file path.
+        label: free-form run identity recorded in the checkpoint envelope
+            (``Scenario.run_stream`` stores the scenario name) so a resume
+            can detect a snapshot that belongs to a different run.
+
+    Note that ``record_trace`` keeps the full event list in memory — a
+    streamed run with trace recording is still O(``num_slots``).
+    """
+
+    def __init__(self, sim, num_slots: Optional[int] = None, *,
+                 engine: Optional[str] = None,
+                 drain: bool = True,
+                 chunk_slots: Optional[int] = None,
+                 warmup_slots: int = 0,
+                 checkpoint_every: Optional[int] = None,
+                 checkpoint_path: Optional[os.PathLike] = None,
+                 label: Optional[str] = None) -> None:
+        from repro.sim.array_engine import ENGINES, build_array_core
+
+        if engine is None:
+            engine = "batched"
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r} (known: {', '.join(ENGINES)})")
+        if num_slots is not None and num_slots < 0:
+            raise ValueError("num_slots must be non-negative")
+        if chunk_slots is None:
+            chunk_slots = DEFAULT_CHUNK_SLOTS
+        if chunk_slots <= 0:
+            raise ConfigurationError("chunk_slots must be positive")
+        if warmup_slots < 0:
+            raise ConfigurationError("warmup_slots must be non-negative")
+        if num_slots is not None and warmup_slots > num_slots:
+            raise ConfigurationError(
+                f"warmup_slots ({warmup_slots}) cannot exceed num_slots "
+                f"({num_slots})")
+        if checkpoint_every is not None:
+            if checkpoint_every <= 0:
+                raise ConfigurationError("checkpoint_every must be positive")
+            if checkpoint_path is None:
+                raise ConfigurationError(
+                    "checkpoint_every needs a checkpoint_path to write to")
+        self.sim = sim
+        self.engine = engine
+        self.num_slots = num_slots
+        self.drain = drain
+        self.chunk_slots = chunk_slots
+        self.warmup_slots = warmup_slots
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint_path = checkpoint_path
+        self.label = label
+        # The array core carries the machine state between chunks (and
+        # enforces the freshly-built-buffer contract up front).
+        self._core = build_array_core(sim) if engine == "array" else None
+        self.slot = 0                    # arrival/request slots completed
+        self._warmup_done = warmup_slots == 0
+        self._measured_from = 0          # slot measurement started at
+        self._drops_baseline = 0         # buffer drops before measurement
+        self._finished = False
+
+    # ------------------------------------------------------------------ #
+    # Driving
+    # ------------------------------------------------------------------ #
+    def run(self):
+        """Run to completion (resuming from wherever :attr:`slot` stands)
+        and return the :class:`~repro.sim.engine.SimulationReport`."""
+        if self.num_slots is None:
+            raise ConfigurationError(
+                "run() needs num_slots; open-ended sessions are driven with "
+                "feed() and closed with finish()")
+        arrivals = self.sim.arrivals
+        next_mark = None
+        if self.checkpoint_every is not None:
+            # The first mark strictly ahead of the current position, so a
+            # resumed run never immediately rewrites the snapshot it loaded.
+            done = self.slot // self.checkpoint_every
+            next_mark = (done + 1) * self.checkpoint_every
+        while self.slot < self.num_slots:
+            stop = min(self.slot + self.chunk_slots, self.num_slots)
+            if next_mark is not None and next_mark < stop:
+                stop = next_mark
+            count = stop - self.slot
+            if arrivals is not None:
+                window = arrivals.arrivals_slice(self.slot, count)
+                plan = window if isinstance(window, list) else list(window)
+            else:
+                plan = [None] * count
+            self._execute(plan)
+            if next_mark is not None and self.slot >= next_mark:
+                if self.slot < self.num_slots:
+                    self.save_checkpoint(self.checkpoint_path)
+                next_mark += self.checkpoint_every
+        return self.finish()
+
+    def feed(self, plan: List[Optional[int]]) -> None:
+        """Advance ``len(plan)`` slots with externally supplied arrivals.
+
+        Only valid on open-ended sessions (``num_slots=None``); the warmup
+        boundary is honoured even when it falls inside a fed chunk.
+        """
+        if self.num_slots is not None:
+            raise ConfigurationError(
+                "feed() is for open-ended sessions; this one has num_slots "
+                f"= {self.num_slots}")
+        self._execute(plan if isinstance(plan, list) else list(plan))
+
+    def _execute(self, plan: List[Optional[int]]) -> None:
+        """Advance over ``plan``, splitting it at the warmup boundary so the
+        measurement reset lands at exactly ``warmup_slots`` for any
+        chunking."""
+        count = len(plan)
+        if (not self._warmup_done
+                and self.slot < self.warmup_slots <= self.slot + count):
+            cut = self.warmup_slots - self.slot
+            self._span(plan[:cut])
+            self._reset_measurement()
+            self._warmup_done = True
+            plan = plan[cut:]
+        self._span(plan)
+
+    def _span(self, plan: List[Optional[int]]) -> None:
+        if self._finished:
+            raise StaleSimulationError(
+                "this streaming session already produced its report")
+        count = len(plan)
+        if count == 0:
+            return
+        if self._core is not None:
+            self._core.run_span(plan, count)
+        elif self.engine == "batched":
+            self.sim._run_fast(count, start_slot=self.slot, plan=plan)
+        else:
+            self.sim._run_slots(count, start_slot=self.slot, plan=plan)
+        self.slot += count
+
+    def _reset_measurement(self) -> None:
+        """Restart the measurement collectors at the warmup boundary."""
+        sim = self.sim
+        sim.latency = LatencyStats()
+        sim.throughput = ThroughputStats()
+        self._measured_from = self.slot
+        self._drops_baseline = sim.buffer.dropped_cells
+        if self._core is not None:
+            self._core.reset_measurement()
+
+    # ------------------------------------------------------------------ #
+    # Finishing
+    # ------------------------------------------------------------------ #
+    def finish(self):
+        """Run the drain window and assemble the report.
+
+        With ``warmup_slots=0`` this matches the monolithic ``run()``
+        epilogue bit for bit; with warmup, ``throughput.slots`` counts only
+        the measured window and drops are measured from the warmup boundary.
+        """
+        from repro.sim.engine import SimulationReport
+
+        if self._finished:
+            # Identical on every engine: without this guard the non-core
+            # path would re-run the drain window and return inflated slot
+            # counts (the array core raises on its own, via the same check).
+            raise StaleSimulationError(
+                "this streaming session already produced its report")
+        if self.num_slots is not None and self.slot < self.num_slots:
+            raise ConfigurationError(
+                f"cannot finish at slot {self.slot}: the run is configured "
+                f"for {self.num_slots} slots")
+        if not self._warmup_done:
+            raise ConfigurationError(
+                f"only {self.slot} slots were fed, but warmup_slots is "
+                f"{self.warmup_slots}")
+        sim = self.sim
+        if self._core is not None:
+            report = self._core.finish(drain=self.drain)
+        else:
+            buffer = sim.buffer
+            if self.drain:
+                for cell in buffer.drain():
+                    sim.throughput.departures += 1
+                    sim.latency.record(cell.arrival_slot, buffer.slot)
+            sim.throughput.slots = buffer.slot
+            sim.throughput.drops = (buffer.dropped_cells
+                                    - self._drops_baseline)
+            report = SimulationReport(throughput=sim.throughput,
+                                      latency=sim.latency,
+                                      buffer_result=buffer.combined_result(),
+                                      trace=sim.trace)
+        report.throughput.slots -= self._measured_from
+        self._finished = True
+        return report
+
+    # ------------------------------------------------------------------ #
+    # Checkpointing
+    # ------------------------------------------------------------------ #
+    def save_checkpoint(self, path: os.PathLike) -> None:
+        """Serialise the complete run state to ``path``, atomically.
+
+        The payload pickles the simulation and the engine core *together*,
+        so state they share (the buffer's scheduler, occupancy tables, RNG
+        streams) stays shared after a reload.
+        """
+        if path is None:
+            raise ConfigurationError("save_checkpoint needs a path")
+        blob = pickle.dumps({
+            "sim": self.sim,
+            "core": self._core,
+            "slot": self.slot,
+            "warmup_done": self._warmup_done,
+            "measured_from": self._measured_from,
+            "drops_baseline": self._drops_baseline,
+        }, protocol=pickle.HIGHEST_PROTOCOL)
+        document = {
+            "format": CHECKPOINT_FORMAT,
+            "version": CHECKPOINT_VERSION,
+            "repro_version": repro.__version__,
+            "label": self.label,
+            "engine": self.engine,
+            "slot": self.slot,
+            "num_slots": self.num_slots,
+            "warmup_slots": self.warmup_slots,
+            "chunk_slots": self.chunk_slots,
+            "checkpoint_every": self.checkpoint_every,
+            "drain": self.drain,
+            "sha256": hashlib.sha256(blob).hexdigest(),
+            "state_b64": base64.b64encode(blob).decode("ascii"),
+        }
+        path = os.fspath(path)
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(document, handle)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    @classmethod
+    def load_checkpoint(cls, path: os.PathLike, *,
+                        checkpoint_every: Optional[int] = None,
+                        checkpoint_path: Optional[os.PathLike] = None
+                        ) -> "StreamingSimulation":
+        """Reconstruct a session from a snapshot written by
+        :meth:`save_checkpoint`.
+
+        The run geometry (slots, warmup, chunking, engine) comes from the
+        snapshot; ``checkpoint_every``/``checkpoint_path`` may be overridden
+        so a resumed run keeps checkpointing (by default it continues with
+        the snapshot's own settings, writing back to ``path``).
+        """
+        document = read_checkpoint(path)
+        blob = base64.b64decode(document["state_b64"])
+        if hashlib.sha256(blob).hexdigest() != document["sha256"]:
+            raise CheckpointError(
+                f"checkpoint {os.fspath(path)!r} is corrupt: state digest "
+                "mismatch")
+        try:
+            payload = pickle.loads(blob)
+        except Exception as exc:
+            raise CheckpointError(
+                f"checkpoint {os.fspath(path)!r} state cannot be "
+                f"unpickled: {exc}")
+        session = object.__new__(cls)
+        session.sim = payload["sim"]
+        session.engine = document["engine"]
+        session.num_slots = document["num_slots"]
+        session.drain = document["drain"]
+        session.chunk_slots = document["chunk_slots"]
+        session.warmup_slots = document["warmup_slots"]
+        session.checkpoint_every = (checkpoint_every
+                                    if checkpoint_every is not None
+                                    else document.get("checkpoint_every"))
+        session.checkpoint_path = (checkpoint_path
+                                   if checkpoint_path is not None
+                                   else os.fspath(path))
+        session.label = document.get("label")
+        session._core = payload["core"]
+        session.slot = payload["slot"]
+        session._warmup_done = payload["warmup_done"]
+        session._measured_from = payload["measured_from"]
+        session._drops_baseline = payload["drops_baseline"]
+        session._finished = False
+        return session
+
+
+# --------------------------------------------------------------------- #
+# Module-level conveniences
+# --------------------------------------------------------------------- #
+
+def run_stream(sim, num_slots: int, *,
+               engine: Optional[str] = None,
+               drain: bool = True,
+               chunk_slots: Optional[int] = None,
+               warmup_slots: int = 0,
+               checkpoint_every: Optional[int] = None,
+               checkpoint_path: Optional[os.PathLike] = None,
+               label: Optional[str] = None):
+    """One-call streaming run; see :class:`StreamingSimulation`."""
+    return StreamingSimulation(sim, num_slots, engine=engine, drain=drain,
+                               chunk_slots=chunk_slots,
+                               warmup_slots=warmup_slots,
+                               checkpoint_every=checkpoint_every,
+                               checkpoint_path=checkpoint_path,
+                               label=label).run()
+
+
+def resume_stream(path: os.PathLike, *,
+                  checkpoint_every: Optional[int] = None,
+                  checkpoint_path: Optional[os.PathLike] = None):
+    """Resume a checkpointed run to completion and return its report.
+
+    The continuation is bit-identical to the uninterrupted run: the snapshot
+    carries every RNG stream, queue, pipeline register and partial histogram,
+    and chunked execution is chunk-invariant, so only wall-clock time is
+    lost to the crash.
+    """
+    return StreamingSimulation.load_checkpoint(
+        path, checkpoint_every=checkpoint_every,
+        checkpoint_path=checkpoint_path).run()
+
+
+def read_checkpoint(path: os.PathLike) -> dict:
+    """Read and validate a checkpoint envelope (without unpickling state).
+
+    Returns the JSON document; raises
+    :class:`~repro.errors.CheckpointError` when the file is missing, not a
+    checkpoint, or from an incompatible format version.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint: {exc}")
+    except ValueError as exc:
+        raise CheckpointError(
+            f"checkpoint {os.fspath(path)!r} is not valid JSON: {exc}")
+    if not isinstance(document, dict) \
+            or document.get("format") != CHECKPOINT_FORMAT:
+        raise CheckpointError(
+            f"{os.fspath(path)!r} is not a repro streaming checkpoint")
+    version = document.get("version")
+    if version != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"checkpoint {os.fspath(path)!r} has format version {version!r}; "
+            f"this build reads version {CHECKPOINT_VERSION}")
+    for key in ("engine", "slot", "num_slots", "warmup_slots", "chunk_slots",
+                "drain", "sha256", "state_b64"):
+        if key not in document:
+            raise CheckpointError(
+                f"checkpoint {os.fspath(path)!r} is missing field {key!r}")
+    return document
+
+
+__all__ = [
+    "CHECKPOINT_FORMAT",
+    "CHECKPOINT_VERSION",
+    "DEFAULT_CHUNK_SLOTS",
+    "StreamingSimulation",
+    "read_checkpoint",
+    "resume_stream",
+    "run_stream",
+]

@@ -32,9 +32,11 @@ from repro.switch.fabric import (
 from repro.switch.model import (
     DEFAULT_ENGINE,
     FabricStats,
+    FabricStream,
     SwitchModel,
     SwitchReport,
     port_scenarios,
+    port_template,
     run_fabric,
     run_switch_spec,
 )
@@ -57,6 +59,7 @@ __all__ = [
     "FABRIC_TYPES",
     "FabricArbiter",
     "FabricStats",
+    "FabricStream",
     "INGRESS_TRAFFIC_TYPES",
     "ISLIPFabricArbiter",
     "IncastTraffic",
@@ -71,6 +74,7 @@ __all__ = [
     "build_ingress_traffic",
     "get_switch_scenario",
     "port_scenarios",
+    "port_template",
     "register_switch_scenario",
     "run_fabric",
     "run_switch_spec",

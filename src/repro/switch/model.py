@@ -69,46 +69,63 @@ class FabricStats:
         return self.slots + self.flush_slots
 
 
-def run_fabric(scenario: SwitchScenario,
-               num_slots: Optional[int] = None,
-               ) -> Tuple[List[List[Optional[int]]], FabricStats]:
-    """Run the crossbar stage and return per-egress source traces.
+class FabricStream:
+    """The crossbar stage as a stream of per-egress trace chunks.
 
-    Returns:
-        ``(traces, stats)`` where ``traces[e][slot]`` is the *ingress index*
-        whose cell entered egress ``e`` at ``slot`` (or ``None``), all traces
-        sharing one length ``stats.total_slots``.
+    Instead of materialising every egress trace as one O(``total_slots``)
+    list, the stage runs in bounded windows: each iteration of
+    :meth:`chunks` yields ``(start_slot, chunk_traces)`` where
+    ``chunk_traces[e][i]`` is the ingress whose cell entered egress ``e`` at
+    slot ``start_slot + i`` (or ``None``).  Ingress arrival plans are drawn
+    per window through
+    :meth:`~repro.traffic.arrivals.ArrivalProcess.arrivals_slice`, so the
+    concatenated chunks are bit-identical to the monolithic stage for every
+    chunk size (each ingress owns its RNG) — :func:`run_fabric` is literally
+    this stream plus concatenation.  After the arrival phase the stage
+    flushes until every VOQ is empty, still in bounded windows;
+    :attr:`stats` is available once the generator is exhausted.
     """
-    n = scenario.num_ports
-    slots = scenario.num_slots if num_slots is None else num_slots
-    sources = [build_ingress_traffic(scenario.traffic, n, i,
-                                     seed=scenario.port_seed(i))
-               for i in range(n)]
-    fabric = scenario.build_fabric()
-    # Pre-generate every ingress's arrival plan (the batched-engine trick:
-    # traffic sources never observe the fabric, so their streams can be drawn
-    # up front through the batch fast paths).
-    plans = []
-    for source in sources:
-        plan = source.arrivals(slots)
-        plans.append(plan if isinstance(plan, list) else list(plan))
-    # voq[i][e]: arrival slots of cells waiting at ingress i for egress e.
-    voq = [[IntRing() for _ in range(n)] for _ in range(n)]
-    # requests[i]: ascending egress ports with a non-empty VOQ at ingress i —
-    # maintained incrementally (a VOQ changes emptiness at most twice per
-    # slot) instead of being rescanned O(N^2) every slot.
-    requests: List[List[int]] = [[] for _ in range(n)]
-    ingress_backlog = [0] * n
-    traces: List[List[Optional[int]]] = [[] for _ in range(n)]
-    per_egress = [0] * n
-    waits = LatencyStats()
-    offered = transferred = 0
-    peak_backlog = 0
-    backlog_total = 0
 
-    def transfer_slot(slot: int) -> int:
-        nonlocal transferred, backlog_total
-        matches = fabric.match(slot, requests)
+    def __init__(self, scenario: SwitchScenario,
+                 num_slots: Optional[int] = None,
+                 chunk_slots: Optional[int] = None) -> None:
+        from repro.sim.streaming import DEFAULT_CHUNK_SLOTS
+
+        n = scenario.num_ports
+        self.scenario = scenario
+        self.num_ports = n
+        self.slots = scenario.num_slots if num_slots is None else num_slots
+        self.chunk_slots = (chunk_slots if chunk_slots is not None
+                            else DEFAULT_CHUNK_SLOTS)
+        if self.chunk_slots <= 0:
+            raise ConfigurationError("chunk_slots must be positive")
+        self.sources = [build_ingress_traffic(scenario.traffic, n, i,
+                                              seed=scenario.port_seed(i))
+                        for i in range(n)]
+        self.fabric = scenario.build_fabric()
+        # voq[i][e]: arrival slots of cells waiting at ingress i for egress e.
+        self._voq = [[IntRing() for _ in range(n)] for _ in range(n)]
+        # requests[i]: ascending egress ports with a non-empty VOQ at
+        # ingress i — maintained incrementally (a VOQ changes emptiness at
+        # most twice per slot) instead of being rescanned O(N^2) every slot.
+        self._requests: List[List[int]] = [[] for _ in range(n)]
+        self._ingress_backlog = [0] * n
+        self._per_egress = [0] * n
+        self._waits = LatencyStats()
+        self._offered = 0
+        self._transferred = 0
+        self._peak_backlog = 0
+        self._backlog_total = 0
+        #: Filled in once :meth:`chunks` is exhausted.
+        self.stats: Optional[FabricStats] = None
+
+    # ------------------------------------------------------------------ #
+    def _transfer_slot(self, slot: int,
+                       traces: List[List[Optional[int]]]) -> int:
+        n = self.num_ports
+        voq = self._voq
+        requests = self._requests
+        matches = self.fabric.match(slot, requests)
         matched_egress = [False] * n
         matched_ingress = [False] * n
         for ingress, egress in matches:
@@ -130,57 +147,126 @@ def run_fabric(scenario: SwitchScenario,
             matched_ingress[ingress] = True
             if not ring:
                 requests[ingress].remove(egress)
-            ingress_backlog[ingress] -= 1
-            backlog_total -= 1
-            waits.record_delay(slot - arrival_slot)
+            self._ingress_backlog[ingress] -= 1
+            self._backlog_total -= 1
+            self._waits.record_delay(slot - arrival_slot)
             traces[egress].append(ingress)
-            per_egress[egress] += 1
-            transferred += 1
+            self._per_egress[egress] += 1
+            self._transferred += 1
         for egress in range(n):
             if not matched_egress[egress]:
                 traces[egress].append(None)
         return len(matches)
 
-    for slot in range(slots):
-        for ingress in range(n):
-            destination = plans[ingress][slot]
-            if destination is None:
-                continue
-            if not 0 <= destination < n:
-                raise ConfigurationError(
-                    f"ingress {ingress} generated destination {destination}, "
-                    f"but the switch has only {n} ports")
-            ring = voq[ingress][destination]
-            if not ring:
-                insort(requests[ingress], destination)
-            ring.push(slot)
-            ingress_backlog[ingress] += 1
-            backlog_total += 1
-            offered += 1
-            if ingress_backlog[ingress] > peak_backlog:
-                peak_backlog = ingress_backlog[ingress]
-        transfer_slot(slot)
+    def chunks(self):
+        """Yield ``(start_slot, chunk_traces)`` windows; arrival phase first,
+        then the flush windows, all bounded by ``chunk_slots``."""
+        n = self.num_ports
+        slots = self.slots
+        voq = self._voq
+        requests = self._requests
+        ingress_backlog = self._ingress_backlog
+        start = 0
+        while start < slots:
+            count = min(self.chunk_slots, slots - start)
+            plans = []
+            for source in self.sources:
+                plan = source.arrivals_slice(start, count)
+                plans.append(plan if isinstance(plan, list) else list(plan))
+            traces: List[List[Optional[int]]] = [[] for _ in range(n)]
+            for offset in range(count):
+                slot = start + offset
+                for ingress in range(n):
+                    destination = plans[ingress][offset]
+                    if destination is None:
+                        continue
+                    if not 0 <= destination < n:
+                        raise ConfigurationError(
+                            f"ingress {ingress} generated destination "
+                            f"{destination}, but the switch has only {n} "
+                            f"ports")
+                    ring = voq[ingress][destination]
+                    if not ring:
+                        insort(requests[ingress], destination)
+                    ring.push(slot)
+                    ingress_backlog[ingress] += 1
+                    self._backlog_total += 1
+                    self._offered += 1
+                    if ingress_backlog[ingress] > self._peak_backlog:
+                        self._peak_backlog = ingress_backlog[ingress]
+                self._transfer_slot(slot, traces)
+            yield start, traces
+            start += count
 
-    flush_slots = 0
-    while backlog_total > 0:
-        if transfer_slot(slots + flush_slots) == 0:
-            # Unreachable with the stock policies (all are work-conserving),
-            # but a custom arbiter must not be able to hang the stage.
-            raise ConfigurationError(
-                "fabric arbiter made no progress while VOQs were non-empty")
-        flush_slots += 1
+        flush_slots = 0
+        while self._backlog_total > 0:
+            traces = [[] for _ in range(n)]
+            flushed = 0
+            while self._backlog_total > 0 and flushed < self.chunk_slots:
+                if self._transfer_slot(slots + flush_slots, traces) == 0:
+                    # Unreachable with the stock policies (all are
+                    # work-conserving), but a custom arbiter must not be
+                    # able to hang the stage.
+                    raise ConfigurationError(
+                        "fabric arbiter made no progress while VOQs were "
+                        "non-empty")
+                flush_slots += 1
+                flushed += 1
+            yield slots + flush_slots - flushed, traces
 
-    stats = FabricStats(
-        slots=slots,
-        flush_slots=flush_slots,
-        offered_cells=offered,
-        transferred_cells=transferred,
-        per_egress_cells=tuple(per_egress),
-        peak_voq_backlog=peak_backlog,
-        wait_mean=waits.mean,
-        wait_max=waits.maximum,
+        self.stats = FabricStats(
+            slots=slots,
+            flush_slots=flush_slots,
+            offered_cells=self._offered,
+            transferred_cells=self._transferred,
+            per_egress_cells=tuple(self._per_egress),
+            peak_voq_backlog=self._peak_backlog,
+            wait_mean=self._waits.mean,
+            wait_max=self._waits.maximum,
+        )
+
+
+def run_fabric(scenario: SwitchScenario,
+               num_slots: Optional[int] = None,
+               ) -> Tuple[List[List[Optional[int]]], FabricStats]:
+    """Run the crossbar stage and return per-egress source traces.
+
+    Returns:
+        ``(traces, stats)`` where ``traces[e][slot]`` is the *ingress index*
+        whose cell entered egress ``e`` at ``slot`` (or ``None``), all traces
+        sharing one length ``stats.total_slots``.
+    """
+    n = scenario.num_ports
+    stream = FabricStream(scenario, num_slots)
+    traces: List[List[Optional[int]]] = [[] for _ in range(n)]
+    for _start, chunk_traces in stream.chunks():
+        for egress, chunk in enumerate(chunk_traces):
+            traces[egress].extend(chunk)
+    return traces, stream.stats
+
+
+def port_template(scenario: SwitchScenario, egress: int) -> Scenario:
+    """The egress port as a single-port :class:`Scenario`, minus arrivals.
+
+    The jobs path attaches the materialised fabric trace as a ``trace``
+    arrival spec (:func:`port_scenarios`); the streaming path feeds the
+    fabric chunks directly into an open-ended session.  Both build their
+    buffer and arbiter from this one template, which is what keeps the two
+    execution modes bit-identical.
+    """
+    spec = scenario.port_spec(egress)
+    return Scenario(
+        name=f"{scenario.name}#port{egress}",
+        description=f"egress port {egress} of switch scenario "
+                    f"{scenario.name!r}",
+        scheme=spec["scheme"],
+        buffer=spec["buffer"],
+        arrivals=None,
+        arbiter=spec["arbiter"],
+        num_slots=0,
+        seed=scenario.port_seed(egress) + 1,
+        tags=("switch-port",) + scenario.tags,
     )
-    return traces, stats
 
 
 def port_scenarios(scenario: SwitchScenario,
@@ -190,22 +276,17 @@ def port_scenarios(scenario: SwitchScenario,
     The trace's ingress indices become buffer queue indices (``ingress mod
     num_queues`` — one VOQ per source with the default sizing).
     """
+    import dataclasses
+
     ports = []
     for egress, trace in enumerate(traces):
-        spec = scenario.port_spec(egress)
-        num_queues = spec["buffer"]["num_queues"]
+        template = port_template(scenario, egress)
+        num_queues = template.buffer["num_queues"]
         pattern = [None if src is None else src % num_queues for src in trace]
-        ports.append(Scenario(
-            name=f"{scenario.name}#port{egress}",
-            description=f"egress port {egress} of switch scenario "
-                        f"{scenario.name!r}",
-            scheme=spec["scheme"],
-            buffer=spec["buffer"],
+        ports.append(dataclasses.replace(
+            template,
             arrivals={"type": "trace", "params": {"pattern": pattern}},
-            arbiter=spec["arbiter"],
             num_slots=len(pattern),
-            seed=scenario.port_seed(egress) + 1,
-            tags=("switch-port",) + scenario.tags,
         ))
     return ports
 
@@ -347,6 +428,48 @@ class SwitchModel:
                             fabric=stats,
                             ports=tuple(results))
 
+    def run_stream(self,
+                   *,
+                   engine: str = DEFAULT_ENGINE,
+                   num_slots: Optional[int] = None,
+                   chunk_slots: Optional[int] = None) -> SwitchReport:
+        """Simulate the switch with bounded memory: the fabric stage streams
+        per-egress trace chunks (:class:`FabricStream`) straight into one
+        open-ended port session per egress, so no egress trace — and no port
+        arrival plan — is ever materialised whole.  Peak memory is
+        O(``ports * chunk_slots``), independent of the horizon, and the
+        merged report is bit-identical to :meth:`run` for every chunk size.
+        """
+        from repro.sim.engine import ClosedLoopSimulation
+        from repro.sim.streaming import StreamingSimulation
+
+        scenario = self.scenario
+        stream = FabricStream(scenario, num_slots, chunk_slots)
+        templates = [port_template(scenario, egress)
+                     for egress in range(scenario.num_ports)]
+        sessions = []
+        for template in templates:
+            sim = ClosedLoopSimulation(template.build_buffer(), None,
+                                       template.build_arbiter())
+            sessions.append(StreamingSimulation(sim, None, engine=engine,
+                                                chunk_slots=chunk_slots))
+        queue_counts = [t.buffer["num_queues"] for t in templates]
+        for _start, chunk_traces in stream.chunks():
+            for egress, chunk in enumerate(chunk_traces):
+                num_queues = queue_counts[egress]
+                sessions[egress].feed(
+                    [None if src is None else src % num_queues
+                     for src in chunk])
+        ports = tuple(
+            ScenarioResult.from_report(template.name, template.scheme,
+                                       session.finish())
+            for template, session in zip(templates, sessions))
+        return SwitchReport(name=scenario.name,
+                            num_ports=scenario.num_ports,
+                            engine=engine,
+                            fabric=stream.stats,
+                            ports=ports)
+
 
 def run_switch_spec(spec: Mapping[str, Any],
                     engine: str = DEFAULT_ENGINE,
@@ -367,10 +490,12 @@ def run_switch_spec(spec: Mapping[str, Any],
 __all__ = [
     "DEFAULT_ENGINE",
     "FabricStats",
+    "FabricStream",
     "PORT_JOB_FUNC",
     "SwitchModel",
     "SwitchReport",
     "port_scenarios",
+    "port_template",
     "run_fabric",
     "run_switch_spec",
 ]

@@ -21,7 +21,7 @@ from typing import Any, Dict, Mapping, Optional, Tuple
 
 from repro.core.buffer import CFDSPacketBuffer
 from repro.core.config import CFDSConfig
-from repro.errors import ConfigurationError
+from repro.errors import CheckpointError, ConfigurationError
 from repro.rads.buffer import RADSPacketBuffer
 from repro.rads.config import RADSConfig
 from repro.sim.engine import ClosedLoopSimulation, SimulationReport
@@ -195,6 +195,28 @@ class Scenario:
         return sim.run(self.num_slots if num_slots is None else num_slots,
                        fast_path=fast_path, engine=engine)
 
+    def run_stream(self,
+                   *,
+                   num_slots: Optional[int] = None,
+                   engine: Optional[str] = None,
+                   chunk_slots: Optional[int] = None,
+                   warmup_slots: int = 0,
+                   checkpoint_every: Optional[int] = None,
+                   checkpoint_path=None,
+                   record_trace: bool = False) -> SimulationReport:
+        """Build everything fresh and simulate the scenario in bounded-memory
+        chunks (:mod:`repro.sim.streaming`): arrival plans are generated per
+        chunk, the first ``warmup_slots`` are discarded from the statistics,
+        and the run can periodically checkpoint to a resumable snapshot.
+        With ``warmup_slots=0`` the report is bit-identical to :meth:`run`.
+        """
+        sim = self.build_simulation(record_trace=record_trace)
+        return sim.run_stream(
+            self.num_slots if num_slots is None else num_slots,
+            engine=engine, chunk_slots=chunk_slots,
+            warmup_slots=warmup_slots, checkpoint_every=checkpoint_every,
+            checkpoint_path=checkpoint_path, label=self.name)
+
     # ------------------------------------------------------------------ #
     # Spec round-trip
     # ------------------------------------------------------------------ #
@@ -308,8 +330,66 @@ class ScenarioResult:
 
 def run_scenario_spec(spec: Mapping[str, Any],
                       fast_path: bool = True,
-                      engine: Optional[str] = None) -> ScenarioResult:
-    """Job entry point: rebuild the scenario from its spec and run it."""
+                      engine: Optional[str] = None,
+                      stream: bool = False,
+                      chunk_slots: Optional[int] = None,
+                      warmup_slots: int = 0,
+                      checkpoint_every: Optional[int] = None,
+                      checkpoint_dir: Optional[str] = None) -> ScenarioResult:
+    """Job entry point: rebuild the scenario from its spec and run it.
+
+    With ``stream=True`` the run goes through the bounded-memory streaming
+    path; a ``checkpoint_dir`` (the runner cache's artifact directory, say)
+    makes the run crash-resumable: snapshots are written there every
+    ``checkpoint_every`` slots under a spec-derived name, an existing
+    snapshot is resumed instead of restarting, and the snapshot is removed
+    once the run completes (the result itself lands in the result cache).
+    All kwargs are JSON-serialisable, so streamed runs cache exactly like
+    monolithic ones.
+    """
     scenario = Scenario.from_spec(spec)
-    report = scenario.run(fast_path=fast_path, engine=engine)
+    if not stream:
+        report = scenario.run(fast_path=fast_path, engine=engine)
+        return ScenarioResult.from_report(scenario.name, scenario.scheme,
+                                          report)
+
+    import hashlib
+    import json
+    import os
+
+    from repro.sim.streaming import DEFAULT_CHUNK_SLOTS, resume_stream
+
+    checkpoint_path = None
+    if checkpoint_dir is not None:
+        if checkpoint_every is None:
+            checkpoint_every = 4 * DEFAULT_CHUNK_SLOTS
+        signature = json.dumps(
+            {"spec": scenario.to_spec(), "engine": engine,
+             "chunk_slots": chunk_slots, "warmup_slots": warmup_slots},
+            sort_keys=True, separators=(",", ":"))
+        digest = hashlib.sha256(signature.encode("utf-8")).hexdigest()[:16]
+        checkpoint_path = os.path.join(
+            checkpoint_dir, f"{scenario.name}-{digest}.ckpt.json")
+    report = None
+    if checkpoint_path is not None and os.path.exists(checkpoint_path):
+        try:
+            report = resume_stream(checkpoint_path)
+        except CheckpointError:
+            # A stale or incompatible snapshot (e.g. pickled classes changed
+            # underneath it) must not wedge the job forever: discard it and
+            # recompute from slot 0.
+            try:
+                os.unlink(checkpoint_path)
+            except OSError:
+                pass
+    if report is None:
+        report = scenario.run_stream(
+            engine=engine, chunk_slots=chunk_slots,
+            warmup_slots=warmup_slots, checkpoint_every=checkpoint_every,
+            checkpoint_path=checkpoint_path)
+    if checkpoint_path is not None:
+        try:
+            os.unlink(checkpoint_path)
+        except OSError:
+            pass
     return ScenarioResult.from_report(scenario.name, scenario.scheme, report)

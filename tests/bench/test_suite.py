@@ -23,7 +23,8 @@ def test_suite_is_fixed_and_named():
     assert any(name.startswith("wide-128") for name in names)
     assert any(name.startswith("mma-ablation") for name in names)
     assert any(name.startswith("switch/") for name in names)
-    assert DEFAULT_OUTPUT == "BENCH_4.json"
+    assert any(name.startswith("stream/") for name in names)
+    assert DEFAULT_OUTPUT == "BENCH_5.json"
 
 
 def test_run_suite_quick_document_shape():

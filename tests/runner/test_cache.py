@@ -2,6 +2,8 @@
 
 import json
 
+import pytest
+
 
 from repro.runner.cache import MISS, ResultCache
 from repro.runner.jobs import Job
@@ -113,3 +115,101 @@ class TestMaintenance:
         cache = ResultCache(root=tmp_path, version="1.0.0")
         assert cache.key(a) == cache.key(b)
         assert len(cache.key(a)) == 64
+
+
+class TestTempFileHygiene:
+    """``put`` leaked ``*.json.tmp.<pid>`` files whenever a worker died
+    between writing the temp file and the atomic rename — and nothing ever
+    cleaned them up.  The fixes: ``put`` unlinks its temp file on any write
+    failure, ``clear()`` removes stale temp files alongside the entries,
+    and ``sweep_stale_tmp()`` (run at SweepRunner startup) reclaims temp
+    files whose writer process is gone."""
+
+    def _dead_pid(self):
+        import subprocess
+
+        proc = subprocess.Popen(["true"])
+        proc.wait()
+        return proc.pid
+
+    def test_put_leaves_no_temp_file(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        cache.put(JOB, {"value": 1})
+        assert not list(tmp_path.rglob("*.tmp.*"))
+
+    def test_failed_put_removes_its_temp_file(self, tmp_path, monkeypatch):
+        """A failure after the temp file is created (a full disk, an
+        interrupt mid-dump) must not leave it behind."""
+        import repro.runner.cache as cache_module
+
+        cache = ResultCache(root=tmp_path)
+
+        def exploding_dump(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(cache_module.json, "dump", exploding_dump)
+        with pytest.raises(OSError, match="disk full"):
+            cache.put(JOB, {"value": 1})
+        assert not list(tmp_path.rglob("*.tmp.*"))
+
+    def test_clear_removes_stale_temp_files(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        cache.put(JOB, "x")
+        stale = cache.directory / "deadbeef.json.tmp.12345"
+        stale.write_text("{", encoding="utf-8")
+        removed = cache.clear()
+        assert removed == 1  # temp files are removed but not counted
+        assert not stale.exists()
+        assert not list(tmp_path.rglob("*.tmp.*"))
+
+    def test_sweep_removes_dead_writer_tmp(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        cache.directory.mkdir(parents=True)
+        dead = cache.directory / f"abc.json.tmp.{self._dead_pid()}"
+        dead.write_text("{", encoding="utf-8")
+        garbled = cache.directory / "def.json.tmp.notapid"
+        garbled.write_text("{", encoding="utf-8")
+        assert cache.sweep_stale_tmp() == 2
+        assert not dead.exists()
+        assert not garbled.exists()
+
+    def test_sweep_spares_live_writers(self, tmp_path):
+        import subprocess
+        import sys
+
+        cache = ResultCache(root=tmp_path)
+        cache.directory.mkdir(parents=True)
+        live = subprocess.Popen([sys.executable, "-c",
+                                 "import time; time.sleep(30)"])
+        try:
+            in_flight = cache.directory / f"abc.json.tmp.{live.pid}"
+            in_flight.write_text("{", encoding="utf-8")
+            assert cache.sweep_stale_tmp() == 0
+            assert in_flight.exists()
+        finally:
+            live.kill()
+            live.wait()
+
+    def test_sweep_covers_artifact_dirs(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        artifacts = cache.artifact_dir("checkpoints")
+        stale = artifacts / f"run.ckpt.json.tmp.{self._dead_pid()}"
+        stale.write_text("{", encoding="utf-8")
+        assert cache.sweep_stale_tmp() == 1
+        assert not stale.exists()
+
+    def test_sweep_runner_startup_sweeps(self, tmp_path):
+        from repro.runner.sweep import SweepRunner
+
+        cache = ResultCache(root=tmp_path)
+        cache.directory.mkdir(parents=True)
+        stale = cache.directory / f"abc.json.tmp.{self._dead_pid()}"
+        stale.write_text("{", encoding="utf-8")
+        SweepRunner(jobs=1, cache=cache)
+        assert not stale.exists()
+
+    def test_artifact_dir_is_version_stamped(self, tmp_path):
+        cache = ResultCache(root=tmp_path, version="9.9.9")
+        path = cache.artifact_dir("checkpoints")
+        assert path.is_dir()
+        assert path == tmp_path / "9.9.9" / "checkpoints"

@@ -5,6 +5,7 @@ import pytest
 
 from repro.core.buffer import CFDSPacketBuffer
 from repro.core.config import CFDSConfig
+from repro.errors import StaleSimulationError
 from repro.mma.mdqf import MDQF
 from repro.rads.buffer import RADSPacketBuffer
 from repro.rads.config import RADSConfig
@@ -194,7 +195,7 @@ def test_array_engine_requires_fresh_buffer():
     buffer = _build_buffer("rads")
     buffer.step(None, None)
     sim = ClosedLoopSimulation(buffer)
-    with pytest.raises(ValueError, match="freshly built"):
+    with pytest.raises(StaleSimulationError, match="freshly built"):
         sim.run(10, engine="array")
 
 
@@ -207,7 +208,7 @@ def test_array_engine_rejects_second_run(scheme):
                                BernoulliArrivals(8, load=0.5, seed=3),
                                RandomArbiter(8, seed=4))
     sim.run(200, engine="array")
-    with pytest.raises(ValueError, match="freshly built"):
+    with pytest.raises(StaleSimulationError, match="freshly built"):
         sim.run(200, engine="array")
 
 

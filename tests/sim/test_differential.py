@@ -197,3 +197,113 @@ def test_cfds_bounded_dram_raises_on_every_engine():
     for engine in ENGINES:
         with pytest.raises(BufferOverflowError):
             scenario.build_simulation().run(scenario.num_slots, engine=engine)
+
+
+# --------------------------------------------------------------------- #
+# Streamed/chunked execution (ISSUE 5): random chunk boundaries, warmup
+# offsets and checkpoint/resume points must all reproduce the monolithic
+# run's report bit-identically.
+# --------------------------------------------------------------------- #
+
+#: Every Nth fuzzer case also runs through the streaming paths (the full
+#: matrix would triple the suite's runtime for no extra coverage of the
+#: engines themselves).
+STREAM_CASES = [(index, scenario, drain)
+                for index, (scenario, drain) in enumerate(CASES)][::5]
+_STREAM_IDS = [f"case{index}-{scenario.scheme}"
+               for index, scenario, _ in STREAM_CASES]
+
+
+def _stream_rng(index: int) -> random.Random:
+    return random.Random(SEED * 1_000_003 + index)
+
+
+def _drive(session, stop_slot):
+    arrivals = session.sim.arrivals
+    while session.slot < stop_slot:
+        count = min(session.chunk_slots, stop_slot - session.slot)
+        if arrivals is not None:
+            window = arrivals.arrivals_slice(session.slot, count)
+            plan = window if isinstance(window, list) else list(window)
+        else:
+            plan = [None] * count
+        session._execute(plan)
+
+
+@pytest.mark.parametrize("index,scenario,drain", STREAM_CASES,
+                         ids=_STREAM_IDS)
+def test_streamed_chunks_bit_identical_on_random_config(index, scenario,
+                                                        drain):
+    """Random chunk boundaries on every engine vs the monolithic reference
+    loop — the full report, trace included."""
+    from repro.sim.streaming import StreamingSimulation
+
+    rng = _stream_rng(index)
+    reference = scenario.build_simulation(record_trace=True)
+    baseline = reference.run(scenario.num_slots, drain=drain,
+                             engine="reference")
+    for engine in ENGINES:
+        chunk = rng.randint(1, scenario.num_slots + 17)
+        sim = scenario.build_simulation(record_trace=True)
+        report = StreamingSimulation(sim, scenario.num_slots, engine=engine,
+                                     drain=drain, chunk_slots=chunk).run()
+        context = (f"streamed {engine} chunk={chunk} diverged on "
+                   f"{scenario.to_spec()} drain={drain}")
+        assert report.throughput == baseline.throughput, context
+        assert report.latency == baseline.latency, context
+        assert report.buffer_result == baseline.buffer_result, context
+        assert report.trace.events == baseline.trace.events, context
+
+
+@pytest.mark.parametrize("index,scenario,drain", STREAM_CASES[::2],
+                         ids=_STREAM_IDS[::2])
+def test_checkpoint_resume_bit_identical_on_random_config(index, scenario,
+                                                          drain, tmp_path):
+    """A snapshot at a random mid-run slot, resumed from disk, must finish
+    bit-identically to the uninterrupted streamed run on every engine."""
+    from repro.sim.streaming import StreamingSimulation, resume_stream
+
+    rng = _stream_rng(index ^ 0x5A5A)
+    for engine in ENGINES:
+        chunk = rng.randint(1, scenario.num_slots)
+        uninterrupted = StreamingSimulation(
+            scenario.build_simulation(), scenario.num_slots, engine=engine,
+            drain=drain, chunk_slots=chunk).run()
+        session = StreamingSimulation(
+            scenario.build_simulation(), scenario.num_slots, engine=engine,
+            drain=drain, chunk_slots=chunk)
+        _drive(session, rng.randint(0, scenario.num_slots))
+        path = tmp_path / f"case{index}-{engine}.ckpt.json"
+        session.save_checkpoint(path)
+        resumed = resume_stream(path)
+        context = (f"resume({engine}, chunk={chunk}) diverged on "
+                   f"{scenario.to_spec()} drain={drain}")
+        assert resumed.throughput == uninterrupted.throughput, context
+        assert resumed.latency == uninterrupted.latency, context
+        assert resumed.buffer_result == uninterrupted.buffer_result, context
+
+
+@pytest.mark.parametrize("index,scenario,drain", STREAM_CASES[1::2],
+                         ids=_STREAM_IDS[1::2])
+def test_warmup_chunk_invariant_on_random_config(index, scenario, drain):
+    """A random warmup offset must produce one well-defined report: the
+    same for every chunking and engine."""
+    from repro.sim.streaming import StreamingSimulation
+
+    rng = _stream_rng(index ^ 0xC3C3)
+    warmup = rng.randint(0, scenario.num_slots)
+    baseline = None
+    for engine in ENGINES:
+        chunk = rng.randint(1, scenario.num_slots + 17)
+        report = StreamingSimulation(
+            scenario.build_simulation(), scenario.num_slots, engine=engine,
+            drain=drain, chunk_slots=chunk,
+            warmup_slots=warmup).run()
+        if baseline is None:
+            baseline = report
+            continue
+        context = (f"warmup={warmup} {engine} chunk={chunk} diverged on "
+                   f"{scenario.to_spec()} drain={drain}")
+        assert report.throughput == baseline.throughput, context
+        assert report.latency == baseline.latency, context
+        assert report.buffer_result == baseline.buffer_result, context

@@ -208,3 +208,66 @@ class TestHistogramRoundTrip:
         before = stats.snapshot()
         stats.merge(LatencyStats())
         assert stats.snapshot() == before
+
+
+class TestHugeCountPercentiles:
+    """Integer-exact percentile thresholds (the 2**53 regime).
+
+    ``seen >= fraction * count`` with a float product misrounds once counts
+    approach 2**53: the product falls between representable doubles and the
+    comparison fires one histogram bin early or late.  Long-horizon streamed
+    runs are exactly where such counts occur, so the thresholds are computed
+    in exact integer arithmetic (``ceil(count * p / q)`` with the fraction
+    snapped to the decimal the caller meant).
+    """
+
+    def test_median_at_2_to_53_plus_one(self):
+        """The historical failure: count = 2**53 + 1 split just below the
+        median.  ``0.5 * (2**53 + 1)`` rounds *down* to 2**52 (round-half-
+        even), so the float comparison returned the lower bin; the exact
+        threshold ceil((2**53 + 1)/2) = 2**52 + 1 lands in the upper."""
+        stats = LatencyStats()
+        stats.record_delay(0, 2 ** 52)        # cumulative: 2**52
+        stats.record_delay(1, 2 ** 52 + 1)    # cumulative: 2**53 + 1
+        assert stats.count == 2 ** 53 + 1
+        assert stats.percentile(0.5) == 1
+
+    def test_thresholds_are_exact_at_every_scale(self):
+        """The exact rank of the boundary element is hit — not its float
+        neighbourhood — for counts from tiny to beyond 2**53."""
+        for total in (10, 999, 2 ** 31 - 1, 2 ** 53 - 1, 2 ** 53 + 3,
+                      2 ** 60 + 7):
+            for fraction, num, den in ((0.5, 1, 2), (0.95, 19, 20),
+                                       (0.99, 99, 100), (1.0, 1, 1)):
+                exact_rank = -(-total * num // den)  # ceil(total * num/den)
+                stats = LatencyStats()
+                if exact_rank > 1:
+                    stats.record_delay(3, exact_rank - 1)
+                stats.record_delay(5, 1)
+                remaining = total - exact_rank
+                if remaining > 0:
+                    stats.record_delay(9, remaining)
+                assert stats.percentile(fraction) == 5, (total, fraction)
+
+    def test_p100_is_the_maximum_even_at_huge_counts(self):
+        stats = LatencyStats()
+        stats.record_delay(2, 2 ** 53)
+        stats.record_delay(11, 1)
+        assert stats.percentile(1.0) == 11
+        assert stats.percentile(1.0) == stats.maximum
+
+    def test_fraction_means_its_decimal_not_its_float(self):
+        """0.1 (the double nearest 1/10, slightly above it) must behave as
+        the decimal 10%: at count 10 the p10 is the 1st element, not the
+        2nd (exact-rational arithmetic on the raw double would give 2)."""
+        stats = LatencyStats()
+        for delay in range(1, 11):
+            stats.record_delay(delay)
+        assert stats.percentile(0.1) == 1
+        assert stats.percentile(0.3) == 3
+
+    def test_batch_order_with_mixed_huge_thresholds(self):
+        stats = LatencyStats()
+        stats.record_delay(1, 2 ** 53 - 1)
+        stats.record_delay(2, 2)
+        assert stats.percentiles((1.0, 0.5, 0.999999999)) == (2, 1, 1)
