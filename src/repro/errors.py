@@ -104,6 +104,16 @@ class CheckpointError(ReproError):
     """A streaming checkpoint file is missing, corrupt, or incompatible."""
 
 
+class SpecError(ConfigurationError):
+    """A declarative scenario/sweep spec document failed to parse or validate.
+
+    Raised by the YAML front end (:mod:`repro.workloads.spec_yaml`) with the
+    document path *inside the spec* (``spec.arrivals.params``, ``grid``, ...)
+    and the offending key, so an authoring mistake points at the exact YAML
+    line to fix rather than at the Python that tripped over it.
+    """
+
+
 class RenamingError(ReproError):
     """The renaming subsystem ran out of physical queues or violated FIFO order."""
 

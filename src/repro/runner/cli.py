@@ -31,6 +31,18 @@ and compose per-port buffers into a multi-port switch::
     python -m repro switch hotspot-egress --ports 8 --jobs 4
     python -m repro switch uniform --fabric priority  # swap the crossbar
 
+and compile declarative YAML sweep documents into job grids::
+
+    python -m repro scenario --from-spec sweep.yaml --jobs 4
+    python -m repro switch --from-spec switch_sweep.yaml --dry-run
+
+and differentially fuzz random specs across every engine::
+
+    python -m repro fuzz --seeds 25                   # the PR-path budget
+    python -m repro fuzz --seeds 200 --stream \
+        --artifact-dir fuzz-artifacts                 # the nightly soak
+    python -m repro fuzz --replay fuzz-artifacts/fuzz-<seed>-0007.json
+
 and track the performance trajectory::
 
     python -m repro bench                 # fixed suite -> BENCH_5.json
@@ -63,6 +75,8 @@ SCENARIO = "scenario"
 SWITCH = "switch"
 #: Subcommand that runs the fixed perf-trajectory benchmark suite.
 BENCH = "bench"
+#: Subcommand that differentially fuzzes random specs across every engine.
+FUZZ = "fuzz"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -149,6 +163,16 @@ def build_parser() -> argparse.ArgumentParser:
                           help="drive the scenario's buffer with a trace "
                                "previously saved with --record, instead of "
                                "its own generators")
+    scenario.add_argument("--from-spec", default=None, metavar="FILE",
+                          help="compile a YAML sweep document (kind: "
+                               "scenario) with grid expansion and run every "
+                               "job through the sweep runner; replaces NAME")
+    scenario.add_argument("-j", "--jobs", type=int, default=1, metavar="N",
+                          help="worker processes for --from-spec sweeps "
+                               "(0 = one per CPU; default: 1, serial)")
+    scenario.add_argument("--dry-run", action="store_true",
+                          help="with --from-spec: print the expanded jobs, "
+                               "compute nothing")
     scenario.add_argument("-o", "--output", default=None, metavar="FILE",
                           help="write the report to FILE instead of stdout")
 
@@ -186,8 +210,44 @@ def build_parser() -> argparse.ArgumentParser:
     switch.add_argument("-j", "--jobs", type=int, default=1, metavar="N",
                         help="worker processes for the port stage (0 = one "
                              "per CPU; default: 1, serial)")
+    switch.add_argument("--from-spec", default=None, metavar="FILE",
+                        help="compile a YAML sweep document (kind: switch) "
+                             "with grid expansion and run every job through "
+                             "the sweep runner; replaces NAME")
+    switch.add_argument("--dry-run", action="store_true",
+                        help="with --from-spec: print the expanded jobs, "
+                             "compute nothing")
     switch.add_argument("-o", "--output", default=None, metavar="FILE",
                         help="write the report to FILE instead of stdout")
+
+    fuzz = subparsers.add_parser(
+        FUZZ, help="differentially fuzz random specs across every engine",
+        description=("Draw seeded random scenario/switch specs "
+                     "(repro.workloads.fuzz) and run each on all three "
+                     "engines, monolithic and streamed, asserting "
+                     "bit-identical reports.  Diverging specs are dumped as "
+                     "replayable JSON artifacts."))
+    fuzz.add_argument("--seeds", type=int, default=25, metavar="N",
+                      help="number of fuzz cases to draw (default: 25, the "
+                           "PR-path budget; the nightly job runs 200)")
+    fuzz.add_argument("--master-seed", type=int, default=None, metavar="S",
+                      help="master seed the whole run derives from "
+                           "(default: the frozen CI seed)")
+    fuzz.add_argument("--stream", action="store_true",
+                      help="add the expensive streamed legs: warmup offsets, "
+                           "checkpoint/resume, and all-engine switch "
+                           "streaming")
+    fuzz.add_argument("--artifact-dir", default=None, metavar="DIR",
+                      help="write each diverging case as a replayable JSON "
+                           "artifact under DIR")
+    fuzz.add_argument("--replay", default=None, metavar="FILE",
+                      help="re-run one dumped divergence artifact instead "
+                           "of drawing new cases")
+    fuzz.add_argument("--quiet", action="store_true",
+                      help="suppress the per-case progress lines on stderr")
+    fuzz.add_argument("-o", "--output", default=None, metavar="FILE",
+                      help="write the closing summary to FILE instead of "
+                           "stdout")
 
     bench = subparsers.add_parser(
         BENCH, help="run the perf-trajectory benchmark suite",
@@ -211,6 +271,41 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _run_from_spec(parser: argparse.ArgumentParser, args: argparse.Namespace,
+                   kind: str) -> int:
+    """Handle ``--from-spec sweep.yaml`` for either subcommand."""
+    from repro.workloads.spec_yaml import (
+        compile_jobs,
+        load_yaml_document,
+        render_sweep_results,
+    )
+
+    try:
+        document = load_yaml_document(args.from_spec)
+        if document.kind != kind:
+            print(f"error: {args.from_spec}: document kind "
+                  f"{document.kind!r} does not match the {kind!r} "
+                  "subcommand", file=sys.stderr)
+            return 1
+        points, spec_jobs = compile_jobs(document)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.dry_run:
+        lines = [f"{document.name}: {len(points)} jobs"]
+        lines.extend(f"  {point.describe()}" for point in points)
+        return _emit("\n".join(lines), args.output)
+    try:
+        runner = SweepRunner(jobs=args.jobs)
+        results = runner.run(spec_jobs)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    title = f"{document.name} ({len(points)} jobs)"
+    return _emit(render_sweep_results(points, results, title=title),
+                 args.output)
+
+
 def _run_scenario_command(parser: argparse.ArgumentParser,
                           args: argparse.Namespace) -> int:
     """Handle ``python -m repro scenario ...``."""
@@ -221,6 +316,10 @@ def _run_scenario_command(parser: argparse.ArgumentParser,
     from repro.workloads.registry import all_scenarios, get_scenario
     from repro.workloads.traceio import load_trace, save_trace
 
+    if args.from_spec is not None:
+        if args.name is not None:
+            parser.error("--from-spec replaces NAME; give one or the other")
+        return _run_from_spec(parser, args, kind=SCENARIO)
     if args.list_scenarios:
         table = format_table(
             ["name", "scheme", "slots", "tags", "description"],
@@ -348,6 +447,10 @@ def _run_switch_command(parser: argparse.ArgumentParser,
     from repro.switch.model import DEFAULT_ENGINE, SwitchModel
     from repro.switch.registry import all_switch_scenarios, get_switch_scenario
 
+    if args.from_spec is not None:
+        if args.name is not None:
+            parser.error("--from-spec replaces NAME; give one or the other")
+        return _run_from_spec(parser, args, kind=SWITCH)
     if args.list_switches:
         table = format_table(
             ["name", "ports", "slots", "fabric", "tags", "description"],
@@ -379,6 +482,51 @@ def _run_switch_command(parser: argparse.ArgumentParser,
         print(f"error: {exc}", file=sys.stderr)
         return 1
     return _emit(render_switch_run(report), args.output)
+
+
+def _run_fuzz_command(parser: argparse.ArgumentParser,
+                      args: argparse.Namespace) -> int:
+    """Handle ``python -m repro fuzz ...``."""
+    from repro.workloads.fuzz import (
+        DEFAULT_MASTER_SEED,
+        FuzzSummary,
+        dump_artifact,
+        fuzz_many,
+        load_artifact,
+        render_summary,
+        run_case,
+    )
+
+    master_seed = (DEFAULT_MASTER_SEED if args.master_seed is None
+                   else args.master_seed)
+    try:
+        if args.replay is not None:
+            case = load_artifact(args.replay)
+            divergences = run_case(case, stream=args.stream)
+            summary = FuzzSummary(
+                cases=1, switch_cases=int(case.kind == "switch"))
+            if divergences:
+                summary.failures.append((case, divergences))
+                if args.artifact_dir is not None:
+                    summary.artifacts.append(
+                        dump_artifact(case, divergences, args.artifact_dir,
+                                      args.stream))
+        else:
+            if args.seeds < 1:
+                parser.error("--seeds must be at least 1")
+            progress = (None if args.quiet
+                        else lambda line: print(line, file=sys.stderr))
+            summary = fuzz_many(args.seeds, master_seed=master_seed,
+                                stream=args.stream,
+                                artifact_dir=args.artifact_dir,
+                                progress=progress)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    code = _emit(render_summary(summary, stream=args.stream), args.output)
+    if code != 0:
+        return code
+    return 0 if summary.ok else 1
 
 
 def _run_bench_command(parser: argparse.ArgumentParser,
@@ -434,6 +582,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_switch_command(parser, args)
     if args.experiment == BENCH:
         return _run_bench_command(parser, args)
+    if args.experiment == FUZZ:
+        return _run_fuzz_command(parser, args)
 
     names = list(EXPERIMENTS) if args.experiment == ALL else [args.experiment]
     specs = [get_experiment(name) for name in names]

@@ -77,6 +77,7 @@ from repro.errors import (
     ArbiterContractError,
     BufferOverflowError,
     CacheMissError,
+    ConfigurationError,
     RenamingError,
     StaleSimulationError,
 )
@@ -115,7 +116,7 @@ def run_array(sim, num_slots: int, drain: bool = True):
         loops produce, bit for bit.
     """
     if num_slots < 0:
-        raise ValueError("num_slots must be non-negative")
+        raise ConfigurationError("num_slots must be non-negative")
     core = build_array_core(sim)
     core.run_span(_arrival_plan(sim, num_slots), num_slots)
     return core.finish(drain=drain)

@@ -32,7 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.errors import ArbiterContractError
+from repro.errors import ArbiterContractError, ConfigurationError
 from repro.sim.stats import LatencyStats, ThroughputStats
 from repro.traffic.arbiters import Arbiter
 from repro.traffic.arrivals import ArrivalProcess
@@ -116,7 +116,7 @@ class ClosedLoopSimulation:
                 buffer).  All three produce bit-identical reports.
         """
         if num_slots < 0:
-            raise ValueError("num_slots must be non-negative")
+            raise ConfigurationError("num_slots must be non-negative")
         if engine is None:
             engine = "batched" if fast_path else "reference"
         if engine == "array":
@@ -130,7 +130,7 @@ class ClosedLoopSimulation:
         else:
             from repro.sim.array_engine import ENGINES
 
-            raise ValueError(
+            raise ConfigurationError(
                 f"unknown engine {engine!r} (known: {', '.join(ENGINES)})")
         if drain:
             for cell in self.buffer.drain():

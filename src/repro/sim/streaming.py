@@ -100,10 +100,10 @@ class StreamingSimulation:
         if engine is None:
             engine = "batched"
         if engine not in ENGINES:
-            raise ValueError(
+            raise ConfigurationError(
                 f"unknown engine {engine!r} (known: {', '.join(ENGINES)})")
         if num_slots is not None and num_slots < 0:
-            raise ValueError("num_slots must be non-negative")
+            raise ConfigurationError("num_slots must be non-negative")
         if chunk_slots is None:
             chunk_slots = DEFAULT_CHUNK_SLOTS
         if chunk_slots <= 0:
@@ -334,7 +334,13 @@ class StreamingSimulation:
         the snapshot's own settings, writing back to ``path``).
         """
         document = read_checkpoint(path)
-        blob = base64.b64decode(document["state_b64"])
+        try:
+            blob = base64.b64decode(document["state_b64"],
+                                    validate=True)
+        except (TypeError, ValueError) as exc:
+            raise CheckpointError(
+                f"checkpoint {os.fspath(path)!r} is corrupt: state payload "
+                f"is not valid base64 ({exc})")
         if hashlib.sha256(blob).hexdigest() != document["sha256"]:
             raise CheckpointError(
                 f"checkpoint {os.fspath(path)!r} is corrupt: state digest "

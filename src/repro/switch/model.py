@@ -266,6 +266,7 @@ def port_template(scenario: SwitchScenario, egress: int) -> Scenario:
         num_slots=0,
         seed=scenario.port_seed(egress) + 1,
         tags=("switch-port",) + scenario.tags,
+        head_mma=spec["head_mma"],
     )
 
 

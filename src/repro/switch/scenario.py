@@ -35,6 +35,7 @@ from repro.switch.fabric import FABRIC_TYPES, FabricArbiter
 from repro.switch.traffic import INGRESS_TRAFFIC_TYPES
 from repro.workloads.scenario import (
     ARBITER_TYPES,
+    MMA_TYPES,
     SCHEMES,
     _copy_spec,
     accepts_param,
@@ -118,6 +119,9 @@ class SwitchScenario:
                 known = ", ".join(sorted(SCHEMES))
                 raise ConfigurationError(
                     f"unknown port scheme {scheme!r} (known: {known})")
+            if template.get("head_mma") is not None:
+                _check_component(template["head_mma"], MMA_TYPES,
+                                 "port head MMA")
 
     # ------------------------------------------------------------------ #
     # Derived views
@@ -135,8 +139,11 @@ class SwitchScenario:
         arbiter = template.get("arbiter")
         if arbiter is not None:
             arbiter = _inject_arbiter_queues(arbiter, buffer["num_queues"])
+        head_mma = template.get("head_mma")
+        if head_mma is not None:
+            head_mma = _copy_spec(head_mma)
         return {"scheme": template["scheme"], "buffer": buffer,
-                "arbiter": arbiter}
+                "arbiter": arbiter, "head_mma": head_mma}
 
     def port_seed(self, port: int) -> int:
         """Deterministic per-port seed (also the per-ingress traffic seed)."""
@@ -178,7 +185,9 @@ class SwitchScenario:
                 {"scheme": t["scheme"],
                  "buffer": dict(t.get("buffer", {})),
                  "arbiter": (None if t.get("arbiter") is None
-                             else _copy_spec(t["arbiter"]))}
+                             else _copy_spec(t["arbiter"])),
+                 "head_mma": (None if t.get("head_mma") is None
+                              else _copy_spec(t["head_mma"]))}
                 for t in self.ports
             ],
             "num_slots": self.num_slots,

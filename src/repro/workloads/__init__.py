@@ -8,6 +8,12 @@ This package is the layer between the traffic primitives
   JSON-spec round-trip, and the cacheable :class:`ScenarioResult`;
 * :mod:`repro.workloads.registry` — the named scenario registry behind
   ``python -m repro scenario`` and the ``scenarios`` experiment sweep;
+* :mod:`repro.workloads.spec_yaml` — the YAML sweep front end: one base
+  spec plus a ``grid:`` block compiles to validated, canonicalised
+  :class:`~repro.runner.jobs.Job` grids (``--from-spec``);
+* :mod:`repro.workloads.fuzz` — the seeded generative spec fuzzer behind
+  ``python -m repro fuzz``: adversarial random scenario/switch specs run
+  differentially on every engine, monolithic and streamed;
 * :mod:`repro.workloads.traceio` — compact NDJSON and binary trace formats
   so any run can be recorded once and replayed deterministically.
 """
@@ -15,6 +21,7 @@ This package is the layer between the traffic primitives
 from repro.workloads.scenario import (
     ARBITER_TYPES,
     ARRIVAL_TYPES,
+    MMA_TYPES,
     SCHEMES,
     Scenario,
     ScenarioResult,
@@ -31,6 +38,7 @@ from repro.workloads.traceio import load_trace, save_trace
 __all__ = [
     "ARBITER_TYPES",
     "ARRIVAL_TYPES",
+    "MMA_TYPES",
     "SCHEMES",
     "Scenario",
     "ScenarioResult",

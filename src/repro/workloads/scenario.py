@@ -22,6 +22,8 @@ from typing import Any, Dict, Mapping, Optional, Tuple
 from repro.core.buffer import CFDSPacketBuffer
 from repro.core.config import CFDSConfig
 from repro.errors import CheckpointError, ConfigurationError
+from repro.mma.ecqf import ECQF
+from repro.mma.mdqf import MDQF
 from repro.rads.buffer import RADSPacketBuffer
 from repro.rads.config import RADSConfig
 from repro.sim.engine import ClosedLoopSimulation, SimulationReport
@@ -76,6 +78,15 @@ ARBITER_TYPES: Dict[str, type] = {
 SCHEMES: Dict[str, Tuple[type, type]] = {
     "rads": (RADSConfig, RADSPacketBuffer),
     "cfds": (CFDSConfig, CFDSPacketBuffer),
+}
+
+#: Head-MMA factories, keyed by the type string used in scenario specs.
+#: ``None`` in a spec keeps the buffer's stock policy (ECQF with fallback);
+#: naming one explicitly routes the run through the generic MMA path of
+#: every engine — the "custom MMA" surface the differential harness covers.
+MMA_TYPES: Dict[str, type] = {
+    "ecqf": ECQF,
+    "mdqf": MDQF,
 }
 
 
@@ -134,6 +145,8 @@ class Scenario:
         num_slots: slots to simulate.
         seed: scenario seed, injected into generators that take one.
         tags: free-form labels (``"bursty"``, ``"adversarial"``, ...).
+        head_mma: head-MMA spec dict (a key of :data:`MMA_TYPES`), or
+            ``None`` for the buffer's stock policy.
     """
 
     name: str
@@ -145,6 +158,7 @@ class Scenario:
     num_slots: int
     seed: int = 0
     tags: Tuple[str, ...] = ()
+    head_mma: Optional[Mapping[str, Any]] = None
 
     def __post_init__(self) -> None:
         if self.scheme not in SCHEMES:
@@ -159,7 +173,11 @@ class Scenario:
     # ------------------------------------------------------------------ #
     def build_buffer(self):
         config_cls, buffer_cls = SCHEMES[self.scheme]
-        return buffer_cls(config_cls(**dict(self.buffer)))
+        config = config_cls(**dict(self.buffer))
+        if self.head_mma is None:
+            return buffer_cls(config)
+        mma = _build_component(self.head_mma, MMA_TYPES, "head MMA", self.seed)
+        return buffer_cls(config, head_mma=mma)
 
     def build_arrivals(self) -> Optional[ArrivalProcess]:
         if self.arrivals is None:
@@ -233,6 +251,8 @@ class Scenario:
             "num_slots": self.num_slots,
             "seed": self.seed,
             "tags": list(self.tags),
+            "head_mma": (None if self.head_mma is None
+                         else _copy_spec(self.head_mma)),
         }
 
     @classmethod
@@ -248,6 +268,7 @@ class Scenario:
                 num_slots=spec["num_slots"],
                 seed=spec.get("seed", 0),
                 tags=tuple(spec.get("tags", ())),
+                head_mma=spec.get("head_mma"),
             )
         except KeyError as exc:
             raise ConfigurationError(f"scenario spec is missing key {exc}")

@@ -220,3 +220,104 @@ class TestScenarioCommand:
         assert main(["scenario", "bursty-trains", "--replay",
                      "/nonexistent/trace.rtrc"]) == 1
         assert "cannot access trace file" in capsys.readouterr().err
+
+
+class TestExitCodePins:
+    """Every CLI failure path must exit non-zero with a one-line
+    ``error: ...`` message — fuzz-found failure modes get pinned here so
+    they cannot regress into tracebacks or silent exit-0."""
+
+    def test_negative_slots_exit_one_with_one_line_error(self, capsys):
+        assert main(["scenario", "uniform-bernoulli", "--slots", "-5"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert err.count("\n") == 1
+        assert "Traceback" not in err
+
+    def test_scenario_list_exits_zero(self):
+        assert main(["scenario", "--list"]) == 0
+
+    def test_missing_spec_file_exits_one(self, capsys):
+        assert main(["scenario", "--from-spec", "/nonexistent.yaml"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: cannot read spec")
+        assert err.count("\n") == 1
+
+    def test_invalid_spec_exits_one_naming_the_key(self, tmp_path, capsys):
+        bad = tmp_path / "bad.yaml"
+        bad.write_text("kind: scenario\nname: x\nspec: {}\ngrid: {seed: 1}\n",
+                       encoding="utf-8")
+        assert main(["scenario", "--from-spec", str(bad)]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert "grid['seed']" in err
+        assert err.count("\n") == 1
+
+    def test_kind_mismatch_exits_one(self, capsys):
+        assert main(["scenario", "--from-spec",
+                     "examples/switch_sweep.yaml"]) == 1
+        err = capsys.readouterr().err
+        assert "kind 'switch'" in err
+        assert err.count("\n") == 1
+
+    def test_from_spec_plus_name_is_a_usage_error(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["scenario", "uniform-bernoulli",
+                  "--from-spec", "examples/scenario_sweep.yaml"])
+        assert exc.value.code == 2
+
+
+class TestFromSpec:
+    def test_scenario_dry_run_lists_the_grid(self, capsys):
+        assert main(["scenario", "--from-spec",
+                     "examples/scenario_sweep.yaml", "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "load-mma-sweep: 24 jobs" in out
+        assert "load-mma-sweep-g000" in out
+        assert "load-mma-sweep-g023" in out
+
+    def test_switch_dry_run_lists_the_grid(self, capsys):
+        assert main(["switch", "--from-spec",
+                     "examples/switch_sweep.yaml", "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "fabric-ports-sweep: 9 jobs" in out
+
+    def test_small_spec_runs_to_a_table(self, tmp_path, capsys):
+        spec = tmp_path / "small.yaml"
+        spec.write_text("""\
+kind: scenario
+name: cli-smoke
+spec:
+  scheme: rads
+  buffer: {num_queues: 4, granularity: 2}
+  arrivals: {type: bernoulli, params: {num_queues: 4, load: 0.8}}
+  arbiter: {type: oldest_cell, params: {num_queues: 4}}
+  num_slots: 400
+  seed: 2
+grid:
+  seed: [2, 3]
+""", encoding="utf-8")
+        assert main(["scenario", "--from-spec", str(spec)]) == 0
+        out = capsys.readouterr().out
+        assert "cli-smoke-g000" in out and "cli-smoke-g001" in out
+        assert "p99" in out
+
+
+class TestFuzzCommand:
+    def test_quick_fuzz_exits_zero(self, capsys):
+        assert main(["fuzz", "--seeds", "2", "--quiet"]) == 0
+        assert "2 cases" in capsys.readouterr().out
+
+    def test_replay_of_a_dumped_artifact_exits_zero(self, tmp_path, capsys):
+        from repro.workloads.fuzz import dump_artifact, make_case
+        path = dump_artifact(make_case(9, 0), divergences=[],
+                             artifact_dir=str(tmp_path), stream=False)
+        assert main(["fuzz", "--replay", path, "--quiet"]) == 0
+
+    def test_replay_of_garbage_exits_one(self, tmp_path, capsys):
+        bad = tmp_path / "junk.json"
+        bad.write_text("{}", encoding="utf-8")
+        assert main(["fuzz", "--replay", str(bad), "--quiet"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert err.count("\n") == 1

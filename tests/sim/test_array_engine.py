@@ -5,7 +5,7 @@ import pytest
 
 from repro.core.buffer import CFDSPacketBuffer
 from repro.core.config import CFDSConfig
-from repro.errors import StaleSimulationError
+from repro.errors import ConfigurationError, StaleSimulationError
 from repro.mma.mdqf import MDQF
 from repro.rads.buffer import RADSPacketBuffer
 from repro.rads.config import RADSConfig
@@ -187,7 +187,7 @@ def test_cfds_renaming_with_group_capacity():
 
 def test_unknown_engine_rejected():
     sim = ClosedLoopSimulation(_build_buffer("rads"))
-    with pytest.raises(ValueError, match="unknown engine"):
+    with pytest.raises(ConfigurationError, match="unknown engine"):
         sim.run(10, engine="warp")
 
 
@@ -223,7 +223,7 @@ def test_array_engine_rejects_unknown_buffer_types():
 
 def test_negative_slots_rejected():
     sim = ClosedLoopSimulation(_build_buffer("rads"))
-    with pytest.raises(ValueError, match="non-negative"):
+    with pytest.raises(ConfigurationError, match="non-negative"):
         sim.run(-1, engine="array")
 
 

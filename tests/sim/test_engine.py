@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.errors import ConfigurationError
 from repro.rads.buffer import RADSPacketBuffer
 from repro.rads.config import RADSConfig
 from repro.sim.engine import ClosedLoopSimulation
@@ -70,7 +71,7 @@ class TestClosedLoopSimulation:
 
     def test_negative_slots_rejected(self, buffer):
         sim = ClosedLoopSimulation(buffer)
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             sim.run(-1)
 
 

@@ -12,6 +12,8 @@ The contract under test (ISSUE 5):
   the arrival process is only ever asked for chunk-sized windows.
 """
 
+import base64
+import hashlib
 import json
 import os
 
@@ -264,6 +266,48 @@ def test_checkpoint_version_and_digest_guards(tmp_path):
     del missing_field["engine"]
     path.write_text(json.dumps(missing_field), encoding="utf-8")
     with pytest.raises(CheckpointError, match="missing field"):
+        resume_stream(path)
+
+
+def test_corrupt_checkpoints_always_fail_cleanly(tmp_path):
+    """Every on-disk corruption mode surfaces as a CheckpointError with a
+    message naming the file — never a raw KeyError/binascii.Error/pickle
+    exception from the decode internals."""
+    scenario = get_scenario("uniform-bernoulli")
+    path = tmp_path / "run.ckpt.json"
+    session = StreamingSimulation(scenario.build_simulation(),
+                                  scenario.num_slots, engine="batched",
+                                  chunk_slots=500)
+    drive_to(session, 1000)
+    session.save_checkpoint(path)
+    text = path.read_text(encoding="utf-8")
+    document = json.loads(text)
+
+    # A write that died halfway: the envelope itself is cut mid-document.
+    path.write_text(text[:len(text) // 2], encoding="utf-8")
+    with pytest.raises(CheckpointError, match="not valid JSON"):
+        resume_stream(path)
+
+    # The state payload is not even base64 (would be binascii.Error raw).
+    bad_b64 = dict(document, state_b64="!!! not base64 !!!")
+    path.write_text(json.dumps(bad_b64), encoding="utf-8")
+    with pytest.raises(CheckpointError, match="not valid base64"):
+        resume_stream(path)
+
+    # The state payload has the wrong JSON type (would be TypeError raw).
+    bad_type = dict(document, state_b64=12345)
+    path.write_text(json.dumps(bad_type), encoding="utf-8")
+    with pytest.raises(CheckpointError):
+        resume_stream(path)
+
+    # Digest-consistent garbage: valid base64, matching sha256, but the
+    # blob is not a pickle (would be UnpicklingError raw).
+    blob = b"this is not a pickle stream"
+    forged = dict(document,
+                  state_b64=base64.b64encode(blob).decode("ascii"),
+                  sha256=hashlib.sha256(blob).hexdigest())
+    path.write_text(json.dumps(forged), encoding="utf-8")
+    with pytest.raises(CheckpointError, match="cannot be unpickled"):
         resume_stream(path)
 
 

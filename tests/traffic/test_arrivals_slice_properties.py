@@ -1,0 +1,104 @@
+"""Property-based tests of the streaming contract: for every arrival
+process, the concatenation of ``arrivals_slice`` over *any* partition of
+``[0, N)`` into consecutive windows equals one ``arrivals(N)`` call.
+
+This is the invariant the whole chunked/streamed execution path rests on
+(and what the fuzzer's streamed legs exercise end-to-end); here hypothesis
+attacks it directly with adversarial window boundaries — empty windows,
+single-slot windows, one giant window — instead of the fixed chunk sizes
+the unit tests use.  ``derandomize=True`` keeps CI deterministic.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.traffic.arrivals import (  # noqa: E402
+    BernoulliArrivals,
+    BurstyArrivals,
+    DeterministicArrivals,
+    HotspotArrivals,
+    MarkovOnOffArrivals,
+    ParetoBurstArrivals,
+    RoundRobinArrivals,
+    TraceArrivals,
+    ZipfArrivals,
+)
+
+COMMON = dict(deadline=None, derandomize=True)
+
+#: (name, factory) for every registered process; fresh instances per draw
+#: because the stochastic ones carry RNG state across calls.
+PROCESSES = [
+    ("deterministic",
+     lambda seed: DeterministicArrivals([0, None, 1, 1, None, 2])),
+    ("trace",
+     lambda seed: TraceArrivals([2, None, 0, 1, None, None, 1, 0])),
+    ("round_robin", lambda seed: RoundRobinArrivals(3, load=0.7, seed=seed)),
+    ("bernoulli", lambda seed: BernoulliArrivals(4, load=0.9, seed=seed)),
+    ("hotspot", lambda seed: HotspotArrivals(5, hot_queues=[1, 3],
+                                             hot_fraction=0.8, load=0.95,
+                                             seed=seed)),
+    ("bursty", lambda seed: BurstyArrivals(4, mean_burst_cells=3.0,
+                                           load=0.8, seed=seed)),
+    ("markov_on_off", lambda seed: MarkovOnOffArrivals(
+        3, mean_on_slots=5.0, mean_off_slots=9.0, peak_rate=0.9, seed=seed)),
+    ("pareto", lambda seed: ParetoBurstArrivals(4, alpha=1.2,
+                                                min_burst_cells=2,
+                                                load=0.85, seed=seed)),
+    ("zipf", lambda seed: ZipfArrivals(6, exponent=1.4, load=1.0,
+                                       seed=seed)),
+]
+
+
+@st.composite
+def _partitions(draw):
+    """A total slot count plus window widths that sum to it (zeros allowed:
+    an empty feed must be a no-op, not a resync)."""
+    total = draw(st.integers(0, 160))
+    widths, left = [], total
+    while left > 0:
+        width = draw(st.integers(0, left))
+        widths.append(width)
+        left -= width
+    if draw(st.booleans()):
+        widths.append(0)
+    return total, widths
+
+
+@pytest.mark.parametrize("name,factory", PROCESSES,
+                         ids=[name for name, _ in PROCESSES])
+@given(partition=_partitions(), seed=st.integers(0, 2 ** 16))
+@settings(max_examples=60, **COMMON)
+def test_slice_concatenation_equals_one_shot(name, factory, partition, seed):
+    total, widths = partition
+    one_shot = list(factory(seed).arrivals(total))
+
+    chunked_process = factory(seed)
+    chunked, cursor = [], 0
+    for width in widths:
+        chunked.extend(chunked_process.arrivals_slice(cursor, width))
+        cursor += width
+
+    assert cursor == total
+    assert chunked == one_shot, (
+        f"{name}: windows {widths} disagree with one arrivals({total}) call")
+
+
+@pytest.mark.parametrize("name,factory", PROCESSES,
+                         ids=[name for name, _ in PROCESSES])
+@given(total=st.integers(0, 120), width=st.integers(1, 17),
+       seed=st.integers(0, 2 ** 16))
+@settings(max_examples=40, **COMMON)
+def test_fixed_width_windows_equal_one_shot(name, factory, total, width,
+                                            seed):
+    """The streaming engine's actual access pattern: constant chunk size
+    with a ragged final window."""
+    one_shot = list(factory(seed).arrivals(total))
+    chunked_process = factory(seed)
+    chunked = []
+    for start in range(0, total, width):
+        count = min(width, total - start)
+        chunked.extend(chunked_process.arrivals_slice(start, count))
+    assert chunked == one_shot
