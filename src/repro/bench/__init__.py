@@ -8,6 +8,7 @@ benchmarks and writes per-benchmark median timings to a JSON snapshot
 
 from repro.bench.suite import (
     DEFAULT_OUTPUT,
+    DERIVED_RATIOS,
     SUITE,
     BenchCase,
     BenchResult,
@@ -20,6 +21,7 @@ from repro.bench.suite import (
 
 __all__ = [
     "DEFAULT_OUTPUT",
+    "DERIVED_RATIOS",
     "SUITE",
     "BenchCase",
     "BenchResult",

@@ -86,15 +86,19 @@ class BenchResult:
     median_s: float
     samples_s: List[float]
     metrics: Dict[str, Any] = field(default_factory=dict)
+    profile: Optional[List[Dict[str, Any]]] = None
 
     def as_json(self) -> Dict[str, Any]:
-        return {
+        out = {
             "name": self.name,
             "description": self.description,
             "median_s": self.median_s,
             "samples_s": self.samples_s,
             "metrics": self.metrics,
         }
+        if self.profile is not None:
+            out["profile"] = self.profile
+        return out
 
 
 def wide_scenario(num_queues: int = WIDE_QUEUES,
@@ -320,36 +324,54 @@ SUITE: Tuple[BenchCase, ...] = (
 )
 
 #: Ratios derived from pairs of benchmark medians (numerator / denominator —
-#: the speedup trajectory the acceptance criteria track).
-DERIVED_RATIOS: Tuple[Tuple[str, str, str], ...] = (
+#: the speedup trajectory the acceptance criteria track).  The fourth
+#: element is the regression *direction* the compare gate uses: a speedup
+#: ratio regressed when it falls (``higher_better``), an overhead ratio
+#: regressed when it rises (``lower_better``).
+DERIVED_RATIOS: Tuple[Tuple[str, str, str, str], ...] = (
     ("wide-128-speedup-array-over-batched", "wide-128/batched",
-     "wide-128/array"),
+     "wide-128/array", "higher_better"),
     ("uniform-speedup-array-over-batched",
      "scenario/uniform-bernoulli/batched",
-     "scenario/uniform-bernoulli/array"),
+     "scenario/uniform-bernoulli/array", "higher_better"),
     ("uniform-speedup-batched-over-reference",
      "scenario/uniform-bernoulli/reference",
-     "scenario/uniform-bernoulli/batched"),
+     "scenario/uniform-bernoulli/batched", "higher_better"),
     ("switch-scaling-jobs4-over-jobs1", "switch/cfds-8port/jobs1",
-     "switch/cfds-8port/jobs4"),
+     "switch/cfds-8port/jobs4", "higher_better"),
     ("stream-speedup-array-over-batched", "stream/long-horizon/batched",
-     "stream/long-horizon/array"),
+     "stream/long-horizon/array", "higher_better"),
     ("stream-checkpoint-overhead", "stream/long-horizon/array-checkpointed",
-     "stream/long-horizon/array"),
+     "stream/long-horizon/array", "lower_better"),
 )
 
 
 def run_suite(quick: bool = False,
               repeats: Optional[int] = None,
-              name_filter: Optional[str] = None) -> Dict[str, Any]:
-    """Run the suite and return the JSON-serialisable result document."""
+              name_filter: Optional[str] = None,
+              profile: bool = False,
+              profile_top: Optional[int] = None) -> Dict[str, Any]:
+    """Run the suite and return the JSON-serialisable result document.
+
+    With ``profile=True`` every selected benchmark is run once more under
+    :mod:`cProfile` *after* the timed repetitions (profiler overhead must
+    never pollute the medians) and its hottest frames land in the result's
+    ``profile`` list.
+    """
+    from repro.obs.profile import DEFAULT_TOP, profile_call
+    from repro.obs.trace import emit as trace_emit
+
     if repeats is None:
         repeats = 3 if quick else 5
     if repeats < 1:
         raise ValueError("repeats must be at least 1")
+    if profile_top is None:
+        profile_top = DEFAULT_TOP
     selected = [case for case in SUITE
                 if name_filter is None or name_filter in case.name]
     setups = [case.factory(quick) for case in selected]
+    trace_emit("bench_start", quick=quick, repeats=repeats,
+               cases=len(selected), profile=profile)
     # Interleave the repetitions (round 0 of every case, then round 1, ...)
     # instead of timing each case's repeats back to back: slow drift in
     # machine load then lands on every case roughly equally, which is what
@@ -367,16 +389,23 @@ def run_suite(quick: bool = False,
         slots = metrics.get("slots")
         if slots:
             metrics["kslots_per_s"] = round(slots / median / 1e3, 2)
+        frames = profile_call(thunk, top=profile_top) if profile else None
+        trace_emit("bench_case", name=case.name,
+                   median_s=round(median, 6),
+                   kslots_per_s=metrics.get("kslots_per_s"))
         results.append(BenchResult(name=case.name,
                                    description=case.description,
                                    median_s=median,
                                    samples_s=samples,
-                                   metrics=metrics))
+                                   metrics=metrics,
+                                   profile=frames))
     medians = {result.name: result.median_s for result in results}
     derived: Dict[str, float] = {}
-    for label, numerator, denominator in DERIVED_RATIOS:
+    directions: Dict[str, str] = {}
+    for label, numerator, denominator, direction in DERIVED_RATIOS:
         if numerator in medians and denominator in medians and medians[denominator]:
             derived[label] = round(medians[numerator] / medians[denominator], 3)
+            directions[label] = direction
     return {
         "schema": SCHEMA,
         "suite": "repro-bench",
@@ -392,6 +421,9 @@ def run_suite(quick: bool = False,
         "cpus": available_cpus(),
         "benchmarks": [result.as_json() for result in results],
         "derived": derived,
+        # Regression direction per derived ratio — what the compare gate
+        # (repro bench --compare --fail-on-regression) keys on.
+        "derived_directions": directions,
     }
 
 
@@ -419,9 +451,18 @@ def render_results(document: Mapping[str, Any]) -> str:
     table = format_table(
         ["benchmark", "median (ms)", "kslots/s", "slots"], rows,
         title=f"repro bench — {mode} suite, {document['repeats']} repeats")
+    lines = [table]
     if document["derived"]:
-        lines = [table, ""]
+        lines.append("")
         for label, value in document["derived"].items():
             lines.append(f"{label}: {value:.3f}x")
-        return "\n".join(lines)
-    return table
+    if any("profile" in bench for bench in document["benchmarks"]):
+        from repro.obs.profile import render_profile
+
+        lines.append("")
+        lines.append("hot frames (self-time, per benchmark):")
+        for bench in document["benchmarks"]:
+            if bench.get("profile"):
+                lines.append(f"  {bench['name']}:")
+                lines.append(render_profile(bench["profile"]))
+    return "\n".join(lines)

@@ -1,0 +1,74 @@
+"""Run observability: metrics registry, structured traces, perf trajectory.
+
+An always-available, zero-overhead-when-disabled layer threaded through
+every execution path:
+
+* :mod:`repro.obs.metrics` — counters/gauges/timing accumulators engines,
+  streaming, the switch fabric, the sweep runner and the result cache
+  publish into; disabled by default, enabled by ``--metrics`` or
+  :func:`enable_metrics`.
+* :mod:`repro.obs.trace` — timestamped NDJSON run-trace events
+  (``--trace-out trace.ndjson``) plus the ``repro trace summarize``
+  inspector.
+* :mod:`repro.obs.compare` — ``repro bench --compare`` snapshot diffing
+  with a direction-aware ``--fail-on-regression`` gate.
+* :mod:`repro.obs.profile` — cProfile hot-frame capture for
+  ``repro bench --profile``.
+
+The layer's hard invariant: enabling any of it never touches an RNG stream
+and never changes a report — pinned by the differential fuzzer running with
+metrics enabled.
+"""
+
+from repro.obs.compare import (
+    BenchCompareError,
+    compare_documents,
+    load_bench_document,
+    ratio_direction,
+    ratio_regressions,
+    render_compare,
+)
+from repro.obs.metrics import (
+    MetricsRegistry,
+    disable_metrics,
+    enable_metrics,
+    get_metrics,
+    render_metrics,
+    using_metrics,
+)
+from repro.obs.profile import profile_call, render_profile
+from repro.obs.trace import (
+    TraceWriter,
+    emit,
+    get_trace,
+    read_events,
+    render_trace_summary,
+    set_trace,
+    summarize_trace,
+    using_trace,
+)
+
+__all__ = [
+    "BenchCompareError",
+    "MetricsRegistry",
+    "TraceWriter",
+    "compare_documents",
+    "disable_metrics",
+    "emit",
+    "enable_metrics",
+    "get_metrics",
+    "get_trace",
+    "load_bench_document",
+    "profile_call",
+    "ratio_direction",
+    "ratio_regressions",
+    "read_events",
+    "render_compare",
+    "render_metrics",
+    "render_profile",
+    "render_trace_summary",
+    "set_trace",
+    "summarize_trace",
+    "using_metrics",
+    "using_trace",
+]

@@ -1,0 +1,241 @@
+"""The metrics registry: counters, gauges and timing accumulators.
+
+Every execution path — the closed-loop engines, the streaming driver, the
+switch fabric stage, the sweep runner, the result cache — publishes into the
+*active* registry when one is installed.  When none is installed (the
+default), every publish site short-circuits on a single ``None`` check, so
+an uninstrumented run pays nothing measurable; and because instrumentation
+sits at run/chunk/job granularity (never inside per-slot loops) an
+*instrumented* run is within noise too.
+
+The hard invariant of the whole observability layer: **enabling metrics
+never touches an RNG stream and never changes a report**.  The registry
+records plain numbers about work already decided; it draws no randomness and
+feeds nothing back into any simulation.  The differential fuzzer runs with
+metrics enabled to pin this.
+
+Three metric kinds:
+
+* **counters** — monotonically increasing numbers (``cache.hits``,
+  ``stream.slots``).  Merged by addition.
+* **gauges** — last-written value plus the running peak
+  (``switch.fabric.peak_voq_backlog``).  Merged by keeping the later last
+  value and the larger peak.
+* **timers** — duration accumulators (``stream.chunk_s``): count, total,
+  min, max seconds.  Merged field-wise.
+
+Snapshots are plain JSON-serialisable dicts; :meth:`MetricsRegistry.restore`
+merges a snapshot *into* a registry, which is what lets streaming checkpoint
+state carry metric totals across a crash/resume (the snapshot rides inside
+the checkpoint envelope) and lets per-session registries fold into the
+global one.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+from typing import Any, Dict, Iterator, Mapping, Optional
+
+__all__ = [
+    "MetricsRegistry",
+    "disable_metrics",
+    "enable_metrics",
+    "get_metrics",
+    "render_metrics",
+    "using_metrics",
+]
+
+
+class MetricsRegistry:
+    """An in-process store of named counters, gauges and timers."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, float] = {}
+        self._gauges: Dict[str, Dict[str, float]] = {}
+        self._timers: Dict[str, Dict[str, float]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Publishing
+    # ------------------------------------------------------------------ #
+    def inc(self, name: str, value: float = 1) -> None:
+        """Add ``value`` to counter ``name`` (created at zero)."""
+        self._counters[name] = self._counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Record ``value`` as gauge ``name``'s last value; track the peak."""
+        entry = self._gauges.get(name)
+        if entry is None:
+            self._gauges[name] = {"last": value, "peak": value}
+        else:
+            entry["last"] = value
+            if value > entry["peak"]:
+                entry["peak"] = value
+
+    def observe(self, name: str, seconds: float) -> None:
+        """Record one duration sample into timer ``name``."""
+        entry = self._timers.get(name)
+        if entry is None:
+            self._timers[name] = {"count": 1, "total_s": seconds,
+                                  "min_s": seconds, "max_s": seconds}
+        else:
+            entry["count"] += 1
+            entry["total_s"] += seconds
+            if seconds < entry["min_s"]:
+                entry["min_s"] = seconds
+            if seconds > entry["max_s"]:
+                entry["max_s"] = seconds
+
+    @contextlib.contextmanager
+    def timed(self, name: str) -> Iterator[None]:
+        """Context manager timing its body into timer ``name``."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(name, time.perf_counter() - started)
+
+    # ------------------------------------------------------------------ #
+    # Reading
+    # ------------------------------------------------------------------ #
+    def counter(self, name: str) -> float:
+        """Current value of counter ``name`` (0 when never incremented)."""
+        return self._counters.get(name, 0)
+
+    def counters(self) -> Dict[str, float]:
+        """All counters, copied."""
+        return dict(self._counters)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The whole registry as one JSON-serialisable dict."""
+        return {
+            "counters": dict(self._counters),
+            "gauges": {name: dict(entry)
+                       for name, entry in self._gauges.items()},
+            "timers": {name: dict(entry)
+                       for name, entry in self._timers.items()},
+        }
+
+    def __bool__(self) -> bool:
+        return bool(self._counters or self._gauges or self._timers)
+
+    # ------------------------------------------------------------------ #
+    # Merging
+    # ------------------------------------------------------------------ #
+    def restore(self, snapshot: Mapping[str, Any]) -> None:
+        """Merge ``snapshot`` (from :meth:`snapshot`) into this registry.
+
+        Counters add, gauge peaks take the maximum (the snapshot's last
+        value wins as the newer write), timers merge field-wise — so
+        restoring a checkpointed snapshot into a fresh registry reproduces
+        cumulative totals.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.inc(name, value)
+        for name, entry in snapshot.get("gauges", {}).items():
+            current = self._gauges.get(name)
+            if current is None:
+                self._gauges[name] = {"last": entry["last"],
+                                      "peak": entry["peak"]}
+            else:
+                current["last"] = entry["last"]
+                if entry["peak"] > current["peak"]:
+                    current["peak"] = entry["peak"]
+        for name, entry in snapshot.get("timers", {}).items():
+            current = self._timers.get(name)
+            if current is None:
+                self._timers[name] = dict(entry)
+            else:
+                current["count"] += entry["count"]
+                current["total_s"] += entry["total_s"]
+                if entry["min_s"] < current["min_s"]:
+                    current["min_s"] = entry["min_s"]
+                if entry["max_s"] > current["max_s"]:
+                    current["max_s"] = entry["max_s"]
+
+    def clear(self) -> None:
+        """Drop every metric."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._timers.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"MetricsRegistry(counters={len(self._counters)}, "
+                f"gauges={len(self._gauges)}, timers={len(self._timers)})")
+
+
+# --------------------------------------------------------------------- #
+# The active registry
+# --------------------------------------------------------------------- #
+
+_active: Optional[MetricsRegistry] = None
+
+
+def get_metrics() -> Optional[MetricsRegistry]:
+    """The active registry, or ``None`` when metrics are disabled.
+
+    This is the only call instrumented code makes on the disabled path —
+    one module-global read — which is what "zero overhead when disabled"
+    means in practice.
+    """
+    return _active
+
+
+def enable_metrics(registry: Optional[MetricsRegistry] = None
+                   ) -> MetricsRegistry:
+    """Install ``registry`` (or a fresh one) as the active registry."""
+    global _active
+    _active = registry if registry is not None else MetricsRegistry()
+    return _active
+
+
+def disable_metrics() -> Optional[MetricsRegistry]:
+    """Deactivate metrics collection; returns the registry that was active."""
+    global _active
+    previous = _active
+    _active = None
+    return previous
+
+
+@contextlib.contextmanager
+def using_metrics(registry: Optional[MetricsRegistry] = None
+                  ) -> Iterator[MetricsRegistry]:
+    """Temporarily install a registry (context manager)."""
+    global _active
+    previous = _active
+    installed = enable_metrics(registry)
+    try:
+        yield installed
+    finally:
+        _active = previous
+
+
+# --------------------------------------------------------------------- #
+# Rendering
+# --------------------------------------------------------------------- #
+
+def render_metrics(snapshot: Mapping[str, Any],
+                   title: str = "metrics") -> str:
+    """Human-readable table of a registry snapshot (CLI ``--metrics``)."""
+    lines = [f"== {title} =="]
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    timers = snapshot.get("timers", {})
+    if not (counters or gauges or timers):
+        lines.append("(no metrics recorded)")
+        return "\n".join(lines)
+    for name in sorted(counters):
+        value = counters[name]
+        rendered = f"{value:g}" if isinstance(value, float) else str(value)
+        lines.append(f"{name} = {rendered}")
+    for name in sorted(gauges):
+        entry = gauges[name]
+        lines.append(f"{name} last={entry['last']:g} peak={entry['peak']:g}")
+    for name in sorted(timers):
+        entry = timers[name]
+        mean = entry["total_s"] / entry["count"] if entry["count"] else 0.0
+        lines.append(
+            f"{name} count={entry['count']:g} total={entry['total_s']:.4f}s "
+            f"mean={mean * 1e3:.2f}ms min={entry['min_s'] * 1e3:.2f}ms "
+            f"max={entry['max_s'] * 1e3:.2f}ms")
+    return "\n".join(lines)

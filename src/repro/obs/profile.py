@@ -1,0 +1,73 @@
+"""Hot-frame capture: run a callable under :mod:`cProfile`, keep the top N.
+
+``repro bench --profile`` runs every benchmark once more under the
+profiler (separately from the timed repetitions — profiling overhead must
+never pollute the recorded medians) and stores the hottest frames in the
+output JSON, so speedup work is aimed at measured hot spots::
+
+    "profile": [
+      {"func": "repro/sim/array_engine.py:368(run_span)",
+       "ncalls": 1, "tottime_s": 0.81, "cumtime_s": 0.93, "tottime_pct": 62.1},
+      ...
+    ]
+
+Frames are ranked by ``tottime`` (self time — the optimisation target);
+``cumtime`` is recorded alongside so callers-of-hot-callees remain visible.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import os
+import pstats
+from typing import Any, Callable, Dict, List
+
+__all__ = ["profile_call", "render_profile"]
+
+#: Frames recorded per profiled call.
+DEFAULT_TOP = 10
+
+
+def _frame_label(key) -> str:
+    filename, line, name = key
+    if filename == "~":
+        # Builtins profile as ('~', 0, '<built-in ...>').
+        return name
+    short = os.sep.join(filename.split(os.sep)[-3:])
+    return f"{short}:{line}({name})"
+
+
+def profile_call(thunk: Callable[[], Any],
+                 top: int = DEFAULT_TOP) -> List[Dict[str, Any]]:
+    """Run ``thunk()`` under cProfile; return the top-``top`` hot frames."""
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        thunk()
+    finally:
+        profiler.disable()
+    stats = pstats.Stats(profiler)
+    total = stats.total_tt or 1.0
+    ranked = sorted(stats.stats.items(),
+                    key=lambda item: item[1][2], reverse=True)
+    frames: List[Dict[str, Any]] = []
+    for key, (_cc, ncalls, tottime, cumtime, _callers) in ranked[:top]:
+        frames.append({
+            "func": _frame_label(key),
+            "ncalls": ncalls,
+            "tottime_s": round(tottime, 6),
+            "cumtime_s": round(cumtime, 6),
+            "tottime_pct": round(tottime / total * 100.0, 1),
+        })
+    return frames
+
+
+def render_profile(frames: List[Dict[str, Any]], limit: int = 5) -> str:
+    """Indented one-line-per-frame rendering (the CLI's ``--profile`` echo)."""
+    lines = []
+    for frame in frames[:limit]:
+        lines.append(
+            f"    {frame['tottime_pct']:5.1f}%  {frame['tottime_s'] * 1e3:8.1f}ms "
+            f"self  {frame['cumtime_s'] * 1e3:8.1f}ms cum  "
+            f"x{frame['ncalls']}  {frame['func']}")
+    return "\n".join(lines)

@@ -19,11 +19,13 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import sys
 from pathlib import Path
 from typing import Any, Optional
 
 import repro
 from repro.errors import ReproError
+from repro.obs.metrics import get_metrics
 from repro.runner.jobs import Job
 from repro.runner.serialize import from_jsonable, to_jsonable
 
@@ -41,12 +43,16 @@ class ResultCache:
         root: cache root directory (created on first write).
         version: code version folded into every key and used as the
             subdirectory name; defaults to :data:`repro.__version__`.
+        verbose: print a one-line note to stderr whenever a cached result
+            is served (the CLI wires ``--verbose`` here).
     """
 
     def __init__(self, root: Optional[os.PathLike] = None,
-                 version: Optional[str] = None) -> None:
+                 version: Optional[str] = None,
+                 verbose: bool = False) -> None:
         self.root = Path(root) if root is not None else Path(DEFAULT_CACHE_ROOT)
         self.version = version if version is not None else repro.__version__
+        self.verbose = verbose
         self.hits = 0
         self.misses = 0
 
@@ -91,8 +97,18 @@ class ResultCache:
             # Unreadable, corrupted, or no-longer-deserialisable (e.g. a
             # result class was renamed without a version bump): recompute.
             self.misses += 1
+            obs = get_metrics()
+            if obs is not None:
+                obs.inc("cache.misses")
             return MISS
         self.hits += 1
+        obs = get_metrics()
+        if obs is not None:
+            obs.inc("cache.hits")
+        if self.verbose:
+            tag = f" [{job.tag}]" if job.tag else ""
+            print(f"repro: cache hit{tag} {job.func} "
+                  f"({self.key(job)[:12]})", file=sys.stderr)
         return result
 
     def put(self, job: Job, result: Any) -> None:
@@ -155,6 +171,10 @@ class ResultCache:
         for path in self.root.rglob("*.tmp.*"):
             if self._unlink_if_stale(path):
                 removed += 1
+        if removed:
+            obs = get_metrics()
+            if obs is not None:
+                obs.inc("cache.stale_tmp_removed", removed)
         return removed
 
     @staticmethod

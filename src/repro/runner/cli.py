@@ -48,15 +48,27 @@ and track the performance trajectory::
     python -m repro bench                 # fixed suite -> BENCH_5.json
     python -m repro bench --quick         # reduced slots (CI perf-smoke)
     python -m repro bench --filter wide   # a subset of the suite
+    python -m repro bench --compare BENCH_5.json --fail-on-regression 25
+    python -m repro bench --profile       # cProfile hot frames per benchmark
+
+and observe what any run did::
+
+    python -m repro scenario zipf-hotspot --metrics      # counters to stderr
+    python -m repro fuzz --seeds 25 --trace-out t.ndjson # NDJSON run trace
+    python -m repro trace summarize t.ndjson             # inspect a trace
+    python -m repro scenario uniform-bernoulli --slots 10000000 --stream \
+        --progress --progress-every 4                    # heartbeat to stderr
 
 Results are cached as JSON under ``.repro_cache/<version>/`` keyed by the
 job's configuration and the package version, so a second invocation of the
-same exhibit is served from disk without re-simulating.
+same exhibit is served from disk without re-simulating (``--verbose`` notes
+every cache hit on stderr).
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 import time
 from typing import List, Optional, Sequence
@@ -77,6 +89,8 @@ SWITCH = "switch"
 BENCH = "bench"
 #: Subcommand that differentially fuzzes random specs across every engine.
 FUZZ = "fuzz"
+#: Subcommand that inspects NDJSON run traces written with --trace-out.
+TRACE = "trace"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -89,7 +103,22 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--version", action="version",
                         version=f"repro {repro.__version__}")
 
-    common = argparse.ArgumentParser(add_help=False)
+    # Observability flags shared by every execution subcommand: a metrics
+    # registry rendered to stderr on exit, an NDJSON run trace, and verbose
+    # cache-hit notes.  Enabling any of them never changes a report.
+    obs = argparse.ArgumentParser(add_help=False)
+    obs.add_argument("--metrics", action="store_true",
+                     help="collect run metrics (counters/gauges/timings) "
+                          "and print them to stderr on exit; never changes "
+                          "any report")
+    obs.add_argument("--trace-out", default=None, metavar="FILE",
+                     help="write a timestamped NDJSON run trace to FILE "
+                          "(inspect with 'repro trace summarize FILE')")
+    obs.add_argument("--verbose", action="store_true",
+                     help="log a one-line stderr note for every result "
+                          "served from the cache")
+
+    common = argparse.ArgumentParser(add_help=False, parents=[obs])
     common.add_argument("-j", "--jobs", type=int, default=1, metavar="N",
                         help="worker processes for the sweep (0 = one per "
                              "CPU; default: 1, serial)")
@@ -113,7 +142,8 @@ def build_parser() -> argparse.ArgumentParser:
         description="Reproduce every registered exhibit in one run.")
 
     scenario = subparsers.add_parser(
-        SCENARIO, help="run one named workload scenario",
+        SCENARIO, parents=[obs],
+        help="run one named workload scenario",
         description=("Run a single scenario from the workload registry "
                      "(see --list), optionally recording or replaying its "
                      "traffic trace."))
@@ -154,6 +184,14 @@ def build_parser() -> argparse.ArgumentParser:
                           help="resume a checkpointed streaming run from "
                                "FILE and continue it to completion "
                                "(bit-identical to the uninterrupted run)")
+    scenario.add_argument("--progress", action="store_true",
+                          help="print a heartbeat line to stderr while a "
+                               "streaming run executes (slots done, "
+                               "slots/sec, ETA; implies --stream)")
+    scenario.add_argument("--progress-every", type=int, default=1,
+                          metavar="N",
+                          help="chunks between --progress heartbeats "
+                               "(default: 1, every chunk)")
     scenario.add_argument("--record", default=None, metavar="FILE",
                           help="save the run's (arrival, request) trace to FILE")
     scenario.add_argument("--trace-format", choices=["binary", "ndjson"],
@@ -177,7 +215,8 @@ def build_parser() -> argparse.ArgumentParser:
                           help="write the report to FILE instead of stdout")
 
     switch = subparsers.add_parser(
-        SWITCH, help="run one named multi-port switch scenario",
+        SWITCH, parents=[obs],
+        help="run one named multi-port switch scenario",
         description=("Run a switch scenario from the switch registry (see "
                      "--list): N per-port buffers behind a crossbar fabric, "
                      "ports sharded across worker processes.  The merged "
@@ -221,7 +260,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write the report to FILE instead of stdout")
 
     fuzz = subparsers.add_parser(
-        FUZZ, help="differentially fuzz random specs across every engine",
+        FUZZ, parents=[obs],
+        help="differentially fuzz random specs across every engine",
         description=("Draw seeded random scenario/switch specs "
                      "(repro.workloads.fuzz) and run each on all three "
                      "engines, monolithic and streamed, asserting "
@@ -250,11 +290,15 @@ def build_parser() -> argparse.ArgumentParser:
                            "stdout")
 
     bench = subparsers.add_parser(
-        BENCH, help="run the perf-trajectory benchmark suite",
+        BENCH, parents=[obs],
+        help="run the perf-trajectory benchmark suite",
         description=("Time the fixed benchmark suite (scenario loops on "
                      "every engine, the wide-queue stressor, the MMA "
                      "ablation) and write per-benchmark medians to a JSON "
-                     "snapshot for cross-PR comparison."))
+                     "snapshot for cross-PR comparison.  --compare diffs "
+                     "against a committed baseline; --fail-on-regression "
+                     "turns the diff into an exit-1 gate on the derived "
+                     "ratios."))
     bench.add_argument("--quick", action="store_true",
                        help="reduced slot counts (the CI perf-smoke mode)")
     bench.add_argument("--repeats", type=int, default=None, metavar="N",
@@ -265,9 +309,47 @@ def build_parser() -> argparse.ArgumentParser:
                        help="only run benchmarks whose name contains SUBSTR")
     bench.add_argument("--list", action="store_true", dest="list_benchmarks",
                        help="list the suite's benchmarks and exit")
+    bench.add_argument("--profile", action="store_true",
+                       help="run every benchmark once more under cProfile "
+                            "(after the timed repeats) and record the "
+                            "hottest frames in the snapshot")
+    bench.add_argument("--profile-top", type=int, default=None, metavar="N",
+                       help="frames recorded per profiled benchmark "
+                            "(default: 10)")
+    bench.add_argument("--compare", default=None, metavar="BASELINE.json",
+                       help="diff the fresh results (or --against CURRENT) "
+                            "against this committed snapshot")
+    bench.add_argument("--against", default=None, metavar="CURRENT.json",
+                       help="with --compare: diff two existing snapshots "
+                            "without running the suite")
+    bench.add_argument("--fail-on-regression", type=float, default=None,
+                       metavar="PCT", dest="fail_on_regression",
+                       help="exit 1 when any gated derived ratio regressed "
+                            "by more than PCT percent (requires --compare)")
+    bench.add_argument("--ratios", default=None, metavar="NAME[,NAME...]",
+                       help="restrict the regression gate to these derived "
+                            "ratios (default: every ratio both snapshots "
+                            "share)")
+    bench.add_argument("--compare-json", default=None, metavar="FILE",
+                       help="also write the compare report as JSON to FILE "
+                            "(the CI artifact)")
     bench.add_argument("-o", "--output", default=None, metavar="FILE",
                        help="JSON snapshot path (default: BENCH_5.json; "
                             "'-' to skip writing the file)")
+
+    trace = subparsers.add_parser(
+        TRACE, help="inspect an NDJSON run trace written with --trace-out",
+        description=("Summarize a structured run trace: event histogram, "
+                     "chunk throughput, checkpoint latencies, cache "
+                     "hit/miss counts, fuzz divergences."))
+    trace.add_argument("action", choices=["summarize"],
+                       help="what to do with the trace file")
+    trace.add_argument("file", metavar="TRACE.ndjson",
+                       help="the NDJSON trace file to read")
+    trace.add_argument("--json", action="store_true", dest="as_json",
+                       help="emit the summary as JSON instead of text")
+    trace.add_argument("-o", "--output", default=None, metavar="FILE",
+                       help="write the summary to FILE instead of stdout")
     return parser
 
 
@@ -306,6 +388,24 @@ def _run_from_spec(parser: argparse.ArgumentParser, args: argparse.Namespace,
                  args.output)
 
 
+def _progress_printer():
+    """The ``--progress`` heartbeat: one stderr line per report interval."""
+    def emit(info) -> None:
+        total = info["num_slots"]
+        if total:
+            done_text = (f"slot {info['slot']}/{total} "
+                         f"({info['slot'] / total * 100:5.1f}%)")
+        else:
+            done_text = f"slot {info['slot']}"
+        rate = info["slots_per_s"]
+        eta = info["eta_s"]
+        eta_text = f", eta {eta:.0f}s" if eta is not None else ""
+        print(f"[stream] {done_text}, {rate / 1e3:.1f} kslots/s"
+              f"{eta_text}", file=sys.stderr)
+
+    return emit
+
+
 def _run_scenario_command(parser: argparse.ArgumentParser,
                           args: argparse.Namespace) -> int:
     """Handle ``python -m repro scenario ...``."""
@@ -338,9 +438,13 @@ def _run_scenario_command(parser: argparse.ArgumentParser,
                  or args.checkpoint_every is not None
                  or args.checkpoint is not None
                  or args.chunk_slots is not None
-                 or args.resume is not None)
+                 or args.resume is not None
+                 or args.progress)
     if args.warmup < 0:
         parser.error("--warmup must be non-negative")
+    if args.progress_every < 1:
+        parser.error("--progress-every must be at least 1")
+    progress = _progress_printer() if args.progress else None
     if (args.checkpoint is not None and args.checkpoint_every is None
             and args.resume is None):
         # Without a cadence no snapshot would ever be written; failing loudly
@@ -378,7 +482,9 @@ def _run_scenario_command(parser: argparse.ArgumentParser,
                 return 1
             report = resume_stream(args.resume,
                                    checkpoint_every=args.checkpoint_every,
-                                   checkpoint_path=args.checkpoint)
+                                   checkpoint_path=args.checkpoint,
+                                   progress=progress,
+                                   progress_every=args.progress_every)
             text = render_scenario_run(scenario.name, scenario.scheme, report)
             text += (f"\nresumed from {args.resume} at slot {meta['slot']} "
                      f"of {meta['num_slots']} ({meta['engine']} engine)")
@@ -393,7 +499,9 @@ def _run_scenario_command(parser: argparse.ArgumentParser,
                 num_slots=args.slots, engine=engine,
                 chunk_slots=args.chunk_slots, warmup_slots=args.warmup,
                 checkpoint_every=args.checkpoint_every,
-                checkpoint_path=checkpoint_path)
+                checkpoint_path=checkpoint_path,
+                progress=progress,
+                progress_every=args.progress_every)
             text = render_scenario_run(scenario.name, scenario.scheme, report)
             if args.warmup:
                 text += f"\nwarmup: first {args.warmup} slots discarded"
@@ -532,6 +640,8 @@ def _run_fuzz_command(parser: argparse.ArgumentParser,
 def _run_bench_command(parser: argparse.ArgumentParser,
                        args: argparse.Namespace) -> int:
     """Handle ``python -m repro bench ...``."""
+    import json
+
     from repro.analysis.report import format_table
     from repro.bench import (
         DEFAULT_OUTPUT,
@@ -539,6 +649,12 @@ def _run_bench_command(parser: argparse.ArgumentParser,
         render_results,
         run_suite,
         write_results,
+    )
+    from repro.obs.compare import (
+        compare_documents,
+        load_bench_document,
+        ratio_regressions,
+        render_compare,
     )
 
     if args.list_benchmarks:
@@ -550,23 +666,100 @@ def _run_bench_command(parser: argparse.ArgumentParser,
         return 0
     if args.repeats is not None and args.repeats < 1:
         parser.error("--repeats must be at least 1")
-    document = run_suite(quick=args.quick, repeats=args.repeats,
-                         name_filter=args.name_filter)
+    if args.profile_top is not None and args.profile_top < 1:
+        parser.error("--profile-top must be at least 1")
+    if args.against is not None and args.compare is None:
+        parser.error("--against needs --compare BASELINE.json to diff "
+                     "against")
+    if args.fail_on_regression is not None and args.compare is None:
+        parser.error("--fail-on-regression needs --compare BASELINE.json")
+    if args.ratios is not None and args.compare is None:
+        parser.error("--ratios needs --compare BASELINE.json")
+    ratio_names = ([name.strip() for name in args.ratios.split(",")
+                    if name.strip()] if args.ratios is not None else None)
+    if args.ratios is not None and not ratio_names:
+        parser.error("--ratios got an empty list")
+
+    try:
+        baseline = (load_bench_document(args.compare)
+                    if args.compare is not None else None)
+        if args.against is not None:
+            # Pure snapshot diff: nothing is run.
+            document = load_bench_document(args.against)
+        else:
+            document = run_suite(quick=args.quick, repeats=args.repeats,
+                                 name_filter=args.name_filter,
+                                 profile=args.profile,
+                                 profile_top=args.profile_top)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     if not document["benchmarks"]:
         print(f"error: no benchmark matches --filter {args.name_filter!r}",
               file=sys.stderr)
         return 1
-    output = args.output if args.output is not None else DEFAULT_OUTPUT
-    text = render_results(document)
-    if output != "-":
+
+    blocks: List[str] = []
+    if args.against is None:
+        blocks.append(render_results(document))
+        output = args.output if args.output is not None else DEFAULT_OUTPUT
+        if output != "-":
+            try:
+                write_results(document, output)
+            except OSError as exc:
+                print(f"error: cannot write {output}: {exc}",
+                      file=sys.stderr)
+                return 1
+            blocks.append(f"results written to {output}")
+
+    failed = False
+    if baseline is not None:
         try:
-            write_results(document, output)
-        except OSError as exc:
-            print(f"error: cannot write {output}: {exc}", file=sys.stderr)
+            report = compare_documents(baseline, document)
+            threshold = args.fail_on_regression
+            failures = (ratio_regressions(report, threshold, ratio_names)
+                        if threshold is not None else None)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
             return 1
-        text += f"\nresults written to {output}"
-    print(text)
-    return 0
+        failed = bool(failures)
+        blocks.append(render_compare(report, threshold_pct=threshold,
+                                     ratio_names=ratio_names,
+                                     failures=failures))
+        if args.compare_json is not None:
+            try:
+                with open(args.compare_json, "w",
+                          encoding="utf-8") as handle:
+                    json.dump(report, handle, indent=2, sort_keys=False)
+                    handle.write("\n")
+            except OSError as exc:
+                print(f"error: cannot write {args.compare_json}: {exc}",
+                      file=sys.stderr)
+                return 1
+            blocks.append(f"compare report written to {args.compare_json}")
+    print("\n\n".join(blocks))
+    return 1 if failed else 0
+
+
+def _run_trace_command(parser: argparse.ArgumentParser,
+                       args: argparse.Namespace) -> int:
+    """Handle ``python -m repro trace summarize ...``."""
+    import json
+
+    from repro.obs.trace import render_trace_summary, summarize_trace
+
+    try:
+        summary = summarize_trace(args.file)
+    except OSError as exc:
+        print(f"error: cannot read trace: {exc}", file=sys.stderr)
+        return 1
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.as_json:
+        return _emit(json.dumps(summary, indent=2, sort_keys=False),
+                     args.output)
+    return _emit(render_trace_summary(summary), args.output)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -576,6 +769,41 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.experiment is None:
         parser.print_help()
         return 2
+    if args.experiment == TRACE:
+        # The inspector only reads a trace; no observability setup needed.
+        return _run_trace_command(parser, args)
+
+    # --metrics / --trace-out: install the observability layer around the
+    # whole command.  Recording is after-the-fact only, so the report of an
+    # instrumented run is bit-identical to an unobserved one.
+    from repro.obs.metrics import render_metrics, using_metrics
+    from repro.obs.trace import TraceWriter, using_trace
+
+    trace_out = getattr(args, "trace_out", None)
+    registry = None
+    with contextlib.ExitStack() as stack:
+        if getattr(args, "metrics", False):
+            registry = stack.enter_context(using_metrics())
+        if trace_out:
+            try:
+                writer = stack.enter_context(TraceWriter(trace_out))
+            except OSError as exc:
+                print(f"error: cannot open trace file {trace_out!r}: {exc}",
+                      file=sys.stderr)
+                return 1
+            stack.enter_context(using_trace(writer))
+        code = _dispatch(parser, args)
+    if registry is not None:
+        print(render_metrics(registry.snapshot(), "run metrics"),
+              file=sys.stderr)
+    if trace_out:
+        print(f"trace written to {trace_out}", file=sys.stderr)
+    return code
+
+
+def _dispatch(parser: argparse.ArgumentParser,
+              args: argparse.Namespace) -> int:
+    """Route to the subcommand handler (observability already installed)."""
     if args.experiment == SCENARIO:
         return _run_scenario_command(parser, args)
     if args.experiment == SWITCH:
@@ -596,7 +824,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             lines.extend(f"  {job.describe()}" for job in jobs)
         return _emit("\n".join(lines), args.output)
 
-    cache = None if args.no_cache else ResultCache(root=args.cache_dir)
+    cache = (None if args.no_cache
+             else ResultCache(root=args.cache_dir, verbose=args.verbose))
     try:
         runner = SweepRunner(jobs=args.jobs, cache=cache)
     except ReproError as exc:

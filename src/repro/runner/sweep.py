@@ -19,9 +19,12 @@ from __future__ import annotations
 import contextlib
 import multiprocessing
 import os
+import time
 from typing import Any, Iterator, List, Optional, Sequence
 
 from repro.errors import ConfigurationError
+from repro.obs.metrics import get_metrics
+from repro.obs.trace import emit as trace_emit
 from repro.runner.cache import MISS, ResultCache
 from repro.runner.jobs import Job, run_job
 
@@ -75,6 +78,9 @@ class SweepRunner:
         """Execute ``jobs`` and return their results in the same order."""
         jobs = list(jobs)
         results: List[Any] = [MISS] * len(jobs)
+        started = time.perf_counter()
+        trace_emit("sweep_start", jobs=len(jobs), workers=self.jobs,
+                   cached_runner=self.cache is not None)
 
         pending: List[int] = []
         if self.cache is not None:
@@ -84,16 +90,32 @@ class SweepRunner:
                     pending.append(index)
                 else:
                     results[index] = cached
+                    trace_emit("job_cached", index=index, tag=job.tag,
+                               func=job.func)
         else:
             pending = list(range(len(jobs)))
 
         if pending:
+            for index in pending:
+                trace_emit("job_dispatched", index=index, tag=jobs[index].tag,
+                           func=jobs[index].func)
             computed = self._execute([jobs[i] for i in pending])
             for index, value in zip(pending, computed):
                 results[index] = value
                 if self.cache is not None:
                     self.cache.put(jobs[index], value)
             self.executed += len(pending)
+        duration = time.perf_counter() - started
+        obs = get_metrics()
+        if obs is not None:
+            obs.inc("runner.sweeps")
+            obs.inc("runner.jobs", len(jobs))
+            obs.inc("runner.jobs_executed", len(pending))
+            obs.inc("runner.jobs_cached", len(jobs) - len(pending))
+            obs.observe("runner.sweep_s", duration)
+        trace_emit("sweep_end", jobs=len(jobs), executed=len(pending),
+                   cached=len(jobs) - len(pending),
+                   duration_s=round(duration, 6))
         return results
 
     def run_one(self, job: Job) -> Any:
@@ -109,8 +131,16 @@ class SweepRunner:
         # in-process (and byte-identically, since results are returned in
         # job order either way).
         workers = min(self.jobs, len(jobs), available_cpus())
+        obs = get_metrics()
         if workers == 1:
+            if obs is not None:
+                obs.gauge("runner.workers", 1)
             return [run_job(job) for job in jobs]
+        if obs is not None:
+            obs.inc("runner.pools_started")
+            obs.gauge("runner.workers", workers)
+        trace_emit("pool_start", workers=workers, jobs=len(jobs),
+                   chunksize=self.chunksize)
         with multiprocessing.Pool(processes=workers) as pool:
             # Pool.map preserves input order, which is what makes the
             # parallel path deterministic.

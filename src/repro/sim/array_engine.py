@@ -83,6 +83,7 @@ from repro.errors import (
 )
 from repro.mma.ecqf import ECQF
 from repro.mma.tail_mma import ThresholdTailMMA
+from repro.obs.metrics import get_metrics
 from repro.sim.ring import IntRing
 from repro.traffic.arbiters import RandomArbiter
 from repro.types import MissRecord, ReplenishRequest, SimulationResult, TransferDirection
@@ -142,6 +143,9 @@ def build_array_core(sim):
         raise StaleSimulationError(
             "the array engine replays a run from slot 0 and requires a "
             "freshly built simulation (build a new buffer for every run)")
+    obs = get_metrics()
+    if obs is not None:
+        obs.inc("engine.array.cores_built")
     if isinstance(buffer, RADSPacketBuffer):
         return _RADSCore(sim, buffer)
     if isinstance(buffer, CFDSPacketBuffer):
@@ -374,6 +378,10 @@ class _RADSCore(_ArrayCoreBase):
         requests, departures recorded for final-slot stamping).
         """
         self._check_not_finished()
+        obs = get_metrics()
+        if obs is not None:
+            obs.inc("engine.array.spans")
+            obs.inc("engine.array.span_slots", num_slots)
         buffer = self.buffer
         sim = self.sim
         num_queues = self.num_queues
@@ -758,6 +766,10 @@ class _CFDSCore(_ArrayCoreBase):
         """Simulate ``num_slots`` slots starting at ``self.slot``; see
         :meth:`_RADSCore.run_span`."""
         self._check_not_finished()
+        obs = get_metrics()
+        if obs is not None:
+            obs.inc("engine.array.spans")
+            obs.inc("engine.array.span_slots", num_slots)
         buffer = self.buffer
         sim = self.sim
         num_queues = self.num_queues

@@ -29,10 +29,14 @@ by the workloads and array-engine test suites.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.errors import ArbiterContractError, ConfigurationError
+from repro.obs.metrics import get_metrics
+from repro.obs.trace import emit as trace_emit
+from repro.obs.trace import get_trace
 from repro.sim.stats import LatencyStats, ThroughputStats
 from repro.traffic.arbiters import Arbiter
 from repro.traffic.arrivals import ArrivalProcess
@@ -119,19 +123,53 @@ class ClosedLoopSimulation:
             raise ConfigurationError("num_slots must be non-negative")
         if engine is None:
             engine = "batched" if fast_path else "reference"
+        from repro.sim.array_engine import ENGINES
+
+        if engine not in ENGINES:
+            raise ConfigurationError(
+                f"unknown engine {engine!r} (known: {', '.join(ENGINES)})")
+        # The observability wrapper records what a run did, strictly after
+        # the fact: it draws no randomness and feeds nothing back into the
+        # machines, so an instrumented run's report is bit-identical to an
+        # unobserved one (the differential fuzzer pins this).
+        obs = get_metrics()
+        if obs is None and get_trace() is None:
+            return self._run_engine(num_slots, drain, engine)
+        trace_emit("run_start", engine=engine, num_slots=num_slots,
+                   buffer=type(self.buffer).__name__)
+        started = time.perf_counter()
+        report = self._run_engine(num_slots, drain, engine)
+        duration = time.perf_counter() - started
+        if obs is not None:
+            obs.inc(f"engine.{engine}.runs")
+            obs.inc("engine.slots_simulated", num_slots)
+            obs.observe(f"engine.{engine}.run_s", duration)
+            result = report.buffer_result
+            obs.gauge("buffer.max_head_sram_occupancy",
+                      result.max_head_sram_occupancy)
+            obs.gauge("buffer.max_tail_sram_occupancy",
+                      result.max_tail_sram_occupancy)
+        trace_emit("run_end", engine=engine,
+                   slots=report.throughput.slots,
+                   arrivals=report.throughput.arrivals,
+                   departures=report.throughput.departures,
+                   drops=report.throughput.drops,
+                   duration_s=round(duration, 6),
+                   slots_per_s=(round(num_slots / duration)
+                                if duration > 0 else None))
+        return report
+
+    def _run_engine(self, num_slots: int, drain: bool,
+                    engine: str) -> SimulationReport:
+        """Dispatch to the selected core and assemble the report."""
         if engine == "array":
             from repro.sim.array_engine import run_array
 
             return run_array(self, num_slots, drain=drain)
         if engine == "batched":
             self._run_fast(num_slots)
-        elif engine == "reference":
-            self._run_slots(num_slots)
         else:
-            from repro.sim.array_engine import ENGINES
-
-            raise ConfigurationError(
-                f"unknown engine {engine!r} (known: {', '.join(ENGINES)})")
+            self._run_slots(num_slots)
         if drain:
             for cell in self.buffer.drain():
                 self.throughput.departures += 1
@@ -150,7 +188,9 @@ class ClosedLoopSimulation:
                    warmup_slots: int = 0,
                    checkpoint_every: Optional[int] = None,
                    checkpoint_path=None,
-                   label: Optional[str] = None) -> SimulationReport:
+                   label: Optional[str] = None,
+                   progress=None,
+                   progress_every: int = 1) -> SimulationReport:
         """Simulate ``num_slots`` slots in bounded-memory chunks.
 
         The streaming path (:mod:`repro.sim.streaming`) generates arrival
@@ -168,7 +208,8 @@ class ClosedLoopSimulation:
                                    warmup_slots=warmup_slots,
                                    checkpoint_every=checkpoint_every,
                                    checkpoint_path=checkpoint_path,
-                                   label=label).run()
+                                   label=label, progress=progress,
+                                   progress_every=progress_every).run()
 
     # ------------------------------------------------------------------ #
     def _run_slots(self, num_slots: int, start_slot: int = 0,

@@ -45,7 +45,8 @@ import hashlib
 import json
 import os
 import pickle
-from typing import List, Optional
+import time
+from typing import Any, Callable, Dict, List, Optional
 
 import repro
 from repro.errors import (
@@ -53,6 +54,8 @@ from repro.errors import (
     ConfigurationError,
     StaleSimulationError,
 )
+from repro.obs.metrics import MetricsRegistry, get_metrics
+from repro.obs.trace import emit as trace_emit
 from repro.sim.stats import LatencyStats, ThroughputStats
 
 #: Default chunk size: big enough that per-chunk overhead vanishes, small
@@ -82,6 +85,19 @@ class StreamingSimulation:
         label: free-form run identity recorded in the checkpoint envelope
             (``Scenario.run_stream`` stores the scenario name) so a resume
             can detect a snapshot that belongs to a different run.
+        progress: heartbeat callback for long runs; called from :meth:`run`
+            every ``progress_every`` chunks with a dict of ``slot``,
+            ``num_slots``, ``chunks``, ``elapsed_s``, ``slots_per_s`` and
+            ``eta_s`` (the CLI's ``--progress`` prints it to stderr).
+        progress_every: chunks between ``progress`` calls.
+
+    Every session also keeps a private :class:`~repro.obs.metrics.\
+MetricsRegistry` of what it did — chunks executed, slots processed,
+    checkpoint save counts and latencies.  The snapshot rides inside the
+    checkpoint envelope and is restored on resume, so a resumed run reports
+    *cumulative* totals identical to the uninterrupted run; :meth:`finish`
+    folds the session registry into the globally enabled one (when metrics
+    are on) and emits it with the ``stream_finish`` trace event.
 
     Note that ``record_trace`` keeps the full event list in memory — a
     streamed run with trace recording is still O(``num_slots``).
@@ -94,7 +110,9 @@ class StreamingSimulation:
                  warmup_slots: int = 0,
                  checkpoint_every: Optional[int] = None,
                  checkpoint_path: Optional[os.PathLike] = None,
-                 label: Optional[str] = None) -> None:
+                 label: Optional[str] = None,
+                 progress: Optional[Callable[[Dict[str, Any]], None]] = None,
+                 progress_every: int = 1) -> None:
         from repro.sim.array_engine import ENGINES, build_array_core
 
         if engine is None:
@@ -120,6 +138,8 @@ class StreamingSimulation:
             if checkpoint_path is None:
                 raise ConfigurationError(
                     "checkpoint_every needs a checkpoint_path to write to")
+        if progress_every < 1:
+            raise ConfigurationError("progress_every must be at least 1")
         self.sim = sim
         self.engine = engine
         self.num_slots = num_slots
@@ -129,6 +149,11 @@ class StreamingSimulation:
         self.checkpoint_every = checkpoint_every
         self.checkpoint_path = checkpoint_path
         self.label = label
+        self.progress = progress
+        self.progress_every = progress_every
+        # Per-session observability state (always on: a handful of dict
+        # operations per *chunk*, invisible next to a 64k-slot window).
+        self._obs = MetricsRegistry()
         # The array core carries the machine state between chunks (and
         # enforces the freshly-built-buffer contract up front).
         self._core = build_array_core(sim) if engine == "array" else None
@@ -155,6 +180,9 @@ class StreamingSimulation:
             # resumed run never immediately rewrites the snapshot it loaded.
             done = self.slot // self.checkpoint_every
             next_mark = (done + 1) * self.checkpoint_every
+        run_started = time.perf_counter()
+        start_slot = self.slot
+        chunks_done = 0
         while self.slot < self.num_slots:
             stop = min(self.slot + self.chunk_slots, self.num_slots)
             if next_mark is not None and next_mark < stop:
@@ -166,11 +194,32 @@ class StreamingSimulation:
             else:
                 plan = [None] * count
             self._execute(plan)
+            chunks_done += 1
+            if (self.progress is not None
+                    and chunks_done % self.progress_every == 0):
+                self._heartbeat(run_started, start_slot, chunks_done)
             if next_mark is not None and self.slot >= next_mark:
                 if self.slot < self.num_slots:
                     self.save_checkpoint(self.checkpoint_path)
                 next_mark += self.checkpoint_every
         return self.finish()
+
+    def _heartbeat(self, started: float, start_slot: int,
+                   chunks_done: int) -> None:
+        """Hand the progress callback one snapshot of where the run stands."""
+        elapsed = time.perf_counter() - started
+        done = self.slot - start_slot
+        rate = done / elapsed if elapsed > 0 else 0.0
+        remaining = ((self.num_slots - self.slot)
+                     if self.num_slots is not None else 0)
+        self.progress({
+            "slot": self.slot,
+            "num_slots": self.num_slots,
+            "chunks": chunks_done,
+            "elapsed_s": elapsed,
+            "slots_per_s": rate,
+            "eta_s": remaining / rate if rate > 0 else None,
+        })
 
     def feed(self, plan: List[Optional[int]]) -> None:
         """Advance ``len(plan)`` slots with externally supplied arrivals.
@@ -205,6 +254,8 @@ class StreamingSimulation:
         count = len(plan)
         if count == 0:
             return
+        start_slot = self.slot
+        started = time.perf_counter()
         if self._core is not None:
             self._core.run_span(plan, count)
         elif self.engine == "batched":
@@ -212,6 +263,12 @@ class StreamingSimulation:
         else:
             self.sim._run_slots(count, start_slot=self.slot, plan=plan)
         self.slot += count
+        duration = time.perf_counter() - started
+        self._obs.inc("stream.chunks")
+        self._obs.inc("stream.slots", count)
+        self._obs.observe("stream.chunk_s", duration)
+        trace_emit("chunk", start_slot=start_slot, slots=count,
+                   duration_s=round(duration, 6), engine=self.engine)
 
     def _reset_measurement(self) -> None:
         """Restart the measurement collectors at the warmup boundary."""
@@ -267,7 +324,23 @@ class StreamingSimulation:
                                       trace=sim.trace)
         report.throughput.slots -= self._measured_from
         self._finished = True
+        # Cumulative session totals: across a checkpoint/resume these are
+        # identical to the uninterrupted run's, because the restored
+        # snapshot carried the pre-crash state.
+        snapshot = self._obs.snapshot()
+        active = get_metrics()
+        if active is not None and active is not self._obs:
+            active.restore(snapshot)
+        trace_emit("stream_finish", slot=self.slot,
+                   measured_from=self._measured_from,
+                   engine=self.engine, label=self.label,
+                   counters=snapshot["counters"])
         return report
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """This session's cumulative observability state (counters of
+        chunks/slots/checkpoints plus chunk and checkpoint timers)."""
+        return self._obs.snapshot()
 
     # ------------------------------------------------------------------ #
     # Checkpointing
@@ -281,6 +354,11 @@ class StreamingSimulation:
         """
         if path is None:
             raise ConfigurationError("save_checkpoint needs a path")
+        started = time.perf_counter()
+        # Counted before the snapshot is taken so the envelope's own metric
+        # state includes this save — that is what makes resumed totals
+        # cumulative rather than off by the save they were loaded from.
+        self._obs.inc("stream.checkpoints_saved")
         blob = pickle.dumps({
             "sim": self.sim,
             "core": self._core,
@@ -288,6 +366,7 @@ class StreamingSimulation:
             "warmup_done": self._warmup_done,
             "measured_from": self._measured_from,
             "drops_baseline": self._drops_baseline,
+            "obs": self._obs.snapshot(),
         }, protocol=pickle.HIGHEST_PROTOCOL)
         document = {
             "format": CHECKPOINT_FORMAT,
@@ -319,20 +398,29 @@ class StreamingSimulation:
             except OSError:
                 pass
             raise
+        duration = time.perf_counter() - started
+        self._obs.observe("stream.checkpoint_save_s", duration)
+        trace_emit("checkpoint_saved", path=path, slot=self.slot,
+                   bytes=len(blob), duration_s=round(duration, 6))
 
     @classmethod
     def load_checkpoint(cls, path: os.PathLike, *,
                         checkpoint_every: Optional[int] = None,
-                        checkpoint_path: Optional[os.PathLike] = None
-                        ) -> "StreamingSimulation":
+                        checkpoint_path: Optional[os.PathLike] = None,
+                        progress: Optional[Callable[[Dict[str, Any]], None]]
+                        = None,
+                        progress_every: int = 1) -> "StreamingSimulation":
         """Reconstruct a session from a snapshot written by
         :meth:`save_checkpoint`.
 
         The run geometry (slots, warmup, chunking, engine) comes from the
         snapshot; ``checkpoint_every``/``checkpoint_path`` may be overridden
         so a resumed run keeps checkpointing (by default it continues with
-        the snapshot's own settings, writing back to ``path``).
+        the snapshot's own settings, writing back to ``path``).  The metric
+        state saved in the envelope is restored too, so the resumed session
+        reports cumulative totals.
         """
+        started = time.perf_counter()
         document = read_checkpoint(path)
         try:
             blob = base64.b64decode(document["state_b64"],
@@ -365,12 +453,22 @@ class StreamingSimulation:
                                    if checkpoint_path is not None
                                    else os.fspath(path))
         session.label = document.get("label")
+        session.progress = progress
+        session.progress_every = progress_every
         session._core = payload["core"]
         session.slot = payload["slot"]
         session._warmup_done = payload["warmup_done"]
         session._measured_from = payload["measured_from"]
         session._drops_baseline = payload["drops_baseline"]
         session._finished = False
+        session._obs = MetricsRegistry()
+        session._obs.restore(payload.get("obs", {}))
+        session._obs.inc("stream.checkpoints_resumed")
+        duration = time.perf_counter() - started
+        session._obs.observe("stream.checkpoint_restore_s", duration)
+        trace_emit("checkpoint_resumed", path=os.fspath(path),
+                   slot=session.slot, num_slots=session.num_slots,
+                   duration_s=round(duration, 6))
         return session
 
 
@@ -385,19 +483,24 @@ def run_stream(sim, num_slots: int, *,
                warmup_slots: int = 0,
                checkpoint_every: Optional[int] = None,
                checkpoint_path: Optional[os.PathLike] = None,
-               label: Optional[str] = None):
+               label: Optional[str] = None,
+               progress: Optional[Callable[[Dict[str, Any]], None]] = None,
+               progress_every: int = 1):
     """One-call streaming run; see :class:`StreamingSimulation`."""
     return StreamingSimulation(sim, num_slots, engine=engine, drain=drain,
                                chunk_slots=chunk_slots,
                                warmup_slots=warmup_slots,
                                checkpoint_every=checkpoint_every,
                                checkpoint_path=checkpoint_path,
-                               label=label).run()
+                               label=label, progress=progress,
+                               progress_every=progress_every).run()
 
 
 def resume_stream(path: os.PathLike, *,
                   checkpoint_every: Optional[int] = None,
-                  checkpoint_path: Optional[os.PathLike] = None):
+                  checkpoint_path: Optional[os.PathLike] = None,
+                  progress: Optional[Callable[[Dict[str, Any]], None]] = None,
+                  progress_every: int = 1):
     """Resume a checkpointed run to completion and return its report.
 
     The continuation is bit-identical to the uninterrupted run: the snapshot
@@ -407,7 +510,8 @@ def resume_stream(path: os.PathLike, *,
     """
     return StreamingSimulation.load_checkpoint(
         path, checkpoint_every=checkpoint_every,
-        checkpoint_path=checkpoint_path).run()
+        checkpoint_path=checkpoint_path, progress=progress,
+        progress_every=progress_every).run()
 
 
 def read_checkpoint(path: os.PathLike) -> dict:

@@ -30,11 +30,14 @@ the same ``SwitchReport`` for any ``--jobs`` value.
 
 from __future__ import annotations
 
+import time
 from bisect import insort
 from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from repro.errors import ConfigurationError
+from repro.obs.metrics import get_metrics
+from repro.obs.trace import emit as trace_emit
 from repro.runner.jobs import Job
 from repro.runner.sweep import SweepRunner, default_jobs
 from repro.sim.ring import IntRing
@@ -224,6 +227,18 @@ class FabricStream:
             wait_mean=self._waits.mean,
             wait_max=self._waits.maximum,
         )
+        obs = get_metrics()
+        if obs is not None:
+            obs.inc("switch.fabric.stages")
+            obs.inc("switch.fabric.offered_cells", self._offered)
+            obs.inc("switch.fabric.transferred_cells", self._transferred)
+            obs.inc("switch.fabric.flush_slots", flush_slots)
+            obs.gauge("switch.fabric.peak_voq_backlog", self._peak_backlog)
+        trace_emit("fabric_stage", scenario=self.scenario.name,
+                   ports=self.num_ports, slots=slots,
+                   flush_slots=flush_slots, offered_cells=self._offered,
+                   transferred_cells=self._transferred,
+                   peak_voq_backlog=self._peak_backlog)
 
 
 def run_fabric(scenario: SwitchScenario,
@@ -414,6 +429,7 @@ class SwitchModel:
                 defaults to an uncached runner with ``jobs`` workers.
             num_slots: override the scenario's arrival-slot count.
         """
+        started = time.perf_counter()
         port_jobs, stats = self.build_port_jobs(engine, num_slots)
         if runner is None:
             # Port jobs are uniform and known up front, so hand each worker
@@ -423,11 +439,13 @@ class SwitchModel:
             chunk = max(1, -(-len(port_jobs) // workers))
             runner = SweepRunner(jobs=jobs, chunksize=chunk)
         results = runner.run(port_jobs)
-        return SwitchReport(name=self.scenario.name,
-                            num_ports=self.scenario.num_ports,
-                            engine=engine,
-                            fabric=stats,
-                            ports=tuple(results))
+        report = SwitchReport(name=self.scenario.name,
+                              num_ports=self.scenario.num_ports,
+                              engine=engine,
+                              fabric=stats,
+                              ports=tuple(results))
+        self._observe_run(report, "jobs", time.perf_counter() - started)
+        return report
 
     def run_stream(self,
                    *,
@@ -444,6 +462,7 @@ class SwitchModel:
         from repro.sim.engine import ClosedLoopSimulation
         from repro.sim.streaming import StreamingSimulation
 
+        started = time.perf_counter()
         scenario = self.scenario
         stream = FabricStream(scenario, num_slots, chunk_slots)
         templates = [port_template(scenario, egress)
@@ -465,11 +484,28 @@ class SwitchModel:
             ScenarioResult.from_report(template.name, template.scheme,
                                        session.finish())
             for template, session in zip(templates, sessions))
-        return SwitchReport(name=scenario.name,
-                            num_ports=scenario.num_ports,
-                            engine=engine,
-                            fabric=stream.stats,
-                            ports=ports)
+        report = SwitchReport(name=scenario.name,
+                              num_ports=scenario.num_ports,
+                              engine=engine,
+                              fabric=stream.stats,
+                              ports=ports)
+        self._observe_run(report, "stream", time.perf_counter() - started)
+        return report
+
+    @staticmethod
+    def _observe_run(report: SwitchReport, mode: str,
+                     duration: float) -> None:
+        """Publish what a completed switch run did (pure recording: runs
+        after every port report exists, so it cannot perturb one)."""
+        obs = get_metrics()
+        if obs is not None:
+            obs.inc("switch.runs")
+            obs.inc("switch.port_reports", report.num_ports)
+            obs.observe("switch.run_s", duration)
+        trace_emit("switch_run", scenario=report.name, mode=mode,
+                   ports=report.num_ports, engine=report.engine,
+                   arrivals=report.arrivals, departures=report.departures,
+                   drops=report.drops, duration_s=round(duration, 6))
 
 
 def run_switch_spec(spec: Mapping[str, Any],

@@ -30,6 +30,8 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.errors import ReproError, SpecError
+from repro.obs.metrics import get_metrics
+from repro.obs.trace import emit as trace_emit
 from repro.switch.scenario import SwitchScenario
 from repro.workloads.scenario import Scenario
 
@@ -598,13 +600,28 @@ def fuzz_many(seeds: int,
               ) -> FuzzSummary:
     """Run cases ``0..seeds-1``; dump every diverging spec as an artifact."""
     summary = FuzzSummary()
+    trace_emit("fuzz_start", seeds=seeds, master_seed=master_seed,
+               stream=stream)
     for index in range(seeds):
         case = make_case(master_seed, index)
         summary.cases += 1
         if case.kind == "switch":
             summary.switch_cases += 1
         divergences = run_case(case, stream=stream)
+        obs = get_metrics()
+        if obs is not None:
+            obs.inc("fuzz.cases")
+            if case.kind == "switch":
+                obs.inc("fuzz.switch_cases")
+        trace_emit("fuzz_case", index=index, kind=case.kind,
+                   name=case.spec["name"],
+                   divergences=len(divergences))
         if divergences:
+            if obs is not None:
+                obs.inc("fuzz.divergent_cases")
+            for div in divergences:
+                trace_emit("fuzz_divergence", index=index, leg=div.leg,
+                           field=div.field)
             summary.failures.append((case, divergences))
             if artifact_dir is not None:
                 summary.artifacts.append(
@@ -615,6 +632,9 @@ def fuzz_many(seeds: int,
             status = "DIVERGED" if divergences else "ok"
             progress(f"[{index + 1}/{seeds}] {case.kind}{ports} "
                      f"{case.spec['name']}: {status}")
+    trace_emit("fuzz_end", cases=summary.cases,
+               switch_cases=summary.switch_cases,
+               divergent=len(summary.failures))
     return summary
 
 

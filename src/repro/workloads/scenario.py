@@ -221,7 +221,9 @@ class Scenario:
                    warmup_slots: int = 0,
                    checkpoint_every: Optional[int] = None,
                    checkpoint_path=None,
-                   record_trace: bool = False) -> SimulationReport:
+                   record_trace: bool = False,
+                   progress=None,
+                   progress_every: int = 1) -> SimulationReport:
         """Build everything fresh and simulate the scenario in bounded-memory
         chunks (:mod:`repro.sim.streaming`): arrival plans are generated per
         chunk, the first ``warmup_slots`` are discarded from the statistics,
@@ -233,7 +235,8 @@ class Scenario:
             self.num_slots if num_slots is None else num_slots,
             engine=engine, chunk_slots=chunk_slots,
             warmup_slots=warmup_slots, checkpoint_every=checkpoint_every,
-            checkpoint_path=checkpoint_path, label=self.name)
+            checkpoint_path=checkpoint_path, label=self.name,
+            progress=progress, progress_every=progress_every)
 
     # ------------------------------------------------------------------ #
     # Spec round-trip

@@ -50,6 +50,8 @@ except ImportError:  # pragma: no cover
     _yaml = None
 
 from repro.errors import ReproError, SpecError
+from repro.obs.metrics import get_metrics
+from repro.obs.trace import emit as trace_emit
 from repro.runner.jobs import Job
 from repro.switch.scenario import SwitchScenario
 from repro.workloads.scenario import Scenario
@@ -340,9 +342,16 @@ def expand_document(document: SpecDocument) -> List[CompiledPoint]:
                  f"({', '.join(f'{a}={v!r}' for a, v in coordinates.items())})"
                  if axes else "spec")
         canonical = _canonicalise(document.kind, spec, where)
+        trace_emit("grid_point", name=name, kind=document.kind,
+                   index=index,
+                   axes={axis: value for axis, value in coordinates.items()})
         points.append(CompiledPoint(name=name, kind=document.kind,
                                     spec=canonical, run=run,
                                     axes=coordinates))
+    obs = get_metrics()
+    if obs is not None:
+        obs.inc("sweep.documents_expanded")
+        obs.inc("sweep.grid_points", len(points))
     return points
 
 

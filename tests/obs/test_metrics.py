@@ -1,0 +1,186 @@
+"""The metrics registry: publish, snapshot/restore merge, activation."""
+
+import pytest
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    disable_metrics,
+    enable_metrics,
+    get_metrics,
+    render_metrics,
+    using_metrics,
+)
+
+
+@pytest.fixture(autouse=True)
+def _metrics_off():
+    """Every test starts and ends with no active registry."""
+    previous = disable_metrics()
+    yield
+    disable_metrics()
+    if previous is not None:
+        enable_metrics(previous)
+
+
+class TestPublishing:
+    def test_counters_accumulate(self):
+        registry = MetricsRegistry()
+        registry.inc("cache.hits")
+        registry.inc("cache.hits")
+        registry.inc("stream.slots", 500)
+        assert registry.counter("cache.hits") == 2
+        assert registry.counter("stream.slots") == 500
+        assert registry.counter("never.written") == 0
+
+    def test_counters_returns_a_copy(self):
+        registry = MetricsRegistry()
+        registry.inc("a")
+        copied = registry.counters()
+        copied["a"] = 99
+        assert registry.counter("a") == 1
+
+    def test_gauge_tracks_last_and_peak(self):
+        registry = MetricsRegistry()
+        registry.gauge("backlog", 3)
+        registry.gauge("backlog", 9)
+        registry.gauge("backlog", 4)
+        entry = registry.snapshot()["gauges"]["backlog"]
+        assert entry == {"last": 4, "peak": 9}
+
+    def test_observe_tracks_count_total_min_max(self):
+        registry = MetricsRegistry()
+        for seconds in (0.2, 0.1, 0.4):
+            registry.observe("chunk_s", seconds)
+        entry = registry.snapshot()["timers"]["chunk_s"]
+        assert entry["count"] == 3
+        assert entry["total_s"] == pytest.approx(0.7)
+        assert entry["min_s"] == pytest.approx(0.1)
+        assert entry["max_s"] == pytest.approx(0.4)
+
+    def test_timed_records_one_sample(self):
+        registry = MetricsRegistry()
+        with registry.timed("body_s"):
+            pass
+        entry = registry.snapshot()["timers"]["body_s"]
+        assert entry["count"] == 1
+        assert entry["total_s"] >= 0
+
+    def test_timed_records_even_on_exception(self):
+        registry = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with registry.timed("body_s"):
+                raise RuntimeError("boom")
+        assert registry.snapshot()["timers"]["body_s"]["count"] == 1
+
+    def test_bool_means_nonempty(self):
+        registry = MetricsRegistry()
+        assert not registry
+        registry.inc("a")
+        assert registry
+
+    def test_clear_drops_everything(self):
+        registry = MetricsRegistry()
+        registry.inc("a")
+        registry.gauge("g", 1)
+        registry.observe("t", 0.1)
+        registry.clear()
+        assert not registry
+
+
+class TestSnapshotRestore:
+    def test_snapshot_round_trips_bit_identically(self):
+        registry = MetricsRegistry()
+        registry.inc("stream.chunks", 7)
+        registry.gauge("backlog", 5)
+        registry.gauge("backlog", 2)
+        registry.observe("chunk_s", 0.25)
+        snapshot = registry.snapshot()
+        fresh = MetricsRegistry()
+        fresh.restore(snapshot)
+        assert fresh.snapshot() == snapshot
+
+    def test_snapshot_is_detached_from_the_registry(self):
+        registry = MetricsRegistry()
+        registry.inc("a")
+        snapshot = registry.snapshot()
+        registry.inc("a")
+        assert snapshot["counters"]["a"] == 1
+
+    def test_restore_merges_counters_by_addition(self):
+        registry = MetricsRegistry()
+        registry.inc("stream.slots", 100)
+        registry.restore({"counters": {"stream.slots": 50, "new": 1}})
+        assert registry.counter("stream.slots") == 150
+        assert registry.counter("new") == 1
+
+    def test_restore_merges_gauges_last_wins_peak_max(self):
+        registry = MetricsRegistry()
+        registry.gauge("backlog", 10)
+        registry.restore({"gauges": {"backlog": {"last": 4, "peak": 6}}})
+        assert registry.snapshot()["gauges"]["backlog"] == \
+            {"last": 4, "peak": 10}
+
+    def test_restore_merges_timers_field_wise(self):
+        registry = MetricsRegistry()
+        registry.observe("chunk_s", 0.2)
+        registry.restore({"timers": {"chunk_s": {
+            "count": 2, "total_s": 0.5, "min_s": 0.1, "max_s": 0.4}}})
+        entry = registry.snapshot()["timers"]["chunk_s"]
+        assert entry["count"] == 3
+        assert entry["total_s"] == pytest.approx(0.7)
+        assert entry["min_s"] == pytest.approx(0.1)
+        assert entry["max_s"] == pytest.approx(0.4)
+
+    def test_restore_empty_snapshot_is_a_no_op(self):
+        registry = MetricsRegistry()
+        registry.inc("a")
+        registry.restore({})
+        assert registry.counter("a") == 1
+
+
+class TestActivation:
+    def test_disabled_by_default(self):
+        assert get_metrics() is None
+
+    def test_enable_disable(self):
+        registry = enable_metrics()
+        assert get_metrics() is registry
+        assert disable_metrics() is registry
+        assert get_metrics() is None
+
+    def test_enable_accepts_an_existing_registry(self):
+        mine = MetricsRegistry()
+        assert enable_metrics(mine) is mine
+        assert get_metrics() is mine
+
+    def test_using_metrics_restores_the_previous_registry(self):
+        outer = enable_metrics()
+        with using_metrics() as inner:
+            assert get_metrics() is inner
+            assert inner is not outer
+        assert get_metrics() is outer
+
+    def test_using_metrics_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with using_metrics():
+                raise RuntimeError("boom")
+        assert get_metrics() is None
+
+
+class TestRendering:
+    def test_empty_snapshot_says_so(self):
+        text = render_metrics(MetricsRegistry().snapshot())
+        assert "== metrics ==" in text
+        assert "(no metrics recorded)" in text
+
+    def test_rendered_lines_are_sorted_and_complete(self):
+        registry = MetricsRegistry()
+        registry.inc("b.second", 2)
+        registry.inc("a.first", 1)
+        registry.gauge("backlog", 5)
+        registry.observe("chunk_s", 0.25)
+        text = render_metrics(registry.snapshot(), "run metrics")
+        assert text.splitlines()[0] == "== run metrics =="
+        assert text.index("a.first = 1") < text.index("b.second = 2")
+        assert "backlog last=5 peak=5" in text
+        assert "chunk_s count=1" in text

@@ -321,3 +321,145 @@ class TestFuzzCommand:
         err = capsys.readouterr().err
         assert err.startswith("error: ")
         assert err.count("\n") == 1
+
+
+class TestObservabilityFlags:
+    def test_metrics_flag_prints_the_registry_to_stderr(self, capsys):
+        assert main(["scenario", "uniform-bernoulli", "--slots", "400",
+                     "--engine", "array", "--metrics"]) == 0
+        captured = capsys.readouterr()
+        assert "== run metrics ==" in captured.err
+        assert "engine.array.runs = 1" in captured.err
+        assert "engine.slots_simulated = 400" in captured.err
+        # The report itself stays on stdout, metrics-free.
+        assert "metrics" not in captured.out
+
+    def test_trace_out_writes_and_summarize_reads(self, tmp_path, capsys):
+        trace = tmp_path / "run.ndjson"
+        assert main(["scenario", "uniform-bernoulli", "--slots", "400",
+                     "--trace-out", str(trace)]) == 0
+        assert f"trace written to {trace}" in capsys.readouterr().err
+        assert main(["trace", "summarize", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "run_end: 1" in out
+        assert "trace_close: 1" in out
+
+    def test_trace_summarize_json_mode(self, tmp_path, capsys):
+        import json
+        trace = tmp_path / "run.ndjson"
+        assert main(["scenario", "uniform-bernoulli", "--slots", "400",
+                     "--trace-out", str(trace)]) == 0
+        capsys.readouterr()
+        assert main(["trace", "summarize", str(trace), "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["by_type"]["run_start"] == 1
+
+    def test_trace_summarize_missing_file_exits_one(self, tmp_path, capsys):
+        assert main(["trace", "summarize",
+                     str(tmp_path / "nope.ndjson")]) == 1
+        assert capsys.readouterr().err.startswith("error: cannot read")
+
+    def test_trace_out_unwritable_path_exits_one(self, tmp_path, capsys):
+        bad = tmp_path / "no-such-dir" / "t.ndjson"
+        assert main(["scenario", "uniform-bernoulli", "--slots", "400",
+                     "--trace-out", str(bad)]) == 1
+        assert "cannot open trace file" in capsys.readouterr().err
+
+    def test_progress_prints_heartbeats_to_stderr(self, capsys):
+        assert main(["scenario", "uniform-bernoulli", "--slots", "2000",
+                     "--chunk-slots", "500", "--progress"]) == 0
+        err = capsys.readouterr().err
+        assert "[stream] slot 500/2000" in err
+        assert "[stream] slot 2000/2000 (100.0%)" in err
+
+    def test_progress_every_must_be_positive(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["scenario", "uniform-bernoulli", "--progress",
+                  "--progress-every", "0"])
+        assert excinfo.value.code == 2
+
+
+class TestBenchCompareCommand:
+    def make_snapshot(self, path, speedup, overhead=1.0):
+        import json
+        document = {
+            "suite": "repro-bench", "schema": 1, "quick": True,
+            "repeats": 1,
+            "benchmarks": [
+                {"name": "wide-128/array", "median_s": 0.01,
+                 "samples_s": [0.01],
+                 "metrics": {"slots": 1500, "kslots_per_s": 150.0}}],
+            "derived": {"speedup": speedup, "x-overhead": overhead},
+            "derived_directions": {"speedup": "higher_better",
+                                   "x-overhead": "lower_better"},
+        }
+        path.write_text(json.dumps(document), encoding="utf-8")
+        return str(path)
+
+    def test_identical_snapshots_pass_the_gate(self, tmp_path, capsys):
+        base = self.make_snapshot(tmp_path / "base.json", 5.0)
+        assert main(["bench", "--compare", base, "--against", base,
+                     "--fail-on-regression", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "bench compare" in out
+        assert "OK: no gated ratio regressed more than 10%" in out
+
+    def test_regression_fails_the_gate_with_exit_one(self, tmp_path,
+                                                     capsys):
+        base = self.make_snapshot(tmp_path / "base.json", 5.0)
+        cur = self.make_snapshot(tmp_path / "cur.json", 3.0)
+        assert main(["bench", "--compare", base, "--against", cur,
+                     "--fail-on-regression", "10"]) == 1
+        out = capsys.readouterr().out
+        assert "<< REGRESSION" in out
+        assert "FAIL: 1 ratio(s) regressed more than 10%" in out
+
+    def test_compare_without_gate_reports_but_exits_zero(self, tmp_path,
+                                                         capsys):
+        base = self.make_snapshot(tmp_path / "base.json", 5.0)
+        cur = self.make_snapshot(tmp_path / "cur.json", 3.0)
+        assert main(["bench", "--compare", base, "--against", cur]) == 0
+        assert "derived ratios" in capsys.readouterr().out
+
+    def test_ratios_restricts_the_gate(self, tmp_path, capsys):
+        base = self.make_snapshot(tmp_path / "base.json", 5.0, overhead=1.0)
+        cur = self.make_snapshot(tmp_path / "cur.json", 3.0, overhead=1.0)
+        # Only the (unchanged) overhead ratio is gated: the speedup
+        # regression is reported but does not fail the run.
+        assert main(["bench", "--compare", base, "--against", cur,
+                     "--fail-on-regression", "10",
+                     "--ratios", "x-overhead"]) == 0
+        assert "(not gated)" in capsys.readouterr().out
+
+    def test_unknown_ratio_name_exits_one(self, tmp_path, capsys):
+        base = self.make_snapshot(tmp_path / "base.json", 5.0)
+        assert main(["bench", "--compare", base, "--against", base,
+                     "--fail-on-regression", "10",
+                     "--ratios", "no-such-ratio"]) == 1
+        assert "not in the compare report" in capsys.readouterr().err
+
+    def test_compare_json_writes_the_report(self, tmp_path, capsys):
+        import json
+        base = self.make_snapshot(tmp_path / "base.json", 5.0)
+        out_path = tmp_path / "cmp.json"
+        assert main(["bench", "--compare", base, "--against", base,
+                     "--compare-json", str(out_path)]) == 0
+        report = json.loads(out_path.read_text(encoding="utf-8"))
+        assert {row["name"] for row in report["ratios"]} == \
+            {"speedup", "x-overhead"}
+
+    def test_against_requires_compare(self, tmp_path):
+        base = self.make_snapshot(tmp_path / "base.json", 5.0)
+        with pytest.raises(SystemExit) as excinfo:
+            main(["bench", "--against", base])
+        assert excinfo.value.code == 2
+
+    def test_gate_requires_compare(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["bench", "--fail-on-regression", "10"])
+        assert excinfo.value.code == 2
+
+    def test_missing_baseline_exits_one(self, tmp_path, capsys):
+        assert main(["bench", "--compare",
+                     str(tmp_path / "nope.json")]) == 1
+        assert "cannot read bench snapshot" in capsys.readouterr().err
