@@ -167,6 +167,10 @@ def render_switch_run(report) -> str:
     per-port latency histograms, so the aggregate percentiles are exact);
     the per-port table reuses the ``ScenarioResult`` fields, which is the
     degenerate-case promise made concrete — a port row is a scenario row.
+
+    A partial report (ports quarantined by a non-strict runner) keeps the
+    surviving rows aligned to their true egress index and appends the
+    failure-provenance block below the tables.
     """
     aggregate = format_table(
         ["metric", "value"],
@@ -175,15 +179,26 @@ def render_switch_run(report) -> str:
         title=f"Switch {report.name} ({report.num_ports} ports, "
               f"{report.engine} engine)")
     fabric = report.fabric
+    failures = tuple(getattr(report, "failures", ()))
+    failed_indices = {int(f.tag[4:]) for f in failures
+                      if f.tag.startswith("port") and f.tag[4:].isdigit()}
+    indices = [i for i in range(report.num_ports) if i not in failed_indices]
+    if len(indices) != len(report.ports):  # unexpected tags: best effort
+        indices = list(range(len(report.ports)))
     per_port = format_table(
         ["port", "scheme", "fabric cells", "arrivals", "departures", "drops",
          "lat mean", "p50", "p99", "max", "zero miss"],
         [[index, p.scheme, fabric.per_egress_cells[index], p.arrivals,
           p.departures, p.drops, p.latency_mean, p.latency_p50,
           p.latency_p99, p.latency_max, p.zero_miss]
-         for index, p in enumerate(report.ports)],
+         for index, p in zip(indices, report.ports)],
         title="Per-port closed-loop statistics")
-    return aggregate + "\n\n" + per_port
+    text = aggregate + "\n\n" + per_port
+    if failures:
+        from repro.workloads.spec_yaml import render_job_failures
+
+        text += "\n\n" + render_job_failures(failures)
+    return text
 
 
 def render_switch_suite(reports) -> str:

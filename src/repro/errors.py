@@ -114,6 +114,21 @@ class SpecError(ConfigurationError):
     """
 
 
+class SweepFailure(ReproError):
+    """A strict sweep aborted on a job failure with no exception to re-raise.
+
+    Raised by :class:`~repro.runner.sweep.SweepRunner` in ``strict`` mode
+    when a job was quarantined for a *timeout* or a *worker death* — failure
+    modes that leave no original exception object.  (A job that raised keeps
+    fail-fast semantics: its own exception propagates instead.)  Carries the
+    structured :class:`~repro.runner.sweep.JobFailure` as ``failure``.
+    """
+
+    def __init__(self, failure: object) -> None:
+        super().__init__(getattr(failure, "brief", lambda: str(failure))())
+        self.failure = failure
+
+
 class RenamingError(ReproError):
     """The renaming subsystem ran out of physical queues or violated FIFO order."""
 

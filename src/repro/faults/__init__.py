@@ -1,0 +1,37 @@
+"""Deterministic fault injection for the chaos harness.
+
+See :mod:`repro.faults.injector` for the model: a :class:`FaultPlan` is a
+pure function of ``(master_seed, site)`` deciding where worker kills,
+transient/permanent exceptions, delays and file corruption strike, so any
+fault schedule is exactly replayable from its seed.
+"""
+
+from repro.faults.injector import (
+    FAULT_KINDS,
+    FaultInjector,
+    FaultPlan,
+    InjectedFault,
+    InjectedPermanentError,
+    InjectedTransientError,
+    InjectedWorkerKill,
+    TransientJobError,
+    WORKER_KILL_EXIT_CODE,
+    get_injector,
+    set_injector,
+    using_faults,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultPlan",
+    "InjectedFault",
+    "InjectedPermanentError",
+    "InjectedTransientError",
+    "InjectedWorkerKill",
+    "TransientJobError",
+    "WORKER_KILL_EXIT_CODE",
+    "get_injector",
+    "set_injector",
+    "using_faults",
+]

@@ -1,0 +1,277 @@
+"""Deterministic fault injection: every fault is a pure function of
+``(master_seed, site)``.
+
+A :class:`FaultPlan` names the fault *rates* (probability per kind) and a
+master seed; a :class:`FaultInjector` evaluates sites against the plan.  A
+*site* is a stable string naming one place a fault could strike — a job
+attempt (``"job:figure8-oc768#3@attempt0"``), a cache entry
+(``"cache-put:<key>"``), a checkpoint file (``"checkpoint-save:<label>:<slot>"``).
+Whether a fault fires at a site, and which corruption it applies, is decided
+by hashing ``(master_seed, kind, site)`` — no global RNG is consumed, so an
+injected run draws exactly the same simulation randomness as a clean one,
+and replaying the same plan reproduces the identical fault schedule.
+
+Two properties make the chaos invariant provable:
+
+* **Determinism** — the same plan always faults the same sites the same way,
+  so a diverging schedule is replayable from its seed alone.
+* **Bounded interference** — job-level faults never fire at or beyond
+  ``max_faulted_attempts``, so any job granted enough retries eventually
+  runs clean.  A schedule built only of transient kinds therefore always
+  lets the sweep complete, and the completed reports must be bit-identical
+  to the fault-free run (``repro fuzz --faults`` asserts exactly this).
+
+The *active* injector follows the observability layer's pattern: a module
+global read through :func:`get_injector` (one ``None`` check when disabled),
+installed with :func:`set_injector` / :func:`using_faults`.  Worker processes
+do not rely on inheriting it — the sweep runner ships the plan inside each
+dispatched task and the worker installs its own injector.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, Mapping, Optional
+
+from repro.errors import ConfigurationError, ReproError
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultPlan",
+    "InjectedFault",
+    "InjectedPermanentError",
+    "InjectedTransientError",
+    "InjectedWorkerKill",
+    "TransientJobError",
+    "WORKER_KILL_EXIT_CODE",
+    "get_injector",
+    "set_injector",
+    "using_faults",
+]
+
+#: Exit code a worker uses when a ``worker_kill`` fault terminates it —
+#: distinctive enough that a supervisor log line is unambiguous.
+WORKER_KILL_EXIT_CODE = 137
+
+#: Every fault kind a plan may rate.  Job-level kinds strike when a job
+#: attempt starts; ``corrupt`` strikes files (cache entries, checkpoints).
+FAULT_KINDS = ("worker_kill", "transient", "permanent", "delay", "corrupt")
+
+#: Job-level kinds, evaluated in this fixed order so a site's outcome is
+#: independent of dict ordering in the plan.
+_JOB_KINDS = ("worker_kill", "transient", "permanent", "delay")
+
+
+class TransientJobError(ReproError):
+    """A job failure the sweep runner should retry (with backoff).
+
+    Job functions may raise this (or a subclass) to signal that the failure
+    is environmental — a flaky filesystem, a lost worker — rather than a
+    property of the job itself.  Any other exception is treated as permanent
+    and quarantines the job after its first attempt.
+    """
+
+
+class InjectedFault(ReproError):
+    """Base class for failures raised by the fault injector."""
+
+
+class InjectedTransientError(TransientJobError, InjectedFault):
+    """An injected failure the runner is expected to retry away."""
+
+
+class InjectedPermanentError(InjectedFault):
+    """An injected failure that must quarantine the job (poison-pill)."""
+
+
+class InjectedWorkerKill(TransientJobError, InjectedFault):
+    """Stand-in for a worker death when no worker process exists to kill.
+
+    The in-process execution path cannot SIGKILL itself, so a ``worker_kill``
+    fault degrades to this transient error there; the pool path performs a
+    real ``os._exit`` so dead-worker detection is exercised for real.
+    """
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic fault schedule: a master seed plus per-kind rates.
+
+    Attributes:
+        master_seed: seed every site decision hashes against.
+        rates: mapping of fault kind (:data:`FAULT_KINDS`) to firing
+            probability in ``[0, 1]``.  Unlisted kinds never fire.
+        max_faulted_attempts: job-level faults only fire while a job's
+            attempt number is below this — the guarantee that a retried job
+            eventually runs clean.  File corruption is not attempt-scoped.
+        delay_s: sleep applied by a ``delay`` fault.
+    """
+
+    master_seed: int
+    rates: Mapping[str, float] = field(default_factory=dict)
+    max_faulted_attempts: int = 2
+    delay_s: float = 0.002
+
+    def __post_init__(self) -> None:
+        for kind, rate in self.rates.items():
+            if kind not in FAULT_KINDS:
+                raise ConfigurationError(
+                    f"unknown fault kind {kind!r} (known: "
+                    f"{', '.join(FAULT_KINDS)})")
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigurationError(
+                    f"fault rate for {kind!r} must be in [0, 1], got {rate}")
+        if self.max_faulted_attempts < 0:
+            raise ConfigurationError("max_faulted_attempts must be >= 0")
+        if self.delay_s < 0:
+            raise ConfigurationError("delay_s must be >= 0")
+
+    def to_json(self) -> Dict[str, Any]:
+        """JSON form, used to ship the plan into worker processes."""
+        return {"master_seed": self.master_seed, "rates": dict(self.rates),
+                "max_faulted_attempts": self.max_faulted_attempts,
+                "delay_s": self.delay_s}
+
+    @classmethod
+    def from_json(cls, document: Mapping[str, Any]) -> "FaultPlan":
+        return cls(master_seed=document["master_seed"],
+                   rates=dict(document.get("rates", {})),
+                   max_faulted_attempts=document.get("max_faulted_attempts",
+                                                     2),
+                   delay_s=document.get("delay_s", 0.002))
+
+
+class FaultInjector:
+    """Evaluates sites against a :class:`FaultPlan`, deterministically."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        #: Count of faults this injector has fired, by kind (observability
+        #: only; never consulted by a decision).
+        self.fired: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------ #
+    def _roll(self, kind: str, site: str) -> float:
+        """A uniform value in ``[0, 1)`` — pure in (master_seed, kind, site)."""
+        text = f"{self.plan.master_seed}|{kind}|{site}"
+        digest = hashlib.sha256(text.encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big") / 2.0 ** 64
+
+    def _fires(self, kind: str, site: str) -> bool:
+        rate = self.plan.rates.get(kind, 0.0)
+        return rate > 0.0 and self._roll(kind, site) < rate
+
+    def _record(self, kind: str) -> None:
+        self.fired[kind] = self.fired.get(kind, 0) + 1
+
+    # ------------------------------------------------------------------ #
+    def job_fault(self, site: str, attempt: int) -> Optional[str]:
+        """The fault kind striking job-site ``site`` at ``attempt``, if any.
+
+        Returns ``None`` at or beyond ``max_faulted_attempts`` regardless of
+        rates — the progress guarantee retried jobs rely on.
+        """
+        if attempt >= self.plan.max_faulted_attempts:
+            return None
+        scoped = f"{site}@attempt{attempt}"
+        for kind in _JOB_KINDS:
+            if self._fires(kind, scoped):
+                self._record(kind)
+                return kind
+        return None
+
+    def apply_job_fault(self, site: str, attempt: int) -> None:
+        """Strike a job attempt: kill, raise, or delay per the plan.
+
+        Called by the sweep runner's task wrapper right before the job body
+        runs.  ``worker_kill`` performs a real ``os._exit`` only inside a
+        daemonic worker process; anywhere else it degrades to
+        :class:`InjectedWorkerKill` (transient) so the caller's process
+        survives.
+        """
+        kind = self.job_fault(site, attempt)
+        if kind is None:
+            return
+        if kind == "worker_kill":
+            import multiprocessing
+
+            if multiprocessing.current_process().daemon:
+                os._exit(WORKER_KILL_EXIT_CODE)
+            raise InjectedWorkerKill(
+                f"injected worker kill at {site} (attempt {attempt})")
+        if kind == "transient":
+            raise InjectedTransientError(
+                f"injected transient fault at {site} (attempt {attempt})")
+        if kind == "permanent":
+            raise InjectedPermanentError(f"injected permanent fault at {site}")
+        # delay
+        import time
+
+        time.sleep(self.plan.delay_s)
+
+    # ------------------------------------------------------------------ #
+    def corrupt_file(self, path: os.PathLike, site: str) -> bool:
+        """Maybe corrupt the file at ``path``; returns True when it did.
+
+        The corruption itself is deterministic in the site: half the firing
+        sites truncate (a torn write), the other half flip one byte (media
+        rot).  A missing or empty file is left alone.
+        """
+        if not self._fires("corrupt", site):
+            return False
+        path = os.fspath(path)
+        try:
+            with open(path, "rb") as handle:
+                data = handle.read()
+        except OSError:
+            return False
+        if not data:
+            return False
+        position = int(self._roll("corrupt-position", site) * len(data))
+        position = min(position, len(data) - 1)
+        if self._roll("corrupt-mode", site) < 0.5:
+            corrupted = data[:position]
+        else:
+            corrupted = (data[:position]
+                         + bytes([data[position] ^ 0x40])
+                         + data[position + 1:])
+        try:
+            with open(path, "wb") as handle:
+                handle.write(corrupted)
+        except OSError:
+            return False
+        self._record("corrupt")
+        return True
+
+
+# --------------------------------------------------------------------- #
+# The active injector (module global, mirroring repro.obs.metrics).
+
+_active_injector: Optional[FaultInjector] = None
+
+
+def get_injector() -> Optional[FaultInjector]:
+    """The currently installed injector, or ``None`` (the default)."""
+    return _active_injector
+
+
+def set_injector(injector: Optional[FaultInjector]) -> Optional[FaultInjector]:
+    """Install ``injector`` globally (``None`` disables fault injection)."""
+    global _active_injector
+    _active_injector = injector
+    return injector
+
+
+@contextlib.contextmanager
+def using_faults(injector: FaultInjector) -> Iterator[FaultInjector]:
+    """Temporarily install ``injector`` (context manager)."""
+    previous = get_injector()
+    set_injector(injector)
+    try:
+        yield injector
+    finally:
+        set_injector(previous)

@@ -27,8 +27,14 @@ event                  emitted by
 ``sweep_start``        ``SweepRunner.run`` entry (job counts)
 ``job_dispatched``     per cache-missing job before execution
 ``job_cached``         per cache-hit job
-``pool_start``         worker pool spin-up (workers, chunksize)
+``pool_start``         worker fleet spin-up (workers, job count)
+``job_retry``          per retry of a transiently-failed job
+``job_timeout``        per job killed for exceeding ``--timeout``
+``worker_death``       per worker process that died mid-job
+``job_failed``         per job permanently quarantined as a failure
 ``sweep_end``          ``SweepRunner.run`` exit (counts, duration)
+``sweep_abort``        ``SweepRunner.run`` raised (culprit tag, error)
+``cache_quarantined``  per corrupt cache entry renamed ``*.bad``
 ``grid_point``         per compiled YAML grid point
 ``fuzz_start``         ``fuzz_many`` entry (seeds, master seed)
 ``fuzz_case``          per differential fuzz case

@@ -25,7 +25,9 @@ from typing import Any, Optional
 
 import repro
 from repro.errors import ReproError
+from repro.faults import get_injector
 from repro.obs.metrics import get_metrics
+from repro.obs.trace import emit as trace_emit
 from repro.runner.jobs import Job
 from repro.runner.serialize import from_jsonable, to_jsonable
 
@@ -55,6 +57,7 @@ class ResultCache:
         self.verbose = verbose
         self.hits = 0
         self.misses = 0
+        self.quarantined = 0
 
     # ------------------------------------------------------------------ #
     @property
@@ -84,18 +87,28 @@ class ResultCache:
 
     # ------------------------------------------------------------------ #
     def get(self, job: Job) -> Any:
-        """Return the cached result for ``job``, or :data:`MISS`."""
+        """Return the cached result for ``job``, or :data:`MISS`.
+
+        A corrupt entry — truncated JSON, wrong key, a result that no longer
+        deserialises — is *quarantined* (renamed to ``<entry>.json.bad``) so
+        the recompute's fresh ``put`` cannot race the broken file and the
+        evidence survives for a post-mortem, then reported as a miss.
+        """
         path = self.path(job)
+        entry_exists = False
         try:
             with open(path, "r", encoding="utf-8") as handle:
+                entry_exists = True
                 entry = json.load(handle)
             if not isinstance(entry, dict) or entry.get("key") != self.key(job):
                 # Hash collision or hand-edited file: treat as a miss.
                 raise ValueError("cache entry key mismatch")
             result = from_jsonable(entry["result"])
-        except (OSError, ValueError, KeyError, TypeError, ReproError):
+        except (OSError, ValueError, KeyError, TypeError, ReproError) as exc:
             # Unreadable, corrupted, or no-longer-deserialisable (e.g. a
             # result class was renamed without a version bump): recompute.
+            if entry_exists:
+                self._quarantine(path, job, exc)
             self.misses += 1
             obs = get_metrics()
             if obs is not None:
@@ -110,6 +123,26 @@ class ResultCache:
             print(f"repro: cache hit{tag} {job.func} "
                   f"({self.key(job)[:12]})", file=sys.stderr)
         return result
+
+    def _quarantine(self, path: Path, job: Job, reason: BaseException) -> None:
+        """Move a corrupt entry aside (``*.json.bad``) so it cannot be read
+        again, cannot race the recompute's fresh write, and stays available
+        as evidence."""
+        try:
+            os.replace(path, path.with_name(path.name + ".bad"))
+        except OSError:
+            return
+        self.quarantined += 1
+        obs = get_metrics()
+        if obs is not None:
+            obs.inc("cache.quarantined")
+        trace_emit("cache_quarantined", key=path.stem, tag=job.tag,
+                   func=job.func, error=f"{type(reason).__name__}: {reason}")
+        if self.verbose:
+            tag = f" [{job.tag}]" if job.tag else ""
+            print(f"repro: cache entry quarantined{tag} {job.func} "
+                  f"({path.stem[:12]}): {type(reason).__name__}: {reason}",
+                  file=sys.stderr)
 
     def put(self, job: Job, result: Any) -> None:
         """Store ``result`` for ``job`` atomically."""
@@ -127,6 +160,12 @@ class ResultCache:
             with open(tmp, "w", encoding="utf-8") as handle:
                 json.dump(entry, handle, sort_keys=True)
             os.replace(tmp, path)
+            injector = get_injector()
+            if injector is not None:
+                # Chaos harness: a fault plan may corrupt the entry we just
+                # wrote (simulating a torn write or media rot); the next
+                # ``get`` must quarantine it and recompute.
+                injector.corrupt_file(path, f"cache-put:{entry['key']}")
         except BaseException:
             # Never leave the temp file behind on a failed write (a full
             # disk, an unserialisable result, a KeyboardInterrupt...).
@@ -150,6 +189,11 @@ class ResultCache:
                 try:
                     path.unlink()
                     removed += 1
+                except OSError:
+                    pass
+            for path in self.directory.glob("*.json.bad"):
+                try:
+                    path.unlink()
                 except OSError:
                     pass
             for path in self.directory.rglob("*.tmp.*"):

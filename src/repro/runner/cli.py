@@ -118,7 +118,26 @@ def build_parser() -> argparse.ArgumentParser:
                      help="log a one-line stderr note for every result "
                           "served from the cache")
 
-    common = argparse.ArgumentParser(add_help=False, parents=[obs])
+    # Failure-handling flags shared by every sweep-running subcommand.  The
+    # CLI defaults to graceful degradation (a permanently failing job becomes
+    # a FAILED row with provenance, siblings still complete); --strict
+    # restores fail-fast.
+    robust = argparse.ArgumentParser(add_help=False)
+    robust.add_argument("--timeout", type=float, default=None, metavar="S",
+                        help="per-job wall-clock timeout in seconds; a job "
+                             "exceeding it is retried, then quarantined "
+                             "(needs --jobs >= 2: enforcement kills the "
+                             "job's worker process)")
+    robust.add_argument("--retries", type=int, default=2, metavar="N",
+                        help="retries for transiently failed jobs (worker "
+                             "death, timeout, TransientJobError) with "
+                             "exponential backoff (default: 2)")
+    robust.add_argument("--strict", action="store_true",
+                        help="fail fast: abort the whole sweep on the first "
+                             "permanently failed job instead of reporting "
+                             "partial results with failure provenance")
+
+    common = argparse.ArgumentParser(add_help=False, parents=[obs, robust])
     common.add_argument("-j", "--jobs", type=int, default=1, metavar="N",
                         help="worker processes for the sweep (0 = one per "
                              "CPU; default: 1, serial)")
@@ -142,7 +161,7 @@ def build_parser() -> argparse.ArgumentParser:
         description="Reproduce every registered exhibit in one run.")
 
     scenario = subparsers.add_parser(
-        SCENARIO, parents=[obs],
+        SCENARIO, parents=[obs, robust],
         help="run one named workload scenario",
         description=("Run a single scenario from the workload registry "
                      "(see --list), optionally recording or replaying its "
@@ -215,7 +234,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="write the report to FILE instead of stdout")
 
     switch = subparsers.add_parser(
-        SWITCH, parents=[obs],
+        SWITCH, parents=[obs, robust],
         help="run one named multi-port switch scenario",
         description=("Run a switch scenario from the switch registry (see "
                      "--list): N per-port buffers behind a crossbar fabric, "
@@ -277,6 +296,12 @@ def build_parser() -> argparse.ArgumentParser:
                       help="add the expensive streamed legs: warmup offsets, "
                            "checkpoint/resume, and all-engine switch "
                            "streaming")
+    fuzz.add_argument("--faults", action="store_true",
+                      help="add the chaos legs: re-run each case under "
+                           "seeded fault injection (worker kills, transient "
+                           "errors, corrupt cache entries, torn "
+                           "checkpoints) and assert the reports stay "
+                           "bit-identical to the fault-free run")
     fuzz.add_argument("--artifact-dir", default=None, metavar="DIR",
                       help="write each diverging case as a replayable JSON "
                            "artifact under DIR")
@@ -353,6 +378,15 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _runner_options(args: argparse.Namespace) -> dict:
+    """The failure-handling knobs every CLI-built runner shares."""
+    return {
+        "timeout": getattr(args, "timeout", None),
+        "retries": getattr(args, "retries", 2),
+        "strict": getattr(args, "strict", False),
+    }
+
+
 def _run_from_spec(parser: argparse.ArgumentParser, args: argparse.Namespace,
                    kind: str) -> int:
     """Handle ``--from-spec sweep.yaml`` for either subcommand."""
@@ -378,7 +412,7 @@ def _run_from_spec(parser: argparse.ArgumentParser, args: argparse.Namespace,
         lines.extend(f"  {point.describe()}" for point in points)
         return _emit("\n".join(lines), args.output)
     try:
-        runner = SweepRunner(jobs=args.jobs)
+        runner = SweepRunner(jobs=args.jobs, **_runner_options(args))
         results = runner.run(spec_jobs)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -585,7 +619,9 @@ def _run_switch_command(parser: argparse.ArgumentParser,
             report = SwitchModel(scenario).run_stream(
                 engine=engine, chunk_slots=args.chunk_slots)
         else:
-            report = SwitchModel(scenario).run(engine=engine, jobs=args.jobs)
+            runner = SweepRunner(jobs=args.jobs, **_runner_options(args))
+            report = SwitchModel(scenario).run(engine=engine, jobs=args.jobs,
+                                               runner=runner)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -610,7 +646,8 @@ def _run_fuzz_command(parser: argparse.ArgumentParser,
     try:
         if args.replay is not None:
             case = load_artifact(args.replay)
-            divergences = run_case(case, stream=args.stream)
+            divergences = run_case(case, stream=args.stream,
+                                   faults=args.faults)
             summary = FuzzSummary(
                 cases=1, switch_cases=int(case.kind == "switch"))
             if divergences:
@@ -618,20 +655,21 @@ def _run_fuzz_command(parser: argparse.ArgumentParser,
                 if args.artifact_dir is not None:
                     summary.artifacts.append(
                         dump_artifact(case, divergences, args.artifact_dir,
-                                      args.stream))
+                                      args.stream, faults=args.faults))
         else:
             if args.seeds < 1:
                 parser.error("--seeds must be at least 1")
             progress = (None if args.quiet
                         else lambda line: print(line, file=sys.stderr))
             summary = fuzz_many(args.seeds, master_seed=master_seed,
-                                stream=args.stream,
+                                stream=args.stream, faults=args.faults,
                                 artifact_dir=args.artifact_dir,
                                 progress=progress)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
-    code = _emit(render_summary(summary, stream=args.stream), args.output)
+    code = _emit(render_summary(summary, stream=args.stream,
+                                faults=args.faults), args.output)
     if code != 0:
         return code
     return 0 if summary.ok else 1
@@ -792,7 +830,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                       file=sys.stderr)
                 return 1
             stack.enter_context(using_trace(writer))
-        code = _dispatch(parser, args)
+        try:
+            code = _dispatch(parser, args)
+        except KeyboardInterrupt:
+            # The sweep runner has already torn its workers down and swept
+            # partial temp files (see SweepRunner.run); exit the way shells
+            # expect an interrupted process to — one line, code 128+SIGINT,
+            # no multiprocessing traceback spew.
+            print("interrupted", file=sys.stderr)
+            return 130
     if registry is not None:
         print(render_metrics(registry.snapshot(), "run metrics"),
               file=sys.stderr)
@@ -827,12 +873,17 @@ def _dispatch(parser: argparse.ArgumentParser,
     cache = (None if args.no_cache
              else ResultCache(root=args.cache_dir, verbose=args.verbose))
     try:
-        runner = SweepRunner(jobs=args.jobs, cache=cache)
+        runner = SweepRunner(jobs=args.jobs, cache=cache,
+                             **_runner_options(args))
     except ReproError as exc:
         parser.error(str(exc))
 
+    from repro.runner.sweep import JobFailure
+    from repro.workloads.spec_yaml import render_job_failures
+
     blocks: List[str] = []
     started = time.perf_counter()
+    total_failed = 0
     for spec in specs:
         jobs = spec.build_jobs()
         try:
@@ -840,12 +891,27 @@ def _dispatch(parser: argparse.ArgumentParser,
         except ReproError as exc:
             print(f"error while running {spec.name}: {exc}", file=sys.stderr)
             return 1
-        blocks.append(f"== {spec.title} ==\n\n{spec.render(results, jobs)}")
+        # A non-strict runner quarantines poisoned jobs as JobFailure
+        # entries.  Renderers consume (result, job) pairs, so both lists are
+        # filtered in lockstep and the failures reported below the exhibit.
+        failures = [r for r in results if isinstance(r, JobFailure)]
+        if failures:
+            total_failed += len(failures)
+            survivors = [(r, j) for r, j in zip(results, jobs)
+                         if not isinstance(r, JobFailure)]
+            results = [r for r, _ in survivors]
+            jobs = [j for _, j in survivors]
+        block = f"== {spec.title} ==\n\n{spec.render(results, jobs)}"
+        if failures:
+            block += "\n\n" + render_job_failures(failures)
+        blocks.append(block)
     elapsed = time.perf_counter() - started
 
     hits = cache.hits if cache is not None else 0
+    failed_note = f", {total_failed} job(s) FAILED" if total_failed else ""
     blocks.append(f"[runner] {runner.executed} jobs executed, {hits} cache "
-                  f"hits, {runner.jobs} worker(s), {elapsed:.2f} s")
+                  f"hits, {runner.jobs} worker(s), {elapsed:.2f} s"
+                  f"{failed_note}")
     return _emit("\n\n".join(blocks), args.output)
 
 

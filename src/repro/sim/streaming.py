@@ -54,6 +54,7 @@ from repro.errors import (
     ConfigurationError,
     StaleSimulationError,
 )
+from repro.faults import get_injector
 from repro.obs.metrics import MetricsRegistry, get_metrics
 from repro.obs.trace import emit as trace_emit
 from repro.sim.stats import LatencyStats, ThroughputStats
@@ -392,6 +393,13 @@ MetricsRegistry` of what it did — chunks executed, slots processed,
             with open(tmp, "w", encoding="utf-8") as handle:
                 json.dump(document, handle)
             os.replace(tmp, path)
+            injector = get_injector()
+            if injector is not None:
+                # Chaos harness: the plan may tear or bit-flip the envelope
+                # we just committed; the resume path must detect it through
+                # the digest check and fall back to a clean recompute.
+                injector.corrupt_file(
+                    path, f"checkpoint-save:{self.label}:{self.slot}")
         except BaseException:
             try:
                 os.unlink(tmp)
@@ -508,6 +516,12 @@ def resume_stream(path: os.PathLike, *,
     and chunked execution is chunk-invariant, so only wall-clock time is
     lost to the crash.
     """
+    injector = get_injector()
+    if injector is not None:
+        # Chaos harness: the plan may corrupt the snapshot *before* the load
+        # reads it — the digest check must turn that into a CheckpointError
+        # the caller handles by recomputing from scratch.
+        injector.corrupt_file(path, f"checkpoint-resume:{os.fspath(path)}")
     return StreamingSimulation.load_checkpoint(
         path, checkpoint_every=checkpoint_every,
         checkpoint_path=checkpoint_path, progress=progress,

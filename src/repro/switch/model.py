@@ -39,7 +39,7 @@ from repro.errors import ConfigurationError
 from repro.obs.metrics import get_metrics
 from repro.obs.trace import emit as trace_emit
 from repro.runner.jobs import Job
-from repro.runner.sweep import SweepRunner, default_jobs
+from repro.runner.sweep import JobFailure, SweepRunner, default_jobs
 from repro.sim.ring import IntRing
 from repro.sim.stats import LatencyStats
 from repro.switch.scenario import SwitchScenario
@@ -324,6 +324,12 @@ class SwitchReport:
     engine: str
     fabric: FabricStats
     ports: Tuple[ScenarioResult, ...]
+    #: Ports whose job was quarantined by a non-strict runner, as structured
+    #: :class:`~repro.runner.sweep.JobFailure` records.  Empty on a healthy
+    #: run (and on every cached report written before this field existed).
+    #: Aggregates below are computed over the *surviving* ports only — a
+    #: partial report says so explicitly rather than pretending to totals.
+    failures: Tuple[JobFailure, ...] = ()
 
     # -- aggregate counters ------------------------------------------- #
     @property
@@ -350,11 +356,27 @@ class SwitchReport:
             merged.merge(LatencyStats.from_histogram(port.latency_histogram))
         return merged
 
+    @property
+    def complete(self) -> bool:
+        """True when every port produced a result (no quarantined jobs)."""
+        return not self.failures
+
     def summary(self) -> Dict[str, object]:
-        """Flat headline numbers — the rows the CLI renderer prints."""
+        """Flat headline numbers — the rows the CLI renderer prints.
+
+        A partial report (quarantined port jobs) gains a ``failed_ports``
+        row; a complete one renders exactly as it always has.
+        """
         latency = self.merged_latency()
         p50, p95, p99 = latency.percentiles((0.50, 0.95, 0.99))
         slots = self.fabric.total_slots
+        if self.failures:
+            return dict(self._summary_base(latency, p50, p95, p99, slots),
+                        failed_ports=len(self.failures))
+        return self._summary_base(latency, p50, p95, p99, slots)
+
+    def _summary_base(self, latency, p50, p95, p99,
+                      slots) -> Dict[str, object]:
         return {
             "ports": self.num_ports,
             "slots": self.fabric.slots,
@@ -439,11 +461,16 @@ class SwitchModel:
             chunk = max(1, -(-len(port_jobs) // workers))
             runner = SweepRunner(jobs=jobs, chunksize=chunk)
         results = runner.run(port_jobs)
-        report = SwitchReport(name=self.scenario.name,
-                              num_ports=self.scenario.num_ports,
-                              engine=engine,
-                              fabric=stats,
-                              ports=tuple(results))
+        # A non-strict runner quarantines poisoned port jobs as JobFailure
+        # entries; the merged report keeps them separate from the surviving
+        # ports so aggregates stay well-typed and provenance is explicit.
+        report = SwitchReport(
+            name=self.scenario.name,
+            num_ports=self.scenario.num_ports,
+            engine=engine,
+            fabric=stats,
+            ports=tuple(r for r in results if not isinstance(r, JobFailure)),
+            failures=tuple(r for r in results if isinstance(r, JobFailure)))
         self._observe_run(report, "jobs", time.perf_counter() - started)
         return report
 

@@ -290,14 +290,16 @@ class FuzzCase:
     spec: Mapping[str, Any]
 
     def repro_command(self, stream: bool = False,
-                      artifact: Optional[str] = None) -> str:
+                      artifact: Optional[str] = None,
+                      faults: bool = False) -> str:
         """The CLI line that re-runs exactly this case."""
         if artifact is not None:
             base = f"python -m repro fuzz --replay {artifact}"
         else:
             base = (f"python -m repro fuzz --seeds {self.index + 1} "
                     f"--master-seed {self.master_seed}")
-        return base + (" --stream" if stream else "")
+        return (base + (" --stream" if stream else "")
+                + (" --faults" if faults else ""))
 
     def to_json(self) -> Dict[str, Any]:
         return {"format": "repro-fuzz-case", "version": 1,
@@ -503,6 +505,143 @@ def _run_scenario_case(case: FuzzCase, stream: bool,
     return divergences
 
 
+def _fault_plan(case: FuzzCase) -> Any:
+    """The eventually-completing fault schedule for one case.
+
+    Only transient kinds (worker kills, retryable errors, delays, file
+    corruption) are rated, and the runner legs grant more retries than
+    ``max_faulted_attempts`` — so by construction every job completes, and
+    the chaos invariant (completed ⇒ bit-identical) is checkable on every
+    case.  Each case hashes to its own schedule: 25 CLI seeds are 25
+    distinct fault schedules.
+    """
+    from repro.faults import FaultPlan
+
+    return FaultPlan(
+        master_seed=case.master_seed * _CASE_STRIDE + case.index,
+        rates={"worker_kill": 0.2, "transient": 0.3, "delay": 0.2,
+               "corrupt": 0.4},
+        delay_s=0.001)
+
+
+def _compare_values(leg: str, got: Any, want: Any) -> List[Divergence]:
+    """Strict equality compare for the chaos legs (results are frozen
+    dataclasses, so ``==`` is the bit-identity check)."""
+    from repro.runner.sweep import JobFailure
+
+    if isinstance(got, JobFailure):
+        return [Divergence(leg, "job_failure", got.brief())]
+    if got != want:
+        return [Divergence(leg, "result",
+                           f"{_clip(want)} vs {_clip(got)}")]
+    return []
+
+
+def _run_fault_legs(case: FuzzCase, stream: bool,
+                    rng: random.Random) -> List[Divergence]:
+    """The ``--faults`` chaos legs: the case re-run under its seeded fault
+    schedule must produce reports bit-identical to the fault-free run.
+
+    Three legs: (a) a supervised sweep under injected worker kills and
+    transient errors, with cache writes the plan may corrupt; (b) the same
+    sweep again against that cache, so corrupted entries must quarantine and
+    recompute rather than serve garbage; (c) for scenario cases, a
+    checkpoint/resume whose snapshot the plan may tear — detected corruption
+    must fall back to a clean recompute.
+    """
+    import tempfile
+
+    from repro.errors import CheckpointError
+    from repro.faults import FaultInjector, using_faults
+    from repro.runner.cache import ResultCache
+    from repro.runner.jobs import Job
+    from repro.runner.sweep import SweepRunner
+
+    divergences: List[Divergence] = []
+    plan = _fault_plan(case)
+
+    if case.kind == "switch":
+        # The port stage inside run_switch_spec is the expensive part; one
+        # rng-chosen engine keeps the chaos legs within the leg-1 budget.
+        engines = (rng.choice(ENGINES),)
+        func = "repro.switch.model:run_switch_spec"
+    else:
+        engines = ENGINES
+        func = "repro.workloads.scenario:run_scenario_spec"
+    spec = json.loads(json.dumps(dict(case.spec)))
+    jobs = [Job(func=func, kwargs={"spec": spec, "engine": engine},
+                tag=f"faults-{engine}")
+            for engine in engines]
+
+    clean = SweepRunner(jobs=1).run(jobs)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = ResultCache(root=os.path.join(tmp, "cache"))
+        # retries > max_faulted_attempts ⇒ guaranteed completion; jobs=2
+        # with a timeout forces a real worker fleet even on one CPU, so
+        # worker_kill faults exercise genuine dead-worker recovery.
+        with using_faults(FaultInjector(plan)):
+            faulted = SweepRunner(jobs=2, cache=cache, strict=False,
+                                  retries=4, backoff_s=0.002,
+                                  timeout=300).run(jobs)
+            reread = SweepRunner(jobs=1, cache=cache, strict=False,
+                                 retries=4, backoff_s=0.002).run(jobs)
+    for engine, got, want in zip(engines, faulted, clean):
+        divergences += _compare_values(f"faults-sweep-{engine}", got, want)
+    for engine, got, want in zip(engines, reread, clean):
+        divergences += _compare_values(f"faults-cache-{engine}", got, want)
+
+    if case.kind != "scenario":
+        return divergences
+
+    # Leg (c): checkpoint at a random slot, then resume under the fault
+    # plan.  resume_stream may find the snapshot torn (the save and resume
+    # sites both corrupt): a detected CheckpointError falls back to a fresh
+    # run — exactly what run_scenario_spec does — and either path must end
+    # bit-identical to the uninterrupted streamed run.
+    from repro.sim.streaming import StreamingSimulation, resume_stream
+
+    scenario = Scenario.from_spec(case.spec)
+    engine = rng.choice(ENGINES)
+    chunk = rng.randint(1, scenario.num_slots + 1)
+    stop = rng.randint(0, scenario.num_slots)
+
+    def fresh() -> Any:
+        return StreamingSimulation(
+            scenario.build_simulation(), scenario.num_slots, engine=engine,
+            chunk_slots=chunk).run()
+
+    def resumed_under_faults() -> Any:
+        session = StreamingSimulation(
+            scenario.build_simulation(), scenario.num_slots, engine=engine,
+            chunk_slots=chunk)
+        arrivals = session.sim.arrivals
+        while session.slot < stop:
+            count = min(session.chunk_slots, stop - session.slot)
+            if arrivals is not None:
+                window = arrivals.arrivals_slice(session.slot, count)
+                chunk_plan = (window if isinstance(window, list)
+                              else list(window))
+            else:
+                chunk_plan = [None] * count
+            session._execute(chunk_plan)
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "chaos.ckpt.json")
+            with using_faults(FaultInjector(plan)):
+                session.save_checkpoint(path)
+                try:
+                    return resume_stream(path)
+                except CheckpointError:
+                    return fresh()
+
+    baseline = _outcome(fresh)
+    outcome = _outcome(resumed_under_faults)
+    divergences += _compare_reports(
+        f"faults-resume-{engine}-chunk{chunk}-at{stop}", outcome, baseline,
+        include_trace=False)
+    return divergences
+
+
 def _run_switch_case(case: FuzzCase, stream: bool,
                      rng: random.Random) -> List[Divergence]:
     from repro.switch.model import SwitchModel
@@ -532,16 +671,26 @@ def _run_switch_case(case: FuzzCase, stream: bool,
     return divergences
 
 
-def run_case(case: FuzzCase, stream: bool = False) -> List[Divergence]:
-    """Run every differential leg of one case; empty list = all agreed."""
+def run_case(case: FuzzCase, stream: bool = False,
+             faults: bool = False) -> List[Divergence]:
+    """Run every differential leg of one case; empty list = all agreed.
+
+    ``faults=True`` appends the chaos legs (:func:`_run_fault_legs`) after
+    the ordinary differential legs — appended, not interleaved, so the
+    geometry RNG reaching the ordinary legs is untouched by the flag.
+    """
     # The geometry RNG is offset from the sampler's stream so replaying a
     # case from its artifact (spec already drawn) uses identical leg
     # geometry without re-sampling the spec.
     rng = case_rng(case.master_seed, case.index)
     rng = random.Random(rng.randrange(2 ** 60) ^ 0x5EED)
     if case.kind == "switch":
-        return _run_switch_case(case, stream, rng)
-    return _run_scenario_case(case, stream, rng)
+        divergences = _run_switch_case(case, stream, rng)
+    else:
+        divergences = _run_scenario_case(case, stream, rng)
+    if faults:
+        divergences += _run_fault_legs(case, stream, rng)
+    return divergences
 
 
 # --------------------------------------------------------------------- #
@@ -564,7 +713,8 @@ class FuzzSummary:
 
 
 def dump_artifact(case: FuzzCase, divergences: List[Divergence],
-                  artifact_dir: str, stream: bool) -> str:
+                  artifact_dir: str, stream: bool,
+                  faults: bool = False) -> str:
     """Write one replayable JSON artifact; returns its path."""
     os.makedirs(artifact_dir, exist_ok=True)
     path = os.path.join(
@@ -572,8 +722,10 @@ def dump_artifact(case: FuzzCase, divergences: List[Divergence],
         f"fuzz-{case.master_seed}-{case.index:04d}.json")
     document = case.to_json()
     document["stream"] = stream
+    document["faults"] = faults
     document["divergences"] = [d.to_json() for d in divergences]
-    document["repro"] = case.repro_command(stream=stream, artifact=path)
+    document["repro"] = case.repro_command(stream=stream, artifact=path,
+                                           faults=faults)
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(document, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -595,19 +747,20 @@ def load_artifact(path: str) -> FuzzCase:
 def fuzz_many(seeds: int,
               master_seed: int = DEFAULT_MASTER_SEED,
               stream: bool = False,
+              faults: bool = False,
               artifact_dir: Optional[str] = None,
               progress: Optional[Callable[[str], None]] = None
               ) -> FuzzSummary:
     """Run cases ``0..seeds-1``; dump every diverging spec as an artifact."""
     summary = FuzzSummary()
     trace_emit("fuzz_start", seeds=seeds, master_seed=master_seed,
-               stream=stream)
+               stream=stream, faults=faults)
     for index in range(seeds):
         case = make_case(master_seed, index)
         summary.cases += 1
         if case.kind == "switch":
             summary.switch_cases += 1
-        divergences = run_case(case, stream=stream)
+        divergences = run_case(case, stream=stream, faults=faults)
         obs = get_metrics()
         if obs is not None:
             obs.inc("fuzz.cases")
@@ -625,7 +778,8 @@ def fuzz_many(seeds: int,
             summary.failures.append((case, divergences))
             if artifact_dir is not None:
                 summary.artifacts.append(
-                    dump_artifact(case, divergences, artifact_dir, stream))
+                    dump_artifact(case, divergences, artifact_dir, stream,
+                                  faults=faults))
         if progress is not None:
             ports = (f" ports={case.spec['num_ports']}"
                      if case.kind == "switch" else "")
@@ -638,20 +792,23 @@ def fuzz_many(seeds: int,
     return summary
 
 
-def render_summary(summary: FuzzSummary, stream: bool = False) -> str:
+def render_summary(summary: FuzzSummary, stream: bool = False,
+                   faults: bool = False) -> str:
     """Human-readable closing report for the CLI."""
+    legs_note = (", streamed legs on" if stream else "") + \
+                (", chaos legs on" if faults else "")
     lines = [f"fuzz: {summary.cases} cases "
              f"({summary.switch_cases} switch, "
              f"{summary.cases - summary.switch_cases} scenario), "
-             f"{len(summary.failures)} divergent"
-             + (", streamed legs on" if stream else "")]
+             f"{len(summary.failures)} divergent" + legs_note]
     for case, divergences in summary.failures:
         lines.append(f"  case {case.index} ({case.kind} "
                      f"{case.spec['name']}): "
                      f"{len(divergences)} diverging leg(s)")
         for div in divergences[:3]:
             lines.append(f"    {div.leg}: {div.field} differs")
-        lines.append(f"    repro: {case.repro_command(stream=stream)}")
+        command = case.repro_command(stream=stream, faults=faults)
+        lines.append(f"    repro: {command}")
     for path in summary.artifacts:
         lines.append(f"  artifact: {path}")
     return "\n".join(lines)

@@ -372,16 +372,25 @@ def render_sweep_results(points: Sequence[CompiledPoint],
 
     Scenario points yield :class:`~repro.workloads.scenario.ScenarioResult`
     rows; switch points yield :class:`~repro.switch.model.SwitchReport`
-    rows (their exact merged-percentile ``summary()``).
+    rows (their exact merged-percentile ``summary()``).  A point whose job
+    was quarantined by a non-strict runner renders as a ``FAILED`` row, and
+    the per-job provenance (kind, attempts, last error) is appended below
+    the table — partial results are reported, never silently dropped.
     """
     from repro.analysis.report import format_table
+    from repro.runner.sweep import JobFailure
 
     headers = ["name", "axes", "slots", "arrivals", "departures", "drops",
                "carried", "p50", "p99", "zero-miss"]
     rows = []
+    failures = []
     for point, result in zip(points, results):
         axes = ", ".join(f"{a}={v!r}" for a, v in point.axes.items())
-        if point.kind == "scenario":
+        if isinstance(result, JobFailure):
+            failures.append(result)
+            rows.append([point.name, axes, "-", "-", "-", "-", "-", "-", "-",
+                         f"FAILED ({result.kind})"])
+        elif point.kind == "scenario":
             rows.append([result.name, axes, result.slots, result.arrivals,
                          result.departures, result.drops,
                          result.carried_load, result.latency_p50,
@@ -393,7 +402,24 @@ def render_sweep_results(points: Sequence[CompiledPoint],
                          summary["drops"], summary["carried_load"],
                          summary["latency_p50"], summary["latency_p99"],
                          summary["zero_miss"]])
-    return format_table(headers, rows, title=title)
+    text = format_table(headers, rows, title=title)
+    if failures:
+        text += "\n\n" + render_job_failures(failures)
+    return text
+
+
+def render_job_failures(failures: Sequence[Any]) -> str:
+    """The per-job failure provenance block appended to partial reports."""
+    lines = [f"{len(failures)} job(s) failed (partial results above):"]
+    for failure in failures:
+        lines.append(f"  - {failure.brief()}")
+        if failure.traceback:
+            last = failure.traceback.strip().splitlines()[-1]
+            if last not in failure.error:
+                lines.append(f"      {last}")
+    lines.append("  (rerun with --strict to fail fast, --trace-out for the "
+                 "full trace)")
+    return "\n".join(lines)
 
 
 __all__ = [
@@ -406,5 +432,6 @@ __all__ = [
     "expand_document",
     "load_yaml_document",
     "parse_document",
+    "render_job_failures",
     "render_sweep_results",
 ]

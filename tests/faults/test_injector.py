@@ -1,0 +1,200 @@
+"""The deterministic fault injector: pure in (master_seed, site), bounded
+interference, replayable corruption."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import (
+    FAULT_KINDS,
+    FaultInjector,
+    FaultPlan,
+    InjectedPermanentError,
+    InjectedTransientError,
+    InjectedWorkerKill,
+    TransientJobError,
+    get_injector,
+    set_injector,
+    using_faults,
+)
+
+
+class TestFaultPlanValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(master_seed=1, rates={"meteor_strike": 0.5})
+
+    @pytest.mark.parametrize("rate", [-0.1, 1.5])
+    def test_out_of_range_rate_rejected(self, rate):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(master_seed=1, rates={"transient": rate})
+
+    def test_negative_attempt_cap_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(master_seed=1, max_faulted_attempts=-1)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(master_seed=1, delay_s=-0.5)
+
+    def test_every_known_kind_accepted(self):
+        FaultPlan(master_seed=1, rates={k: 0.5 for k in FAULT_KINDS})
+
+    def test_json_round_trip(self):
+        plan = FaultPlan(master_seed=42, rates={"transient": 0.3},
+                         max_faulted_attempts=3, delay_s=0.01)
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+
+class TestDeterminism:
+    def test_same_seed_same_decisions(self):
+        plan = FaultPlan(master_seed=7, rates={"transient": 0.5,
+                                               "worker_kill": 0.3})
+        sites = [f"job:tag{i}#{i}" for i in range(200)]
+        first = [FaultInjector(plan).job_fault(s, 0) for s in sites]
+        second = [FaultInjector(plan).job_fault(s, 0) for s in sites]
+        assert first == second
+        assert any(kind is not None for kind in first)  # rates do fire
+
+    def test_different_seeds_differ(self):
+        sites = [f"job:tag{i}#{i}" for i in range(200)]
+        a = [FaultInjector(FaultPlan(master_seed=1,
+                                     rates={"transient": 0.5}))
+             .job_fault(s, 0) for s in sites]
+        b = [FaultInjector(FaultPlan(master_seed=2,
+                                     rates={"transient": 0.5}))
+             .job_fault(s, 0) for s in sites]
+        assert a != b
+
+    def test_rate_zero_never_fires(self):
+        injector = FaultInjector(FaultPlan(master_seed=3, rates={}))
+        assert all(injector.job_fault(f"s{i}", 0) is None
+                   for i in range(100))
+
+    def test_rate_one_always_fires_below_cap(self):
+        injector = FaultInjector(FaultPlan(master_seed=3,
+                                           rates={"transient": 1.0}))
+        assert all(injector.job_fault(f"s{i}", 0) == "transient"
+                   for i in range(20))
+
+    def test_attempt_cap_guarantees_progress(self):
+        plan = FaultPlan(master_seed=5, rates={k: 1.0 for k in FAULT_KINDS},
+                         max_faulted_attempts=2)
+        injector = FaultInjector(plan)
+        assert injector.job_fault("site", 0) is not None
+        assert injector.job_fault("site", 1) is not None
+        assert injector.job_fault("site", 2) is None
+        assert injector.job_fault("site", 99) is None
+
+    def test_no_global_rng_consumed(self):
+        import random
+
+        random.seed(123)
+        before = random.random()
+        random.seed(123)
+        injector = FaultInjector(FaultPlan(master_seed=9,
+                                           rates={"transient": 0.5}))
+        for i in range(50):
+            injector.job_fault(f"s{i}", 0)
+        assert random.random() == before
+
+
+class TestApplyJobFault:
+    def test_transient_raises_retryable(self):
+        injector = FaultInjector(FaultPlan(master_seed=1,
+                                           rates={"transient": 1.0}))
+        with pytest.raises(InjectedTransientError):
+            injector.apply_job_fault("site", 0)
+        assert issubclass(InjectedTransientError, TransientJobError)
+
+    def test_permanent_not_retryable(self):
+        injector = FaultInjector(FaultPlan(master_seed=1,
+                                           rates={"permanent": 1.0}))
+        with pytest.raises(InjectedPermanentError):
+            injector.apply_job_fault("site", 0)
+        assert not issubclass(InjectedPermanentError, TransientJobError)
+
+    def test_worker_kill_degrades_in_process(self):
+        # Not a daemonic worker here, so the kill must degrade to a
+        # transient exception instead of os._exit-ing the test process.
+        injector = FaultInjector(FaultPlan(master_seed=1,
+                                           rates={"worker_kill": 1.0}))
+        with pytest.raises(InjectedWorkerKill):
+            injector.apply_job_fault("site", 0)
+
+    def test_delay_sleeps_and_returns(self):
+        injector = FaultInjector(FaultPlan(master_seed=1,
+                                           rates={"delay": 1.0},
+                                           delay_s=0.0))
+        injector.apply_job_fault("site", 0)  # no exception
+
+    def test_fired_counters(self):
+        injector = FaultInjector(FaultPlan(master_seed=1,
+                                           rates={"transient": 1.0}))
+        for _ in range(3):
+            with pytest.raises(InjectedTransientError):
+                injector.apply_job_fault("site", 0)
+        assert injector.fired["transient"] == 3
+
+
+class TestCorruptFile:
+    def _write(self, path, data=b"0123456789abcdef"):
+        path.write_bytes(data)
+        return path
+
+    def test_deterministic_corruption(self, tmp_path):
+        plan = FaultPlan(master_seed=11, rates={"corrupt": 1.0})
+        a = self._write(tmp_path / "a.json")
+        b = self._write(tmp_path / "b.json")
+        assert FaultInjector(plan).corrupt_file(a, "site-x")
+        assert FaultInjector(plan).corrupt_file(b, "site-x")
+        assert a.read_bytes() == b.read_bytes()  # same site, same damage
+        assert a.read_bytes() != b"0123456789abcdef"
+
+    def test_different_sites_differ_somewhere(self, tmp_path):
+        plan = FaultPlan(master_seed=11, rates={"corrupt": 1.0})
+        injector = FaultInjector(plan)
+        outcomes = set()
+        for i in range(20):
+            path = self._write(tmp_path / f"f{i}.json")
+            injector.corrupt_file(path, f"site-{i}")
+            outcomes.add(path.read_bytes())
+        assert len(outcomes) > 1
+
+    def test_rate_zero_leaves_file_alone(self, tmp_path):
+        path = self._write(tmp_path / "a.json")
+        injector = FaultInjector(FaultPlan(master_seed=11, rates={}))
+        assert not injector.corrupt_file(path, "site")
+        assert path.read_bytes() == b"0123456789abcdef"
+
+    def test_missing_file_is_a_noop(self, tmp_path):
+        injector = FaultInjector(FaultPlan(master_seed=11,
+                                           rates={"corrupt": 1.0}))
+        assert not injector.corrupt_file(tmp_path / "nope.json", "site")
+
+    def test_empty_file_left_alone(self, tmp_path):
+        path = tmp_path / "empty.json"
+        path.write_bytes(b"")
+        injector = FaultInjector(FaultPlan(master_seed=11,
+                                           rates={"corrupt": 1.0}))
+        assert not injector.corrupt_file(path, "site")
+
+
+class TestActiveInjector:
+    def test_default_is_none(self):
+        assert get_injector() is None
+
+    def test_using_faults_installs_and_restores(self):
+        injector = FaultInjector(FaultPlan(master_seed=1))
+        with using_faults(injector) as active:
+            assert active is injector
+            assert get_injector() is injector
+        assert get_injector() is None
+
+    def test_set_injector_none_disables(self):
+        injector = FaultInjector(FaultPlan(master_seed=1))
+        set_injector(injector)
+        try:
+            assert get_injector() is injector
+        finally:
+            set_injector(None)
+        assert get_injector() is None

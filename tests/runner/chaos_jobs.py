@@ -1,0 +1,59 @@
+"""Module-level job functions for the chaos test suite.
+
+Sweep jobs name their function by import path (``"module:attr"``), so these
+live in an importable module rather than inline in the tests — worker
+processes resolve them independently.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.errors import ReproError
+from repro.faults import TransientJobError
+
+
+def echo(value):
+    """The identity job — the simplest deterministic payload."""
+    return value
+
+
+def square(x):
+    return x * x
+
+
+def slow_echo(value, seconds=5.0):
+    """Sleeps long enough to trip any sub-second per-job timeout."""
+    time.sleep(seconds)
+    return value
+
+
+def always_fails(tag="poison"):
+    """A permanent poison job: fails identically on every attempt."""
+    raise ReproError(f"poison job {tag} is permanently broken")
+
+
+def kill_worker():
+    """Dies the way an OOM-killed worker does: no exception, no cleanup."""
+    os._exit(137)
+
+
+def transient_until_marker(marker_path, value):
+    """Fails transiently until ``marker_path`` exists, creating it on the
+    first attempt — so attempt 0 fails and attempt 1 succeeds."""
+    if not os.path.exists(marker_path):
+        with open(marker_path, "w", encoding="utf-8") as handle:
+            handle.write("attempted\n")
+        raise TransientJobError("flaky dependency not warmed up yet")
+    return value
+
+
+def crash_until_marker(marker_path, value):
+    """Kills its worker until ``marker_path`` exists — a crash that stops
+    reproducing once the environment changes (e.g. memory freed)."""
+    if not os.path.exists(marker_path):
+        with open(marker_path, "w", encoding="utf-8") as handle:
+            handle.write("attempted\n")
+        os._exit(137)
+    return value

@@ -266,6 +266,21 @@ class TestExitCodePins:
                   "--from-spec", "examples/scenario_sweep.yaml"])
         assert exc.value.code == 2
 
+    def test_keyboard_interrupt_exits_130_no_traceback(self, capsys,
+                                                       monkeypatch):
+        # Ctrl-C must look like an interrupted process: one line on stderr,
+        # exit code 128+SIGINT, never a traceback.
+        from repro.workloads import registry
+
+        def interrupted(name):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(registry, "get_scenario", interrupted)
+        assert main(["scenario", "uniform-bernoulli"]) == 130
+        err = capsys.readouterr().err
+        assert err == "interrupted\n"
+        assert "Traceback" not in err
+
 
 class TestFromSpec:
     def test_scenario_dry_run_lists_the_grid(self, capsys):

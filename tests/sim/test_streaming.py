@@ -531,3 +531,121 @@ def test_checkpoint_records_scenario_label(tmp_path):
     assert read_checkpoint(path)["label"] == "uniform-bernoulli"
     session = StreamingSimulation.load_checkpoint(path)
     assert session.label == "uniform-bernoulli"
+
+
+# --------------------------------------------------------------------- #
+# Crash-resume under injected faults
+# --------------------------------------------------------------------- #
+
+_KILLED_CHILD = """\
+import os
+import signal
+import sys
+
+from repro.sim.streaming import StreamingSimulation
+from repro.workloads.registry import get_scenario
+
+scenario = get_scenario(sys.argv[1])
+session = StreamingSimulation(scenario.build_simulation(), scenario.num_slots,
+                              engine=sys.argv[2], chunk_slots=500)
+
+
+def drive(stop_slot):
+    arrivals = session.sim.arrivals
+    while session.slot < stop_slot:
+        count = min(session.chunk_slots, stop_slot - session.slot)
+        window = arrivals.arrivals_slice(session.slot, count)
+        session._execute(window if isinstance(window, list)
+                         else list(window))
+
+
+drive(scenario.num_slots * 2 // 5)
+session.save_checkpoint(sys.argv[3])
+# Progress past the snapshot dies with the process: the resumed run must
+# recompute it, not trust anything the killed process did afterwards.
+drive(scenario.num_slots * 3 // 5)
+os.kill(os.getpid(), signal.SIGKILL)
+"""
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_sigkilled_run_resumes_bit_identically(engine, tmp_path):
+    """SIGKILL mid-chunk — the harshest crash there is: no atexit, no
+    flush, nothing.  The surviving checkpoint must replay to the exact
+    uninterrupted report."""
+    import signal
+    import subprocess
+    import sys
+
+    import repro
+
+    scenario = get_scenario("uniform-bernoulli")
+    uninterrupted = scenario.build_simulation().run_stream(
+        scenario.num_slots, engine=engine, chunk_slots=500)
+    path = tmp_path / "killed.ckpt.json"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(os.path.dirname(os.path.dirname(repro.__file__)))
+    proc = subprocess.run(
+        [sys.executable, "-c", _KILLED_CHILD, "uniform-bernoulli", engine,
+         str(path)],
+        env=env, capture_output=True, text=True, timeout=120)
+    assert proc.returncode == -signal.SIGKILL, proc.stderr
+    resumed = resume_stream(path)
+    assert_reports_identical(resumed, uninterrupted, f"sigkill/{engine}")
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_truncated_envelope_then_retry_resumes_identically(engine, tmp_path):
+    """A checkpoint torn by the injector must fail loudly, and retrying
+    from the previous intact snapshot must land on the exact same report."""
+    from repro.faults import FaultInjector, FaultPlan
+
+    scenario = get_scenario("uniform-bernoulli")
+    uninterrupted = scenario.build_simulation().run_stream(
+        scenario.num_slots, engine=engine, chunk_slots=500)
+    session = StreamingSimulation(scenario.build_simulation(),
+                                  scenario.num_slots, engine=engine,
+                                  chunk_slots=500)
+    early = tmp_path / "early.ckpt.json"
+    late = tmp_path / "late.ckpt.json"
+    drive_to(session, 1000)
+    session.save_checkpoint(early)
+    drive_to(session, 2000)
+    session.save_checkpoint(late)
+
+    injector = FaultInjector(FaultPlan(master_seed=5, rates={"corrupt": 1.0}))
+    assert injector.corrupt_file(late, f"test-tear:{engine}")
+    with pytest.raises(CheckpointError):
+        resume_stream(late)
+    # The torn file is still on disk, untouched by the failed load.
+    resumed = resume_stream(early)
+    assert_reports_identical(resumed, uninterrupted, f"torn/{engine}")
+
+
+def test_injected_resume_fault_fails_cleanly_then_recovers(tmp_path):
+    """End-to-end through the wired fault site: resume_stream's own
+    corrupt_file hook tears the checkpoint, the load raises
+    CheckpointError, and a pristine copy still resumes identically."""
+    import shutil
+
+    from repro.faults import FaultInjector, FaultPlan, using_faults
+
+    scenario = get_scenario("uniform-bernoulli")
+    uninterrupted = scenario.build_simulation().run_stream(
+        scenario.num_slots, engine="array", chunk_slots=500)
+    session = StreamingSimulation(scenario.build_simulation(),
+                                  scenario.num_slots, engine="array",
+                                  chunk_slots=500)
+    path = tmp_path / "run.ckpt.json"
+    backup = tmp_path / "run.ckpt.json.backup"
+    drive_to(session, 1000)
+    session.save_checkpoint(path)
+    shutil.copy(path, backup)
+
+    plan = FaultPlan(master_seed=7, rates={"corrupt": 1.0})
+    with using_faults(FaultInjector(plan)):
+        with pytest.raises(CheckpointError):
+            resume_stream(path)
+    shutil.copy(backup, path)
+    resumed = resume_stream(path)
+    assert_reports_identical(resumed, uninterrupted, "resume-fault")

@@ -159,7 +159,7 @@ class TestFuzzMany:
     def test_failing_case_dumps_an_artifact(self, tmp_path, monkeypatch):
         import repro.workloads.fuzz as mod
 
-        def broken(case, stream, rng=None):
+        def broken(case, stream, rng=None, **kwargs):
             return [mod.Divergence(leg="forced", field="report",
                                    detail="injected for the test")]
 
