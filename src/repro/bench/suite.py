@@ -9,10 +9,10 @@ stage alone, then the full run with ports serial vs sharded over 4
 workers), and the long-horizon streaming path (chunked runs, with and
 without checkpointing) — each timed for a handful of repetitions, with the **median**
 wall-clock time recorded per benchmark.  Results are written as JSON
-(``BENCH_5.json`` by default; the number tracks the PR that produced the
+(``BENCH_9.json`` by default; the number tracks the PR that produced the
 file), so successive snapshots can be diffed mechanically::
 
-    python -m repro bench                 # full suite -> BENCH_5.json
+    python -m repro bench                 # full suite -> BENCH_9.json
     python -m repro bench --quick         # reduced slot counts (CI perf-smoke)
     python -m repro bench --filter wide   # only the wide-queue benchmarks
 
@@ -32,10 +32,11 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.runner.sweep import available_cpus
+from repro.sim.numpy_engine import NUMPY_AVAILABLE
 
 #: Default output file.  The suffix tracks the PR that produced the
 #: snapshot so the repository can accumulate a BENCH_<n>.json trajectory.
-DEFAULT_OUTPUT = "BENCH_5.json"
+DEFAULT_OUTPUT = "BENCH_9.json"
 
 #: JSON schema version of the output document.
 SCHEMA = 1
@@ -283,6 +284,10 @@ SUITE: Tuple[BenchCase, ...] = (
           "registered RADS scenario, struct-of-arrays engine",
           lambda quick: _registered_scenario_setup(
               "uniform-bernoulli", "array", quick)),
+    _case("scenario/uniform-bernoulli/numpy",
+          "registered RADS scenario, vectorized numpy engine",
+          lambda quick: _registered_scenario_setup(
+              "uniform-bernoulli", "numpy", quick)),
     _case("scenario/markov-onoff/batched",
           "registered CFDS scenario (DSS + latency register), batched",
           lambda quick: _registered_scenario_setup(
@@ -297,6 +302,9 @@ SUITE: Tuple[BenchCase, ...] = (
     _case("wide-128/array",
           "128-queue Bernoulli stressor, struct-of-arrays engine",
           lambda quick: _wide_setup("array", quick)),
+    _case("wide-128/numpy",
+          "128-queue Bernoulli stressor, vectorized numpy engine",
+          lambda quick: _wide_setup("numpy", quick)),
     _case("mma-ablation/ecqf",
           "head-only worst case under ECQF (paper policy)",
           lambda quick: _mma_setup("ecqf", quick)),
@@ -318,10 +326,19 @@ SUITE: Tuple[BenchCase, ...] = (
     _case("stream/long-horizon/array",
           "long-horizon streamed run, struct-of-arrays engine",
           lambda quick: _stream_setup("array", quick)),
+    _case("stream/long-horizon/numpy",
+          "long-horizon streamed run, vectorized numpy engine",
+          lambda quick: _stream_setup("numpy", quick)),
     _case("stream/long-horizon/array-checkpointed",
           "streamed run writing 3 resumable checkpoints along the way",
           lambda quick: _stream_setup("array", quick, checkpoint=True)),
 )
+
+#: Without the optional dependency the numpy benchmarks drop out of the
+#: suite (and, via the in-medians guard below, out of the derived ratios):
+#: the snapshot stays valid, just narrower.
+if not NUMPY_AVAILABLE:  # pragma: no cover - exercised by the no-numpy CI leg
+    SUITE = tuple(case for case in SUITE if "/numpy" not in case.name)
 
 #: Ratios derived from pairs of benchmark medians (numerator / denominator —
 #: the speedup trajectory the acceptance criteria track).  The fourth
@@ -331,6 +348,10 @@ SUITE: Tuple[BenchCase, ...] = (
 DERIVED_RATIOS: Tuple[Tuple[str, str, str, str], ...] = (
     ("wide-128-speedup-array-over-batched", "wide-128/batched",
      "wide-128/array", "higher_better"),
+    ("wide-128-speedup-numpy-over-array", "wide-128/array",
+     "wide-128/numpy", "higher_better"),
+    ("stream-speedup-numpy-over-array", "stream/long-horizon/array",
+     "stream/long-horizon/numpy", "higher_better"),
     ("uniform-speedup-array-over-batched",
      "scenario/uniform-bernoulli/batched",
      "scenario/uniform-bernoulli/array", "higher_better"),

@@ -159,7 +159,10 @@ def _document_header(document: Mapping[str, Any]) -> Dict[str, Any]:
         "path": document.get("_path"),
         "quick": document.get("quick"),
         "repeats": document.get("repeats"),
-        "cpus": document.get("cpus"),
+        # Snapshots written before the affinity-aware cpu count existed
+        # (BENCH_3.json and earlier) have no "cpus" key; report the gap
+        # instead of a bare null so downstream consumers need no guard.
+        "cpus": document.get("cpus", "unknown"),
         "python": document.get("python"),
         "created_unix": document.get("created_unix"),
     }
@@ -218,14 +221,19 @@ def render_compare(report: Mapping[str, Any],
             row["cur_kslots"] if row["cur_kslots"] is not None else "-",
             fmt_pct(row["kslots_delta_pct"]),
         ])
-    mode = ("quick" if cur.get("quick") else "full",
-            "quick" if base.get("quick") else "full")
+    def describe(header: Mapping[str, Any]) -> str:
+        mode = "quick" if header.get("quick") else "full"
+        cpus = header.get("cpus")
+        if cpus in (None, "unknown"):
+            return f"{mode}, cpus unknown"
+        return f"{mode}, {cpus} cpu{'s' if cpus != 1 else ''}"
+
     table = format_table(
         ["benchmark", "base ms", "cur ms", "Δms", "base ks/s", "cur ks/s",
          "Δks/s"],
         rows,
         title=(f"bench compare — baseline {base.get('path')} "
-               f"({mode[1]}) vs current ({mode[0]})"))
+               f"({describe(base)}) vs current ({describe(cur)})"))
     lines = [table]
     if not all(row["slots_match"] for row in report["benchmarks"]):
         lines.append("(Δms shown only where both snapshots ran the same "

@@ -45,10 +45,10 @@ and differentially fuzz random specs across every engine::
 
 and track the performance trajectory::
 
-    python -m repro bench                 # fixed suite -> BENCH_5.json
+    python -m repro bench                 # fixed suite -> BENCH_9.json
     python -m repro bench --quick         # reduced slots (CI perf-smoke)
     python -m repro bench --filter wide   # a subset of the suite
-    python -m repro bench --compare BENCH_5.json --fail-on-regression 25
+    python -m repro bench --compare BENCH_9.json --fail-on-regression 25
     python -m repro bench --profile       # cProfile hot frames per benchmark
 
 and observe what any run did::
@@ -175,10 +175,12 @@ def build_parser() -> argparse.ArgumentParser:
     scenario.add_argument("--legacy-loop", action="store_true",
                           help="use the reference per-slot loop instead of "
                                "the batched fast path")
-    scenario.add_argument("--engine", choices=["reference", "batched", "array"],
-                          default=None,
-                          help="simulation core to use (default: batched; "
-                               "all engines produce bit-identical reports)")
+    scenario.add_argument("--engine", default=None, metavar="NAME",
+                          help="simulation core to use: reference, batched, "
+                               "array, or numpy (default: batched; all "
+                               "engines produce bit-identical reports; an "
+                               "unknown or unavailable name is a one-line "
+                               "error, not a traceback)")
     scenario.add_argument("--stream", action="store_true",
                           help="run through the bounded-memory streaming "
                                "path (chunked arrival plans; implied by the "
@@ -248,11 +250,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="override the scenario's port count")
     switch.add_argument("--slots", type=int, default=None, metavar="N",
                         help="override the scenario's arrival-slot count")
-    switch.add_argument("--engine",
-                        choices=["reference", "batched", "array"],
-                        default=None,
-                        help="simulation core for the port stage (default: "
-                             "array; all engines are bit-identical)")
+    switch.add_argument("--engine", default=None, metavar="NAME",
+                        help="simulation core for the port stage: reference, "
+                             "batched, array, or numpy (default: array; all "
+                             "engines are bit-identical)")
     switch.add_argument("--fabric", choices=["islip", "random", "priority"],
                         default=None,
                         help="override the scenario's fabric arbiter "
@@ -359,7 +360,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also write the compare report as JSON to FILE "
                             "(the CI artifact)")
     bench.add_argument("-o", "--output", default=None, metavar="FILE",
-                       help="JSON snapshot path (default: BENCH_5.json; "
+                       help="JSON snapshot path (default: BENCH_9.json; "
                             "'-' to skip writing the file)")
 
     trace = subparsers.add_parser(

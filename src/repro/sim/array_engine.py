@@ -89,10 +89,13 @@ from repro.traffic.arbiters import RandomArbiter
 from repro.types import MissRecord, ReplenishRequest, SimulationResult, TransferDirection
 
 #: Engine names accepted by ``ClosedLoopSimulation.run(engine=...)``.
+#: ``numpy`` needs the optional numpy extra at run time; selecting it
+#: without numpy raises a ConfigurationError naming the extra.
 ENGINE_REFERENCE = "reference"
 ENGINE_BATCHED = "batched"
 ENGINE_ARRAY = "array"
-ENGINES = (ENGINE_REFERENCE, ENGINE_BATCHED, ENGINE_ARRAY)
+ENGINE_NUMPY = "numpy"
+ENGINES = (ENGINE_REFERENCE, ENGINE_BATCHED, ENGINE_ARRAY, ENGINE_NUMPY)
 
 #: "No critical entry" marker in the per-queue critical-slot cache.
 _INF = float("inf")

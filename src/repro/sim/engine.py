@@ -166,6 +166,10 @@ class ClosedLoopSimulation:
             from repro.sim.array_engine import run_array
 
             return run_array(self, num_slots, drain=drain)
+        if engine == "numpy":
+            from repro.sim.numpy_engine import run_numpy
+
+            return run_numpy(self, num_slots, drain=drain)
         if engine == "batched":
             self._run_fast(num_slots)
         else:

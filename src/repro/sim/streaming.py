@@ -155,9 +155,16 @@ MetricsRegistry` of what it did — chunks executed, slots processed,
         # Per-session observability state (always on: a handful of dict
         # operations per *chunk*, invisible next to a 64k-slot window).
         self._obs = MetricsRegistry()
-        # The array core carries the machine state between chunks (and
+        # The array/numpy core carries the machine state between chunks (and
         # enforces the freshly-built-buffer contract up front).
-        self._core = build_array_core(sim) if engine == "array" else None
+        if engine == "array":
+            self._core = build_array_core(sim)
+        elif engine == "numpy":
+            from repro.sim.numpy_engine import build_numpy_core
+
+            self._core = build_numpy_core(sim)
+        else:
+            self._core = None
         self.slot = 0                    # arrival/request slots completed
         self._warmup_done = warmup_slots == 0
         self._measured_from = 0          # slot measurement started at

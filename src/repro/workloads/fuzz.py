@@ -6,9 +6,10 @@ the *generative* extension of that net: :func:`sample_scenario` and
 :func:`sample_switch_scenario` draw structurally valid but adversarial specs
 — heavy-tailed WAN/datacenter mixes, lossy bounded-DRAM configs, custom-MMA
 paths, 64–256-port incast/permutation switches — and :func:`run_case` runs
-every sampled spec through all three engines (monolithic *and* streamed,
-with random chunk/warmup/checkpoint boundaries) asserting bit-identical
-reports.
+every sampled spec through every available engine (the three pure-python
+engines plus, when the optional dependency is installed, ``numpy``),
+monolithic *and* streamed, with random chunk/warmup/checkpoint boundaries,
+asserting bit-identical reports.
 
 Everything is a pure function of ``(master_seed, index)``: a diverging case
 is dumped as a replayable JSON artifact carrying exactly those coordinates
@@ -17,8 +18,9 @@ identical legs.  An engine *error* is part of the compared behaviour — all
 legs must either produce the same report or raise the same error; a config
 that crashes one engine and not another is a divergence, not a crash.
 
-This is the check every future perf backend (numpy/native cores, per
-ROADMAP) merges against: first make the fuzzer pass, then optimise.
+This is the check every perf backend merges against: first make the
+fuzzer pass, then optimise.  The numpy backend (and its optional compiled
+span kernel) earned its place in ``ENGINES`` exactly this way.
 """
 
 from __future__ import annotations
@@ -38,8 +40,13 @@ from repro.workloads.scenario import Scenario
 #: Default master seed — frozen so CI and a local repro draw the same cases.
 DEFAULT_MASTER_SEED = 20260807
 
-#: Engines whose reports must agree bit for bit.
-ENGINES = ("reference", "batched", "array")
+from repro.sim.numpy_engine import NUMPY_AVAILABLE
+
+#: Engines whose reports must agree bit for bit.  The numpy backend joins
+#: the net only when the optional dependency is importable — the three
+#: pure-python engines keep the fuzzer meaningful without it.
+ENGINES = (("reference", "batched", "array", "numpy")
+           if NUMPY_AVAILABLE else ("reference", "batched", "array"))
 
 #: Per-case seed spread (a large prime, mirroring the streaming tests).
 _CASE_STRIDE = 1_000_003
@@ -428,7 +435,7 @@ def _run_scenario_case(case: FuzzCase, stream: bool,
             lambda engine=engine: scenario.build_simulation(record_trace=True)
             .run(scenario.num_slots, drain=drain, engine=engine))
     baseline = outcomes["reference"]
-    for engine in ("batched", "array"):
+    for engine in ENGINES[1:]:
         divergences += _compare_reports(f"monolithic-{engine}",
                                         outcomes[engine], baseline,
                                         include_trace=True)
@@ -654,7 +661,7 @@ def _run_switch_case(case: FuzzCase, stream: bool,
         outcomes[engine] = _outcome(
             lambda engine=engine: SwitchModel(scenario).run(engine=engine))
     baseline = outcomes["reference"]
-    for engine in ("batched", "array"):
+    for engine in ENGINES[1:]:
         divergences += _compare_switch(f"jobs-{engine}", outcomes[engine],
                                        baseline)
 

@@ -1,6 +1,7 @@
 """Bench snapshot comparison and the direction-aware regression gate."""
 
 import json
+from pathlib import Path
 
 import pytest
 
@@ -177,3 +178,35 @@ class TestGate:
         text = render_compare(report, threshold_pct=10, ratio_names=["a"],
                               failures=[])
         assert "(not gated)" in text
+
+
+class TestOldSnapshots:
+    """Pin against the committed snapshots: BENCH_3.json predates both the
+    ``cpus`` field and the ``derived_directions`` table, and comparing it
+    must degrade gracefully rather than raise."""
+
+    REPO_ROOT = Path(__file__).resolve().parents[2]
+
+    def load(self, name):
+        return load_bench_document(self.REPO_ROOT / name)
+
+    def test_bench3_vs_bench5_compares_cleanly(self):
+        bench3 = self.load("BENCH_3.json")
+        bench5 = self.load("BENCH_5.json")
+        report = compare_documents(bench3, bench5)
+        assert report["benchmarks"], "the snapshots share no benchmarks"
+        assert report["ratios"], "the snapshots share no derived ratios"
+        # Missing cpus surfaces as "unknown", never a KeyError or null.
+        assert report["baseline"]["cpus"] == "unknown"
+        assert report["current"]["cpus"] != "unknown"
+        text = render_compare(report, threshold_pct=50,
+                              failures=ratio_regressions(report, 50))
+        assert "cpus unknown" in text
+
+    def test_directionless_snapshots_use_the_heuristic(self):
+        bench3 = self.load("BENCH_3.json")
+        assert "derived_directions" not in bench3
+        assert ratio_direction("stream-checkpoint-overhead", bench3) \
+            == LOWER_BETTER
+        assert ratio_direction("wide-128-speedup-array-over-batched",
+                               bench3) == HIGHER_BETTER

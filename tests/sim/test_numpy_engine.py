@@ -1,0 +1,234 @@
+"""Acceptance tests: ``engine="numpy"`` is bit-identical to the array
+engine on every registered scenario and every edge mode, with and without
+the compiled span kernel, and degrades to a clear error without numpy."""
+
+import pytest
+
+from repro.errors import (
+    BufferOverflowError,
+    ConfigurationError,
+    StaleSimulationError,
+)
+from repro.core.buffer import CFDSPacketBuffer
+from repro.core.config import CFDSConfig
+from repro.rads.buffer import RADSPacketBuffer
+from repro.rads.config import RADSConfig
+from repro.sim import kernel as span_kernel
+from repro.sim import numpy_engine
+from repro.sim.engine import ClosedLoopSimulation
+from repro.sim.numpy_engine import NUMPY_AVAILABLE
+from repro.traffic.arbiters import OldestCellArbiter, RandomArbiter
+from repro.traffic.arrivals import BernoulliArrivals
+from repro.workloads import all_scenarios
+from repro.workloads.registry import scenario_names
+
+requires_numpy = pytest.mark.skipif(not NUMPY_AVAILABLE,
+                                    reason="numpy not installed")
+
+#: Both execution tiers of the RADS core: the compiled span kernel (when it
+#: loads — without a compiler this leg just re-runs the fused loop) and the
+#: pure-python fused loop (kernel force-disabled).
+KERNEL_MODES = ("kernel", "no-kernel")
+
+
+@pytest.fixture(params=KERNEL_MODES)
+def kernel_mode(request, monkeypatch):
+    if request.param == "no-kernel":
+        monkeypatch.setattr(span_kernel, "_kernel", None)
+        monkeypatch.setattr(span_kernel, "_kernel_tried", True)
+    return request.param
+
+
+def assert_reports_identical(left, right):
+    assert left.throughput == right.throughput
+    assert left.latency == right.latency
+    assert left.buffer_result == right.buffer_result
+
+
+def _build_buffer(scheme, **overrides):
+    if scheme == "rads":
+        return RADSPacketBuffer(RADSConfig(num_queues=8, granularity=4,
+                                           **overrides))
+    return CFDSPacketBuffer(CFDSConfig(num_queues=8, dram_access_slots=8,
+                                       granularity=2, num_banks=32,
+                                       **overrides))
+
+
+def run_both(make_sim, num_slots, drain=True):
+    array = make_sim().run(num_slots, drain=drain, engine="array")
+    numpy = make_sim().run(num_slots, drain=drain, engine="numpy")
+    return array, numpy
+
+
+# --------------------------------------------------------------------- #
+# The registered suite, through both kernel modes.
+# --------------------------------------------------------------------- #
+
+@requires_numpy
+@pytest.mark.parametrize("name", scenario_names())
+def test_numpy_identical_on_registered_scenarios(name, kernel_mode):
+    scenario = next(s for s in all_scenarios() if s.name == name)
+    array = scenario.run(engine="array")
+    numpy = scenario.run(engine="numpy")
+    assert_reports_identical(array, numpy)
+
+
+@requires_numpy
+@pytest.mark.parametrize("name", scenario_names())
+def test_numpy_identical_without_drain(name, kernel_mode):
+    scenario = next(s for s in all_scenarios() if s.name == name)
+    array = scenario.run(engine="array", num_slots=600)
+    numpy = scenario.run(engine="numpy", num_slots=600)
+    assert_reports_identical(array, numpy)
+
+
+@requires_numpy
+def test_numpy_identical_with_trace_recorded():
+    """A traced run cannot use the fused loop (the trace needs per-slot
+    events) — the scalar delegation must still be bit-identical, trace
+    included."""
+    scenario = next(s for s in all_scenarios()
+                    if s.name == "uniform-bernoulli")
+    array = scenario.run(engine="array", record_trace=True)
+    numpy = scenario.run(engine="numpy", record_trace=True)
+    assert_reports_identical(array, numpy)
+    assert array.trace.events == numpy.trace.events
+
+
+# --------------------------------------------------------------------- #
+# Edge modes: fill-only, drain-only, zero/one slot, lossy, no drain.
+# --------------------------------------------------------------------- #
+
+@requires_numpy
+def test_fill_only_run(kernel_mode):
+    """No arbiter: the buffer only fills; both engines agree."""
+    def make_sim():
+        return ClosedLoopSimulation(
+            _build_buffer("rads"), BernoulliArrivals(8, load=0.9, seed=21),
+            None)
+
+    array, numpy = run_both(make_sim, 800)
+    assert_reports_identical(array, numpy)
+    assert numpy.throughput.arrivals > 0
+    assert numpy.throughput.departures == 0
+
+
+@requires_numpy
+def test_drain_only_run(kernel_mode):
+    """No arrivals: idle request slots only; both engines agree."""
+    def make_sim():
+        return ClosedLoopSimulation(_build_buffer("rads"), None,
+                                    OldestCellArbiter(8))
+
+    array, numpy = run_both(make_sim, 500)
+    assert_reports_identical(array, numpy)
+    assert numpy.throughput.arrivals == 0
+
+
+@requires_numpy
+@pytest.mark.parametrize("num_slots", [0, 1])
+def test_degenerate_slot_counts(num_slots, kernel_mode):
+    def make_sim():
+        return ClosedLoopSimulation(
+            _build_buffer("rads"), BernoulliArrivals(8, load=0.5, seed=3),
+            RandomArbiter(8, seed=4))
+
+    array, numpy = run_both(make_sim, num_slots)
+    assert_reports_identical(array, numpy)
+
+
+@requires_numpy
+@pytest.mark.parametrize("drain", [True, False])
+def test_lossy_run_counts_identical_drops(drain, kernel_mode):
+    """strict=False with a bounded DRAM: overflow blocks are clamped to
+    the remaining room and the loss is counted, never raised — identically
+    on both engines."""
+    def make_sim():
+        return ClosedLoopSimulation(
+            _build_buffer("rads", dram_cells=8, strict=False),
+            BernoulliArrivals(8, load=1.0, seed=11),
+            RandomArbiter(8, seed=12, load=0.3))
+
+    array, numpy = run_both(make_sim, 1200, drain=drain)
+    assert_reports_identical(array, numpy)
+    assert numpy.throughput.drops > 0
+
+
+@requires_numpy
+def test_strict_overflow_raises_identically(kernel_mode):
+    """A strict-mode overflow aborts the kernel; the python replay must
+    surface the same exception the array engine raises."""
+    def make_sim():
+        return ClosedLoopSimulation(
+            _build_buffer("rads", tail_sram_cells=3, strict=True),
+            BernoulliArrivals(8, load=1.0, seed=11),
+            RandomArbiter(8, seed=12, load=0.3))
+
+    with pytest.raises(BufferOverflowError) as array_exc:
+        make_sim().run(1200, engine="array")
+    with pytest.raises(BufferOverflowError) as numpy_exc:
+        make_sim().run(1200, engine="numpy")
+    assert str(numpy_exc.value) == str(array_exc.value)
+
+
+@requires_numpy
+def test_cfds_falls_back_to_array_core(kernel_mode):
+    """CFDS has no fused core: engine="numpy" must transparently run the
+    array core and match it."""
+    def make_sim():
+        return ClosedLoopSimulation(
+            _build_buffer("cfds"), BernoulliArrivals(8, load=0.8, seed=5),
+            RandomArbiter(8, seed=6))
+
+    array, numpy = run_both(make_sim, 900)
+    assert_reports_identical(array, numpy)
+
+
+# --------------------------------------------------------------------- #
+# Selection plumbing and failure modes.
+# --------------------------------------------------------------------- #
+
+@requires_numpy
+def test_numpy_engine_requires_fresh_buffer():
+    buffer = _build_buffer("rads")
+    buffer.step(None, None)
+    sim = ClosedLoopSimulation(buffer)
+    with pytest.raises(StaleSimulationError, match="freshly built"):
+        sim.run(10, engine="numpy")
+
+
+@requires_numpy
+def test_numpy_engine_rejects_second_run():
+    sim = ClosedLoopSimulation(_build_buffer("rads"),
+                               BernoulliArrivals(8, load=0.5, seed=3),
+                               RandomArbiter(8, seed=4))
+    sim.run(200, engine="numpy")
+    with pytest.raises(StaleSimulationError):
+        sim.run(200, engine="numpy")
+
+
+def test_missing_numpy_is_a_configuration_error(monkeypatch):
+    """Without the optional dependency, engine="numpy" must fail with a
+    ConfigurationError that names the extra — not an ImportError."""
+    monkeypatch.setattr(numpy_engine, "_np", None)
+    sim = ClosedLoopSimulation(
+        _build_buffer("rads"), BernoulliArrivals(8, load=0.5, seed=3),
+        RandomArbiter(8, seed=4))
+    with pytest.raises(ConfigurationError, match=r"\[numpy\]"):
+        sim.run(100, engine="numpy")
+
+
+def test_kernel_kill_switch(monkeypatch):
+    monkeypatch.setenv(span_kernel.KERNEL_ENV, "0")
+    assert not span_kernel.kernel_enabled()
+    monkeypatch.setenv(span_kernel.KERNEL_ENV, "off")
+    assert not span_kernel.kernel_enabled()
+    monkeypatch.delenv(span_kernel.KERNEL_ENV)
+    assert span_kernel.kernel_enabled()
+
+
+@requires_numpy
+def test_unknown_engine_error_names_numpy():
+    sim = ClosedLoopSimulation(_build_buffer("rads"))
+    with pytest.raises(ConfigurationError, match="numpy"):
+        sim.run(10, engine="warp")
