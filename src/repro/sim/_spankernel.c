@@ -188,6 +188,7 @@ static void heap_down(int64_t *h, int n, int i)
 #define ERR_OK 0
 #define ERR_OOM 1
 #define ERR_STRICT 2
+#define ERR_CAP 3   /* a python-preallocated out buffer would overflow */
 
 /* ------------------------------------------------------------------ */
 /* Kernel interface (mirrored by ctypes structs in repro.sim.kernel)   */
@@ -216,6 +217,12 @@ typedef struct {
      * arbiter, no backlog upkeep) after the main window, saving the
      * caller a second full state marshal for the drain span. */
     int64_t drain_slots;
+    /* capacities of the python-preallocated out buffers (in elements).
+     * The kernel never writes past any of them: a span that would exceed
+     * one aborts with ERR_CAP before the write and the python side falls
+     * back to the scalar loop on its untouched state. */
+    int64_t tail_ocap, dram_ocap, sram_ocap, req_ocap, arr_ocap;
+    int64_t pend_cap, pend_flat_cap, crit_cap;
 } kcfg;
 
 typedef struct {
@@ -457,6 +464,10 @@ int64_t rads_run_span(kcfg *c, kptrs *p)
                         negatives--;
                     if (count >= 0 && count < req_count[a]) {
                         int64_t entered = qa->req.buf[qa->req.head + count];
+                        if (crit_len >= c->crit_cap) {
+                            err = ERR_CAP;
+                            goto done;
+                        }
                         crit_cache[a] = entered;
                         crit_heap[crit_len] = CRIT_KEY(entered, a);
                         heap_up(crit_heap, crit_len);
@@ -555,6 +566,10 @@ int64_t rads_run_span(kcfg *c, kptrs *p)
             }
             count = req_count[request]++;
             if (counters[request] == count) {
+                if (crit_len >= c->crit_cap) {
+                    err = ERR_CAP;
+                    goto done;
+                }
                 crit_cache[request] = slot;
                 crit_heap[crit_len] = CRIT_KEY(slot, request);
                 heap_up(crit_heap, crit_len);
@@ -665,11 +680,20 @@ int64_t rads_run_span(kcfg *c, kptrs *p)
                 if (nseqs) {
                     int w = pend_head + pend_len;
                     int64_t count = counters[selection] + nseqs;
+                    if (w >= c->pend_cap
+                            || flat_w + nseqs > c->pend_flat_cap) {
+                        err = ERR_CAP;
+                        goto done;
+                    }
                     counters[selection] = count;
                     if (count >= 0 && count - nseqs < 0)
                         negatives--;
                     if (count >= 0 && count < req_count[selection]) {
                         int64_t entered = qr->req.buf[qr->req.head + count];
+                        if (crit_len >= c->crit_cap) {
+                            err = ERR_CAP;
+                            goto done;
+                        }
                         crit_cache[selection] = entered;
                         crit_heap[crit_len] = CRIT_KEY(entered, selection);
                         heap_up(crit_heap, crit_len);
@@ -804,6 +828,23 @@ done:
     }
 
 cleanup:
+    if (err == ERR_OK) {
+        /* Never trust the sizing formulas alone: total the final live
+         * windows first and refuse the writeback (python replays on the
+         * scalar loop) if any out buffer would overflow. */
+        int64_t ttot = 0, dtot = 0, stot = 0, rtot = 0, atot = 0;
+        for (i = 0; i < nq; i++) {
+            ttot += IV_COUNT(&qs[i].tail);
+            dtot += IV_COUNT(&qs[i].dram);
+            stot += qs[i].sram_len;
+            rtot += IV_COUNT(&qs[i].req);
+            atot += IV_COUNT(&qs[i].arr);
+        }
+        if (ttot > c->tail_ocap || dtot > c->dram_ocap
+                || stot > c->sram_ocap || rtot > c->req_ocap
+                || atot > c->arr_ocap)
+            err = ERR_CAP;
+    }
     if (err == ERR_OK) {
         /* ---- per-queue contents back (live windows, head at 0) ---- */
         int64_t toff = 0, doff = 0, soff = 0, roff = 0, aoff = 0;

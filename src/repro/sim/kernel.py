@@ -5,9 +5,10 @@ python slot loop; that loop's ceiling is CPython's bytecode dispatch.  This
 module removes it *without adding a dependency*: the bundled C99 source
 ``_spankernel.c`` is compiled on first use with the system compiler
 (``cc -O2 -march=native -shared -fPIC``, falling back to plain ``-O2``),
-cached under the user's temp directory keyed by
-a hash of the source and the interpreter/platform tags, and loaded through
-:mod:`ctypes` — no ``Python.h``, no build backend, no wheels.
+cached under the user's private cache directory (``$XDG_CACHE_HOME`` or
+``~/.cache``, created ``0o700`` and ownership-verified before every load)
+keyed by a hash of the source and the interpreter/platform tags, and loaded
+through :mod:`ctypes` — no ``Python.h``, no build backend, no wheels.
 
 The kernel executes whole spans natively: it resumes the arbiter's (and,
 for monolithic Bernoulli runs, the arrival process's) Mersenne Twister from
@@ -32,6 +33,7 @@ import sys
 import sysconfig
 import tempfile
 import threading
+import weakref
 from collections import deque
 from itertools import chain
 from pathlib import Path
@@ -61,6 +63,12 @@ _lock = threading.Lock()
 _kernel = None
 _kernel_tried = False
 
+#: Per-core cache of the ``_bl8`` shift table as an ndarray.  Deliberately
+#: NOT an attribute on the core: streaming checkpoints pickle the core
+#: verbatim, and an embedded ndarray would make the snapshot unloadable on
+#: a host without numpy (the documented no-numpy resume path).
+_bl8_arrays: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
 
 class KCfg(ctypes.Structure):
     """Mirror of ``kcfg`` in ``_spankernel.c`` (field order is the ABI)."""
@@ -77,7 +85,9 @@ class KCfg(ctypes.Structure):
             "eligible_len", "ecqf_fallback",
             "n_delays", "n_head_miss", "n_tail_miss", "n_drained",
             "arrivals_seen", "grants", "pend_head_out", "pend_flat_off_out",
-            "drain_slots")]
+            "drain_slots",
+            "tail_ocap", "dram_ocap", "sram_ocap", "req_ocap", "arr_ocap",
+            "pend_cap", "pend_flat_cap", "crit_cap")]
 
 
 _U32P = ctypes.POINTER(ctypes.c_uint32)
@@ -118,15 +128,55 @@ def kernel_enabled() -> bool:
         "0", "off", "false", "no")
 
 
+def _cache_dir() -> Path:
+    """User-private cache directory for the compiled kernel.
+
+    Never a world-shared location: on a multi-user host a shared temp
+    directory would let another local user pre-plant a ``.so`` under a
+    predictable name (the tag is computable from public data) that we
+    would then ``CDLL`` — arbitrary code execution.  XDG_CACHE_HOME (or
+    ``~/.cache``) is user-owned; the sticky-bit tempdir fallback for
+    homeless environments is defused by :func:`_trusted`, which refuses
+    anything we do not exclusively own.
+    """
+    xdg = os.environ.get("XDG_CACHE_HOME", "").strip()
+    if xdg:
+        return Path(xdg) / "repro" / "spankernel"
+    try:
+        home = Path.home()
+    except (RuntimeError, OSError):
+        home = None
+    if home is not None and str(home) not in ("", "/"):
+        return home / ".cache" / "repro" / "spankernel"
+    uid = os.getuid() if hasattr(os, "getuid") else 0
+    return Path(tempfile.gettempdir()) / f"repro-spankernel-{uid}"
+
+
+def _trusted(path: Path, want_dir: bool = False) -> bool:
+    """True when ``path`` is exclusively ours: owned by the current uid,
+    not writable by group/other, and of the expected type (``lstat`` — a
+    planted symlink is never followed).  Non-POSIX platforms have no
+    shared-tempdir exposure and no ``getuid``; trust the path there."""
+    if not hasattr(os, "getuid"):  # pragma: no cover - POSIX-only repo CI
+        return True
+    import stat
+
+    try:
+        st = os.lstat(path)
+    except OSError:
+        return False
+    if st.st_uid != os.getuid() or st.st_mode & (stat.S_IWGRP | stat.S_IWOTH):
+        return False
+    return stat.S_ISDIR(st.st_mode) if want_dir else stat.S_ISREG(st.st_mode)
+
+
 def _cache_path() -> Path:
     digest = hashlib.sha256()
     digest.update(_SOURCE.read_bytes())
     digest.update(sys.implementation.cache_tag.encode())
     digest.update(sysconfig.get_platform().encode())
     tag = digest.hexdigest()[:20]
-    uid = os.getuid() if hasattr(os, "getuid") else 0
-    return (Path(tempfile.gettempdir()) / f"repro-spankernel-{uid}"
-            / f"spankernel-{tag}.so")
+    return _cache_dir() / f"spankernel-{tag}.so"
 
 
 def _compiler() -> Optional[str]:
@@ -142,7 +192,14 @@ def _compile(path: Path) -> bool:
     cc = _compiler()
     if cc is None:
         return False
-    path.parent.mkdir(parents=True, exist_ok=True)
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        if hasattr(os, "getuid"):
+            os.chmod(path.parent, 0o700)  # mkdir mode is umask-clipped
+    except OSError:
+        return False
+    if not _trusted(path.parent, want_dir=True):
+        return False
     tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
     # Never -ffast-math: the kernel reproduces CPython's exact IEEE-754
     # double expressions for random() and choices().  -march=native is safe
@@ -155,6 +212,8 @@ def _compile(path: Path) -> bool:
             proc = subprocess.run(cmd, stdout=subprocess.DEVNULL,
                                   stderr=subprocess.DEVNULL, timeout=120)
             if proc.returncode == 0:
+                if hasattr(os, "getuid"):
+                    os.chmod(tmp, 0o700)
                 os.replace(tmp, path)
                 return True
         except (OSError, subprocess.SubprocessError):
@@ -180,7 +239,13 @@ def load_kernel():
         try:
             if kernel_enabled() and _SOURCE.is_file():
                 path = _cache_path()
-                if path.is_file() or _compile(path):
+                # Load nothing we do not exclusively own: a pre-planted
+                # cache dir or .so (wrong owner, group/other-writable, or
+                # a symlink) is skipped, not trusted — the engine falls
+                # back to the fused python loop.
+                if ((path.is_file() or _compile(path))
+                        and _trusted(path.parent, want_dir=True)
+                        and _trusted(path)):
                     lib = ctypes.CDLL(str(path))
                     fn = lib.rads_run_span
                     fn.restype = ctypes.c_int64
@@ -299,9 +364,9 @@ def run_span_kernel(core, aplan, num_slots: int, main: bool = True,
         else:
             plan_arr = None
 
-    bl8 = getattr(core, "_bl8_arr", None)
+    bl8 = _bl8_arrays.get(core)
     if bl8 is None:
-        bl8 = core._bl8_arr = np.array(core._bl8, dtype=i64)
+        bl8 = _bl8_arrays[core] = np.array(core._bl8, dtype=i64)
     ptr.bl8 = _ptr_i64(bl8)
 
     # -- per-queue scalars ----------------------------------------------
@@ -344,11 +409,20 @@ def run_span_kernel(core, aplan, num_slots: int, main: bool = True,
 
     sram_ocnt = out_i64(nq)
     arr_ocnt = out_i64(nq)
+    # Worst-case out sizes: cells only enter the machine as arrivals (at
+    # most one per main slot), but existing backlog migrates freely — the
+    # tail MMA can push the whole tail backlog into DRAM, and replenish can
+    # land tail+DRAM backlog (plus in-flight pending cells) in head SRAM.
+    # The kernel additionally verifies every out capacity (cfg.*_ocap)
+    # before writing and aborts with ERR_CAP, so a formula gap degrades to
+    # the scalar-loop fallback, never an out-of-bounds write.
+    backlog_cells = core.tail_total + core.dram_total
     tail_oflat = out_i64(core.tail_total + total_slots + 8)
-    dram_oflat = out_i64(core.dram_total + total_slots + 8)
+    dram_oflat = out_i64(backlog_cells + total_slots + 8)
     pending_cells = sum(len(seqs) for _, _, seqs in core.pending)
-    sram_oflat = out_i64(core.sram_total + pending_cells + total_slots + 8)
-    req_oflat = out_i64(core.la_len + 8)
+    sram_oflat = out_i64(core.sram_total + pending_cells + backlog_cells
+                         + total_slots + 8)
+    req_oflat = out_i64(len(req_iflat) + total_slots + 8)
     arr_oflat = out_i64(len(arr_iflat) + total_slots + 8)
     ptr.sram_ocnt = _ptr_i64(sram_ocnt)
     ptr.arr_ocnt = _ptr_i64(arr_ocnt)
@@ -357,6 +431,11 @@ def run_span_kernel(core, aplan, num_slots: int, main: bool = True,
     ptr.sram_oflat = _ptr_i64(sram_oflat)
     ptr.req_oflat = _ptr_i64(req_oflat)
     ptr.arr_oflat = _ptr_i64(arr_oflat)
+    cfg.tail_ocap = len(tail_oflat)
+    cfg.dram_ocap = len(dram_oflat)
+    cfg.sram_ocap = len(sram_oflat)
+    cfg.req_ocap = len(req_oflat)
+    cfg.arr_ocap = len(arr_oflat)
 
     la_ring = i64arr([-1 if v is None else v for v in core.lookahead])
     ptr.la_ring = _ptr_i64(la_ring)
@@ -367,6 +446,7 @@ def run_span_kernel(core, aplan, num_slots: int, main: bool = True,
                        size=len(core.crit_heap) + 3 * total_slots + 16)
     ptr.crit_heap = _ptr_i64(crit_heap)
     cfg.crit_len = len(core.crit_heap)
+    cfg.crit_cap = len(crit_heap)
 
     pend_cap = len(core.pending) + total_slots // g + 4
     pending_fin = i64arr([fin for fin, _, _ in core.pending], size=pend_cap)
@@ -381,6 +461,8 @@ def run_span_kernel(core, aplan, num_slots: int, main: bool = True,
     ptr.pending_cnt = _ptr_i64(pending_cnt)
     ptr.pending_flat = _ptr_i64(pending_flat)
     cfg.pending_len = len(core.pending)
+    cfg.pend_cap = len(pending_fin)
+    cfg.pend_flat_cap = len(pending_flat)
 
     delays = out_i64(num_slots)
     head_miss_q = out_i64(total_slots)

@@ -2,6 +2,12 @@
 engine on every registered scenario and every edge mode, with and without
 the compiled span kernel, and degrades to a clear error without numpy."""
 
+import base64
+import json
+import os
+import pickle
+import sys
+
 import pytest
 
 from repro.errors import (
@@ -17,6 +23,8 @@ from repro.sim import kernel as span_kernel
 from repro.sim import numpy_engine
 from repro.sim.engine import ClosedLoopSimulation
 from repro.sim.numpy_engine import NUMPY_AVAILABLE
+from repro.sim.streaming import StreamingSimulation, resume_stream
+from repro.workloads.registry import get_scenario
 from repro.traffic.arbiters import OldestCellArbiter, RandomArbiter
 from repro.traffic.arrivals import BernoulliArrivals
 from repro.workloads import all_scenarios
@@ -232,3 +240,109 @@ def test_unknown_engine_error_names_numpy():
     sim = ClosedLoopSimulation(_build_buffer("rads"))
     with pytest.raises(ConfigurationError, match="numpy"):
         sim.run(10, engine="warp")
+
+
+# --------------------------------------------------------------------- #
+# Span-kernel hardening (review regressions).
+# --------------------------------------------------------------------- #
+
+@requires_numpy
+def test_streamed_backlog_migration_identical(kernel_mode):
+    """Streamed chunks over a machine with a large migrating backlog: a
+    rarely-granting arbiter and one hot queue make the tail MMA push far
+    more cells into DRAM per chunk than the chunk has slots (the kernel's
+    out buffers must be sized for backlog migration, not just arrivals)."""
+    def make_sim():
+        return ClosedLoopSimulation(
+            RADSPacketBuffer(RADSConfig(num_queues=8, granularity=64)),
+            BernoulliArrivals(8, load=1.0, seed=31,
+                              weights=[500, 1, 1, 1, 1, 1, 1, 1]),
+            RandomArbiter(8, seed=32, load=0.05))
+
+    array = make_sim().run_stream(4000, engine="array", chunk_slots=200)
+    numpy = make_sim().run_stream(4000, engine="numpy", chunk_slots=200)
+    assert_reports_identical(array, numpy)
+    assert numpy.throughput.arrivals > 3000
+
+
+@requires_numpy
+def test_checkpoint_after_kernel_span_is_numpy_free(tmp_path):
+    """A checkpoint written after kernel-backed spans must not embed any
+    numpy object — the documented contract is that snapshots resume on
+    hosts without the optional extra (scalar-loop fallback)."""
+    if span_kernel.load_kernel() is None:
+        pytest.skip("no C compiler: the span kernel never ran")
+    scenario = get_scenario("uniform-bernoulli")
+    uninterrupted = scenario.build_simulation().run_stream(
+        scenario.num_slots, engine="numpy", chunk_slots=500)
+
+    session = StreamingSimulation(scenario.build_simulation(),
+                                  scenario.num_slots, engine="numpy",
+                                  chunk_slots=500)
+    arrivals = session.sim.arrivals
+    while session.slot < 1000:
+        count = min(session.chunk_slots, 1000 - session.slot)
+        session._execute(list(arrivals.arrivals_slice(session.slot, count)))
+    path = tmp_path / "kernel.ckpt.json"
+    session.save_checkpoint(path)
+    resumed = resume_stream(path)
+    assert_reports_identical(resumed, uninterrupted)
+
+    # The snapshot must unpickle on a host with no numpy at all: block
+    # every numpy module and load the payload (an embedded ndarray would
+    # raise ImportError here).
+    blob = base64.b64decode(json.loads(path.read_text())["state_b64"])
+    numpy_mods = {name: mod for name, mod in sys.modules.items()
+                  if name == "numpy" or name.startswith("numpy.")}
+    try:
+        for name in numpy_mods:
+            sys.modules[name] = None
+        state = pickle.loads(blob)
+    finally:
+        sys.modules.update(numpy_mods)
+    assert state["slot"] == 1000
+
+
+def test_kernel_cache_is_private(monkeypatch, tmp_path):
+    """The compiled-kernel cache lives under the user's private cache dir
+    (XDG_CACHE_HOME honoured), never a world-shared temp directory."""
+    monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+    path = span_kernel._cache_path()
+    assert str(path).startswith(str(tmp_path / "xdg"))
+    assert path.parent == tmp_path / "xdg" / "repro" / "spankernel"
+
+
+@pytest.mark.skipif(not hasattr(os, "getuid"), reason="POSIX-only check")
+def test_kernel_trust_rejects_loose_permissions(tmp_path):
+    private = tmp_path / "private.so"
+    private.write_bytes(b"")
+    os.chmod(private, 0o700)
+    assert span_kernel._trusted(private)
+
+    loose = tmp_path / "loose.so"
+    loose.write_bytes(b"")
+    os.chmod(loose, 0o770)  # group-writable: plantable by a co-member
+    assert not span_kernel._trusted(loose)
+
+    link = tmp_path / "link.so"
+    link.symlink_to(private)
+    assert not span_kernel._trusted(link)  # symlinks are never followed
+
+    os.chmod(tmp_path, 0o700)
+    assert span_kernel._trusted(tmp_path, want_dir=True)
+    assert not span_kernel._trusted(tmp_path)  # wrong type for a .so
+    assert not span_kernel._trusted(tmp_path / "absent.so")
+
+
+@pytest.mark.skipif(not hasattr(os, "getuid"), reason="POSIX-only check")
+def test_load_kernel_refuses_untrusted_cache(monkeypatch, tmp_path):
+    """A pre-planted group-writable .so at the cache path is never CDLLed:
+    load_kernel() must skip it and report the kernel unavailable."""
+    monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path))
+    planted = span_kernel._cache_path()
+    planted.parent.mkdir(parents=True)
+    planted.write_bytes(b"not a real shared object")
+    os.chmod(planted, 0o770)
+    monkeypatch.setattr(span_kernel, "_kernel", None)
+    monkeypatch.setattr(span_kernel, "_kernel_tried", False)
+    assert span_kernel.load_kernel() is None
