@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.runner.sweep import available_cpus
+from repro.errors import ValidationError
 from repro.sim.numpy_engine import NUMPY_AVAILABLE
 
 #: Default output file.  The suffix tracks the PR that produced the
@@ -385,7 +386,7 @@ def run_suite(quick: bool = False,
     if repeats is None:
         repeats = 3 if quick else 5
     if repeats < 1:
-        raise ValueError("repeats must be at least 1")
+        raise ValidationError("repeats must be at least 1")
     if profile_top is None:
         profile_top = DEFAULT_TOP
     selected = [case for case in SUITE

@@ -25,6 +25,31 @@ class ConfigurationError(ReproError):
     """A configuration object is internally inconsistent."""
 
 
+class ValidationError(ConfigurationError, ValueError):
+    """A single parameter value is out of its documented range.
+
+    Doubly inherits ``ValueError`` so seed-era callers (and tests) that
+    catch the builtin keep working, while the error-taxonomy contract —
+    library code raises only :class:`ReproError` subclasses, enforced by
+    ``python -m repro lint`` — is satisfied.
+    """
+
+
+class TraceFormatError(ReproError, ValueError):
+    """An NDJSON run-trace file contains a line that is not a trace event.
+
+    Subclasses ``ValueError`` for backwards compatibility with callers that
+    treated malformed traces as generic value errors.
+    """
+
+
+class CacheIntegrityError(ReproError):
+    """A result-cache entry failed its integrity check (key mismatch after a
+    hash collision or a hand-edited file).  Raised and consumed inside
+    :class:`~repro.runner.cache.ResultCache`, which quarantines the entry
+    and reports a miss."""
+
+
 class CacheMissError(ReproError):
     """The head SRAM missed: a requested cell was not resident when needed."""
 

@@ -1,0 +1,96 @@
+"""The ``repro lint`` subcommand.
+
+Exit codes follow the CLI-wide contract (pinned by ``tests/lint/test_cli.py``):
+
+* **0** — lint ran and found nothing.
+* **1** — findings were reported, or the run failed (unreadable file,
+  syntax error) with a one-line ``error:`` message on stderr.
+* **2** — usage error (unknown rule name, bad flags), via argparse.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List
+
+from repro.errors import ReproError
+from repro.lint.diagnostics import findings_document, render_findings
+from repro.lint.engine import lint_paths, rule_names
+
+
+def default_lint_paths() -> List[Path]:
+    """The installed ``repro`` package — so ``python -m repro lint`` with no
+    arguments checks the library itself, wherever it is imported from."""
+    import repro
+
+    return [Path(repro.__file__).parent]
+
+
+def add_lint_arguments(lint: argparse.ArgumentParser) -> None:
+    """Flags for the ``lint`` subparser (kept here with the handler)."""
+    lint.add_argument("paths", nargs="*", metavar="PATH",
+                      help="files or directories to lint (default: the "
+                           "installed repro package)")
+    lint.add_argument("--rules", default=None, metavar="RULE[,RULE...]",
+                      help="comma-separated subset of rules to run "
+                           "(default: all)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule registry and exit")
+    lint.add_argument("--json", action="store_true", dest="as_json",
+                      help="emit the findings document as JSON")
+    lint.add_argument("-o", "--output", default=None, metavar="FILE",
+                      help="write the report to FILE instead of stdout")
+
+
+def run_lint_command(parser: argparse.ArgumentParser,
+                     args: argparse.Namespace) -> int:
+    registry = rule_names()
+    if args.list_rules:
+        from repro.lint.engine import all_rules
+
+        lines = [f"{rule.name:<20} {rule.summary}" for rule in all_rules()]
+        return _emit("\n".join(lines), args.output)
+
+    selected = None
+    if args.rules is not None:
+        selected = [name.strip() for name in args.rules.split(",")
+                    if name.strip()]
+        unknown = sorted(set(selected) - set(registry))
+        if unknown:
+            parser.error(  # exits 2: bad --rules is a usage error
+                f"unknown rule(s): {', '.join(unknown)} "
+                f"(available: {', '.join(registry)})")
+        if not selected:
+            parser.error("--rules requires at least one rule name")
+
+    paths = ([Path(p) for p in args.paths] if args.paths
+             else default_lint_paths())
+    try:
+        findings, stats = lint_paths(paths, selected)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    if args.as_json:
+        text = json.dumps(findings_document(findings, stats), indent=2)
+    else:
+        text = render_findings(findings, stats)
+    code = _emit(text, args.output)
+    if code != 0:
+        return code
+    return 1 if findings else 0
+
+
+def _emit(text: str, output) -> int:
+    if output is None or output == "-":
+        print(text)
+        return 0
+    try:
+        Path(output).write_text(text + "\n", encoding="utf-8")
+    except OSError as exc:
+        print(f"error: cannot write {output!r}: {exc}", file=sys.stderr)
+        return 1
+    return 0

@@ -1,0 +1,107 @@
+"""Finding records, the pinned ``--json`` document, and text rendering.
+
+The JSON schema is part of the CLI contract (pinned by
+``tests/lint/test_cli.py`` and documented in ``docs/architecture.md``):
+
+.. code-block:: json
+
+    {
+      "version": 1,
+      "rules": ["checkpoint-purity", "determinism", "..."],
+      "paths": ["src/repro"],
+      "files_scanned": 64,
+      "findings": [
+        {"rule": "error-taxonomy", "path": "src/repro/sim/stats.py",
+         "line": 69, "col": 12, "message": "...", "symbol": "ValueError"}
+      ],
+      "counts": {"checkpoint-purity": 0, "determinism": 0, "...": 1},
+      "suppressed": 2
+    }
+
+``findings`` is sorted by ``(path, line, rule)``; ``counts`` has one entry
+per selected rule, zeros included, so a consumer can tell "rule ran clean"
+from "rule did not run"; ``suppressed`` counts findings silenced by inline
+``# repro-lint: disable=`` comments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence
+
+#: Version stamp of the ``--json`` document.  Bump on any key change.
+SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic: ``rule`` violated at ``path:line:col``.
+
+    ``symbol`` names the offending construct (the exception class, the
+    ``random`` attribute, the iterated set, the assigned attribute) so
+    diagnostics stay greppable even when messages are reworded.
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    symbol: str = ""
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "symbol": self.symbol,
+        }
+
+    def render(self) -> str:
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"[{self.rule}] {self.message}")
+
+
+@dataclass
+class LintStats:
+    """What a lint run covered, for the closing summary and the JSON doc."""
+
+    rules: List[str] = field(default_factory=list)
+    paths: List[str] = field(default_factory=list)
+    files_scanned: int = 0
+    suppressed: int = 0
+
+
+def findings_document(findings: Sequence[Finding],
+                      stats: LintStats) -> Dict[str, Any]:
+    """The pinned ``--json`` document for a completed run."""
+    counts = {rule: 0 for rule in stats.rules}
+    for finding in findings:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    return {
+        "version": SCHEMA_VERSION,
+        "rules": list(stats.rules),
+        "paths": list(stats.paths),
+        "files_scanned": stats.files_scanned,
+        "findings": [finding.to_json() for finding in findings],
+        "counts": counts,
+        "suppressed": stats.suppressed,
+    }
+
+
+def render_findings(findings: Sequence[Finding], stats: LintStats) -> str:
+    """Human-readable report: one line per finding plus a closing summary."""
+    lines = [finding.render() for finding in findings]
+    noun = "file" if stats.files_scanned == 1 else "files"
+    suppressed = (f", {stats.suppressed} suppressed by disable comments"
+                  if stats.suppressed else "")
+    if findings:
+        lines.append("")
+        lines.append(f"{len(findings)} finding(s) in {stats.files_scanned} "
+                     f"{noun} ({', '.join(stats.rules)}){suppressed}")
+    else:
+        lines.append(f"clean: {stats.files_scanned} {noun} checked against "
+                     f"{', '.join(stats.rules)}{suppressed}")
+    return "\n".join(lines)

@@ -1,0 +1,271 @@
+"""Rule plumbing and the lint driver.
+
+Scoping
+-------
+Each rule declares the package subsystems its contract governs (``scope``,
+a set of first-level directories under the ``repro`` package: ``sim``,
+``switch``, ...).  A scanned file's subsystem is derived from its path: the
+nearest ancestor directory named ``repro`` that contains an
+``__init__.py`` is taken as the package root, and the first path component
+below it is the subsystem.  Files *outside* any ``repro`` package (test
+fixtures, ad-hoc paths) have no subsystem and every selected rule applies
+— which is exactly what ``tests/lint/fixtures/`` relies on.
+
+Two passes
+----------
+Rules get a ``prepare(files)`` hook over the whole file set before any
+``check(file)`` runs; ``checkpoint-purity`` uses it to close the core-class
+inheritance graph across modules (``_NumpyRADSCore`` lives two files away
+from ``_ArrayCoreBase``).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.lint.diagnostics import Finding, LintStats
+from repro.lint.suppress import Suppressions, parse_suppressions
+
+
+class LintError(ConfigurationError):
+    """A lint run could not complete: unknown rule, unreadable or
+    syntactically invalid input.  The CLI renders it as a one-line
+    ``error:`` message with exit code 1."""
+
+
+@dataclass
+class SourceFile:
+    """One parsed input file, as handed to every rule."""
+
+    path: Path
+    display: str
+    source: str
+    tree: ast.Module
+    subsystem: Optional[str]
+    suppressions: Suppressions
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set ``name`` (the CLI identifier), ``summary`` (one line for
+    ``--list-rules``), ``contract`` (the invariant being enforced, shown in
+    docs) and optionally ``scope``; they implement :meth:`check` and may
+    override :meth:`prepare`.
+    """
+
+    name: str = ""
+    summary: str = ""
+    contract: str = ""
+    #: First-level package directories the rule applies to; ``None`` means
+    #: the whole tree.  Files outside a ``repro`` package always match.
+    scope: Optional[FrozenSet[str]] = None
+
+    def applies_to(self, file: SourceFile) -> bool:
+        if self.scope is None or file.subsystem is None:
+            return True
+        return file.subsystem in self.scope
+
+    def prepare(self, files: List[SourceFile]) -> None:
+        """Whole-file-set hook, called once before any :meth:`check`."""
+
+    def check(self, file: SourceFile) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, file: SourceFile, node: ast.AST, message: str,
+                symbol: str = "") -> Finding:
+        return Finding(rule=self.name, path=file.display,
+                       line=getattr(node, "lineno", 1),
+                       col=getattr(node, "col_offset", 0) + 1,
+                       message=message, symbol=symbol)
+
+
+def all_rules() -> List[Rule]:
+    """Fresh instances of every registered rule, in stable name order."""
+    from repro.lint.rules import RULES
+
+    return [cls() for _, cls in sorted(RULES.items())]
+
+
+def rule_names() -> List[str]:
+    from repro.lint.rules import RULES
+
+    return sorted(RULES)
+
+
+def resolve_rules(names: Optional[Iterable[str]]) -> List[Rule]:
+    """Instances for ``names`` (``None`` = every rule); unknown names raise
+    :class:`LintError` listing the registry, so a typo'd ``--rules`` fails
+    loudly instead of silently linting nothing."""
+    rules = all_rules()
+    if names is None:
+        return rules
+    by_name = {rule.name: rule for rule in rules}
+    selected = []
+    for name in names:
+        if name not in by_name:
+            raise LintError(
+                f"unknown lint rule {name!r}; available: "
+                f"{', '.join(sorted(by_name))}")
+        selected.append(by_name[name])
+    return selected
+
+
+# --------------------------------------------------------------------- #
+# File discovery and parsing
+# --------------------------------------------------------------------- #
+
+def _package_subsystem(path: Path) -> Optional[str]:
+    """First-level directory under the owning ``repro`` package, or ``None``
+    for files outside any ``repro`` package.  Files directly at the package
+    root (``errors.py``) report the marker ``"."``, which no scoped rule
+    claims."""
+    resolved = path.resolve()
+    for ancestor in resolved.parents:
+        if ancestor.name == "repro" and (ancestor / "__init__.py").is_file():
+            relative = resolved.relative_to(ancestor)
+            return relative.parts[0] if len(relative.parts) > 1 else "."
+    return None
+
+
+def discover_files(paths: Iterable[Path]) -> List[Path]:
+    """Expand files/directories into a sorted, de-duplicated ``.py`` list."""
+    seen = {}
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates = sorted(p for p in path.rglob("*.py")
+                                if "__pycache__" not in p.parts)
+        elif path.is_file():
+            candidates = [path]
+        else:
+            raise LintError(f"no such file or directory: {path}")
+        for candidate in candidates:
+            seen.setdefault(candidate.resolve(), candidate)
+    return sorted(seen.values(), key=lambda p: str(p))
+
+
+def _display(path: Path) -> str:
+    """Project-relative path when possible (stable across machines)."""
+    resolved = path.resolve()
+    try:
+        return str(resolved.relative_to(Path.cwd()))
+    except ValueError:
+        return str(path)
+
+
+def load_file(path: Path) -> SourceFile:
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        raise LintError(f"cannot read {path}: {exc}")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        raise LintError(f"cannot parse {path}: {exc.msg} "
+                        f"(line {exc.lineno})")
+    return SourceFile(path=path, display=_display(path), source=source,
+                      tree=tree, subsystem=_package_subsystem(path),
+                      suppressions=parse_suppressions(source))
+
+
+# --------------------------------------------------------------------- #
+# Driver
+# --------------------------------------------------------------------- #
+
+def lint_paths(paths: Iterable[Path],
+               rules: Optional[Iterable[str]] = None,
+               ) -> Tuple[List[Finding], LintStats]:
+    """Lint ``paths`` with ``rules`` (names; ``None`` = all).
+
+    Returns the suppression-filtered findings sorted by ``(path, line,
+    rule)`` plus the run's :class:`LintStats`.
+    """
+    selected = resolve_rules(rules)
+    files = [load_file(path) for path in discover_files(paths)]
+    for rule in selected:
+        rule.prepare(files)
+
+    findings: List[Finding] = []
+    suppressed = 0
+    for file in files:
+        for rule in selected:
+            if not rule.applies_to(file):
+                continue
+            for finding in rule.check(file):
+                if file.suppressions.silences(rule.name, finding.line):
+                    suppressed += 1
+                else:
+                    findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    stats = LintStats(rules=[rule.name for rule in selected],
+                      paths=[str(p) for p in paths],
+                      files_scanned=len(files), suppressed=suppressed)
+    return findings, stats
+
+
+# --------------------------------------------------------------------- #
+# Shared AST helpers (used by several rules)
+# --------------------------------------------------------------------- #
+
+def module_aliases(tree: ast.Module, module: str) -> Dict[str, str]:
+    """Names under which ``module`` (or its members) are visible in a file.
+
+    Returns ``{local_name: dotted_origin}`` covering ``import m``,
+    ``import m as alias`` and ``from m import x [as y]`` — enough for the
+    root-name taint analysis the rules perform.
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                if item.name == module or item.name.startswith(module + "."):
+                    aliases[(item.asname or item.name).split(".")[0]] = \
+                        item.name
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == module or (
+                    node.module or "").startswith(module + "."):
+                for item in node.names:
+                    aliases[item.asname or item.name] = \
+                        f"{node.module}.{item.name}"
+    return aliases
+
+
+def root_name(node: ast.AST) -> Optional[str]:
+    """The base ``Name`` of an attribute/subscript/call chain, if any."""
+    while isinstance(node, (ast.Attribute, ast.Subscript, ast.Call)):
+        node = node.func if isinstance(node, ast.Call) else node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+def scopes(tree: ast.Module) -> Iterator[ast.AST]:
+    """The module plus every (async) function definition, outermost first.
+
+    Rules that track local bindings analyse each scope independently so a
+    name's type in one function never leaks into another.
+    """
+    yield tree
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def scope_statements(scope: ast.AST) -> Iterator[ast.stmt]:
+    """Statements belonging to ``scope`` in source order, descending into
+    compound statements but *not* into nested function/class scopes."""
+    def walk(body: List[ast.stmt]) -> Iterator[ast.stmt]:
+        for stmt in body:
+            yield stmt
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                continue
+            for field_body in ("body", "orelse", "finalbody"):
+                yield from walk(getattr(stmt, field_body, []) or [])
+            for handler in getattr(stmt, "handlers", []) or []:
+                yield from walk(handler.body)
+
+    yield from walk(list(getattr(scope, "body", [])))

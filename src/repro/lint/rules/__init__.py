@@ -1,0 +1,20 @@
+"""Rule registry.  Adding a rule = adding a module here and an entry below."""
+
+from typing import Dict, Type
+
+from repro.lint.engine import Rule
+from repro.lint.rules.checkpoint_purity import CheckpointPurityRule
+from repro.lint.rules.determinism import DeterminismRule
+from repro.lint.rules.error_taxonomy import ErrorTaxonomyRule
+from repro.lint.rules.obs_granularity import ObsGranularityRule
+
+#: name -> class, the single source of truth for ``--rules`` / ``--list-rules``.
+RULES: Dict[str, Type[Rule]] = {
+    cls.name: cls
+    for cls in (
+        CheckpointPurityRule,
+        DeterminismRule,
+        ErrorTaxonomyRule,
+        ObsGranularityRule,
+    )
+}

@@ -1,0 +1,238 @@
+"""``determinism`` — seeded-reproducibility contract for the hot subsystems.
+
+Every simulation result must be a pure function of its seeds: re-running a
+scenario with the same config produces bit-identical reports (that is what
+the cross-engine differential tests assert).  Two bug classes silently
+break this:
+
+* **Ambient entropy** — ``random.random()`` (module-level, seeded from the
+  OS), ``time.time()``, ``os.urandom``, ``uuid.uuid4``, ``secrets.*``.
+  Seeded ``random.Random(seed)`` instances are the sanctioned source.
+* **Unordered-set iteration** — ``for q in some_set:`` hashes differently
+  across runs of *different* Python processes only for str keys, but the
+  contract is "never iterate an unordered set into results"; wrapping in
+  ``sorted(...)`` sanitises.
+
+Scope: ``sim``, ``switch`` and ``traffic`` — the packages whose outputs
+feed simulation reports.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set
+
+from repro.lint.diagnostics import Finding
+from repro.lint.engine import (
+    Rule,
+    SourceFile,
+    module_aliases,
+    scope_statements,
+    scopes,
+)
+
+#: ``random`` module attributes that are fine: class constructors users seed
+#: themselves, and introspection helpers.
+_RANDOM_ALLOWED = {"Random", "SystemRandom", "getstate", "setstate"}
+
+#: ``time`` attributes that read the wall clock (results-affecting).  The
+#: monotonic/perf counters are timing-only and allowed — the obs layer uses
+#: them for duration metrics that never feed a report.
+_TIME_BANNED = {"time", "time_ns", "ctime", "localtime", "gmtime"}
+
+_UUID_BANNED = {"uuid1", "uuid4"}
+
+
+class DeterminismRule(Rule):
+    name = "determinism"
+    summary = ("no ambient entropy or unordered-set iteration in "
+               "sim/switch/traffic")
+    contract = (
+        "Results are a pure function of config + seeds: hot-path code uses "
+        "seeded random.Random instances, never the module-level RNG, the "
+        "wall clock, os.urandom, uuid, or secrets; sets are sorted before "
+        "iteration.")
+    scope = frozenset({"sim", "switch", "traffic"})
+
+    def check(self, file: SourceFile) -> Iterator[Finding]:
+        yield from self._entropy_findings(file)
+        yield from self._set_iteration_findings(file)
+
+    # ------------------------------------------------------------- #
+    # Ambient entropy
+    # ------------------------------------------------------------- #
+
+    def _entropy_findings(self, file: SourceFile) -> Iterator[Finding]:
+        random_names = module_aliases(file.tree, "random")
+        time_names = module_aliases(file.tree, "time")
+        os_names = module_aliases(file.tree, "os")
+        uuid_names = module_aliases(file.tree, "uuid")
+        secrets_names = module_aliases(file.tree, "secrets")
+
+        for node in ast.walk(file.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            # Attribute form: random.random(), time.time(), os.urandom(),
+            # uuid.uuid4(), secrets.token_bytes()...
+            if isinstance(func, ast.Attribute) and isinstance(
+                    func.value, ast.Name):
+                base, attr = func.value.id, func.attr
+                if (random_names.get(base) == "random"
+                        and attr not in _RANDOM_ALLOWED):
+                    yield self.finding(
+                        file,
+                        node,
+                        f"module-level random.{attr}() draws from ambient "
+                        "state; use a seeded random.Random instance",
+                        f"random.{attr}")
+                elif time_names.get(base) == "time" and attr in _TIME_BANNED:
+                    yield self.finding(
+                        file, node,
+                        f"time.{attr}() reads the wall clock; results must "
+                        "not depend on real time",
+                        f"time.{attr}")
+                elif os_names.get(base) == "os" and attr == "urandom":
+                    yield self.finding(
+                        file, node,
+                        "os.urandom() is unseeded OS entropy",
+                        "os.urandom")
+                elif uuid_names.get(base) == "uuid" and attr in _UUID_BANNED:
+                    yield self.finding(
+                        file, node,
+                        f"uuid.{attr}() is non-deterministic; derive ids "
+                        "from config + seeds instead",
+                        f"uuid.{attr}")
+                elif secrets_names.get(base) == "secrets":
+                    yield self.finding(
+                        file, node,
+                        f"secrets.{attr}() is unseeded OS entropy",
+                        f"secrets.{attr}")
+            # from-import form: from random import random / randint ...
+            elif isinstance(func, ast.Name):
+                origin = random_names.get(func.id)
+                if (origin and origin.startswith("random.")
+                        and origin.split(".", 1)[1] not in _RANDOM_ALLOWED):
+                    yield self.finding(
+                        file, node,
+                        f"{origin}() (imported as {func.id}) draws from the "
+                        "module-level RNG; use a seeded random.Random",
+                        origin)
+                origin = time_names.get(func.id)
+                if (origin and origin.startswith("time.")
+                        and origin.split(".", 1)[1] in _TIME_BANNED):
+                    yield self.finding(
+                        file, node,
+                        f"{origin}() (imported as {func.id}) reads the wall "
+                        "clock; results must not depend on real time",
+                        origin)
+                origin = secrets_names.get(func.id)
+                if origin and origin.startswith("secrets."):
+                    yield self.finding(
+                        file, node,
+                        f"{origin}() is unseeded OS entropy", origin)
+
+    # ------------------------------------------------------------- #
+    # Unordered-set iteration
+    # ------------------------------------------------------------- #
+
+    def _set_iteration_findings(self, file: SourceFile) -> Iterator[Finding]:
+        for scope in scopes(file.tree):
+            set_locals = self._set_typed_locals(scope)
+            for node in self._scope_nodes(scope):
+                expr = self._iterated_set(node, set_locals)
+                if expr is not None:
+                    symbol = expr.id if isinstance(expr, ast.Name) else "set"
+                    yield self.finding(
+                        file, node,
+                        "iterating an unordered set feeds hash order into "
+                        "results; wrap in sorted(...)",
+                        symbol)
+
+    @staticmethod
+    def _scope_nodes(scope: ast.AST) -> Iterator[ast.AST]:
+        """Every node in ``scope``, each exactly once, excluding nested
+        function scopes (they get their own pass with their own locals)."""
+        def walk(node: ast.AST) -> Iterator[ast.AST]:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef,
+                                      ast.AsyncFunctionDef, ast.Lambda)):
+                    continue
+                yield child
+                yield from walk(child)
+
+        yield from walk(scope)
+
+    def _set_typed_locals(self, scope: ast.AST) -> Set[str]:
+        """Names assigned an obviously-set-typed value in ``scope``, with
+        one step of propagation (``b = a`` where ``a`` is set-typed)."""
+        set_locals: Set[str] = set()
+        for _ in range(2):  # one extra sweep for single-step propagation
+            for stmt in scope_statements(scope):
+                targets = []
+                value: Optional[ast.expr] = None
+                if isinstance(stmt, ast.Assign):
+                    targets, value = stmt.targets, stmt.value
+                elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                    targets, value = [stmt.target], stmt.value
+                elif isinstance(stmt, ast.AugAssign):
+                    # s |= {...} keeps set-ness; nothing new to learn.
+                    continue
+                if value is None:
+                    continue
+                if self._is_set_expr(value, set_locals):
+                    for target in targets:
+                        if isinstance(target, ast.Name):
+                            set_locals.add(target.id)
+                else:
+                    # Rebinding to a non-set clears the inference.
+                    for target in targets:
+                        if isinstance(target, ast.Name):
+                            set_locals.discard(target.id)
+        return set_locals
+
+    def _is_set_expr(self, node: ast.expr, set_locals: Set[str]) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in set_locals
+        if isinstance(node, ast.Call):
+            if isinstance(node.func, ast.Name) and node.func.id in (
+                    "set", "frozenset"):
+                return True
+            # s.union(...) / s.intersection(...) / s.difference(...) / s.copy()
+            if (isinstance(node.func, ast.Attribute)
+                    and node.func.attr in ("union", "intersection",
+                                           "difference",
+                                           "symmetric_difference", "copy")
+                    and self._is_set_expr(node.func.value, set_locals)):
+                return True
+            return False
+        if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)):
+            return (self._is_set_expr(node.left, set_locals)
+                    or self._is_set_expr(node.right, set_locals))
+        return False
+
+    def _iterated_set(self, node: ast.AST,
+                      set_locals: Set[str]) -> Optional[ast.expr]:
+        """The set expression ``node`` iterates, or ``None``.
+
+        ``sorted(s)`` (and ``min``/``max``/``sum``/``len``/``any``/``all``,
+        which are order-insensitive) sanitise; ``list(s)``, ``tuple(s)``,
+        ``enumerate(s)`` and direct ``for``/comprehension iteration do not.
+        """
+        iters = []
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            iters.append(node.iter)
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                               ast.GeneratorExp)):
+            iters.extend(gen.iter for gen in node.generators)
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            if node.func.id in ("list", "tuple", "enumerate", "iter",
+                                "next", "zip", "map", "filter"):
+                iters.extend(node.args)
+        for candidate in iters:
+            if self._is_set_expr(candidate, set_locals):
+                return candidate
+        return None

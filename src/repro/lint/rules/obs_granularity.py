@@ -1,0 +1,124 @@
+"""``obs-granularity`` — observability never runs per slot.
+
+The obs layer's own contract (see ``docs/architecture.md``): metrics and
+trace events are emitted at *span/chunk/run* granularity, because a
+``get_metrics()`` lookup or ``trace_emit`` JSON encode inside the
+million-iteration slot loop erases the array engine's entire speedup.
+The streaming engine honours this by emitting once per chunk, from a
+method *outside* the slot loop.
+
+The rule's definition of a per-slot loop is lexical: a ``for``/``while``
+whose target, iterator or test mentions a slot-ish identifier
+(``slot``, ``slots``, ``num_slots``, ``drain_slots``, ``slot_idx`` ...).
+Inside such a loop — but not inside a nested function definition, which
+executes later — it flags calls to ``get_metrics``/``trace_emit`` and
+metric-instrument methods (``.inc``/``.observe``/``.gauge``/``.timed``).
+
+Scope: every package (the contract is global).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, List
+
+from repro.lint.diagnostics import Finding
+from repro.lint.engine import Rule, SourceFile
+
+#: Identifier test: ``slot`` / ``slots`` as a whole ``_``-separated word.
+_SLOTISH = re.compile(r"(?:^|_)slots?(?:$|_)")
+
+#: Obs entry points that must stay out of per-slot loops.
+_BANNED_FUNCS = frozenset({"get_metrics", "trace_emit"})
+_BANNED_METHODS = frozenset({"inc", "observe", "gauge", "timed", "emit"})
+
+
+def _mentions_slot(node: ast.AST) -> bool:
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name) and _SLOTISH.search(child.id):
+            return True
+        if isinstance(child, ast.Attribute) and _SLOTISH.search(child.attr):
+            return True
+    return False
+
+
+def _is_slot_loop(node: ast.AST) -> bool:
+    if isinstance(node, (ast.For, ast.AsyncFor)):
+        return _mentions_slot(node.target) or _mentions_slot(node.iter)
+    if isinstance(node, ast.While):
+        return _mentions_slot(node.test)
+    return False
+
+
+class ObsGranularityRule(Rule):
+    name = "obs-granularity"
+    summary = "no metrics/trace calls inside per-slot loops"
+    contract = (
+        "Observability is span/chunk/run-granular: get_metrics(), "
+        "trace_emit() and metric-instrument calls (.inc/.observe/.gauge/"
+        ".timed) never execute inside a loop that iterates slots.")
+    scope = None  # the contract is global
+
+    def check(self, file: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(file.tree):
+            if _is_slot_loop(node):
+                yield from self._banned_calls_in(file, node)
+
+    def _banned_calls_in(self, file: SourceFile,
+                         loop: ast.AST) -> Iterator[Finding]:
+        """Banned obs calls lexically inside ``loop``'s body, not descending
+        into nested function definitions (those run outside the loop)."""
+        def walk(body: List[ast.stmt]) -> Iterator[ast.AST]:
+            for stmt in body:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                     ast.ClassDef)):
+                    continue
+                yield stmt
+                for child in ast.walk(stmt):
+                    if child is stmt or isinstance(
+                            child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                    ast.ClassDef, ast.Lambda)):
+                        continue
+                    yield child
+
+        for node in walk(list(loop.body) + list(getattr(loop, "orelse", []))):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in _BANNED_FUNCS:
+                yield self.finding(
+                    file, node,
+                    f"{func.id}() inside a per-slot loop; hoist to "
+                    "span/chunk granularity",
+                    func.id)
+            elif isinstance(func, ast.Attribute):
+                if func.attr in _BANNED_FUNCS:
+                    yield self.finding(
+                        file, node,
+                        f".{func.attr}() inside a per-slot loop; hoist to "
+                        "span/chunk granularity",
+                        func.attr)
+                elif func.attr in _BANNED_METHODS and self._looks_obs(func):
+                    yield self.finding(
+                        file, node,
+                        f"metric .{func.attr}() inside a per-slot loop; "
+                        "accumulate locally and emit once per span/chunk",
+                        func.attr)
+
+    @staticmethod
+    def _looks_obs(func: ast.Attribute) -> bool:
+        """Heuristic receiver filter so ``counter.inc()`` fires but a
+        domain method like ``ring.emit_all()`` on a non-obs object doesn't
+        drown the rule in noise: receiver mentions obs/metric/trace/counter/
+        gauge/histogram, e.g. ``self._obs.inc``, ``metrics.observe``."""
+        text_parts = []
+        node: ast.AST = func.value
+        while isinstance(node, ast.Attribute):
+            text_parts.append(node.attr)
+            node = node.value
+        if isinstance(node, ast.Name):
+            text_parts.append(node.id)
+        text = "_".join(text_parts).lower()
+        return bool(re.search(
+            r"obs|metric|trace|counter|gauge|histog|instrument", text))

@@ -58,6 +58,8 @@ import os
 import time
 from typing import Any, Dict, Iterator, List, Optional
 
+from repro.errors import TraceFormatError
+
 __all__ = [
     "TraceWriter",
     "emit",
@@ -169,7 +171,7 @@ def read_events(path: os.PathLike) -> List[Dict[str, Any]]:
                 # events before it are still a valid trace.
                 continue
             if not isinstance(record, dict) or "event" not in record:
-                raise ValueError(
+                raise TraceFormatError(
                     f"{os.fspath(path)}:{number}: not a trace event")
             events.append(record)
     return events

@@ -24,7 +24,7 @@ from pathlib import Path
 from typing import Any, Optional
 
 import repro
-from repro.errors import ReproError
+from repro.errors import CacheIntegrityError, ReproError
 from repro.faults import get_injector
 from repro.obs.metrics import get_metrics
 from repro.obs.trace import emit as trace_emit
@@ -102,7 +102,7 @@ class ResultCache:
                 entry = json.load(handle)
             if not isinstance(entry, dict) or entry.get("key") != self.key(job):
                 # Hash collision or hand-edited file: treat as a miss.
-                raise ValueError("cache entry key mismatch")
+                raise CacheIntegrityError("cache entry key mismatch")
             result = from_jsonable(entry["result"])
         except (OSError, ValueError, KeyError, TypeError, ReproError) as exc:
             # Unreadable, corrupted, or no-longer-deserialisable (e.g. a

@@ -91,6 +91,8 @@ BENCH = "bench"
 FUZZ = "fuzz"
 #: Subcommand that inspects NDJSON run traces written with --trace-out.
 TRACE = "trace"
+#: Subcommand that runs the AST-based invariant checker over the tree.
+LINT = "lint"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -376,6 +378,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="emit the summary as JSON instead of text")
     trace.add_argument("-o", "--output", default=None, metavar="FILE",
                        help="write the summary to FILE instead of stdout")
+
+    from repro.lint.cli import add_lint_arguments
+
+    lint = subparsers.add_parser(
+        LINT, help="check the tree against the project's written invariants",
+        description=("AST-based static analysis enforcing the contracts "
+                     "ordinary linters cannot see: determinism, checkpoint "
+                     "purity of the span cores, the repro.errors taxonomy, "
+                     "and span-granular observability.  Exit 0 when clean, "
+                     "1 on findings."))
+    add_lint_arguments(lint)
     return parser
 
 
@@ -811,6 +824,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.experiment == TRACE:
         # The inspector only reads a trace; no observability setup needed.
         return _run_trace_command(parser, args)
+    if args.experiment == LINT:
+        # Static analysis never simulates; skip observability setup too.
+        from repro.lint.cli import run_lint_command
+
+        return run_lint_command(parser, args)
 
     # --metrics / --trace-out: install the observability layer around the
     # whole command.  Recording is after-the-fact only, so the report of an

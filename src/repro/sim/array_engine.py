@@ -153,7 +153,7 @@ def build_array_core(sim):
         return _RADSCore(sim, buffer)
     if isinstance(buffer, CFDSPacketBuffer):
         return _CFDSCore(sim, buffer)
-    raise TypeError(
+    raise ConfigurationError(
         "the array engine supports RADSPacketBuffer and CFDSPacketBuffer, "
         f"got {type(buffer).__name__}")
 

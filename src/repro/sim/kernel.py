@@ -21,6 +21,29 @@ to the fused python loop on the untouched state, so the kernel is a pure
 accelerator: every result it produces is bit-identical to the scalar
 reference loop (asserted by ``tests/sim/test_numpy_engine.py``, which runs
 the suite through both paths).
+
+Sanitizer-hardened builds
+-------------------------
+Setting ``REPRO_SPAN_KERNEL_SANITIZE=1`` switches the build to
+``-g -O1 -fsanitize=address,undefined -fno-sanitize-recover=all`` so any
+out-of-bounds write or undefined behaviour in the C source aborts the
+process instead of silently corrupting state (the bug class PR 9's
+bounds-checked writebacks defend against).  The sanitized ``.so`` is cached
+under its own tag, never mixed with production builds.  Loading it into a
+stock CPython requires the sanitizer runtimes to be preloaded and real
+``malloc`` in use::
+
+    LD_PRELOAD="$(gcc -print-file-name=libasan.so) \\
+                $(gcc -print-file-name=libubsan.so)" \\
+    PYTHONMALLOC=malloc ASAN_OPTIONS=detect_leaks=0 \\
+    REPRO_SPAN_KERNEL_SANITIZE=1 python -m pytest tests/sim/
+
+(``PYTHONMALLOC=malloc`` matters: pymalloc arenas carry no ASan redzones,
+so overflows on Python-allocated buffers would go unseen.)  The
+``benchmarks/kernel_sanitize_check.py`` harness sets all of this up and
+replays the PR 9 backlog-migration overflow stressor; CI runs it in the
+``kernel-sanitize`` job.  Without the preload, ``CDLL`` fails and the
+engine falls back to the fused python loop as usual.
 """
 
 from __future__ import annotations
@@ -47,6 +70,11 @@ from repro.types import MissRecord
 #: Environment kill switch: set to ``0``/``off``/``false`` to disable the
 #: compiled kernel (the fused python loop still runs; results identical).
 KERNEL_ENV = "REPRO_SPAN_KERNEL"
+
+#: Set to ``1``/``on`` to compile the kernel with ASan+UBSan (abort on any
+#: memory error or UB).  See the module docstring for the required runtime
+#: environment; results remain bit-identical to the production build.
+SANITIZE_ENV = "REPRO_SPAN_KERNEL_SANITIZE"
 
 #: Spans shorter than this stay on the fused python loop — the per-span
 #: state marshalling is O(state), so tiny chunks would pay more moving
@@ -128,6 +156,40 @@ def kernel_enabled() -> bool:
         "0", "off", "false", "no")
 
 
+def sanitize_enabled() -> bool:
+    """True when ``REPRO_SPAN_KERNEL_SANITIZE`` asks for an ASan/UBSan
+    build."""
+    return os.environ.get(SANITIZE_ENV, "").strip().lower() in (
+        "1", "on", "true", "yes")
+
+
+def sanitizer_preload() -> Optional[str]:
+    """The ``LD_PRELOAD`` value a sanitized kernel needs, or ``None``.
+
+    ``CDLL`` on an ASan-instrumented ``.so`` only works when the sanitizer
+    runtimes are already in the process image; the harness spawns a child
+    with this preload set.  Returns ``None`` when no compiler is available
+    or it cannot name the runtime libraries (non-GNU toolchains).
+    """
+    cc = _compiler()
+    if cc is None:
+        return None
+    libs = []
+    for lib in ("libasan.so", "libubsan.so"):
+        try:
+            proc = subprocess.run([cc, f"-print-file-name={lib}"],
+                                  capture_output=True, text=True, timeout=30)
+        except (OSError, subprocess.SubprocessError):
+            return None
+        name = proc.stdout.strip()
+        # An unresolved name is echoed back verbatim; a resolved one is an
+        # absolute path.
+        if proc.returncode != 0 or not name or not os.path.isabs(name):
+            return None
+        libs.append(name)
+    return " ".join(libs)
+
+
 def _cache_dir() -> Path:
     """User-private cache directory for the compiled kernel.
 
@@ -175,8 +237,15 @@ def _cache_path() -> Path:
     digest.update(_SOURCE.read_bytes())
     digest.update(sys.implementation.cache_tag.encode())
     digest.update(sysconfig.get_platform().encode())
+    if sanitize_enabled():
+        # A sanitized .so must never be picked up by a production run (it
+        # would fail to load without the preload) nor vice versa.
+        digest.update(b"asan-ubsan")
+        suffix = "-sanitize"
+    else:
+        suffix = ""
     tag = digest.hexdigest()[:20]
-    return _cache_dir() / f"spankernel-{tag}.so"
+    return _cache_dir() / f"spankernel-{tag}{suffix}.so"
 
 
 def _compiler() -> Optional[str]:
@@ -205,8 +274,17 @@ def _compile(path: Path) -> bool:
     # double expressions for random() and choices().  -march=native is safe
     # (the cache directory is per-machine and the kernel's floating point is
     # isolated multiplies, nothing contraction-sensitive) but not guaranteed
-    # to be supported, so fall back to plain -O2.
-    for extra in (["-O2", "-march=native"], ["-O2"]):
+    # to be supported, so fall back to plain -O2.  Sanitized builds trade
+    # speed for checking: -O1 keeps line info honest and -fno-sanitize-
+    # recover turns every finding into an abort.
+    if sanitize_enabled():
+        flag_sets = (
+            ["-g", "-O1", "-fsanitize=address,undefined",
+             "-fno-sanitize-recover=all"],
+        )
+    else:
+        flag_sets = (["-O2", "-march=native"], ["-O2"])
+    for extra in flag_sets:
         cmd = [cc, *extra, "-shared", "-fPIC", "-o", str(tmp), str(_SOURCE)]
         try:
             proc = subprocess.run(cmd, stdout=subprocess.DEVNULL,

@@ -66,7 +66,10 @@ class IntRing:
     def popleft(self) -> int:
         """Remove and return the oldest element."""
         if self._size == 0:
-            raise IndexError("pop from an empty IntRing")
+            # Deliberate deque parity: popleft on empty mirrors
+            # collections.deque, which callers already handle.
+            raise IndexError(  # repro-lint: disable=error-taxonomy
+                "pop from an empty IntRing")
         value = self._buf[self._head]
         self._head = (self._head + 1) & self._mask
         self._size -= 1
@@ -75,7 +78,9 @@ class IntRing:
     def peekleft(self) -> int:
         """Return the oldest element without removing it."""
         if self._size == 0:
-            raise IndexError("peek into an empty IntRing")
+            # Deliberate deque parity (see popleft).
+            raise IndexError(  # repro-lint: disable=error-taxonomy
+                "peek into an empty IntRing")
         return self._buf[self._head]
 
     def pop_block(self, count: int, out: List[int]) -> None:

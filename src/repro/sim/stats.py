@@ -6,6 +6,7 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import Dict, Iterable, Optional, Sequence, Tuple
 
+from repro.errors import ValidationError
 
 def _percentile_threshold(fraction: float, count: int) -> int:
     """Smallest cumulative count that reaches the ``fraction`` percentile.
@@ -66,7 +67,7 @@ class LatencyStats:
     def record(self, arrival_slot: int, departure_slot: int) -> None:
         delay = departure_slot - arrival_slot
         if delay < 0:
-            raise ValueError("departure cannot precede arrival")
+            raise ValidationError("departure cannot precede arrival")
         self.record_delay(delay)
 
     def record_delay(self, delay: int, count: int = 1) -> None:
@@ -77,9 +78,9 @@ class LatencyStats:
         to ``count`` individual :meth:`record` calls.
         """
         if delay < 0:
-            raise ValueError("delay cannot be negative")
+            raise ValidationError("delay cannot be negative")
         if count <= 0:
-            raise ValueError("count must be positive")
+            raise ValidationError("count must be positive")
         self._count += count
         self._total += delay * count
         if self._minimum is None or delay < self._minimum:
@@ -128,7 +129,7 @@ class LatencyStats:
         """
         for fraction in fractions:
             if not 0.0 < fraction <= 1.0:
-                raise ValueError("fraction must be in (0, 1]")
+                raise ValidationError("fraction must be in (0, 1]")
         if not self._histogram:
             return tuple(0 for _ in fractions)
         # Sweep the sorted histogram once, answering the fractions in

@@ -28,7 +28,7 @@ from __future__ import annotations
 import random
 from typing import Any, Dict, Mapping, Optional
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ValidationError
 from repro.traffic.arrivals import ArrivalProcess
 from repro.workloads.scenario import ARRIVAL_TYPES, accepts_param
 
@@ -52,13 +52,13 @@ class IncastTraffic(ArrivalProcess):
                  load: float = 0.5,
                  seed: int = 0) -> None:
         if num_queues <= 0:
-            raise ValueError("num_queues must be positive")
+            raise ValidationError("num_queues must be positive")
         if not 0 <= victim < num_queues:
-            raise ValueError("victim must be a valid egress port")
+            raise ValidationError("victim must be a valid egress port")
         if period < 1 or not 0 <= burst <= period:
-            raise ValueError("need 0 <= burst <= period and period >= 1")
+            raise ValidationError("need 0 <= burst <= period and period >= 1")
         if not 0.0 <= load <= 1.0:
-            raise ValueError("load must be in [0, 1]")
+            raise ValidationError("load must be in [0, 1]")
         self.num_queues = num_queues
         self.victim = victim
         self.period = period
@@ -92,9 +92,9 @@ class PermutationTraffic(ArrivalProcess):
                  load: float = 1.0,
                  seed: int = 0) -> None:
         if num_queues <= 0:
-            raise ValueError("num_queues must be positive")
+            raise ValidationError("num_queues must be positive")
         if not 0.0 <= load <= 1.0:
-            raise ValueError("load must be in [0, 1]")
+            raise ValidationError("load must be in [0, 1]")
         self.num_queues = num_queues
         self.destination = (ingress + shift) % num_queues
         self.load = load

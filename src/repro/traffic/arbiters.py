@@ -21,6 +21,7 @@ import abc
 import random
 from typing import List, Optional, Sequence
 
+from repro.errors import ValidationError
 
 class Arbiter(abc.ABC):
     """Interface of every request generator."""
@@ -44,7 +45,7 @@ class RoundRobinAdversary(Arbiter):
 
     def __init__(self, num_queues: int, start_queue: int = 0) -> None:
         if num_queues <= 0:
-            raise ValueError("num_queues must be positive")
+            raise ValidationError("num_queues must be positive")
         self.num_queues = num_queues
         self._next = start_queue % num_queues
 
@@ -63,9 +64,9 @@ class RandomArbiter(Arbiter):
 
     def __init__(self, num_queues: int, load: float = 1.0, seed: int = 0) -> None:
         if num_queues <= 0:
-            raise ValueError("num_queues must be positive")
+            raise ValidationError("num_queues must be positive")
         if not 0.0 <= load <= 1.0:
-            raise ValueError("load must be in [0, 1]")
+            raise ValidationError("load must be in [0, 1]")
         self.num_queues = num_queues
         self.load = load
         self._rng = random.Random(seed)
@@ -85,7 +86,7 @@ class LongestQueueArbiter(Arbiter):
 
     def __init__(self, num_queues: int) -> None:
         if num_queues <= 0:
-            raise ValueError("num_queues must be positive")
+            raise ValidationError("num_queues must be positive")
         self.num_queues = num_queues
 
     def next_request(self, slot: int, backlog: Sequence[int]) -> Optional[int]:
@@ -106,7 +107,7 @@ class OldestCellArbiter(Arbiter):
 
     def __init__(self, num_queues: int) -> None:
         if num_queues <= 0:
-            raise ValueError("num_queues must be positive")
+            raise ValidationError("num_queues must be positive")
         self.num_queues = num_queues
         self._rotation = 0
 
@@ -139,11 +140,11 @@ class StridedAdversary(Arbiter):
                  burst: int = 1,
                  start_queue: int = 0) -> None:
         if num_queues <= 0:
-            raise ValueError("num_queues must be positive")
+            raise ValidationError("num_queues must be positive")
         if stride < 1:
-            raise ValueError("stride must be at least 1")
+            raise ValidationError("stride must be at least 1")
         if burst < 1:
-            raise ValueError("burst must be at least 1")
+            raise ValidationError("burst must be at least 1")
         self.num_queues = num_queues
         self.stride = stride
         self.burst = burst
@@ -179,9 +180,9 @@ class IntermittentArbiter(Arbiter):
 
     def __init__(self, inner: Arbiter, on_slots: int, off_slots: int) -> None:
         if on_slots < 1:
-            raise ValueError("on_slots must be at least 1")
+            raise ValidationError("on_slots must be at least 1")
         if off_slots < 0:
-            raise ValueError("off_slots must be non-negative")
+            raise ValidationError("off_slots must be non-negative")
         self.inner = inner
         self.on_slots = on_slots
         self.off_slots = off_slots

@@ -24,6 +24,7 @@ from bisect import bisect
 from itertools import accumulate
 from typing import Iterable, List, Optional, Sequence
 
+from repro.errors import ValidationError
 
 class ArrivalProcess(abc.ABC):
     """Interface of every arrival process."""
@@ -72,7 +73,7 @@ class DeterministicArrivals(ArrivalProcess):
 
     def __init__(self, pattern: Sequence[Optional[int]]) -> None:
         if not pattern:
-            raise ValueError("pattern must not be empty")
+            raise ValidationError("pattern must not be empty")
         self.pattern = list(pattern)
 
     def next_arrival(self, slot: int) -> Optional[int]:
@@ -98,9 +99,9 @@ class RoundRobinArrivals(ArrivalProcess):
 
     def __init__(self, num_queues: int, load: float = 1.0, seed: int = 0) -> None:
         if num_queues <= 0:
-            raise ValueError("num_queues must be positive")
+            raise ValidationError("num_queues must be positive")
         if not 0.0 <= load <= 1.0:
-            raise ValueError("load must be in [0, 1]")
+            raise ValidationError("load must be in [0, 1]")
         self.num_queues = num_queues
         self.load = load
         self._rng = random.Random(seed)
@@ -151,13 +152,13 @@ class BernoulliArrivals(ArrivalProcess):
                  weights: Optional[Sequence[float]] = None,
                  seed: int = 0) -> None:
         if num_queues <= 0:
-            raise ValueError("num_queues must be positive")
+            raise ValidationError("num_queues must be positive")
         if not 0.0 <= load <= 1.0:
-            raise ValueError("load must be in [0, 1]")
+            raise ValidationError("load must be in [0, 1]")
         if weights is not None and len(weights) != num_queues:
-            raise ValueError("weights must have one entry per queue")
+            raise ValidationError("weights must have one entry per queue")
         if weights is not None and any(w < 0 for w in weights):
-            raise ValueError("weights must be non-negative")
+            raise ValidationError("weights must be non-negative")
         self.num_queues = num_queues
         self.load = load
         self.weights = list(weights) if weights is not None else [1.0] * num_queues
@@ -207,12 +208,12 @@ class HotspotArrivals(BernoulliArrivals):
                  load: float = 1.0,
                  seed: int = 0) -> None:
         if not hot_queues:
-            raise ValueError("hot_queues must not be empty")
+            raise ValidationError("hot_queues must not be empty")
         if not 0.0 <= hot_fraction <= 1.0:
-            raise ValueError("hot_fraction must be in [0, 1]")
+            raise ValidationError("hot_fraction must be in [0, 1]")
+        if any(not 0 <= q < num_queues for q in hot_queues):
+            raise ValidationError("hot queue index out of range")
         hot_set = set(hot_queues)
-        if any(not 0 <= q < num_queues for q in hot_set):
-            raise ValueError("hot queue index out of range")
         cold_count = num_queues - len(hot_set)
         weights: List[float] = []
         for queue in range(num_queues):
@@ -242,11 +243,11 @@ class BurstyArrivals(ArrivalProcess):
                  load: float = 1.0,
                  seed: int = 0) -> None:
         if num_queues <= 0:
-            raise ValueError("num_queues must be positive")
+            raise ValidationError("num_queues must be positive")
         if mean_burst_cells < 1.0:
-            raise ValueError("mean_burst_cells must be >= 1")
+            raise ValidationError("mean_burst_cells must be >= 1")
         if not 0.0 <= load <= 1.0:
-            raise ValueError("load must be in [0, 1]")
+            raise ValidationError("load must be in [0, 1]")
         self.num_queues = num_queues
         self.mean_burst_cells = mean_burst_cells
         self.load = load
@@ -313,11 +314,11 @@ class MarkovOnOffArrivals(ArrivalProcess):
                  peak_rate: float = 1.0,
                  seed: int = 0) -> None:
         if num_queues <= 0:
-            raise ValueError("num_queues must be positive")
+            raise ValidationError("num_queues must be positive")
         if mean_on_slots < 1.0 or mean_off_slots < 1.0:
-            raise ValueError("mean sojourn times must be >= 1 slot")
+            raise ValidationError("mean sojourn times must be >= 1 slot")
         if not 0.0 < peak_rate <= 1.0:
-            raise ValueError("peak_rate must be in (0, 1]")
+            raise ValidationError("peak_rate must be in (0, 1]")
         self.num_queues = num_queues
         self.mean_on_slots = mean_on_slots
         self.mean_off_slots = mean_off_slots
@@ -395,13 +396,13 @@ class ParetoBurstArrivals(ArrivalProcess):
                  load: float = 0.8,
                  seed: int = 0) -> None:
         if num_queues <= 0:
-            raise ValueError("num_queues must be positive")
+            raise ValidationError("num_queues must be positive")
         if alpha <= 1.0:
-            raise ValueError("alpha must exceed 1 (finite mean)")
+            raise ValidationError("alpha must exceed 1 (finite mean)")
         if min_burst_cells < 1:
-            raise ValueError("min_burst_cells must be >= 1")
+            raise ValidationError("min_burst_cells must be >= 1")
         if not 0.0 < load < 1.0:
-            raise ValueError("load must be in (0, 1)")
+            raise ValidationError("load must be in (0, 1)")
         self.num_queues = num_queues
         self.alpha = alpha
         self.min_burst_cells = min_burst_cells
@@ -480,7 +481,7 @@ class ZipfArrivals(BernoulliArrivals):
                  load: float = 1.0,
                  seed: int = 0) -> None:
         if exponent < 0.0:
-            raise ValueError("exponent must be non-negative")
+            raise ValidationError("exponent must be non-negative")
         weights = [1.0 / float(rank + 1) ** exponent for rank in range(num_queues)]
         super().__init__(num_queues, load=load, weights=weights, seed=seed)
         self.exponent = exponent

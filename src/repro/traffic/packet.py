@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.constants import CELL_SIZE_BYTES
+from repro.errors import ValidationError
 
 #: Smallest IP packet the generators produce (a TCP ACK-sized packet).
 MIN_PACKET_BYTES: int = 40
@@ -32,9 +33,9 @@ class Packet:
 
     def __post_init__(self) -> None:
         if self.size_bytes <= 0:
-            raise ValueError("size_bytes must be positive")
+            raise ValidationError("size_bytes must be positive")
         if self.queue < 0:
-            raise ValueError("queue must be non-negative")
+            raise ValidationError("queue must be non-negative")
 
     @property
     def num_cells(self) -> int:

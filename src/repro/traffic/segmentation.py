@@ -11,6 +11,7 @@ from collections import defaultdict
 from typing import Dict, List, Optional
 
 from repro.constants import CELL_SIZE_BYTES
+from repro.errors import ValidationError
 from repro.traffic.packet import Packet
 from repro.types import Cell
 
@@ -26,14 +27,14 @@ class Segmenter:
 
     def __init__(self, num_queues: int) -> None:
         if num_queues <= 0:
-            raise ValueError("num_queues must be positive")
+            raise ValidationError("num_queues must be positive")
         self.num_queues = num_queues
         self._next_seqno: Dict[int, int] = defaultdict(int)
 
     def segment(self, packet: Packet) -> List[Cell]:
         """Return the cells of ``packet`` in transmission order."""
         if not 0 <= packet.queue < self.num_queues:
-            raise ValueError(f"packet queue {packet.queue} out of range")
+            raise ValidationError(f"packet queue {packet.queue} out of range")
         cells: List[Cell] = []
         total = packet.num_cells
         for offset in range(total):

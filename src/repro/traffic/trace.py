@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterator, List, Optional, Tuple
 
+from repro.errors import TraceFormatError
 SlotEvent = Tuple[Optional[int], Optional[int]]
 
 
@@ -60,7 +61,7 @@ class TrafficTrace:
                 continue
             parts = line.split(",")
             if len(parts) != 2:
-                raise ValueError(f"{path}:{line_number}: expected 2 fields, got {len(parts)}")
+                raise TraceFormatError(f"{path}:{line_number}: expected 2 fields, got {len(parts)}")
             trace.append(cls._parse(parts[0]), cls._parse(parts[1]))
         return trace
 

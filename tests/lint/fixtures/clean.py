@@ -1,0 +1,16 @@
+"""Fixture: violates no rule."""
+
+import random
+
+
+def simulate(num_slots, seed, metrics):
+    rng = random.Random(seed)
+    total = 0
+    for slot in range(num_slots):
+        total += rng.randrange(4)
+    metrics.inc("spans_run")  # after the loop: span granularity
+    return total
+
+
+def ordered(queues):
+    return [q for q in sorted(set(queues))]

@@ -1,0 +1,7 @@
+"""Fixture: trips ``determinism`` (module-level RNG) and nothing else."""
+
+import random
+
+
+def draw():
+    return random.random()  # ambient entropy, unseeded

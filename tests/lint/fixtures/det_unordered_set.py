@@ -1,0 +1,9 @@
+"""Fixture: trips ``determinism`` (unordered-set iteration) and nothing else."""
+
+
+def tally(queues):
+    hot = set(queues)
+    total = 0
+    for queue in hot:  # hash order feeds the result
+        total += queue
+    return total

@@ -1,0 +1,7 @@
+"""Fixture: trips ``error-taxonomy`` (bare builtin raise) and nothing else."""
+
+
+def validate(load):
+    if not 0.0 <= load <= 1.0:
+        raise ValueError("load must be in [0, 1]")
+    return load

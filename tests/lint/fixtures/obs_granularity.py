@@ -1,0 +1,8 @@
+"""Fixture: trips ``obs-granularity`` (metrics in a per-slot loop) and
+nothing else."""
+
+
+def run(metrics, num_slots):
+    for slot in range(num_slots):
+        metrics.inc("slots_run")  # per-slot metric update
+    return num_slots

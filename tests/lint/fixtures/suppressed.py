@@ -1,0 +1,8 @@
+"""Fixture: one violation silenced by the inline escape hatch."""
+
+
+def validate(load):
+    if load < 0:
+        # Deliberate builtin for the suppression test.
+        raise ValueError("negative")  # repro-lint: disable=error-taxonomy
+    return load

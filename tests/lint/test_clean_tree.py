@@ -1,0 +1,32 @@
+"""The committed tree satisfies every invariant the linter enforces.
+
+This is the acceptance gate of the lint subsystem: a PR that introduces a
+bare ``raise ValueError`` in ``sim/``, stashes an ndarray on a span core,
+or iterates an unordered set into a report fails here before it fails in
+production.
+"""
+
+from pathlib import Path
+
+import repro
+from repro.lint import lint_paths
+from repro.lint.engine import rule_names
+
+PACKAGE = Path(repro.__file__).parent
+
+
+def test_repro_package_lints_clean():
+    findings, stats = lint_paths([PACKAGE])
+    rendered = "\n".join(f.render() for f in findings)
+    assert findings == [], f"tree must lint clean, got:\n{rendered}"
+    assert stats.files_scanned > 50  # the whole package, not a subset
+    assert stats.rules == sorted(rule_names())
+
+
+def test_scoped_rules_each_run_clean():
+    # Rule-by-rule, so a future regression names the violated contract in
+    # the failing test id instead of one aggregate assert.
+    for rule in rule_names():
+        findings, _ = lint_paths([PACKAGE], [rule])
+        rendered = "\n".join(f.render() for f in findings)
+        assert findings == [], f"{rule} regressed:\n{rendered}"

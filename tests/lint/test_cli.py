@@ -1,0 +1,105 @@
+"""``python -m repro lint`` CLI contract: exit codes and the JSON schema."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint.diagnostics import SCHEMA_VERSION
+from repro.lint.engine import rule_names
+from repro.runner.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+class TestExitCodes:
+    def test_clean_input_exits_zero(self, capsys):
+        assert main(["lint", str(FIXTURES / "clean.py")]) == 0
+        out = capsys.readouterr().out
+        assert "clean: 1 file checked" in out
+
+    def test_findings_exit_one(self, capsys):
+        assert main(["lint", str(FIXTURES / "err_taxonomy.py")]) == 1
+        out = capsys.readouterr().out
+        assert "[error-taxonomy]" in out
+        assert "err_taxonomy.py:6:" in out  # file:line diagnostics
+
+    def test_unknown_rule_is_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["lint", "--rules", "bogus", str(FIXTURES / "clean.py")])
+        assert excinfo.value.code == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_missing_path_is_runtime_error(self, capsys):
+        assert main(["lint", str(FIXTURES / "nope.py")]) == 1
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_default_paths_lint_the_package(self, capsys):
+        # Satellite acceptance: the installed tree is clean.
+        assert main(["lint"]) == 0
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in rule_names():
+            assert rule in out
+
+
+class TestRuleSelection:
+    def test_rules_subset_runs_only_named(self, capsys):
+        code = main(["lint", "--rules", "determinism", "--json",
+                     str(FIXTURES / "err_taxonomy.py")])
+        assert code == 0  # taxonomy fixture is clean under determinism
+        document = json.loads(capsys.readouterr().out)
+        assert document["rules"] == ["determinism"]
+        assert document["counts"] == {"determinism": 0}
+
+    def test_rules_accepts_comma_list(self, capsys):
+        code = main(["lint", "--rules", "determinism,error-taxonomy",
+                     "--json", str(FIXTURES / "err_taxonomy.py")])
+        assert code == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["counts"]["error-taxonomy"] == 1
+        assert document["counts"]["determinism"] == 0
+
+
+class TestJsonSchema:
+    def test_document_shape_is_pinned(self, capsys):
+        assert main(["lint", "--json", str(FIXTURES / "err_taxonomy.py")]) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert sorted(document) == ["counts", "files_scanned", "findings",
+                                    "paths", "rules", "suppressed",
+                                    "version"]
+        assert document["version"] == SCHEMA_VERSION
+        assert document["rules"] == sorted(rule_names())
+        assert document["files_scanned"] == 1
+        assert document["suppressed"] == 0
+        (finding,) = document["findings"]
+        assert sorted(finding) == ["col", "line", "message", "path",
+                                   "rule", "symbol"]
+        assert finding["rule"] == "error-taxonomy"
+        assert finding["line"] == 6
+        assert finding["symbol"] == "ValueError"
+        # counts carries an entry per selected rule, zeros included.
+        assert set(document["counts"]) == set(rule_names())
+
+    def test_version_is_one(self):
+        assert SCHEMA_VERSION == 1
+
+    def test_suppressed_counted_in_json(self, capsys):
+        assert main(["lint", "--json",
+                     str(FIXTURES / "suppressed.py")]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["findings"] == []
+        assert document["suppressed"] == 1
+
+
+class TestOutputFile:
+    def test_report_written_to_file(self, tmp_path, capsys):
+        out = tmp_path / "lint.json"
+        code = main(["lint", "--json", "-o", str(out),
+                     str(FIXTURES / "clean.py")])
+        assert code == 0
+        document = json.loads(out.read_text())
+        assert document["findings"] == []
+        assert capsys.readouterr().out == ""

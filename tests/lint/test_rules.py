@@ -1,0 +1,84 @@
+"""Each fixture trips exactly its own rule; the escape hatch silences."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import lint_paths
+from repro.lint.engine import rule_names
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: fixture file -> the single rule it violates.
+EXPECTED = {
+    "det_unordered_set.py": "determinism",
+    "det_module_rng.py": "determinism",
+    "checkpoint_purity.py": "checkpoint-purity",
+    "err_taxonomy.py": "error-taxonomy",
+    "obs_granularity.py": "obs-granularity",
+}
+
+
+@pytest.mark.parametrize("fixture,rule", sorted(EXPECTED.items()))
+def test_fixture_trips_exactly_its_rule(fixture, rule):
+    findings, stats = lint_paths([FIXTURES / fixture])
+    assert findings, f"{fixture} should trip {rule}"
+    assert {f.rule for f in findings} == {rule}
+    assert stats.files_scanned == 1
+    for finding in findings:
+        assert finding.path.endswith(fixture)
+        assert finding.line > 0 and finding.col > 0
+        assert finding.message
+
+
+@pytest.mark.parametrize("fixture", sorted(EXPECTED))
+def test_fixture_is_silent_for_every_other_rule(fixture):
+    other_rules = sorted(set(rule_names()) - {EXPECTED[fixture]})
+    findings, _ = lint_paths([FIXTURES / fixture], other_rules)
+    assert findings == []
+
+
+def test_clean_fixture_trips_nothing():
+    findings, stats = lint_paths([FIXTURES / "clean.py"])
+    assert findings == []
+    assert stats.suppressed == 0
+
+
+def test_disable_comment_silences_and_is_counted():
+    findings, stats = lint_paths([FIXTURES / "suppressed.py"])
+    assert findings == []
+    assert stats.suppressed == 1
+
+
+def test_disable_comment_is_rule_specific():
+    # The suppression names error-taxonomy only; running just that rule
+    # still reports nothing, proving the silencing is per-rule not blanket.
+    findings, _ = lint_paths([FIXTURES / "suppressed.py"],
+                             ["error-taxonomy"])
+    assert findings == []
+
+
+def test_whole_directory_scan_aggregates(tmp_path):
+    findings, stats = lint_paths([FIXTURES])
+    assert stats.files_scanned == len(list(FIXTURES.glob("*.py")))
+    assert {f.rule for f in findings} == set(EXPECTED.values())
+
+
+def test_unknown_rule_rejected():
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError, match="unknown lint rule"):
+        lint_paths([FIXTURES / "clean.py"], ["no-such-rule"])
+
+
+def test_missing_path_rejected():
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError, match="no such file"):
+        lint_paths([FIXTURES / "does_not_exist.py"])
+
+
+def test_findings_are_sorted():
+    findings, _ = lint_paths([FIXTURES])
+    keys = [(f.path, f.line, f.col, f.rule) for f in findings]
+    assert keys == sorted(keys)

@@ -217,7 +217,7 @@ def test_array_engine_rejects_unknown_buffer_types():
         slot = 0
 
     sim = ClosedLoopSimulation(NotABuffer())
-    with pytest.raises(TypeError, match="array engine supports"):
+    with pytest.raises(ConfigurationError, match="array engine supports"):
         sim.run(10, engine="array")
 
 
